@@ -1,0 +1,28 @@
+//! # lhcds-baselines
+//!
+//! Comparison algorithms from the paper's evaluation (§6):
+//!
+//! * [`flowlds::FlowLds`] — a flow-based top-k locally densest subgraph
+//!   algorithm in the style of **LDSflow** (Qin et al., KDD 2015; the
+//!   `h = 2` comparator of Figure 12) and **LTDS** (Samusevich et al.,
+//!   ASONAM 2016; the `h = 3` comparator of Table 3), generalized to any
+//!   `h`. It shares the exact verification machinery but — like the
+//!   originals — relies only on loose core-based bounds and the basic
+//!   full-graph flow verification, which is precisely the inefficiency
+//!   IPPV removes.
+//! * [`greedy::greedy_top_k_cds`] — the **Greedy** comparator of
+//!   Figure 14: repeated h-clique densest subgraph extraction via the
+//!   kClist++ convex program with exact flow refinement, but *without*
+//!   the locally-densest guarantee (returned regions may be adjacent
+//!   fragments of one dense area).
+//! * [`peel::peel_densest`] — Charikar-style greedy peeling for the
+//!   h-clique densest subgraph (the classic `1/h`-approximation), used
+//!   as a cheap seed and as a sanity baseline in benches.
+
+pub mod flowlds;
+pub mod greedy;
+pub mod peel;
+
+pub use flowlds::FlowLds;
+pub use greedy::greedy_top_k_cds;
+pub use peel::peel_densest;

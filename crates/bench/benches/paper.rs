@@ -1,0 +1,211 @@
+//! Criterion benches — one group per table/figure of the paper
+//! (reduced dataset scale so `cargo bench` stays in budget; the
+//! `harness` binary runs the full-size sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lhcds_baselines::{greedy_top_k_cds, FlowLds};
+use lhcds_clique::count_cliques;
+use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds_data::datasets::by_abbr;
+use lhcds_data::gen::sample_edges;
+use lhcds_data::polbooks_like;
+use lhcds_graph::CsrGraph;
+use lhcds_patterns::{top_k_lhxpds, Pattern};
+
+const SCALE: f64 = 0.02;
+
+fn graph(abbr: &str) -> CsrGraph {
+    by_abbr(abbr).expect("known abbr").generate_scaled(SCALE).graph
+}
+
+fn cfg(fast: bool) -> IppvConfig {
+    IppvConfig {
+        fast_verify: fast,
+        ..IppvConfig::default()
+    }
+}
+
+/// Table 2: dataset statistics (clique counting cost).
+fn table2_stats(c: &mut Criterion) {
+    let g = graph("HA");
+    let mut group = c.benchmark_group("table2_stats");
+    group.sample_size(10);
+    for h in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("count_cliques", h), &h, |b, &h| {
+            b.iter(|| count_cliques(&g, h))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 9: basic vs fast verification across h and k.
+fn fig9_verify(c: &mut Criterion) {
+    let g = graph("HA");
+    let mut group = c.benchmark_group("fig9_verify");
+    group.sample_size(10);
+    for h in [3usize, 4] {
+        for k in [5usize, 20] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("basic_h{h}"), k),
+                &k,
+                |b, &k| b.iter(|| top_k_lhcds(&g, h, k, &cfg(false))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("fast_h{h}"), k),
+                &k,
+                |b, &k| b.iter(|| top_k_lhcds(&g, h, k, &cfg(true))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 10: full pipeline at h=3, k=20 (stage breakdown is reported
+/// by the harness; the bench tracks the end-to-end cost).
+fn fig10_breakdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_breakdown");
+    group.sample_size(10);
+    for abbr in ["CM", "GQ", "PC", "HA"] {
+        let g = graph(abbr);
+        group.bench_function(BenchmarkId::new("ippv_h3_k20", abbr), |b| {
+            b.iter(|| top_k_lhcds(&g, 3, 20, &cfg(true)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11: runtime vs edge-sampling density.
+fn fig11_density(c: &mut Criterion) {
+    let g = graph("EN");
+    let mut group = c.benchmark_group("fig11_density");
+    group.sample_size(10);
+    for pct in [20u32, 60, 100] {
+        let sampled = sample_edges(&g, pct as f64 / 100.0, pct as u64);
+        group.bench_with_input(BenchmarkId::new("ippv_h3_k5", pct), &sampled, |b, s| {
+            b.iter(|| top_k_lhcds(s, 3, 5, &cfg(true)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 12: IPPV (h=2) vs LDSflow.
+fn fig12_ldsflow(c: &mut Criterion) {
+    let g = graph("EP");
+    let mut group = c.benchmark_group("fig12_ldsflow");
+    group.sample_size(10);
+    group.bench_function("ippv_h2_k5", |b| b.iter(|| top_k_lhcds(&g, 2, 5, &cfg(true))));
+    group.bench_function("ldsflow_k5", |b| b.iter(|| FlowLds::ldsflow().top_k(&g, 5)));
+    group.finish();
+}
+
+/// Table 3: IPPV (h=3) vs LTDS.
+fn table3_ltds(c: &mut Criterion) {
+    let g = graph("CM");
+    let mut group = c.benchmark_group("table3_ltds");
+    group.sample_size(10);
+    group.bench_function("ippv_h3_k5", |b| b.iter(|| top_k_lhcds(&g, 3, 5, &cfg(true))));
+    group.bench_function("ltds_k5", |b| b.iter(|| FlowLds::ltds().top_k(&g, 5)));
+    group.finish();
+}
+
+/// Figures 13 / Table 4 / Table 5: quality sweeps over h on the case
+/// study network.
+fn table4_quality(c: &mut Criterion) {
+    let pb = polbooks_like();
+    let mut group = c.benchmark_group("table4_quality");
+    group.sample_size(10);
+    for h in [2usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("polbooks_top5", h), &h, |b, &h| {
+            b.iter(|| top_k_lhcds(&pb.graph, h, 5, &cfg(true)))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 14: IPPV vs Greedy.
+fn fig14_greedy(c: &mut Criterion) {
+    let g = graph("PC");
+    let mut group = c.benchmark_group("fig14_greedy");
+    group.sample_size(10);
+    group.bench_function("ippv_h3_k5", |b| b.iter(|| top_k_lhcds(&g, 3, 5, &cfg(true))));
+    group.bench_function("greedy_h3_k5", |b| b.iter(|| greedy_top_k_cds(&g, 3, 5, 20)));
+    group.finish();
+}
+
+/// Figure 16: CP iteration count sweep.
+fn fig16_iters(c: &mut Criterion) {
+    let g = graph("HA");
+    let mut group = c.benchmark_group("fig16_iters");
+    group.sample_size(10);
+    for t in [5usize, 20, 100] {
+        let config = IppvConfig {
+            cp_iterations: t,
+            ..IppvConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("ippv_h3_k20", t), &config, |b, config| {
+            b.iter(|| top_k_lhcds(&g, 3, 20, config))
+        });
+    }
+    group.finish();
+}
+
+/// Figure 17: pattern pipelines on the case study network.
+fn fig17_patterns(c: &mut Criterion) {
+    let pb = polbooks_like();
+    let mut group = c.benchmark_group("fig17_patterns");
+    group.sample_size(10);
+    for p in Pattern::all_four_vertex() {
+        group.bench_function(BenchmarkId::new("lhxpds_top2", p.name()), |b| {
+            b.iter(|| top_k_lhxpds(&pb.graph, p, 2, &IppvConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: verifier configurations (DESIGN.md §4).
+fn ablation_verify(c: &mut Criterion) {
+    let g = graph("HA");
+    let mut group = c.benchmark_group("ablation_verify");
+    group.sample_size(10);
+    let variants: [(&str, IppvConfig); 3] = [
+        ("fast", IppvConfig::default()),
+        (
+            "basic",
+            IppvConfig {
+                fast_verify: false,
+                ..IppvConfig::default()
+            },
+        ),
+        (
+            "flow_only",
+            IppvConfig {
+                use_cp: false,
+                use_prune: false,
+                fast_verify: false,
+                ..IppvConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        group.bench_function(BenchmarkId::new("h3_k10", name), |b| {
+            b.iter(|| top_k_lhcds(&g, 3, 10, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    table2_stats,
+    fig9_verify,
+    fig10_breakdown,
+    fig11_density,
+    fig12_ldsflow,
+    table3_ltds,
+    table4_quality,
+    fig14_greedy,
+    fig16_iters,
+    fig17_patterns,
+    ablation_verify
+);
+criterion_main!(paper);

@@ -1,0 +1,18 @@
+//! # lhcds-bench
+//!
+//! Experiment harness reproducing every table and figure of the LhCDS
+//! paper's evaluation (§6). See `DESIGN.md` §4 for the experiment index
+//! and `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
+//!
+//! * [`experiments`] — one runner per table/figure; each prints a
+//!   markdown table comparable to the paper's.
+//! * [`measure`] — wall-clock helpers and a counting global allocator
+//!   used by the memory experiment (Figure 15).
+//!
+//! The `harness` binary drives the runners:
+//! `cargo run --release -p lhcds-bench --bin harness -- all`.
+//! The Criterion benches under `benches/` cover the same experiments at
+//! reduced scale for `cargo bench`.
+
+pub mod experiments;
+pub mod measure;

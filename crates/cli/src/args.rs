@@ -1,0 +1,140 @@
+//! Tiny dependency-free argument parser: `command --key value --flag`.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: one positional command plus `--key value` pairs
+/// and bare `--flag`s.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The leading positional command (empty if none).
+    pub command: String,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    consumed: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (program name already stripped).
+    pub fn parse(argv: Vec<String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.into_iter().peekable();
+        if let Some(first) = it.peek() {
+            if !first.starts_with("--") {
+                args.command = it.next().expect("peeked");
+            }
+        }
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            };
+            if key.is_empty() {
+                return Err("empty option name '--'".into());
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().expect("peeked");
+                    if args.options.insert(key.to_string(), v).is_some() {
+                        return Err(format!("duplicate option --{key}"));
+                    }
+                }
+                _ => args.flags.push(key.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Takes a required `--key value` option.
+    pub fn required(&mut self, key: &str) -> Result<String, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// Takes an optional `--key value` option.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        self.consumed.push(key.to_string());
+        self.options.remove(key)
+    }
+
+    /// Takes an optional option parsed into `T`.
+    pub fn get_parsed<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was given (consumes it).
+    pub fn flag(&mut self, name: &str) -> bool {
+        if let Some(pos) = self.flags.iter().position(|f| f == name) {
+            self.flags.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Errors on any unrecognized leftovers.
+    pub fn finish(&mut self) -> Result<(), String> {
+        if let Some((key, _)) = self.options.iter().next() {
+            return Err(format!("unrecognized option --{key}"));
+        }
+        if let Some(flag) = self.flags.first() {
+            return Err(format!("unrecognized flag --{flag}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let mut a = Args::parse(sv(&["topk", "--graph", "g.txt", "--k", "5", "--basic"])).unwrap();
+        assert_eq!(a.command, "topk");
+        assert_eq!(a.required("graph").unwrap(), "g.txt");
+        assert_eq!(a.get_parsed::<usize>("k").unwrap(), Some(5));
+        assert!(a.flag("basic"));
+        assert!(!a.flag("quiet"));
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_required_option_errors() {
+        let mut a = Args::parse(sv(&["topk"])).unwrap();
+        assert!(a.required("graph").is_err());
+    }
+
+    #[test]
+    fn rejects_leftovers() {
+        let mut a = Args::parse(sv(&["stats", "--bogus", "1"])).unwrap();
+        assert!(a.finish().is_err());
+        let mut a = Args::parse(sv(&["stats", "--mystery-flag"])).unwrap();
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_positionals() {
+        assert!(Args::parse(sv(&["x", "--k", "1", "--k", "2"])).is_err());
+        assert!(Args::parse(sv(&["x", "--k", "1", "stray"])).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let mut a = Args::parse(sv(&["topk", "--k", "abc"])).unwrap();
+        assert!(a.get_parsed::<usize>("k").is_err());
+    }
+
+    #[test]
+    fn no_command_is_empty() {
+        let a = Args::parse(sv(&["--graph", "x"])).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

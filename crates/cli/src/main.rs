@@ -1,0 +1,246 @@
+//! `lhcds` — command-line locally h-clique densest subgraph discovery.
+//!
+//! ```text
+//! lhcds topk --graph edges.txt --h 3 --k 5 [--basic] [--pattern 4-loop]
+//! lhcds stats --graph edges.txt [--h 3]
+//! lhcds gen --out edges.txt --preset HA [--scale 0.2]
+//! lhcds help
+//! ```
+//!
+//! Graphs are whitespace-separated edge lists (`#`/`%` comments
+//! allowed) — the SNAP format.
+
+use std::process::ExitCode;
+
+use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds_graph::io::{read_edge_list_file, write_edge_list_file};
+use lhcds_patterns::{top_k_lhxpds, Pattern};
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let mut args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "topk" => cmd_topk(&mut args),
+        "stats" => cmd_stats(&mut args),
+        "gen" => cmd_gen(&mut args),
+        "help" | "" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' — try `lhcds help`")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
+         USAGE:\n  lhcds topk  --graph FILE [--h H] [--k K] [--basic] [--pattern NAME] [--quiet]\n  \
+         lhcds stats --graph FILE [--h H]\n  \
+         lhcds gen   --out FILE --preset ABBR [--scale F]\n\n\
+         PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
+         PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)"
+    );
+}
+
+fn parse_pattern(name: &str) -> Result<Pattern, String> {
+    Ok(match name {
+        "3-star" => Pattern::Star3,
+        "4-path" => Pattern::Path4,
+        "c3-star" => Pattern::TailedTriangle,
+        "4-loop" => Pattern::Cycle4,
+        "2-triangle" => Pattern::Diamond,
+        "4-clique" => Pattern::Clique4,
+        other => return Err(format!("unknown pattern '{other}'")),
+    })
+}
+
+fn cmd_topk(args: &mut Args) -> Result<(), String> {
+    let path = args.required("graph")?;
+    let k = args.get_parsed("k")?.unwrap_or(5usize);
+    let h = args.get_parsed("h")?.unwrap_or(3usize);
+    let basic = args.flag("basic");
+    let quiet = args.flag("quiet");
+    let pattern = args.get("pattern");
+    args.finish()?;
+
+    let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
+    if !quiet {
+        eprintln!("loaded {}: {} vertices, {} edges", path, g.n(), g.m());
+    }
+    let cfg = IppvConfig {
+        fast_verify: !basic,
+        ..IppvConfig::default()
+    };
+
+    let (subgraphs, stats) = if let Some(pname) = pattern {
+        let p = parse_pattern(&pname)?;
+        let res = top_k_lhxpds(&g, p, k, &cfg);
+        (res.subgraphs, res.stats)
+    } else {
+        if h < 2 {
+            return Err("--h must be at least 2".into());
+        }
+        let res = top_k_lhcds(&g, h, k, &cfg);
+        (res.subgraphs, res.stats)
+    };
+
+    for (i, s) in subgraphs.iter().enumerate() {
+        println!(
+            "top-{rank}\tdensity={d}\tsize={n}\tinstances={c}\tvertices={v:?}",
+            rank = i + 1,
+            d = s.density,
+            n = s.vertices.len(),
+            c = s.clique_count,
+            v = s.vertices,
+        );
+    }
+    if !quiet {
+        eprintln!(
+            "{} instances enumerated | {} verifications ({} flow, {} shortcut) | {} vertices pruned",
+            stats.clique_count,
+            stats.verifications,
+            stats.flow_verifications,
+            stats.shortcut_accepts,
+            stats.pruned_vertices,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &mut Args) -> Result<(), String> {
+    let path = args.required("graph")?;
+    let h = args.get_parsed("h")?.unwrap_or(3usize);
+    args.finish()?;
+    let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
+    let deg = lhcds_graph::core_decomp::degeneracy_order(&g);
+    println!("vertices:    {}", g.n());
+    println!("edges:       {}", g.m());
+    println!("max degree:  {}", g.max_degree());
+    println!("degeneracy:  {}", deg.degeneracy);
+    println!("clique no.:  {}", lhcds_clique::clique_number(&g));
+    for hh in [3usize, h.max(3)] {
+        println!("|Psi_{hh}|:     {}", lhcds_clique::count_cliques(&g, hh));
+        if hh == h.max(3) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &mut Args) -> Result<(), String> {
+    let out = args.required("out")?;
+    let preset = args.required("preset")?;
+    let scale: f64 = args.get_parsed("scale")?.unwrap_or(1.0);
+    args.finish()?;
+    if !(scale > 0.0 && scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    let spec = lhcds_data::datasets::by_abbr(&preset)
+        .ok_or_else(|| format!("unknown preset '{preset}'"))?;
+    let d = spec.generate_scaled(scale);
+    write_edge_list_file(&d.graph, &out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} ({} stand-in, scale {}): {} vertices, {} edges",
+        out,
+        spec.name,
+        scale,
+        d.graph.n(),
+        d.graph.m()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_names_parse() {
+        for (name, arity) in [
+            ("3-star", 4),
+            ("4-path", 4),
+            ("c3-star", 4),
+            ("4-loop", 4),
+            ("2-triangle", 4),
+            ("4-clique", 4),
+        ] {
+            let p = parse_pattern(name).unwrap();
+            assert_eq!(p.arity(), arity, "{name}");
+        }
+        assert!(parse_pattern("pentagon").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        assert!(run(vec!["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn help_runs() {
+        assert!(run(vec!["help".into()]).is_ok());
+        assert!(run(vec![]).is_ok());
+    }
+
+    #[test]
+    fn gen_and_topk_round_trip() {
+        let dir = std::env::temp_dir().join("lhcds_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt").to_string_lossy().into_owned();
+        run(vec![
+            "gen".into(),
+            "--out".into(),
+            path.clone(),
+            "--preset".into(),
+            "HA".into(),
+            "--scale".into(),
+            "0.05".into(),
+        ])
+        .unwrap();
+        run(vec![
+            "topk".into(),
+            "--graph".into(),
+            path.clone(),
+            "--k".into(),
+            "2".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        run(vec!["stats".into(), "--graph".into(), path.clone()]).unwrap();
+        // pattern mode
+        run(vec![
+            "topk".into(),
+            "--graph".into(),
+            path.clone(),
+            "--pattern".into(),
+            "2-triangle".into(),
+            "--k".into(),
+            "1".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        // error paths
+        assert!(run(vec!["topk".into()]).is_err());
+        assert!(run(vec![
+            "gen".into(),
+            "--out".into(),
+            path,
+            "--preset".into(),
+            "NOPE".into()
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

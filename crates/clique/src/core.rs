@@ -1,0 +1,217 @@
+//! `(k, ψh)`-core decomposition (Definition 5 of the paper).
+//!
+//! The `(k, ψh)`-core is the largest subgraph in which every vertex is
+//! contained in at least `k` h-cliques; a vertex's h-clique-core number
+//! is the largest `k` whose core contains it. Peeling by current
+//! h-clique degree computes all core numbers in one sweep, exactly like
+//! the edge-core algorithm but with clique degrees: removing a vertex
+//! kills every stored clique through it and decrements the other
+//! members' degrees.
+
+use crate::store::CliqueSet;
+use lhcds_graph::VertexId;
+
+/// Output of the h-clique core decomposition.
+#[derive(Debug, Clone)]
+pub struct CliqueCore {
+    /// `core[v]` = h-clique-core number of `v` (`core_G(v, ψh)`).
+    pub core: Vec<u64>,
+    /// Peeling order (vertices in non-decreasing removal level).
+    pub order: Vec<VertexId>,
+    /// Largest core number (`k_max`).
+    pub max_core: u64,
+}
+
+/// Computes h-clique core numbers by peeling minimum-clique-degree
+/// vertices. `O(h · |Ψh| + n)` after enumeration: every clique is
+/// killed exactly once and touches `h` incidence entries.
+pub fn clique_core(cliques: &CliqueSet) -> CliqueCore {
+    let n = cliques.n();
+    let mut degree: Vec<usize> = (0..n).map(|v| cliques.degree(v as VertexId)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    let mut bucket: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        bucket[d].push(v as VertexId);
+    }
+
+    let mut removed = vec![false; n];
+    let mut clique_dead = vec![false; cliques.len()];
+    let mut core = vec![0u64; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = 0usize;
+    let mut level = 0u64;
+
+    for _ in 0..n {
+        let v = loop {
+            while cur <= max_deg && bucket[cur].is_empty() {
+                cur += 1;
+            }
+            debug_assert!(cur <= max_deg);
+            let v = bucket[cur].pop().expect("non-empty bucket");
+            if !removed[v as usize] && degree[v as usize] == cur {
+                break v;
+            }
+        };
+        removed[v as usize] = true;
+        level = level.max(cur as u64);
+        core[v as usize] = level;
+        order.push(v);
+        for &ci in cliques.cliques_of(v) {
+            let ci = ci as usize;
+            if clique_dead[ci] {
+                continue;
+            }
+            clique_dead[ci] = true;
+            for &w in cliques.members(ci) {
+                let wi = w as usize;
+                if !removed[wi] {
+                    degree[wi] -= 1;
+                    bucket[degree[wi]].push(w);
+                    if degree[wi] < cur {
+                        cur = degree[wi];
+                    }
+                }
+            }
+        }
+    }
+
+    let max_core = core.iter().copied().max().unwrap_or(0);
+    CliqueCore {
+        core,
+        order,
+        max_core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_graph::{CsrGraph, GraphBuilder};
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn complete_graph_core_is_uniform() {
+        // In K6 with h=3 every vertex is in C(5,2)=10 triangles; removing
+        // any vertex leaves K5 where degrees are C(4,2)=6, etc. The core
+        // number equals the degree at the time the first vertex must go:
+        // all 10.
+        let g = complete(6);
+        let cs = CliqueSet::enumerate(&g, 3);
+        let cc = clique_core(&cs);
+        assert!(cc.core.iter().all(|&c| c == 10));
+        assert_eq!(cc.max_core, 10);
+    }
+
+    #[test]
+    fn pendant_structure_gets_smaller_core() {
+        // K4 (vertices 0-3) plus a triangle 3-4-5 hanging off.
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in u + 1..4 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+        let g = b.build();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let cc = clique_core(&cs);
+        // K4 members: triangle-degree 3 inside K4 → core 3.
+        assert_eq!(&cc.core[0..3], &[3, 3, 3]);
+        assert_eq!(cc.core[3], 3);
+        // 4 and 5 are each in exactly one triangle.
+        assert_eq!(cc.core[4], 1);
+        assert_eq!(cc.core[5], 1);
+    }
+
+    #[test]
+    fn clique_free_vertices_have_zero_core() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let cs = CliqueSet::enumerate(&g, 3);
+        let cc = clique_core(&cs);
+        assert!(cc.core.iter().all(|&c| c == 0));
+        assert_eq!(cc.max_core, 0);
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let g = complete(5);
+        let cs = CliqueSet::enumerate(&g, 4);
+        let cc = clique_core(&cs);
+        let mut sorted = cc.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn core_with_h_two_matches_edge_core() {
+        // For h=2, clique degree = edge degree, so the decomposition must
+        // match the classic edge k-core.
+        let g = CsrGraph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (5, 6),
+            ],
+        );
+        let cs = CliqueSet::enumerate(&g, 2);
+        let cc = clique_core(&cs);
+        let edge = lhcds_graph::core_decomp::degeneracy_order(&g);
+        for v in g.vertices() {
+            assert_eq!(cc.core[v as usize], edge.core[v as usize] as u64, "v={v}");
+        }
+    }
+
+    /// Every vertex of the (k, ψh)-core really has clique degree ≥ k
+    /// inside the core (the defining property).
+    #[test]
+    fn core_subgraph_satisfies_degree_property() {
+        let mut b = GraphBuilder::new();
+        // two K5s sharing an edge
+        for base in [0u32, 3] {
+            let vs: Vec<u32> = (base..base + 5).collect();
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    b.add_edge(vs[i], vs[j]);
+                }
+            }
+        }
+        let g = b.build();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let cc = clique_core(&cs);
+        let k = cc.max_core;
+        let members: Vec<bool> = (0..g.n())
+            .map(|v| cc.core[v] >= k)
+            .collect();
+        // recount degrees inside the core
+        let mut inside_deg = vec![0u64; g.n()];
+        for cl in cs.iter() {
+            if cl.iter().all(|&v| members[v as usize]) {
+                for &v in cl {
+                    inside_deg[v as usize] += 1;
+                }
+            }
+        }
+        for v in 0..g.n() {
+            if members[v] {
+                assert!(inside_deg[v] >= k, "core vertex {v} under-degreed");
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # lhcds-clique
+//!
+//! h-clique machinery for LhCDS discovery:
+//!
+//! * [`kclist`] — kClist-style h-clique enumeration over the degeneracy
+//!   DAG (Danisch et al.), with both callback and counting entry points.
+//! * [`store`] — [`CliqueSet`], an explicit flat store of all h-cliques
+//!   plus a per-vertex incidence index; the convex program
+//!   (SEQ-kClist++), the flow networks, and the verification algorithms
+//!   all iterate this store.
+//! * [`maximal`] — Bron–Kerbosch maximal clique enumeration with
+//!   degeneracy ordering and pivoting; bounds the largest useful `h`.
+//! * [`core`] — `(k, ψh)`-core decomposition (Definition 5 of the paper,
+//!   after Fang et al.): peeling by h-clique degree yields each vertex's
+//!   h-clique-core number, the source of the initial compact-number
+//!   bounds (Algorithm 1).
+
+pub mod core;
+pub mod kclist;
+pub mod maximal;
+pub mod store;
+
+pub use crate::core::{clique_core, CliqueCore};
+pub use kclist::{count_cliques, count_per_vertex, for_each_clique};
+pub use maximal::{clique_number, for_each_maximal_clique, maximal_cliques};
+pub use store::CliqueSet;

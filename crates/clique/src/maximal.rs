@@ -1,0 +1,215 @@
+//! Maximal clique enumeration (Bron–Kerbosch with pivoting over the
+//! degeneracy order).
+//!
+//! Complements the fixed-size kClist enumerator: maximal cliques bound
+//! the largest meaningful `h` for a graph, seed near-clique analyses,
+//! and power the `stats` tooling. The implementation is the standard
+//! Eppstein–Löffler–Strash variant: outer loop over the degeneracy
+//! order (so the initial candidate sets have size ≤ degeneracy), inner
+//! recursion with Tomita pivoting.
+
+use lhcds_graph::core_decomp::degeneracy_order;
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// Invokes `f` once for every maximal clique of `g` (vertices sorted
+/// ascending). Isolated vertices count as maximal 1-cliques.
+pub fn for_each_maximal_clique<F: FnMut(&[VertexId])>(g: &CsrGraph, mut f: F) {
+    let n = g.n();
+    if n == 0 {
+        return;
+    }
+    let deg = degeneracy_order(g);
+    let mut r: Vec<VertexId> = Vec::new();
+    for &v in &deg.order {
+        // P: later neighbors; X: earlier neighbors
+        let mut p: Vec<VertexId> = Vec::new();
+        let mut x: Vec<VertexId> = Vec::new();
+        for &w in g.neighbors(v) {
+            if deg.position[w as usize] > deg.position[v as usize] {
+                p.push(w);
+            } else {
+                x.push(w);
+            }
+        }
+        r.push(v);
+        bron_kerbosch(g, &mut r, p, x, &mut f);
+        r.pop();
+    }
+}
+
+fn bron_kerbosch<F: FnMut(&[VertexId])>(
+    g: &CsrGraph,
+    r: &mut Vec<VertexId>,
+    p: Vec<VertexId>,
+    x: Vec<VertexId>,
+    f: &mut F,
+) {
+    if p.is_empty() && x.is_empty() {
+        let mut clique = r.clone();
+        clique.sort_unstable();
+        f(&clique);
+        return;
+    }
+    // Tomita pivot: vertex of P ∪ X with the most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| p.iter().filter(|&&w| g.has_edge(u, w)).count())
+        .expect("P ∪ X non-empty");
+    let candidates: Vec<VertexId> = p
+        .iter()
+        .copied()
+        .filter(|&u| !g.has_edge(pivot, u))
+        .collect();
+    let mut p = p;
+    let mut x = x;
+    for u in candidates {
+        let np: Vec<VertexId> = p.iter().copied().filter(|&w| g.has_edge(u, w)).collect();
+        let nx: Vec<VertexId> = x.iter().copied().filter(|&w| g.has_edge(u, w)).collect();
+        r.push(u);
+        bron_kerbosch(g, r, np, nx, f);
+        r.pop();
+        p.retain(|&w| w != u);
+        x.push(u);
+    }
+}
+
+/// Collects all maximal cliques, sorted by size descending then
+/// lexicographically.
+pub fn maximal_cliques(g: &CsrGraph) -> Vec<Vec<VertexId>> {
+    let mut out = Vec::new();
+    for_each_maximal_clique(g, |c| out.push(c.to_vec()));
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    out
+}
+
+/// Size of the largest clique (the clique number ω(G); 0 for the empty
+/// graph). The largest `h` with any h-clique instance is exactly ω(G).
+pub fn clique_number(g: &CsrGraph) -> usize {
+    let mut best = 0usize;
+    for_each_maximal_clique(g, |c| best = best.max(c.len()));
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_graph::GraphBuilder;
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn complete_graph_has_one_maximal_clique() {
+        let cliques = maximal_cliques(&complete(6));
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0], (0..6).collect::<Vec<_>>());
+        assert_eq!(clique_number(&complete(6)), 6);
+    }
+
+    #[test]
+    fn moon_moser_counts() {
+        // complete tripartite K(2,2,2) has 2·2·2 = 8 maximal cliques
+        // (Moon–Moser), each a triangle.
+        let mut b = GraphBuilder::new();
+        let groups = [[0u32, 1], [2, 3], [4, 5]];
+        for (gi, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(gi + 1) {
+                for &a in ga {
+                    for &b_ in gb {
+                        b.add_edge(a, b_);
+                    }
+                }
+            }
+        }
+        let g = b.build();
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques.len(), 8);
+        assert!(cliques.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn path_maximal_cliques_are_edges() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(
+            cliques,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3]]
+        );
+        assert_eq!(clique_number(&g), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn every_reported_clique_is_maximal_and_a_clique() {
+        let mut state = 0x1234_5678u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let n = 10u32;
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng() % 2 == 0 {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let cliques = maximal_cliques(&g);
+            let mut seen = std::collections::HashSet::new();
+            for c in &cliques {
+                // clique
+                for i in 0..c.len() {
+                    for j in i + 1..c.len() {
+                        assert!(g.has_edge(c[i], c[j]));
+                    }
+                }
+                // maximal: no vertex adjacent to all members
+                for v in g.vertices() {
+                    if c.contains(&v) {
+                        continue;
+                    }
+                    assert!(
+                        !c.iter().all(|&u| g.has_edge(u, v)),
+                        "clique {c:?} extendable by {v}"
+                    );
+                }
+                assert!(seen.insert(c.clone()), "duplicate {c:?}");
+            }
+            // completeness: every h-clique is inside some maximal clique
+            let k3 = crate::CliqueSet::enumerate(&g, 3);
+            for t in k3.iter() {
+                assert!(cliques
+                    .iter()
+                    .any(|c| t.iter().all(|v| c.contains(v))));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, []);
+        assert!(maximal_cliques(&g).is_empty());
+        assert_eq!(clique_number(&g), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of clique enumeration and the clique-core
+//! decomposition against brute force.
+
+use lhcds_clique::{clique_core, count_cliques, CliqueSet};
+use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (3..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        prop::collection::vec(prop::bool::weighted(0.45), pairs).prop_map(move |bits| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex((n - 1) as VertexId);
+            let mut idx = 0;
+            for u in 0..n as VertexId {
+                for v in u + 1..n as VertexId {
+                    if bits[idx] {
+                        b.add_edge(u, v);
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn brute_cliques(g: &CsrGraph, h: usize) -> Vec<Vec<VertexId>> {
+    let n = g.n();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != h {
+            continue;
+        }
+        let verts: Vec<VertexId> = (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
+        let ok = verts
+            .iter()
+            .enumerate()
+            .all(|(i, &u)| verts[i + 1..].iter().all(|&v| g.has_edge(u, v)));
+        if ok {
+            out.push(verts);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Enumerated cliques equal the brute-force set, for h = 2..=5.
+    #[test]
+    fn enumeration_matches_bruteforce(g in arb_graph(11)) {
+        for h in 2usize..=5 {
+            let mut got: Vec<Vec<VertexId>> = Vec::new();
+            let cs = CliqueSet::enumerate(&g, h);
+            for c in cs.iter() {
+                let mut v = c.to_vec();
+                v.sort_unstable();
+                got.push(v);
+            }
+            got.sort();
+            let mut expect = brute_cliques(&g, h);
+            expect.sort();
+            prop_assert_eq!(got, expect, "h = {}", h);
+        }
+    }
+
+    /// Per-vertex degrees sum to h·|Ψh| and match incidence lengths.
+    #[test]
+    fn degree_consistency(g in arb_graph(12)) {
+        for h in 2usize..=4 {
+            let cs = CliqueSet::enumerate(&g, h);
+            let total: usize = g.vertices().map(|v| cs.degree(v)).sum();
+            prop_assert_eq!(total, h * cs.len());
+            for v in g.vertices() {
+                prop_assert_eq!(cs.degree(v), cs.cliques_of(v).len());
+            }
+            prop_assert_eq!(cs.len() as u64, count_cliques(&g, h));
+        }
+    }
+
+    /// Clique-core soundness: the (k_max, ψh)-core is non-empty when
+    /// cliques exist, and every member of the (k, ψh)-core has clique
+    /// degree ≥ k inside the core.
+    #[test]
+    fn clique_core_soundness(g in arb_graph(11)) {
+        let cs = CliqueSet::enumerate(&g, 3);
+        let cc = clique_core(&cs);
+        if cs.is_empty() {
+            prop_assert!(cc.core.iter().all(|&c| c == 0));
+            return Ok(());
+        }
+        let k = cc.max_core;
+        prop_assert!(k >= 1);
+        let members: Vec<bool> = (0..g.n()).map(|v| cc.core[v] >= k).collect();
+        prop_assert!(members.iter().any(|&m| m));
+        let mut inside = vec![0u64; g.n()];
+        for c in cs.iter() {
+            if c.iter().all(|&v| members[v as usize]) {
+                for &v in c {
+                    inside[v as usize] += 1;
+                }
+            }
+        }
+        for v in 0..g.n() {
+            if members[v] {
+                prop_assert!(inside[v] >= k, "vertex {} in core has degree {}", v, inside[v]);
+            }
+        }
+    }
+
+    /// Core numbers are monotone under the subgraph relation along the
+    /// peeling: core ≤ clique degree.
+    #[test]
+    fn core_bounded_by_degree(g in arb_graph(12)) {
+        let cs = CliqueSet::enumerate(&g, 3);
+        let cc = clique_core(&cs);
+        for v in g.vertices() {
+            prop_assert!(cc.core[v as usize] <= cs.degree(v) as u64);
+        }
+    }
+
+    /// `cliques_inside` is monotone in the vertex set.
+    #[test]
+    fn inside_count_monotone(g in arb_graph(12), pick in prop::collection::vec(any::<bool>(), 12)) {
+        let cs = CliqueSet::enumerate(&g, 3);
+        let small: Vec<bool> = (0..g.n())
+            .map(|v| pick.get(v).copied().unwrap_or(false))
+            .collect();
+        let all = vec![true; g.n()];
+        prop_assert!(cs.cliques_inside(&small) <= cs.cliques_inside(&all));
+        prop_assert_eq!(cs.cliques_inside(&all), cs.len() as u64);
+    }
+}

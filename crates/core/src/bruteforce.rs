@@ -1,0 +1,360 @@
+//! Definition-level LhCDS oracle for small graphs (≤ ~16 vertices).
+//!
+//! Enumerates *all* LhCDSes straight from Definition 2 using bitmask
+//! dynamics:
+//!
+//! * `Ψ(A)` for every subset `A` via a subset-sum (SOS) zeta transform
+//!   over per-clique bitmasks — `O(2ⁿ·n)`;
+//! * `G[A]` is h-clique `d(A)`-compact ⟺ no subset of `A` has density
+//!   exceeding `d(A)` (the two are equivalent: compactness says every
+//!   removal destroys ≥ ρ·|U| cliques, i.e. every subset keeps
+//!   ≤ Ψ(A) − ρ·|A∖B| cliques, i.e. no subset is denser);
+//! * maximality by explicit superset checks at the candidate's own
+//!   density level.
+//!
+//! This module is the ground truth for property-based tests of the whole
+//! pipeline; it is exponential by design and asserts `n ≤ 20`.
+
+use lhcds_clique::CliqueSet;
+use lhcds_flow::Ratio;
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// An LhCDS reported by the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleLhcds {
+    /// Member vertices, ascending.
+    pub vertices: Vec<VertexId>,
+    /// Exact h-clique density.
+    pub density: Ratio,
+}
+
+/// Enumerates every LhCDS of `g` (density > 0), ordered by density
+/// descending with ties broken by smallest member id.
+///
+/// # Panics
+/// Panics if `g.n() > 20` (the oracle is `O(4ⁿ)`-ish).
+pub fn all_lhcds_bruteforce(g: &CsrGraph, h: usize) -> Vec<OracleLhcds> {
+    let cliques = CliqueSet::enumerate(g, h);
+    all_lhcds_bruteforce_with(g, &cliques)
+}
+
+/// Oracle over an arbitrary instance store (general patterns included):
+/// enumerates every locally instance-densest subgraph of `g` by
+/// definition, treating each stored instance as one "clique".
+///
+/// # Panics
+/// Panics if `g.n() > 20`.
+pub fn all_lhcds_bruteforce_with(g: &CsrGraph, cliques: &CliqueSet) -> Vec<OracleLhcds> {
+    let n = g.n();
+    assert!(n <= 20, "brute-force oracle limited to 20 vertices");
+    if n == 0 {
+        return Vec::new();
+    }
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    // Ψ(A) for all A via SOS zeta transform over instance masks.
+    let mut psi = vec![0u32; 1 << n];
+    for cl in cliques.iter() {
+        let mask = cl.iter().fold(0u32, |m, &v| m | (1 << v));
+        psi[mask as usize] += 1;
+    }
+    for b in 0..n {
+        for mask in 0..=full {
+            if mask & (1 << b) != 0 {
+                psi[mask as usize] += psi[(mask ^ (1 << b)) as usize];
+            }
+        }
+    }
+
+    // adjacency masks for connectivity checks
+    let adj: Vec<u32> = (0..n as u32)
+        .map(|v| g.neighbors(v).iter().fold(0u32, |m, &w| m | (1 << w)))
+        .collect();
+    let connected = |mask: u32| -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let start = mask.trailing_zeros();
+        let mut seen = 1u32 << start;
+        let mut frontier = seen;
+        while frontier != 0 {
+            let mut grow = 0u32;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros();
+                f &= f - 1;
+                grow |= adj[v as usize] & mask;
+            }
+            frontier = grow & !seen;
+            seen |= grow;
+        }
+        seen == mask
+    };
+
+    // "A is d(A)-compact" ⟺ max_{B ⊆ A} Ψ(B)/|B| realized at A itself:
+    // Ψ(B)·|A| ≤ Ψ(A)·|B| for every nonempty subset B.
+    let is_self_compact = |mask: u32| -> bool {
+        let pa = psi[mask as usize] as u64;
+        let sa = mask.count_ones() as u64;
+        // iterate proper nonempty subsets
+        let mut b = (mask.wrapping_sub(1)) & mask;
+        while b != 0 {
+            let pb = psi[b as usize] as u64;
+            let sb = b.count_ones() as u64;
+            if pb * sa > pa * sb {
+                return false;
+            }
+            b = (b.wrapping_sub(1)) & mask;
+        }
+        true
+    };
+
+    // "A' is ρ-compact for ρ = a/b" ⟺ A' maximizes b·Ψ(B) − a·|B| over
+    // its own subsets.
+    let compact_at = |mask: u32, a: i64, b: i64| -> bool {
+        let value = |m: u32| b * psi[m as usize] as i64 - a * m.count_ones() as i64;
+        let va = value(mask);
+        let mut s = (mask.wrapping_sub(1)) & mask;
+        loop {
+            if value(s) > va {
+                return false;
+            }
+            if s == 0 {
+                break;
+            }
+            s = (s.wrapping_sub(1)) & mask;
+        }
+        true
+    };
+
+    let mut found: Vec<(u32, Ratio)> = Vec::new();
+    'masks: for mask in 1..=full {
+        let pa = psi[mask as usize];
+        if pa == 0 || !connected(mask) || !is_self_compact(mask) {
+            continue;
+        }
+        let a = pa as i64;
+        let b = mask.count_ones() as i64;
+        // maximality: no strict connected superset that is (a/b)-compact
+        let complement = full & !mask;
+        // iterate supersets by adding any nonempty subset of complement
+        let mut add = complement;
+        while add != 0 {
+            let sup = mask | add;
+            if connected(sup) && compact_at(sup, a, b) {
+                continue 'masks;
+            }
+            add = (add.wrapping_sub(1)) & complement;
+        }
+        found.push((mask, Ratio::new(a as i128, b as i128)));
+    }
+
+    let mut out: Vec<OracleLhcds> = found
+        .into_iter()
+        .map(|(mask, density)| OracleLhcds {
+            vertices: (0..n as u32).filter(|v| mask & (1 << v) != 0).collect(),
+            density,
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.density
+            .cmp(&x.density)
+            .then_with(|| x.vertices[0].cmp(&y.vertices[0]))
+    });
+    out
+}
+
+/// Exact h-clique compact numbers by exhaustive search (Definition 4):
+/// `φh(u)` is the maximum, over connected subsets `A ∋ u`, of the
+/// compactness of `G[A]` — where compactness is the largest `ρ` such
+/// that every removal `U` destroys at least `ρ·|U|` cliques,
+/// i.e. `min over proper subsets B ⊊ A of (Ψ(A) − Ψ(B)) / (|A| − |B|)`.
+///
+/// # Panics
+/// Panics if `g.n() > 16` (`O(4ⁿ)`).
+pub fn compact_numbers_bruteforce(g: &CsrGraph, h: usize) -> Vec<Ratio> {
+    let n = g.n();
+    assert!(n <= 16, "brute-force compact numbers limited to 16 vertices");
+    let mut phi = vec![Ratio::zero(); n];
+    if n == 0 {
+        return phi;
+    }
+    let full: u32 = (1u32 << n) - 1;
+
+    let cliques = CliqueSet::enumerate(g, h);
+    let mut psi = vec![0u32; 1 << n];
+    for cl in cliques.iter() {
+        let mask = cl.iter().fold(0u32, |m, &v| m | (1 << v));
+        psi[mask as usize] += 1;
+    }
+    for b in 0..n {
+        for mask in 0..=full {
+            if mask & (1 << b) != 0 {
+                psi[mask as usize] += psi[(mask ^ (1 << b)) as usize];
+            }
+        }
+    }
+
+    let adj: Vec<u32> = (0..n as u32)
+        .map(|v| g.neighbors(v).iter().fold(0u32, |m, &w| m | (1 << w)))
+        .collect();
+    let connected = |mask: u32| -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let start = mask.trailing_zeros();
+        let mut seen = 1u32 << start;
+        loop {
+            let mut grow = seen;
+            let mut f = seen;
+            while f != 0 {
+                let v = f.trailing_zeros();
+                f &= f - 1;
+                grow |= adj[v as usize] & mask;
+            }
+            if grow == seen {
+                break;
+            }
+            seen = grow;
+        }
+        seen == mask
+    };
+
+    for mask in 1u32..=full {
+        if psi[mask as usize] == 0 || !connected(mask) {
+            continue;
+        }
+        // compactness of G[mask]
+        let pa = psi[mask as usize] as i128;
+        let sa = mask.count_ones() as i128;
+        let mut compactness = Ratio::new(pa, sa); // B = ∅ bound: Ψ(A)/|A|
+        let mut b = (mask.wrapping_sub(1)) & mask;
+        while b != 0 {
+            let ratio = Ratio::new(
+                pa - psi[b as usize] as i128,
+                sa - b.count_ones() as i128,
+            );
+            if ratio < compactness {
+                compactness = ratio;
+            }
+            b = (b.wrapping_sub(1)) & mask;
+        }
+        for (v, best) in phi.iter_mut().enumerate() {
+            if mask & (1 << v) != 0 && compactness > *best {
+                *best = compactness;
+            }
+        }
+    }
+    phi
+}
+
+/// Top-k LhCDSes by the oracle.
+pub fn top_k_bruteforce(g: &CsrGraph, h: usize, k: usize) -> Vec<OracleLhcds> {
+    let mut all = all_lhcds_bruteforce(g, h);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_graph::GraphBuilder;
+
+    fn complete_on(b: &mut GraphBuilder, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in i + 1..vs.len() {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let all = all_lhcds_bruteforce(&g, 3);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].vertices, vec![0, 1, 2]);
+        assert_eq!(all[0].density, Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn k5_with_bridged_k4_yields_only_the_k5() {
+        // A K4 attached to a K5 by a bridge is NOT an LhCDS: the union
+        // K4 ∪ K5 is connected and 1-compact (each side is at least
+        // 1-compact), so the K4 is not maximal at its own density — and
+        // the union is not self-densest (the K5 inside is denser). Only
+        // the K5 is locally densest.
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let all = all_lhcds_bruteforce(&g, 3);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].vertices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(all[0].density, Ratio::from_int(2));
+    }
+
+    #[test]
+    fn disjoint_k5_and_k4_are_both_lhcds() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        let g = b.build();
+        let all = all_lhcds_bruteforce(&g, 3);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].vertices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(all[0].density, Ratio::from_int(2));
+        assert_eq!(all[1].vertices, vec![5, 6, 7, 8]);
+        assert_eq!(all[1].density, Ratio::from_int(1));
+    }
+
+    #[test]
+    fn k6_is_one_lhcds() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4, 5]);
+        let g = b.build();
+        let all = all_lhcds_bruteforce(&g, 3);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].vertices.len(), 6);
+    }
+
+    #[test]
+    fn overlapping_k4s_resolve_to_maximal_region() {
+        // two K4s sharing an edge: the whole thing may or may not be
+        // compact — the oracle decides from first principles; we only
+        // check the structural invariants.
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3]);
+        complete_on(&mut b, &[2, 3, 4, 5]);
+        let g = b.build();
+        let all = all_lhcds_bruteforce(&g, 3);
+        assert!(!all.is_empty());
+        // disjoint
+        let mut seen = vec![false; g.n()];
+        for s in &all {
+            for &v in &s.vertices {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn no_triangles_means_no_l3cds() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(all_lhcds_bruteforce(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2]);
+        complete_on(&mut b, &[3, 4, 5]);
+        complete_on(&mut b, &[6, 7, 8, 9]);
+        let g = b.build();
+        let top1 = top_k_bruteforce(&g, 3, 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].vertices, vec![6, 7, 8, 9]);
+    }
+}

@@ -1,0 +1,555 @@
+//! `DeriveCompact` flow networks (Figures 6 and 7), `IsDensest`, and the
+//! exact local densest decomposition.
+//!
+//! All routines operate on a [`LocalInstance`]: a relabelled vertex
+//! universe `0..n` with the h-cliques fully inside it, plus (for the
+//! fast verifier's reduced network, Figure 7) the *boundary cliques* `P`
+//! that straddle the universe — each represented by its inside members
+//! and carrying arc capacity `1 + (h − cnt)/cnt = h/cnt`.
+//!
+//! ## Exactness
+//! For threshold `ρ = a/b` all capacities are scaled by
+//! `D = lcm(b, lcm(1..=h))`, making every capacity an integer `i128`:
+//! the min-cut, and therefore every verification decision, is exact.
+//!
+//! ## The gadget (one clique node per h-clique `ψ`)
+//! `v → ψ` with capacity 1 and `ψ → v` with capacity `h − 1` for every
+//! member `v`; `s → v` with the h-clique degree; `v → t` with `ρ·h`.
+//! A cut that keeps vertex set `A` on the source side pays
+//! `Σ_v deg(v) − h·(|Ψ(A)| − ρ|A|)`, so the *minimum* cut maximizes
+//! `|Ψ(A)| − ρ|A|`, and:
+//!
+//! * the minimal source side is the smallest maximizer — empty iff no
+//!   subgraph is denser than `ρ` (`IsDensest`, equivalently: `G` is
+//!   h-clique `ρ`-compact);
+//! * the maximal source side at threshold `ρ − 1/n²` is the union of
+//!   all maximal `ρ`-compact subgraphs (Theorem 5).
+
+use lhcds_clique::CliqueSet;
+use lhcds_flow::rational::{lcm, lcm_up_to};
+use lhcds_flow::{Dinic, Ratio};
+use lhcds_graph::VertexId;
+
+/// A clique of the parent graph that straddles the local universe:
+/// only `inside` (local ids, `1 ≤ |inside| < h`) of its `h` members are
+/// local. Used by the fast verifier's reduced network (Figure 7).
+#[derive(Debug, Clone)]
+pub struct BoundaryClique {
+    /// Local ids of the members inside the universe (`cnt = len()`).
+    pub inside: Vec<u32>,
+}
+
+/// A relabelled sub-universe with its interior (and optionally boundary)
+/// h-cliques.
+#[derive(Debug, Clone)]
+pub struct LocalInstance {
+    /// Number of local vertices.
+    pub n: usize,
+    /// Clique size.
+    pub h: usize,
+    /// Interior cliques, `h` local ids each.
+    pub full: Vec<u32>,
+    /// Boundary cliques (empty unless the caller opts into Figure 7).
+    pub boundary: Vec<BoundaryClique>,
+}
+
+impl LocalInstance {
+    /// Number of interior cliques.
+    pub fn clique_count(&self) -> usize {
+        self.full.len().checked_div(self.h).unwrap_or(0)
+    }
+
+    /// h-clique density of the whole local universe (interior cliques
+    /// only). `None` for an empty universe.
+    pub fn density(&self) -> Option<Ratio> {
+        if self.n == 0 {
+            None
+        } else {
+            Some(Ratio::new(self.clique_count() as i128, self.n as i128))
+        }
+    }
+}
+
+/// Extracts the [`LocalInstance`] induced by `set` (parent vertex ids)
+/// from a parent clique store. Returns the instance and the local→parent
+/// mapping (ascending). Boundary cliques are *not* collected here — the
+/// fast verifier adds them separately when configured to.
+pub fn local_instance(cliques: &CliqueSet, set: &[VertexId]) -> (LocalInstance, Vec<VertexId>) {
+    let mut to_parent: Vec<VertexId> = set.to_vec();
+    to_parent.sort_unstable();
+    to_parent.dedup();
+    let h = cliques.h();
+    let mut full = Vec::new();
+
+    // Adaptive id translation: dense arrays are O(n + |Ψ|) per call,
+    // which dominates when the pipeline processes many small candidate
+    // regions; hash maps keep the cost proportional to the region.
+    let dense = to_parent.len().saturating_mul(16) >= cliques.n();
+    if dense {
+        let mut local = vec![u32::MAX; cliques.n()];
+        for (i, &v) in to_parent.iter().enumerate() {
+            local[v as usize] = i as u32;
+        }
+        let mut stamp = vec![false; cliques.len()];
+        for &v in &to_parent {
+            for &ci in cliques.cliques_of(v) {
+                let ci = ci as usize;
+                if stamp[ci] {
+                    continue;
+                }
+                stamp[ci] = true;
+                let members = cliques.members(ci);
+                if members.iter().all(|&w| local[w as usize] != u32::MAX) {
+                    for &w in members {
+                        full.push(local[w as usize]);
+                    }
+                }
+            }
+        }
+    } else {
+        let local: std::collections::HashMap<VertexId, u32> = to_parent
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for &v in &to_parent {
+            for &ci in cliques.cliques_of(v) {
+                if !seen.insert(ci) {
+                    continue;
+                }
+                let members = cliques.members(ci as usize);
+                if let Some(ids) = members
+                    .iter()
+                    .map(|w| local.get(w).copied())
+                    .collect::<Option<Vec<u32>>>()
+                {
+                    full.extend(ids);
+                }
+            }
+        }
+    }
+    (
+        LocalInstance {
+            n: to_parent.len(),
+            h,
+            full,
+            boundary: Vec::new(),
+        },
+        to_parent,
+    )
+}
+
+/// Builds the scaled-integer flow network for threshold `rho` and runs
+/// max-flow. Returns the solver plus the `(s, t)` node ids.
+///
+/// Node layout: `0 = s`, `1..=n` local vertices, then interior clique
+/// nodes, then boundary clique nodes, `t` last.
+fn solve_network(inst: &LocalInstance, rho: Ratio) -> (Dinic, u32, u32) {
+    solve_network_forced(inst, rho, None)
+}
+
+/// Like [`solve_network`] but pins every vertex in `forced` to the
+/// source side (marginal-density decomposition): forced vertices get an
+/// effectively infinite `s -> v` capacity, so any finite min-cut keeps
+/// them with `s` and the cut optimizes only over supersets of the
+/// forced set.
+fn solve_network_forced(
+    inst: &LocalInstance,
+    rho: Ratio,
+    forced: Option<&[bool]>,
+) -> (Dinic, u32, u32) {
+    let n = inst.n;
+    let h = inst.h as i128;
+    let fc = inst.clique_count();
+    let bc = inst.boundary.len();
+    let t = (1 + n + fc + bc) as u32;
+    let mut net = Dinic::new(t as usize + 1);
+
+    let scale = lcm(rho.den(), lcm_up_to(inst.h as u32));
+    debug_assert!(scale > 0);
+
+    // scaled per-vertex degree = D per interior clique + h·D/cnt per
+    // boundary clique
+    let mut deg = vec![0i128; n];
+
+    for (i, members) in inst.full.chunks_exact(inst.h).enumerate() {
+        let cnode = (1 + n + i) as u32;
+        for &v in members {
+            net.add_edge(v + 1, cnode, scale);
+            net.add_edge(cnode, v + 1, (h - 1) * scale);
+            deg[v as usize] += scale;
+        }
+    }
+    for (j, b) in inst.boundary.iter().enumerate() {
+        let cnt = b.inside.len() as i128;
+        debug_assert!(cnt >= 1 && cnt < h, "boundary clique must straddle");
+        let cnode = (1 + n + fc + j) as u32;
+        let incap = h * scale / cnt; // exact: cnt | lcm(1..=h) | scale
+        for &v in &b.inside {
+            net.add_edge(v + 1, cnode, incap);
+            net.add_edge(cnode, v + 1, (h - 1) * scale);
+            deg[v as usize] += incap;
+        }
+    }
+    let vt_cap = (rho * Ratio::from_int(h)).scale_to_int(scale);
+    assert!(vt_cap >= 0, "threshold must be non-negative");
+    // "infinite" = more than any finite cut can carry
+    let inf = (h * scale)
+        .saturating_mul((inst.clique_count() + inst.boundary.len() + 1) as i128)
+        .saturating_add(vt_cap.saturating_mul(n as i128 + 1))
+        .saturating_add(1);
+    for (v, &dv) in deg.iter().enumerate() {
+        let is_forced = forced.is_some_and(|f| f[v]);
+        if is_forced {
+            net.add_edge(0, v as u32 + 1, inf);
+        } else if dv > 0 {
+            net.add_edge(0, v as u32 + 1, dv);
+        }
+        net.add_edge(v as u32 + 1, t, vt_cap);
+    }
+    let flow = net.max_flow(0, t);
+    debug_assert!(flow >= 0);
+    (net, 0, t)
+}
+
+/// Minimal maximizer of `|Ψ(A)| − ρ|A|` over vertex subsets: the
+/// minimal min-cut source side. Empty iff the maximum is 0, i.e. no
+/// subgraph has h-clique density exceeding `rho`.
+pub fn max_excess_set(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
+    if inst.n == 0 {
+        return Vec::new();
+    }
+    let (net, s, _) = solve_network(inst, rho);
+    let side = net.min_cut_source_side(s);
+    (0..inst.n).map(|v| side[v + 1]).collect()
+}
+
+/// `IsDensest`: whether no subgraph of the local universe has h-clique
+/// density strictly greater than `rho`. With `rho` equal to the
+/// universe's own density this is exactly "the universe is h-clique
+/// `ρ`-compact" (connectivity checked separately by callers).
+pub fn is_densest(inst: &LocalInstance, rho: Ratio) -> bool {
+    max_excess_set(inst, rho).iter().all(|&b| !b)
+}
+
+/// `DeriveCompact(G, ρ − 1/n², P)`: membership of the union of all
+/// maximal h-clique `ρ`-compact subgraphs of the local universe
+/// (Theorem 5) — the maximal min-cut source side at the perturbed
+/// threshold.
+pub fn derive_compact(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
+    if inst.n == 0 {
+        return Vec::new();
+    }
+    let eps = Ratio::new(1, (inst.n as i128) * (inst.n as i128));
+    let thr = rho - eps;
+    let thr = if thr < Ratio::zero() { Ratio::zero() } else { thr };
+    let (net, _, t) = solve_network(inst, thr);
+    let side = net.max_cut_source_side(t);
+    (0..inst.n).map(|v| side[v + 1]).collect()
+}
+
+/// Exact densest-subgraph decomposition of the local universe by
+/// Goldberg-style iteration: returns `(ρ*, U)` where `ρ*` is the maximum
+/// h-clique density over all subsets and `U` the union of all maximal
+/// `ρ*`-compact subgraphs. `None` when the universe holds no clique.
+///
+/// The minimal maximizers are nested as `ρ` increases, so the iteration
+/// performs at most `n` max-flows (2–5 in practice).
+pub fn densest_decomposition(inst: &LocalInstance) -> Option<(Ratio, Vec<bool>)> {
+    if inst.n == 0 || inst.clique_count() == 0 {
+        return None;
+    }
+    let mut rho = inst.density().expect("non-empty");
+    let mut guard = 0usize;
+    loop {
+        let set = max_excess_set(inst, rho);
+        let size = set.iter().filter(|&&b| b).count();
+        if size == 0 {
+            break;
+        }
+        let inside = count_inside(inst, &set);
+        let denser = Ratio::new(inside as i128, size as i128);
+        debug_assert!(denser > rho, "density must strictly increase");
+        rho = denser;
+        guard += 1;
+        assert!(
+            guard <= inst.n + 2,
+            "densest-subgraph iteration failed to converge"
+        );
+    }
+    Some((rho, derive_compact(inst, rho)))
+}
+
+/// Marginal-density step of the dense decomposition: given the union
+/// `forced` of all higher levels, finds the next level — the maximal
+/// set `A ⊇ forced` maximizing the marginal density
+/// `(|Ψ(A)| − |Ψ(forced)|) / (|A| − |forced|)` — by Goldberg iteration
+/// with the forced vertices pinned to the source side. Returns the
+/// marginal density and the *new* vertices (level members), or `None`
+/// when no vertex outside `forced` participates in any clique gain.
+pub fn next_density_level(
+    inst: &LocalInstance,
+    forced: &[bool],
+) -> Option<(Ratio, Vec<bool>)> {
+    let n = inst.n;
+    let forced_count = forced.iter().filter(|&&f| f).count();
+    if n == 0 || forced_count == n {
+        return None;
+    }
+    let base_inside = count_inside(inst, forced) as i128;
+
+    // Marginal gain of the full universe; if zero, no further level.
+    let full = vec![true; n];
+    let total = count_inside(inst, &full) as i128;
+    if total == base_inside {
+        return None;
+    }
+    let mut rho = Ratio::new(
+        total - base_inside,
+        (n - forced_count) as i128,
+    );
+
+    // Goldberg iteration on the marginal density: the minimal maximizer
+    // of |Ψ(A)| − ρ|A| over A ⊇ forced shrinks as ρ grows.
+    let mut guard = 0usize;
+    let mut best = rho;
+    loop {
+        let (net, s, _) = solve_network_forced(inst, rho, Some(forced));
+        let side = net.min_cut_source_side(s);
+        let set: Vec<bool> = (0..n).map(|v| side[v + 1]).collect();
+        let new_count = set
+            .iter()
+            .zip(forced)
+            .filter(|&(&inside, &f)| inside && !f)
+            .count();
+        if new_count == 0 {
+            break;
+        }
+        let inside = count_inside(inst, &set) as i128;
+        let marginal = Ratio::new(inside - base_inside, new_count as i128);
+        debug_assert!(marginal >= rho);
+        if marginal == best && marginal == rho {
+            best = marginal;
+            break;
+        }
+        best = marginal;
+        rho = marginal;
+        guard += 1;
+        assert!(guard <= n + 2, "marginal-density iteration diverged");
+    }
+
+    // Largest maximizer at the final level (ε-perturbed threshold).
+    let eps = Ratio::new(1, (n as i128) * (n as i128));
+    let thr = best - eps;
+    let thr = if thr < Ratio::zero() { Ratio::zero() } else { thr };
+    let (net, _, t) = solve_network_forced(inst, thr, Some(forced));
+    let side = net.max_cut_source_side(t);
+    let level: Vec<bool> = (0..n)
+        .map(|v| side[v + 1] && !forced[v])
+        .collect();
+    debug_assert!(level.iter().any(|&b| b), "level must be non-empty");
+    Some((best, level))
+}
+
+/// Number of interior cliques fully inside `set` plus boundary cliques
+/// whose inside members are all in `set` (each counts as one clique, as
+/// in the Figure 7 network).
+pub fn count_inside(inst: &LocalInstance, set: &[bool]) -> u64 {
+    let mut c = 0u64;
+    'full: for members in inst.full.chunks_exact(inst.h) {
+        for &v in members {
+            if !set[v as usize] {
+                continue 'full;
+            }
+        }
+        c += 1;
+    }
+    'bnd: for b in &inst.boundary {
+        for &v in &b.inside {
+            if !set[v as usize] {
+                continue 'bnd;
+            }
+        }
+        c += 1;
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_graph::{CsrGraph, GraphBuilder};
+
+    fn instance_of(g: &CsrGraph, h: usize) -> LocalInstance {
+        let cs = CliqueSet::enumerate(g, h);
+        let all: Vec<VertexId> = g.vertices().collect();
+        local_instance(&cs, &all).0
+    }
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn local_instance_filters_interior_cliques() {
+        // triangle 0-1-2 and triangle 2-3-4; restrict to {0,1,2,3}:
+        // only the first triangle is interior.
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let cs = CliqueSet::enumerate(&g, 3);
+        let (inst, map) = local_instance(&cs, &[0, 1, 2, 3]);
+        assert_eq!(inst.n, 4);
+        assert_eq!(inst.clique_count(), 1);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn complete_graph_is_self_densest() {
+        let inst = instance_of(&complete(6), 3);
+        let rho = inst.density().unwrap();
+        assert_eq!(rho, Ratio::new(20, 6));
+        assert!(is_densest(&inst, rho));
+        // but not densest at any smaller threshold
+        assert!(!is_densest(&inst, rho - Ratio::new(1, 100)));
+    }
+
+    #[test]
+    fn pendant_makes_graph_not_self_densest() {
+        // K5 + pendant vertex: overall density 10/6 < inner K5's 10/5.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5);
+        let inst = instance_of(&b.build(), 3);
+        let rho = inst.density().unwrap();
+        assert_eq!(rho, Ratio::new(10, 6));
+        assert!(!is_densest(&inst, rho));
+        // the excess set is exactly the K5
+        let set = max_excess_set(&inst, rho);
+        assert_eq!(set, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn densest_decomposition_finds_inner_k5() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5).add_edge(5, 6);
+        let inst = instance_of(&b.build(), 3);
+        let (rho, members) = densest_decomposition(&inst).unwrap();
+        assert_eq!(rho, Ratio::from_int(2)); // 10 triangles / 5 vertices
+        assert_eq!(
+            members,
+            vec![true, true, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn decomposition_returns_all_tied_regions() {
+        // two disjoint K4s: both maximal 1-compact (4 triangles / 4
+        // vertices = 1); the union must contain both.
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        let inst = instance_of(&b.build(), 3);
+        let (rho, members) = densest_decomposition(&inst).unwrap();
+        assert_eq!(rho, Ratio::from_int(1));
+        assert!(members.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn clique_free_universe_has_no_decomposition() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let inst = instance_of(&g, 3);
+        assert!(densest_decomposition(&inst).is_none());
+    }
+
+    #[test]
+    fn figure2_s1_density_13_over_6() {
+        // K6 minus two adjacent edges (the paper's S1): 13 triangles on
+        // 6 vertices, self-densest at 13/6.
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                if (u, v) == (0, 1) || (u, v) == (0, 2) {
+                    continue; // remove two edges sharing vertex 0
+                }
+                b.add_edge(u, v);
+            }
+        }
+        let inst = instance_of(&b.build(), 3);
+        let (rho, members) = densest_decomposition(&inst).unwrap();
+        assert_eq!(rho, Ratio::new(13, 6));
+        assert!(members.iter().all(|&m| m));
+        assert!(is_densest(&inst, rho));
+    }
+
+    #[test]
+    fn boundary_clique_counts_when_inside_members_kept() {
+        // Universe = one edge {0, 1} (no interior triangle), plus a
+        // boundary triangle with cnt = 2 inside members. Keeping both
+        // members yields 1 clique at density 1/2.
+        let inst = LocalInstance {
+            n: 2,
+            h: 3,
+            full: Vec::new(),
+            boundary: vec![BoundaryClique { inside: vec![0, 1] }],
+        };
+        let all = vec![true, true];
+        assert_eq!(count_inside(&inst, &all), 1);
+        // at rho = 1/2 the pair is exactly compact: no denser subset
+        assert!(is_densest(&inst, Ratio::new(1, 2)));
+        // at a smaller threshold the pair (or a single vertex) has
+        // positive excess
+        let set = max_excess_set(&inst, Ratio::new(1, 3));
+        assert!(set.iter().any(|&b| b));
+        // derive_compact at 1/2 keeps both members
+        let kept = derive_compact(&inst, Ratio::new(1, 2));
+        assert_eq!(kept, vec![true, true]);
+    }
+
+    #[test]
+    fn derive_compact_drops_subthreshold_fringe() {
+        // K5 with pendant: maximal 2-compact subgraph = the K5 alone.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5);
+        let inst = instance_of(&b.build(), 3);
+        let kept = derive_compact(&inst, Ratio::from_int(2));
+        assert_eq!(kept, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn empty_universe_edge_cases() {
+        let inst = LocalInstance {
+            n: 0,
+            h: 3,
+            full: Vec::new(),
+            boundary: Vec::new(),
+        };
+        assert!(max_excess_set(&inst, Ratio::from_int(1)).is_empty());
+        assert!(derive_compact(&inst, Ratio::from_int(1)).is_empty());
+        assert!(inst.density().is_none());
+    }
+}

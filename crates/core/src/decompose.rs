@@ -1,0 +1,265 @@
+//! Tentative graph decomposition (`TentativeGD`, §4.2.3).
+//!
+//! Given an approximate CP solution `(α, r)`:
+//!
+//! 1. sort vertices by `r` descending;
+//! 2. find the prefix positions that maximize the h-clique density of
+//!    the prefix over every extension (the paper's breakpoint set `P`,
+//!    Algorithm 2 line 16) — these cut the order into the initial
+//!    partition `Ŝ₁ … Ŝ_l`;
+//! 3. reassign the weight of every clique that straddles several parts
+//!    entirely to its members in the *last* part it touches (the part
+//!    with the lowest r values), evening out the weights the straddling
+//!    clique contributed to higher parts;
+//! 4. recompute `r`.
+//!
+//! After step 3 every clique's weight lives entirely inside one part,
+//! which is what makes the stable-group conditions of Definition 6
+//! checkable part-by-part (module [`crate::stable`]).
+
+use crate::cp::CpState;
+use lhcds_clique::CliqueSet;
+use lhcds_graph::VertexId;
+
+/// The tentative partition `Ŝ₁ … Ŝ_l` (descending r order).
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Parts in order; concatenated they are the full r-descending order.
+    pub parts: Vec<Vec<VertexId>>,
+    /// `part_of[v]` = index of the part containing `v`.
+    pub part_of: Vec<u32>,
+}
+
+impl Decomposition {
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the decomposition has no parts (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// Runs `TentativeGD`, mutating `state` (weight redistribution +
+/// recomputed `r`) and returning the partition.
+pub fn tentative_gd(cliques: &CliqueSet, state: &mut CpState) -> Decomposition {
+    let n = cliques.n();
+    let h = cliques.h();
+    if n == 0 {
+        return Decomposition {
+            parts: Vec::new(),
+            part_of: Vec::new(),
+        };
+    }
+
+    // 1. Sort vertices by r descending (id ascending as tiebreak for
+    // determinism).
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by(|&a, &b| {
+        state.r[b as usize]
+            .partial_cmp(&state.r[a as usize])
+            .expect("r values are finite")
+            .then(a.cmp(&b))
+    });
+    let mut rank = vec![0u32; n]; // rank in the order, 0-based
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+
+    // 2. Prefix clique counts: a clique belongs to prefix q iff the max
+    // rank of its members is < q (0-based ranks, prefix length q).
+    let mut cliques_ending_at = vec![0u64; n];
+    for i in 0..cliques.len() {
+        let max_rank = cliques
+            .members(i)
+            .iter()
+            .map(|&v| rank[v as usize])
+            .max()
+            .expect("non-empty clique");
+        cliques_ending_at[max_rank as usize] += 1;
+    }
+    // density of prefix length q (1-based): cnt(q)/q. Breakpoints: q is a
+    // breakpoint iff density(q) ≥ density(q') for all q' ≥ q. Computed by
+    // a reverse sweep comparing exact fractions (cross-multiplication in
+    // u128 to avoid both overflow and float ties).
+    let mut breakpoints = Vec::new();
+    let mut cnt = vec![0u64; n + 1];
+    for q in 1..=n {
+        cnt[q] = cnt[q - 1] + cliques_ending_at[q - 1];
+    }
+    let mut best_num = 0u64; // density numerator of best suffix candidate
+    let mut best_den = 1u64;
+    for q in (1..=n).rev() {
+        // density(q) ≥ best ⟺ cnt[q] * best_den ≥ best_num * q
+        if (cnt[q] as u128) * (best_den as u128) >= (best_num as u128) * (q as u128) {
+            best_num = cnt[q];
+            best_den = q as u64;
+            breakpoints.push(q);
+        }
+    }
+    breakpoints.reverse();
+    debug_assert_eq!(*breakpoints.last().expect("n is a breakpoint"), n);
+
+    // Partition the order at the breakpoints.
+    let mut parts = Vec::with_capacity(breakpoints.len());
+    let mut part_of = vec![0u32; n];
+    let mut start = 0usize;
+    for (pi, &bp) in breakpoints.iter().enumerate() {
+        let part: Vec<VertexId> = order[start..bp].to_vec();
+        for &v in &part {
+            part_of[v as usize] = pi as u32;
+        }
+        parts.push(part);
+        start = bp;
+    }
+
+    // 3. Redistribute straddling cliques' weight into their last part.
+    for i in 0..cliques.len() {
+        let members = cliques.members(i);
+        let last_part = members
+            .iter()
+            .map(|&v| part_of[v as usize])
+            .max()
+            .expect("non-empty clique");
+        let in_last: usize = members
+            .iter()
+            .filter(|&&v| part_of[v as usize] == last_part)
+            .count();
+        if in_last == members.len() {
+            continue; // fully inside one part
+        }
+        let base = i * h;
+        let mut moved = 0.0f64;
+        for (j, &v) in members.iter().enumerate() {
+            if part_of[v as usize] != last_part {
+                moved += state.alpha[base + j];
+                state.alpha[base + j] = 0.0;
+            }
+        }
+        let share = moved / in_last as f64;
+        for (j, &v) in members.iter().enumerate() {
+            if part_of[v as usize] == last_part {
+                state.alpha[base + j] += share;
+            }
+        }
+    }
+
+    // 4. Recompute r.
+    state.recompute_r(cliques);
+
+    Decomposition { parts, part_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::seq_kclist_pp;
+    use lhcds_graph::{CsrGraph, GraphBuilder};
+
+    fn k5_plus_triangle() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        // triangle 5-6-7 attached to the K5 by edge 4-5
+        b.add_edge(5, 6).add_edge(6, 7).add_edge(7, 5).add_edge(4, 5);
+        b.build()
+    }
+
+    #[test]
+    fn parts_cover_all_vertices_once() {
+        let g = k5_plus_triangle();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut st = seq_kclist_pp(&cs, 30);
+        let d = tentative_gd(&cs, &mut st);
+        let mut seen = vec![false; g.n()];
+        for (pi, part) in d.parts.iter().enumerate() {
+            for &v in part {
+                assert!(!seen[v as usize], "vertex {v} appears twice");
+                seen[v as usize] = true;
+                assert_eq!(d.part_of[v as usize] as usize, pi);
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn dense_region_lands_in_first_part() {
+        let g = k5_plus_triangle();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut st = seq_kclist_pp(&cs, 50);
+        let d = tentative_gd(&cs, &mut st);
+        // The K5 (vertices 0..5) is the densest prefix: the first part
+        // must consist exactly of it.
+        let mut first = d.parts[0].clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn alpha_mass_is_preserved_by_redistribution() {
+        let g = k5_plus_triangle();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut st = seq_kclist_pp(&cs, 20);
+        let before: f64 = st.alpha.iter().sum();
+        let _ = tentative_gd(&cs, &mut st);
+        let after: f64 = st.alpha.iter().sum();
+        assert!((before - after).abs() < 1e-9);
+        // feasibility still holds per clique
+        for i in 0..cs.len() {
+            let s: f64 = st.alpha_of(3, i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn straddling_weight_moves_to_last_part() {
+        let g = k5_plus_triangle();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut st = seq_kclist_pp(&cs, 50);
+        let d = tentative_gd(&cs, &mut st);
+        for i in 0..cs.len() {
+            let members = cs.members(i);
+            let last = members
+                .iter()
+                .map(|&v| d.part_of[v as usize])
+                .max()
+                .unwrap();
+            for (j, &v) in members.iter().enumerate() {
+                if d.part_of[v as usize] != last {
+                    assert_eq!(st.alpha[i * 3 + j], 0.0, "clique {i} member {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_part_for_uniform_graph() {
+        // complete graph: single densest prefix = everything
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut st = seq_kclist_pp(&cs, 100);
+        let d = tentative_gd(&cs, &mut st);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.parts[0].len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_decomposition() {
+        let g = CsrGraph::from_edges(0, []);
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut st = seq_kclist_pp(&cs, 5);
+        let d = tentative_gd(&cs, &mut st);
+        assert!(d.is_empty());
+    }
+}

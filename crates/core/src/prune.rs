@@ -1,0 +1,228 @@
+//! Invalid-vertex pruning (Proposition 5, Algorithm 3).
+//!
+//! Two sound rules remove vertices that provably belong to no LhCDS:
+//!
+//! 1. **Edge rule** — an edge `(u, v)` with `φ̲(u) > φ̄(v)` proves
+//!    `φ(u) > φ(v)`, and by Proposition 4 a vertex adjacent to a
+//!    strictly-more-compact vertex cannot itself sit in an LhCDS: `v` is
+//!    invalid.
+//! 2. **Core rule** — in the graph `G'` left after removals, the
+//!    h-clique core number upper-bounds the compact number *within G'*;
+//!    since any LhCDS avoids invalid vertices entirely, a member `u`
+//!    must satisfy `φ^{G'}(u) ≥ φ^G(u) ≥ φ̲(u)`. If
+//!    `core^{G'}(u) < φ̲(u)`, `u` is invalid. Removals can lower other
+//!    vertices' cores, so the rule iterates to a fixpoint.
+//!
+//! Pruned vertices never re-enter candidate groups, but they *do* remain
+//! visible to the verification algorithms (maximality is a property of
+//! the full graph).
+
+use crate::bounds::Bounds;
+use lhcds_clique::CliqueSet;
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// Applies both pruning rules to the `alive` mask in place. Returns the
+/// number of vertices removed.
+pub fn prune(
+    g: &CsrGraph,
+    cliques: &CliqueSet,
+    bounds: &Bounds,
+    alive: &mut [bool],
+) -> usize {
+    let mut removed = 0usize;
+
+    // Rule 1: one pass over edges (bounds are global and unaffected by
+    // removals, so one pass reaches the rule's fixpoint).
+    for u in g.vertices() {
+        if !alive[u as usize] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if alive[v as usize] && bounds.lower[u as usize] > bounds.upper[v as usize] {
+                alive[v as usize] = false;
+                removed += 1;
+            }
+        }
+    }
+
+    // Rule 2: peel by restricted clique-core until the fixpoint.
+    loop {
+        let core = clique_core_restricted(cliques, alive);
+        let mut killed = 0usize;
+        for (v, &c) in core.iter().enumerate() {
+            if alive[v] && (c as f64) < bounds.lower[v] {
+                alive[v] = false;
+                killed += 1;
+            }
+        }
+        if killed == 0 {
+            break;
+        }
+        removed += killed;
+    }
+    removed
+}
+
+/// `(k, ψh)`-core numbers of the subgraph induced by `alive`, counting
+/// only cliques whose members are all alive. Dead vertices get core 0.
+pub fn clique_core_restricted(cliques: &CliqueSet, alive: &[bool]) -> Vec<u64> {
+    let n = cliques.n();
+    let mut clique_dead = vec![false; cliques.len()];
+    let mut degree = vec![0usize; n];
+    for (i, dead) in clique_dead.iter_mut().enumerate() {
+        let ok = cliques.members(i).iter().all(|&v| alive[v as usize]);
+        if ok {
+            for &v in cliques.members(i) {
+                degree[v as usize] += 1;
+            }
+        } else {
+            *dead = true;
+        }
+    }
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut bucket: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    let mut live_count = 0usize;
+    for v in 0..n {
+        if alive[v] {
+            bucket[degree[v]].push(v as VertexId);
+            live_count += 1;
+        }
+    }
+
+    let mut removed = vec![false; n];
+    let mut core = vec![0u64; n];
+    let mut cur = 0usize;
+    let mut level = 0u64;
+    for _ in 0..live_count {
+        let v = loop {
+            while cur <= max_deg && bucket[cur].is_empty() {
+                cur += 1;
+            }
+            debug_assert!(cur <= max_deg);
+            let v = bucket[cur].pop().expect("non-empty bucket");
+            if !removed[v as usize] && degree[v as usize] == cur {
+                break v;
+            }
+        };
+        removed[v as usize] = true;
+        level = level.max(cur as u64);
+        core[v as usize] = level;
+        for &ci in cliques.cliques_of(v) {
+            let ci = ci as usize;
+            if clique_dead[ci] {
+                continue;
+            }
+            clique_dead[ci] = true;
+            for &w in cliques.members(ci) {
+                let wi = w as usize;
+                if alive[wi] && !removed[wi] {
+                    degree[wi] -= 1;
+                    bucket[degree[wi]].push(w);
+                    if degree[wi] < cur {
+                        cur = degree[wi];
+                    }
+                }
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::initialize_bounds;
+    use lhcds_graph::GraphBuilder;
+
+    /// K5 (vertices 0..5) with a pendant path 4-5-6. The path vertices
+    /// have tiny compact numbers and prune away once bounds separate.
+    fn k5_with_path() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5).add_edge(5, 6);
+        b.build()
+    }
+
+    #[test]
+    fn edge_rule_prunes_low_upper_neighbors() {
+        let g = k5_with_path();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut bounds = initialize_bounds(&cs, 1e-6);
+        // Simulate tight CP bounds: K5 members pinned at 2.
+        for v in 0..5 {
+            bounds.lower[v] = 2.0;
+            bounds.upper[v] = 2.0;
+        }
+        // path vertices have core 0 → upper 0 → rule 1 kills 5 via edge
+        // (4, 5); then 6 has no clique anyway.
+        let mut alive = vec![true; g.n()];
+        let removed = prune(&g, &cs, &bounds, &mut alive);
+        assert!(removed >= 1);
+        assert!(!alive[5]);
+        assert!((0..5).all(|v| alive[v]));
+    }
+
+    #[test]
+    fn core_rule_cascades() {
+        // Diamond (two triangles sharing edge 1-2) + a triangle 3-4-5
+        // sharing vertex 3. If vertex 4 is forced out by an artificially
+        // high lower bound on its neighbor's side, the remaining
+        // triangle loses its clique and 5's restricted core drops to 0.
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 2).add_edge(1, 3);
+        b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+        let g = b.build();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut bounds = initialize_bounds(&cs, 1e-6);
+        let mut alive = vec![true; g.n()];
+        alive[4] = false; // pretend 4 was already pruned
+        // demand that 5 keeps a compact number of at least 1/2
+        bounds.lower[5] = 0.5;
+        let removed = prune(&g, &cs, &bounds, &mut alive);
+        assert!(!alive[5], "5 must fall: its only triangle used 4");
+        assert!(removed >= 1);
+    }
+
+    #[test]
+    fn nothing_pruned_with_loose_bounds() {
+        let g = k5_with_path();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let bounds = initialize_bounds(&cs, 1e-6);
+        let mut alive = vec![true; g.n()];
+        // initial core bounds alone cannot separate K5 from its pendant
+        // path: lower(u) = core/3 = 2 for K5, upper(5) = 0 → rule 1 fires!
+        let removed = prune(&g, &cs, &bounds, &mut alive);
+        // 5 has upper 0 < lower(4) = 2 → pruned; 6 likewise isolated.
+        assert!(!alive[5]);
+        assert!(removed >= 1);
+        assert!((0..5).all(|v| alive[v]));
+    }
+
+    #[test]
+    fn restricted_core_matches_full_core_when_all_alive() {
+        let g = k5_with_path();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let alive = vec![true; g.n()];
+        let restricted = clique_core_restricted(&cs, &alive);
+        let full = lhcds_clique::clique_core(&cs);
+        assert_eq!(restricted, full.core);
+    }
+
+    #[test]
+    fn dead_vertices_have_zero_restricted_core() {
+        let g = k5_with_path();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let mut alive = vec![true; g.n()];
+        alive[0] = false;
+        let core = clique_core_restricted(&cs, &alive);
+        assert_eq!(core[0], 0);
+        // K5 minus a vertex = K4: triangle degree 3 per member.
+        for (v, &c) in core.iter().enumerate().take(5).skip(1) {
+            assert_eq!(c, 3, "v={v}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Stable h-clique groups (`DeriveSG`, Definition 6, Theorem 4).
+//!
+//! A vertex group `S` is *stable* w.r.t. a feasible CP solution `(α, r)`
+//! when (1) every outside vertex's `r` lies strictly outside
+//! `[min_S r, max_S r]`, (2) cliques shared with higher-`r` outsiders
+//! give those outsiders zero weight, and (3) cliques shared with
+//! lower-`r` outsiders give the `S` members zero weight. Theorem 4 then
+//! bounds every member's true compact number by the group's `r`-range —
+//! the bound-tightening engine of the pipeline.
+//!
+//! `derive_stable_groups` greedily merges consecutive parts of the
+//! tentative decomposition until each merged run is stable, emitting the
+//! stable runs as LhCDS candidate groups and tightening the global
+//! bounds from them. The check is *conservative*: float ties within the
+//! tolerance count as violations, which can only cause extra merging
+//! (coarser candidates), never an invalid bound.
+//!
+//! ## Complexity
+//!
+//! After `TentativeGD`, each clique's weight lives entirely in its
+//! *last* part (the lowest-`r` part it touches), which reduces the
+//! Definition 6 conditions on a run of parts `[a..=b]` to two
+//! aggregates:
+//!
+//! * **condition 3** — a clique whose last part lies in `[a, b]` must
+//!   not reach below the run's minimum `r`: per-part minima of member
+//!   `r` are folded into a running minimum;
+//! * **condition 2** — a clique straddling the `b` boundary must not
+//!   hold weight on a member above the run's maximum `r`: straddling
+//!   cliques are kept in a lazy max-heap keyed by their weighted-member
+//!   `r`, entries expiring once the boundary passes their last part.
+//!
+//! Condition 1 (interval separation) is a binary-search count over the
+//! sorted `r` values. The whole derivation is
+//! `O((n + h·|Ψh|) log n)` — one pass, no per-check rescans.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bounds::Bounds;
+use crate::cp::CpState;
+use crate::decompose::Decomposition;
+use lhcds_clique::CliqueSet;
+use lhcds_graph::VertexId;
+
+/// Result of `DeriveSG`.
+#[derive(Debug, Clone)]
+pub struct StableGroups {
+    /// Stable groups in descending-r order; they partition the vertex
+    /// set (concatenation = the tentative order).
+    pub groups: Vec<Vec<VertexId>>,
+    /// For each group, whether the stability conditions were verified.
+    /// A trailing remainder that could not be stabilized is emitted with
+    /// `false` and receives no bound updates.
+    pub verified: Vec<bool>,
+}
+
+/// Weight below which an `α` entry counts as zero (redistribution
+/// writes exact zeros; this guards accumulated dust).
+const ALPHA_ZERO: f64 = 1e-12;
+
+/// A straddling-clique entry in the condition-2 heap: the maximum `r`
+/// among its weighted members, expiring after its last part.
+struct OpenClique {
+    weighted_max_r: f64,
+    last_part: u32,
+}
+
+impl PartialEq for OpenClique {
+    fn eq(&self, other: &Self) -> bool {
+        self.weighted_max_r == other.weighted_max_r
+    }
+}
+impl Eq for OpenClique {}
+impl PartialOrd for OpenClique {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenClique {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weighted_max_r
+            .partial_cmp(&other.weighted_max_r)
+            .expect("finite r")
+    }
+}
+
+/// Greedy stabilization of the tentative parts + Theorem 4 bound
+/// tightening (only from groups whose stability was verified).
+pub fn derive_stable_groups(
+    cliques: &CliqueSet,
+    state: &CpState,
+    decomp: &Decomposition,
+    bounds: &mut Bounds,
+) -> StableGroups {
+    let tol = bounds.slack;
+    let h = cliques.h();
+    let parts = &decomp.parts;
+    if parts.is_empty() {
+        return StableGroups {
+            groups: Vec::new(),
+            verified: Vec::new(),
+        };
+    }
+
+    // Sorted r values for the interval-separation check (condition 1).
+    let mut sorted_r: Vec<f64> = state.r.clone();
+    sorted_r.sort_by(|a, b| a.partial_cmp(b).expect("finite r"));
+
+    // Per-clique aggregates: first part touched, last part touched
+    // (where all its weight lives), min member r (condition 3), and the
+    // max r among weighted members (condition 2; relevant only to
+    // straddling cliques).
+    let mut open_at: Vec<Vec<OpenClique>> = (0..parts.len()).map(|_| Vec::new()).collect();
+    let mut part_cond3_min: Vec<f64> = vec![f64::INFINITY; parts.len()];
+    for ci in 0..cliques.len() {
+        let members = cliques.members(ci);
+        let mut first_part = u32::MAX;
+        let mut last_part = 0u32;
+        let mut min_r = f64::INFINITY;
+        let mut weighted_max_r = f64::NEG_INFINITY;
+        for (j, &v) in members.iter().enumerate() {
+            let p = decomp.part_of[v as usize];
+            first_part = first_part.min(p);
+            last_part = last_part.max(p);
+            min_r = min_r.min(state.r[v as usize]);
+            if state.alpha[ci * h + j] > ALPHA_ZERO {
+                weighted_max_r = weighted_max_r.max(state.r[v as usize]);
+            }
+        }
+        // condition 3 material: the clique "belongs" to its last part
+        let c3 = &mut part_cond3_min[last_part as usize];
+        *c3 = c3.min(min_r);
+        // condition 2 material: straddling cliques with any weight
+        if first_part != last_part && weighted_max_r > f64::NEG_INFINITY {
+            open_at[first_part as usize].push(OpenClique {
+                weighted_max_r,
+                last_part,
+            });
+        }
+    }
+
+    let mut heap: BinaryHeap<OpenClique> = BinaryHeap::new();
+    let mut groups: Vec<Vec<VertexId>> = Vec::new();
+    let mut verified: Vec<bool> = Vec::new();
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut cond3_min = f64::INFINITY;
+
+    for (b, part) in parts.iter().enumerate() {
+        for oc in std::mem::take(&mut open_at[b]) {
+            heap.push(oc);
+        }
+        for &v in part {
+            let rv = state.r[v as usize];
+            lo = lo.min(rv);
+            hi = hi.max(rv);
+        }
+        cond3_min = cond3_min.min(part_cond3_min[b]);
+        current.extend_from_slice(part);
+
+        // expire straddling cliques fully absorbed by the run
+        while let Some(top) = heap.peek() {
+            if top.last_part as usize <= b {
+                heap.pop();
+            } else {
+                break;
+            }
+        }
+
+        // condition 1: exactly |current| vertices inside the widened
+        // interval
+        let from = sorted_r.partition_point(|&x| x < lo - tol);
+        let to = sorted_r.partition_point(|&x| x <= hi + tol);
+        let cond1 = to - from == current.len();
+        // condition 2: no live straddling clique reaches above hi
+        let cond2 = heap.peek().is_none_or(|top| top.weighted_max_r <= hi + tol);
+        // condition 3: no clique owned by the run reaches below lo
+        let cond3 = cond3_min >= lo - tol;
+
+        if cond1 && cond2 && cond3 {
+            groups.push(std::mem::take(&mut current));
+            verified.push(true);
+            lo = f64::INFINITY;
+            hi = f64::NEG_INFINITY;
+            cond3_min = f64::INFINITY;
+        }
+    }
+    if !current.is_empty() {
+        // Trailing run never stabilized (float ties at the bottom of the
+        // order). Emit it unverified; it still participates as a
+        // candidate but contributes no Theorem-4 bounds.
+        groups.push(current);
+        verified.push(false);
+    }
+
+    // Theorem 4: tighten bounds from verified groups.
+    for (gi, group) in groups.iter().enumerate() {
+        if !verified[gi] || group.is_empty() {
+            continue;
+        }
+        let mut glo = f64::MAX;
+        let mut ghi = f64::MIN;
+        for &v in group {
+            glo = glo.min(state.r[v as usize]);
+            ghi = ghi.max(state.r[v as usize]);
+        }
+        for &v in group {
+            bounds.tighten_upper_approx(v as usize, ghi);
+            bounds.tighten_lower_approx(v as usize, glo);
+        }
+    }
+
+    StableGroups { groups, verified }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::{initialize_bounds, DEFAULT_SLACK};
+    use crate::cp::seq_kclist_pp;
+    use crate::decompose::tentative_gd;
+    use lhcds_graph::{CsrGraph, GraphBuilder};
+
+    fn k5_far_triangle() -> CsrGraph {
+        // K5 on 0..5, disjoint triangle 5-6-7 (no bridge).
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(5, 6).add_edge(6, 7).add_edge(7, 5);
+        b.build()
+    }
+
+    fn run_pipeline_upto_stable(
+        g: &CsrGraph,
+        h: usize,
+        iters: usize,
+    ) -> (CliqueSet, CpState, StableGroups, Bounds) {
+        let cs = CliqueSet::enumerate(g, h);
+        let mut st = seq_kclist_pp(&cs, iters);
+        let d = tentative_gd(&cs, &mut st);
+        let mut bounds = initialize_bounds(&cs, DEFAULT_SLACK);
+        let sg = derive_stable_groups(&cs, &st, &d, &mut bounds);
+        (cs, st, sg, bounds)
+    }
+
+    /// Reference implementation of Definition 6 used to validate the
+    /// aggregate-based checker on small inputs.
+    fn is_stable_reference(
+        cliques: &CliqueSet,
+        state: &CpState,
+        group: &[VertexId],
+        tol: f64,
+    ) -> bool {
+        let n = cliques.n();
+        let mut inside = vec![false; n];
+        for &v in group {
+            inside[v as usize] = true;
+        }
+        let lo = group
+            .iter()
+            .map(|&v| state.r[v as usize])
+            .fold(f64::INFINITY, f64::min);
+        let hi = group
+            .iter()
+            .map(|&v| state.r[v as usize])
+            .fold(f64::NEG_INFINITY, f64::max);
+        for (v, &is_in) in inside.iter().enumerate() {
+            if !is_in && state.r[v] >= lo - tol && state.r[v] <= hi + tol {
+                return false;
+            }
+        }
+        let h = cliques.h();
+        for ci in 0..cliques.len() {
+            let members = cliques.members(ci);
+            if !members.iter().any(|&v| inside[v as usize]) {
+                continue;
+            }
+            let has_lower = members
+                .iter()
+                .any(|&v| !inside[v as usize] && state.r[v as usize] < lo);
+            for (j, &v) in members.iter().enumerate() {
+                let a = state.alpha[ci * h + j];
+                if !inside[v as usize] && state.r[v as usize] > hi && a > ALPHA_ZERO {
+                    return false;
+                }
+                if has_lower && inside[v as usize] && a > ALPHA_ZERO {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = k5_far_triangle();
+        let (_, _, sg, _) = run_pipeline_upto_stable(&g, 3, 40);
+        let mut seen = vec![false; g.n()];
+        for group in &sg.groups {
+            for &v in group {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn separates_k5_from_triangle() {
+        let g = k5_far_triangle();
+        let (_, _, sg, _) = run_pipeline_upto_stable(&g, 3, 60);
+        // first stable group must be exactly the K5
+        let mut first = sg.groups[0].clone();
+        first.sort_unstable();
+        assert_eq!(first, vec![0, 1, 2, 3, 4]);
+        assert!(sg.verified[0]);
+    }
+
+    #[test]
+    fn verified_groups_pass_reference_check() {
+        // randomized structures: every group the fast checker verifies
+        // must satisfy the literal Definition 6
+        let mut state = 0xABCDEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..25 {
+            let n = 12;
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng() % 100 < 40 {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let cs = CliqueSet::enumerate(&g, 3);
+            if cs.is_empty() {
+                continue;
+            }
+            let mut st = seq_kclist_pp(&cs, 15);
+            let d = tentative_gd(&cs, &mut st);
+            let mut bounds = initialize_bounds(&cs, DEFAULT_SLACK);
+            let sg = derive_stable_groups(&cs, &st, &d, &mut bounds);
+            for (gi, group) in sg.groups.iter().enumerate() {
+                if sg.verified[gi] {
+                    assert!(
+                        is_stable_reference(&cs, &st, group, 0.0),
+                        "fast checker verified an unstable group {group:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_true_compact_numbers() {
+        let g = k5_far_triangle();
+        let (_, _, _, bounds) = run_pipeline_upto_stable(&g, 3, 60);
+        // true φ3: K5 members = 2, triangle members = 1/3.
+        for v in 0..5 {
+            assert!(bounds.lower[v] <= 2.0 + 1e-9, "lower[{v}]={}", bounds.lower[v]);
+            assert!(bounds.upper[v] >= 2.0 - 1e-9, "upper[{v}]={}", bounds.upper[v]);
+        }
+        for v in 5..8 {
+            assert!(bounds.lower[v] <= 1.0 / 3.0 + 1e-9);
+            assert!(bounds.upper[v] >= 1.0 / 3.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_actually_tighten_after_stabilization() {
+        let g = k5_far_triangle();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let initial = initialize_bounds(&cs, DEFAULT_SLACK);
+        let (_, _, _, tightened) = run_pipeline_upto_stable(&g, 3, 60);
+        // initial upper for K5 members is the core number 6; Theorem 4
+        // should pull it near 2.
+        for v in 0..5 {
+            assert!(tightened.upper[v] < initial.upper[v]);
+            assert!(tightened.upper[v] < 3.0);
+            assert!(tightened.lower[v] > 1.5);
+        }
+    }
+
+    #[test]
+    fn uniform_graph_is_single_stable_group() {
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let (_, _, sg, _) = run_pipeline_upto_stable(&g, 3, 30);
+        assert_eq!(sg.groups.len(), 1);
+        assert_eq!(sg.groups[0].len(), 6);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_groups() {
+        let g = CsrGraph::from_edges(0, []);
+        let (_, _, sg, _) = run_pipeline_upto_stable(&g, 3, 5);
+        assert!(sg.groups.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Built-in example graphs with known ground truth.
+//!
+//! * [`figure2_graph`] — a faithful reconstruction of the paper's
+//!   Figure 2 worked example (20 vertices) with its exact compact
+//!   numbers and LhCDS structure;
+//! * [`harry_potter_like`] — a small labeled social network in the
+//!   spirit of Figure 1 (a family clique and a villain group as the two
+//!   densest communities);
+//! * [`polbooks_like`] — a 105-vertex, 3-label co-purchase network
+//!   standing in for Krebs' *books about US politics* (Figures 13/17).
+
+use crate::gen::sbm;
+use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A graph whose vertices carry categorical labels (and optionally
+/// display names).
+#[derive(Debug, Clone)]
+pub struct LabeledGraph {
+    /// The graph.
+    pub graph: CsrGraph,
+    /// `labels[v]` = category index into `label_names`.
+    pub labels: Vec<u32>,
+    /// Category display names.
+    pub label_names: Vec<String>,
+    /// Optional per-vertex display names (empty when unnamed).
+    pub vertex_names: Vec<String>,
+}
+
+/// The paper's Figure 2 example graph, reconstructed to satisfy every
+/// property quoted in the text (vertex ids are paper ids minus one):
+///
+/// * `S1 = {11..=16}` (paper v12–v17): K6 minus two edges sharing
+///   vertex 11 — 13 triangles, 6 four-cliques; the top-1 L3CDS with
+///   density 13/6 and the top-2 L4CDS with density 1;
+/// * `S2 = {1..=5}` (v2–v6): K5 — the top-2 L3CDS with density 2 and
+///   the top-1 L4CDS with density 1 (φ₃ = 2 for all members, the
+///   Figure 4 example);
+/// * `S3 = {7..=10}` (v8–v11): a diamond — compact number 1/2, *not* an
+///   LhCDS (it merges with S2 through the edge (5, 8));
+/// * `{11, 17, 18, 19}` (v12, v18–v20): a K4, not an LhCDS (merges with
+///   S1 through vertex 11). In this reconstruction v18–v20 get compact
+///   number 4/3 — the K4 shares v12 with S1, so their union is
+///   4/3-compact — where the paper's drawing shows 1; the exact wiring
+///   of that corner is not recoverable from the text. Every compact
+///   number the paper states explicitly (v1, v7 = 0; S2 = 2;
+///   S3 = 1/2; S1 = 13/6) and all L3CDS/L4CDS rankings match.
+/// * `0` (v1) and `6` (v7): triangle-free connectors with φ₃ = 0.
+pub fn figure2_graph() -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    // S2: K5 on {1..=5}
+    for u in 1..=5u32 {
+        for v in u + 1..=5 {
+            b.add_edge(u, v);
+        }
+    }
+    // v1 pendant
+    b.add_edge(0, 1);
+    // v7 path connector between S2 and S3
+    b.add_edge(5, 6).add_edge(6, 7);
+    // S3: diamond on {7, 8, 9, 10} (triangles {7,8,10} and {8,9,10})
+    b.add_edge(7, 8).add_edge(7, 10).add_edge(8, 10);
+    b.add_edge(8, 9).add_edge(9, 10);
+    // pruning-example edges: (v6, v9) and (v11, v12)
+    b.add_edge(5, 8).add_edge(10, 11);
+    // S1: K6 on {11..=16} minus edges (11,12) and (11,13)
+    for u in 11..=16u32 {
+        for v in u + 1..=16 {
+            if (u, v) == (11, 12) || (u, v) == (11, 13) {
+                continue;
+            }
+            b.add_edge(u, v);
+        }
+    }
+    // K4 on {11, 17, 18, 19}
+    for set in [[11u32, 17, 18, 19]] {
+        for i in 0..4 {
+            for j in i + 1..4 {
+                b.add_edge(set[i], set[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Index of the first vertex of the paper's `S1` in [`figure2_graph`].
+pub const FIGURE2_S1: [VertexId; 6] = [11, 12, 13, 14, 15, 16];
+/// The paper's `S2` in [`figure2_graph`].
+pub const FIGURE2_S2: [VertexId; 5] = [1, 2, 3, 4, 5];
+/// The paper's `S3` (diamond; *not* an LhCDS) in [`figure2_graph`].
+pub const FIGURE2_S3: [VertexId; 4] = [7, 8, 9, 10];
+
+/// A Figure 1-style social network: the Weasley family is a 9-clique,
+/// the Death Eaters an 8-vertex near-clique, and assorted protagonists
+/// connect the two loosely. Top-1 L3CDS = the family, top-2 = the
+/// villain organization, mirroring the paper's motivating example.
+pub fn harry_potter_like() -> LabeledGraph {
+    let family = [
+        "Ron", "Ginny", "Fred", "George", "Percy", "Charlie", "Bill", "Arthur", "Molly",
+    ];
+    let villains = [
+        "Voldemort",
+        "Bellatrix",
+        "Lucius",
+        "Narcissa",
+        "Draco",
+        "Snape",
+        "Alecto",
+        "Dolohov",
+    ];
+    let others = [
+        "Harry",
+        "Hermione",
+        "Neville",
+        "Luna",
+        "Dumbledore",
+        "McGonagall",
+        "Lupin",
+        "Sirius",
+    ];
+    let mut names: Vec<String> = Vec::new();
+    let mut labels: Vec<u32> = Vec::new();
+    for f in family {
+        names.push(f.into());
+        labels.push(0);
+    }
+    for v in villains {
+        names.push(v.into());
+        labels.push(1);
+    }
+    for o in others {
+        names.push(o.into());
+        labels.push(2);
+    }
+    let nf = family.len() as u32; // 9
+    let nv = villains.len() as u32; // 8
+
+    let mut b = GraphBuilder::new();
+    // family: complete
+    for u in 0..nf {
+        for v in u + 1..nf {
+            b.add_edge(u, v);
+        }
+    }
+    // villains: complete minus a few edges (near-clique)
+    for u in nf..nf + nv {
+        for v in u + 1..nf + nv {
+            if (u, v) == (nf + 1, nf + 6) || (u, v) == (nf + 3, nf + 7) {
+                continue;
+            }
+            b.add_edge(u, v);
+        }
+    }
+    let harry = nf + nv;
+    let hermione = harry + 1;
+    let neville = harry + 2;
+    let luna = harry + 3;
+    let dumbledore = harry + 4;
+    let mcgonagall = harry + 5;
+    let lupin = harry + 6;
+    let sirius = harry + 7;
+    // protagonists: a loose web
+    for (u, v) in [
+        (harry, hermione),
+        (harry, 0),     // Ron
+        (hermione, 0),  // Ron
+        (harry, 1),     // Ginny
+        (harry, neville),
+        (neville, luna),
+        (harry, luna),
+        (harry, dumbledore),
+        (dumbledore, mcgonagall),
+        (dumbledore, lupin),
+        (lupin, sirius),
+        (harry, sirius),
+        (harry, nf + 5),   // Snape
+        (dumbledore, nf + 5),
+        (hermione, neville),
+    ] {
+        b.add_edge(u, v);
+    }
+    LabeledGraph {
+        graph: b.build(),
+        labels,
+        label_names: vec!["family".into(), "organization".into(), "others".into()],
+        vertex_names: names,
+    }
+}
+
+/// A 105-vertex, 3-community co-purchase network standing in for the
+/// Krebs `polbooks` dataset (labels: liberal / conservative / neutral).
+/// Each ideological community hides one denser sub-pocket so that
+/// LhCDS discovery at growing `h` picks out increasingly clique-like
+/// cores, as in the paper's Figure 13.
+pub fn polbooks_like() -> LabeledGraph {
+    let sizes = [43usize, 49, 13];
+    let (base, labels) = sbm(&sizes, 0.13, 0.012, 0xB00C5);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex((base.n() - 1) as VertexId);
+    b.extend_edges(base.edges());
+    // dense pockets: 8 liberal books, 9 conservative books
+    let mut r = ChaCha8Rng::seed_from_u64(0xB00C6);
+    let liberal_pocket: Vec<VertexId> = (0..8).collect();
+    let conservative_pocket: Vec<VertexId> = (43..52).collect();
+    for pocket in [&liberal_pocket, &conservative_pocket] {
+        for i in 0..pocket.len() {
+            for j in i + 1..pocket.len() {
+                if r.gen_bool(0.85) {
+                    b.add_edge(pocket[i], pocket[j]);
+                }
+            }
+        }
+    }
+    LabeledGraph {
+        graph: b.build(),
+        labels,
+        label_names: vec!["liberal".into(), "conservative".into(), "neutral".into()],
+        vertex_names: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_clique::{count_cliques, CliqueSet};
+
+    #[test]
+    fn figure2_has_twenty_vertices() {
+        let g = figure2_graph();
+        assert_eq!(g.n(), 20);
+    }
+
+    #[test]
+    fn figure2_s1_has_thirteen_triangles_and_six_4cliques() {
+        let g = figure2_graph();
+        let sub = lhcds_graph::InducedSubgraph::new(&g, &FIGURE2_S1);
+        assert_eq!(count_cliques(&sub.graph, 3), 13);
+        assert_eq!(count_cliques(&sub.graph, 4), 6);
+    }
+
+    #[test]
+    fn figure2_s2_is_k5() {
+        let g = figure2_graph();
+        let sub = lhcds_graph::InducedSubgraph::new(&g, &FIGURE2_S2);
+        assert_eq!(sub.graph.m(), 10);
+        assert_eq!(count_cliques(&sub.graph, 3), 10);
+        assert_eq!(count_cliques(&sub.graph, 4), 5);
+    }
+
+    #[test]
+    fn figure2_s3_is_a_diamond() {
+        let g = figure2_graph();
+        let sub = lhcds_graph::InducedSubgraph::new(&g, &FIGURE2_S3);
+        assert_eq!(count_cliques(&sub.graph, 3), 2);
+        assert_eq!(sub.graph.m(), 5);
+    }
+
+    #[test]
+    fn figure2_v1_and_v7_are_triangle_free() {
+        let g = figure2_graph();
+        let cs = CliqueSet::enumerate(&g, 3);
+        assert_eq!(cs.degree(0), 0);
+        assert_eq!(cs.degree(6), 0);
+    }
+
+    #[test]
+    fn harry_potter_family_is_a_k9() {
+        let hp = harry_potter_like();
+        let fam: Vec<VertexId> = (0..9).collect();
+        let sub = lhcds_graph::InducedSubgraph::new(&hp.graph, &fam);
+        assert_eq!(sub.graph.m(), 36);
+        assert_eq!(hp.vertex_names.len(), hp.graph.n());
+        assert_eq!(hp.labels.len(), hp.graph.n());
+    }
+
+    #[test]
+    fn polbooks_has_105_vertices_and_three_labels() {
+        let pb = polbooks_like();
+        assert_eq!(pb.graph.n(), 105);
+        assert_eq!(pb.label_names.len(), 3);
+        let mut counts = [0usize; 3];
+        for &l in &pb.labels {
+            counts[l as usize] += 1;
+        }
+        assert_eq!(counts, [43, 49, 13]);
+        // the planted pockets create triangles
+        assert!(count_cliques(&pb.graph, 3) > 50);
+    }
+
+    #[test]
+    fn builtins_are_deterministic() {
+        assert_eq!(polbooks_like().graph, polbooks_like().graph);
+        assert_eq!(figure2_graph(), figure2_graph());
+        assert_eq!(harry_potter_like().graph, harry_potter_like().graph);
+    }
+}

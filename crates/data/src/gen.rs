@@ -1,0 +1,403 @@
+//! Seeded synthetic graph generators.
+//!
+//! All generators take an explicit `seed` and run on `ChaCha8Rng`, so
+//! every dataset in the experiment harness is bit-for-bit reproducible
+//! across platforms and `rand` upgrades.
+
+use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)` via geometric edge skipping (`O(n + m)`).
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex((n - 1) as VertexId);
+    }
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    let mut r = rng(seed);
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // iterate potential edges in lexicographic order, skipping
+    // geometrically distributed gaps
+    let total = n * (n - 1) / 2;
+    let log1p = (1.0 - p).ln();
+    let mut idx: f64 = -1.0;
+    loop {
+        let u: f64 = r.gen_range(f64::EPSILON..1.0);
+        idx += 1.0 + (u.ln() / log1p).floor();
+        if idx >= total as f64 {
+            break;
+        }
+        let k = idx as usize;
+        // unrank k -> (i, j), i < j
+        let (i, j) = unrank_edge(n, k);
+        b.add_edge(i as VertexId, j as VertexId);
+    }
+    b.build()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the k-th pair `(i, j)`,
+/// `i < j`, in lexicographic order.
+fn unrank_edge(n: usize, k: usize) -> (usize, usize) {
+    // row i holds (n - 1 - i) pairs
+    let mut i = 0usize;
+    let mut rem = k;
+    loop {
+        let row = n - 1 - i;
+        if rem < row {
+            return (i, i + 1 + rem);
+        }
+        rem -= row;
+        i += 1;
+    }
+}
+
+/// Uniform `G(n, m)`: exactly `m` distinct edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let total = if n < 2 { 0 } else { n * (n - 1) / 2 };
+    assert!(m <= total, "m exceeds the number of possible edges");
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex((n - 1) as VertexId);
+    }
+    let mut r = rng(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    while chosen.len() < m {
+        let k = r.gen_range(0..total);
+        if chosen.insert(k) {
+            let (i, j) = unrank_edge(n, k);
+            b.add_edge(i as VertexId, j as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Stochastic block model: `sizes[c]` vertices per block, intra-block
+/// edge probability `p_in`, inter-block `p_out`. Returns the graph and
+/// per-vertex block labels.
+pub fn sbm(sizes: &[usize], p_in: f64, p_out: f64, seed: u64) -> (CsrGraph, Vec<u32>) {
+    let n: usize = sizes.iter().sum();
+    let mut labels = Vec::with_capacity(n);
+    for (c, &s) in sizes.iter().enumerate() {
+        labels.extend(std::iter::repeat_n(c as u32, s));
+    }
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex((n - 1) as VertexId);
+    }
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if labels[u] == labels[v] { p_in } else { p_out };
+            if r.gen_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    (b.build(), labels)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_attach` existing vertices chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> CsrGraph {
+    assert!(m_attach >= 1, "attachment count must be positive");
+    assert!(n > m_attach, "need more vertices than attachments");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex((n - 1) as VertexId);
+    // repeated-endpoint list: sampling an entry uniformly = sampling a
+    // vertex proportionally to its degree
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m_attach);
+    // seed: a small clique over the first m_attach + 1 vertices
+    for u in 0..=(m_attach as VertexId) {
+        for v in u + 1..=(m_attach as VertexId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m_attach + 1)..n {
+        let mut targets = std::collections::HashSet::new();
+        while targets.len() < m_attach {
+            let t = endpoints[r.gen_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        // sort for determinism: HashSet iteration order would otherwise
+        // leak into the endpoint list and diverge future samples
+        let mut targets: Vec<VertexId> = targets.into_iter().collect();
+        targets.sort_unstable();
+        for &t in &targets {
+            b.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// R-MAT recursive edge sampler (`scale` ⇒ `n = 2^scale` vertices,
+/// `edge_factor·n` sampled edges before dedup). Standard parameters
+/// are `(a, b, c) = (0.57, 0.19, 0.19)`.
+pub fn rmat(scale: u32, edge_factor: usize, a: f64, b_: f64, c: f64, seed: u64) -> CsrGraph {
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex((n - 1) as VertexId);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            let x: f64 = r.gen();
+            let (du, dv) = if x < a {
+                (0, 0)
+            } else if x < a + b_ {
+                (0, 1)
+            } else if x < a + b_ + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// A planted-community graph: a sparse background (Barabási–Albert)
+/// plus `communities` dense pockets (`(size, p_intra)` each), every
+/// pocket wired to the background by a handful of random edges. This is
+/// the workload shape the LhCDS experiments probe: distinct
+/// non-overlapping dense regions inside a realistic sparse graph.
+pub fn planted_communities(
+    n_background: usize,
+    ba_attach: usize,
+    communities: &[(usize, f64)],
+    seed: u64,
+) -> CsrGraph {
+    let bg = barabasi_albert(n_background, ba_attach, seed);
+    let mut b = GraphBuilder::new();
+    let extra: usize = communities.iter().map(|&(s, _)| s).sum();
+    b.ensure_vertex((n_background + extra - 1) as VertexId);
+    b.extend_edges(bg.edges());
+    let mut r = rng(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut next = n_background as VertexId;
+    for &(size, p_intra) in communities {
+        let members: Vec<VertexId> = (next..next + size as VertexId).collect();
+        next += size as VertexId;
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                if r.gen_bool(p_intra) {
+                    b.add_edge(members[i], members[j]);
+                }
+            }
+        }
+        // anchor the pocket to the background with ~3 bridges
+        for _ in 0..3.min(n_background) {
+            let anchor = r.gen_range(0..n_background) as VertexId;
+            let inside = members[r.gen_range(0..members.len())];
+            b.add_edge(anchor, inside);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: a ring lattice where each vertex links
+/// to its `k_half` nearest neighbors on each side, then every edge is
+/// rewired with probability `beta`. High clustering with short paths —
+/// a useful contrast workload to the planted-community graphs.
+pub fn watts_strogatz(n: usize, k_half: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k_half >= 1 && 2 * k_half < n, "ring degree out of range");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex((n - 1) as VertexId);
+    for u in 0..n {
+        for d in 1..=k_half {
+            let v = (u + d) % n;
+            if r.gen_bool(beta) {
+                // rewire the far endpoint uniformly (retrying on
+                // self-loops; the builder drops duplicates)
+                loop {
+                    let w = r.gen_range(0..n);
+                    if w != u {
+                        b.add_edge(u as VertexId, w as VertexId);
+                        break;
+                    }
+                }
+            } else {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Keeps each edge independently with probability `fraction` — the
+/// density-variation workload of the paper's Figure 11.
+pub fn sample_edges(g: &CsrGraph, fraction: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new();
+    if g.n() > 0 {
+        b.ensure_vertex((g.n() - 1) as VertexId);
+    }
+    for (u, v) in g.edges() {
+        if r.gen_bool(fraction) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_expected_edge_count() {
+        let g = gnp(200, 0.1, 42);
+        let expect = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.m() as f64;
+        assert!((m - expect).abs() < expect * 0.25, "m = {m}, expect ≈ {expect}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+        assert_eq!(gnp(0, 0.5, 1).n(), 0);
+        assert_eq!(gnp(1, 0.5, 1).m(), 0);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(100, 0.05, 7);
+        let b = gnp(100, 0.05, 7);
+        let c = gnp(100, 0.05, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(100, 314, 3);
+        assert_eq!(g.m(), 314);
+        assert_eq!(g.n(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        gnm(4, 7, 0);
+    }
+
+    #[test]
+    fn unrank_covers_all_pairs() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..n * (n - 1) / 2 {
+            let (i, j) = unrank_edge(n, k);
+            assert!(i < j && j < n);
+            assert!(seen.insert((i, j)));
+        }
+    }
+
+    #[test]
+    fn sbm_respects_block_structure() {
+        let (g, labels) = sbm(&[50, 50], 0.4, 0.01, 11);
+        assert_eq!(g.n(), 100);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if labels[u as usize] == labels[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 5, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn ba_degree_sum_and_hubs() {
+        let g = barabasi_albert(500, 3, 5);
+        assert_eq!(g.n(), 500);
+        // roughly 3 edges per non-seed vertex
+        assert!(g.m() >= 3 * (500 - 4));
+        // preferential attachment produces a hub well above the minimum
+        assert!(g.max_degree() > 15);
+    }
+
+    #[test]
+    fn rmat_generates_within_bounds() {
+        let g = rmat(8, 4, 0.57, 0.19, 0.19, 9);
+        assert_eq!(g.n(), 256);
+        assert!(g.m() > 0 && g.m() <= 256 * 4);
+    }
+
+    #[test]
+    fn planted_communities_are_denser_than_background() {
+        let g = planted_communities(300, 2, &[(20, 0.9), (15, 0.85)], 13);
+        assert_eq!(g.n(), 335);
+        // the pocket induces a dense subgraph
+        let pocket: Vec<VertexId> = (300..320).collect();
+        let sub = lhcds_graph::InducedSubgraph::new(&g, &pocket);
+        let density = lhcds_graph::properties::edge_density(&sub.graph);
+        assert!(density > 0.6, "pocket density {density}");
+    }
+
+    #[test]
+    fn watts_strogatz_structure() {
+        // beta = 0: pure ring lattice, exactly n·k_half edges and high
+        // clustering for k_half ≥ 2
+        let g = watts_strogatz(100, 2, 0.0, 1);
+        assert_eq!(g.m(), 200);
+        assert!(lhcds_graph_properties_avg(&g) > 0.4);
+        // beta = 1: fully rewired, clustering collapses
+        let g1 = watts_strogatz(200, 2, 1.0, 2);
+        assert!(lhcds_graph_properties_avg(&g1) < 0.2);
+        // determinism
+        assert_eq!(watts_strogatz(64, 2, 0.3, 9), watts_strogatz(64, 2, 0.3, 9));
+    }
+
+    fn lhcds_graph_properties_avg(g: &CsrGraph) -> f64 {
+        lhcds_graph::properties::average_clustering(g)
+    }
+
+    #[test]
+    #[should_panic(expected = "ring degree")]
+    fn watts_strogatz_rejects_bad_degree() {
+        watts_strogatz(4, 2, 0.1, 0);
+    }
+
+    #[test]
+    fn sample_edges_fraction() {
+        let g = gnp(300, 0.1, 21);
+        let s = sample_edges(&g, 0.5, 22);
+        let ratio = s.m() as f64 / g.m() as f64;
+        assert!((ratio - 0.5).abs() < 0.15, "ratio {ratio}");
+        assert_eq!(s.n(), g.n());
+        let all = sample_edges(&g, 1.0, 23);
+        assert_eq!(all.m(), g.m());
+        let none = sample_edges(&g, 0.0, 24);
+        assert_eq!(none.m(), 0);
+    }
+}

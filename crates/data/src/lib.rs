@@ -1,0 +1,31 @@
+//! # lhcds-data
+//!
+//! Dataset substrate for the experiment harness.
+//!
+//! The paper evaluates on 15 SNAP / Network Repository graphs (Table 2)
+//! plus the Krebs *books about US politics* network (Figures 13/17).
+//! Those downloads are unavailable offline, so this crate supplies:
+//!
+//! * [`gen`] — seeded synthetic generators: `G(n,p)`, `G(n,m)`,
+//!   stochastic block models with planted dense communities,
+//!   Barabási–Albert preferential attachment, R-MAT, and the edge
+//!   sampler used by the density-variation experiment (Figure 11).
+//! * [`datasets`] — a registry of named stand-ins mirroring Table 2
+//!   (same abbreviations; sizes at or below the originals, scaled to a
+//!   laptop budget). Each recipe plants dense communities in a sparse
+//!   background so the LhCDS structure the paper probes exists by
+//!   construction.
+//! * [`builtin`] — exact small graphs: the paper's Figure 2 worked
+//!   example (with known 3-clique compact numbers), a Harry-Potter-like
+//!   network (Figure 1), and a polbooks-like labeled co-purchase network
+//!   (Figures 13/17).
+//!
+//! All generators take explicit seeds and use `rand_chacha`, so every
+//! experiment in the repo is bit-for-bit reproducible.
+
+pub mod builtin;
+pub mod datasets;
+pub mod gen;
+
+pub use builtin::{figure2_graph, harry_potter_like, polbooks_like, LabeledGraph};
+pub use datasets::{registry, Dataset, DatasetSpec};

@@ -1,0 +1,326 @@
+//! Dinic's maximum-flow algorithm on `i128` capacities.
+//!
+//! Standard level-graph + blocking-flow implementation with paired arcs
+//! (`e ^ 1` is the reverse of `e`). In addition to the flow value it
+//! exposes both canonical minimum cuts:
+//!
+//! * [`Dinic::min_cut_source_side`] — vertices reachable from `s` in the
+//!   residual graph (the inclusion-*minimal* source side), and
+//! * [`Dinic::max_cut_source_side`] — vertices that cannot reach `t` in
+//!   the residual graph (the inclusion-*maximal* source side).
+//!
+//! `DeriveCompact` (Theorem 5 of the LhCDS paper) needs the maximal one:
+//! the union of all maximal `ρ`-compact subgraphs is the *largest*
+//! maximizer of `|Ψh(S)| − ρ|S|`.
+
+/// Arc identifier returned by [`Dinic::add_edge`].
+pub type ArcId = usize;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: u32,
+    cap: i128,
+}
+
+/// Max-flow solver. Build the network with [`Dinic::add_edge`], then call
+/// [`Dinic::max_flow`]; cut queries are valid afterwards.
+#[derive(Debug, Clone)]
+pub struct Dinic {
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<u32>>,
+    level: Vec<u32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Creates a network with `n` nodes (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        Dinic {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed arc `from -> to` with capacity `cap` (and its
+    /// implicit reverse arc of capacity 0). Returns the arc id; the
+    /// residual capacity can later be read with [`Dinic::residual`].
+    ///
+    /// # Panics
+    /// Panics on negative capacity or out-of-range endpoints.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: i128) -> ArcId {
+        assert!(cap >= 0, "negative capacity");
+        assert!((from as usize) < self.adj.len() && (to as usize) < self.adj.len());
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap });
+        self.arcs.push(Arc { to: from, cap: 0 });
+        self.adj[from as usize].push(id as u32);
+        self.adj[to as usize].push(id as u32 + 1);
+        id
+    }
+
+    /// Remaining capacity of arc `id`.
+    pub fn residual(&self, id: ArcId) -> i128 {
+        self.arcs[id].cap
+    }
+
+    fn bfs(&mut self, s: u32, t: u32) -> bool {
+        self.level.iter_mut().for_each(|l| *l = u32::MAX);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v as usize] {
+                let arc = &self.arcs[eid as usize];
+                if arc.cap > 0 && self.level[arc.to as usize] == u32::MAX {
+                    self.level[arc.to as usize] = self.level[v as usize] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t as usize] != u32::MAX
+    }
+
+    fn dfs(&mut self, v: u32, t: u32, pushed: i128) -> i128 {
+        if v == t {
+            return pushed;
+        }
+        while self.iter[v as usize] < self.adj[v as usize].len() {
+            let eid = self.adj[v as usize][self.iter[v as usize]] as usize;
+            let (to, cap) = (self.arcs[eid].to, self.arcs[eid].cap);
+            if cap > 0 && self.level[to as usize] == self.level[v as usize] + 1 {
+                let d = self.dfs(to, t, pushed.min(cap));
+                if d > 0 {
+                    self.arcs[eid].cap -= d;
+                    self.arcs[eid ^ 1].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v as usize] += 1;
+        }
+        0
+    }
+
+    /// Computes the maximum `s`–`t` flow. May be called once per network.
+    pub fn max_flow(&mut self, s: u32, t: u32) -> i128 {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0i128;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, i128::MAX);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// Minimal source side of a minimum cut: nodes reachable from `s` in
+    /// the residual graph. Call after [`Dinic::max_flow`].
+    pub fn min_cut_source_side(&self, s: u32) -> Vec<bool> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[s as usize] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v as usize] {
+                let arc = &self.arcs[eid as usize];
+                if arc.cap > 0 && !seen[arc.to as usize] {
+                    seen[arc.to as usize] = true;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Maximal source side of a minimum cut: the complement of the set of
+    /// nodes that can reach `t` in the residual graph. Call after
+    /// [`Dinic::max_flow`].
+    pub fn max_cut_source_side(&self, t: u32) -> Vec<bool> {
+        // Backward BFS from t across arcs with positive residual pointing
+        // *into* the current set: arc (w -> v) is usable iff its residual
+        // is positive; it lives as the pair of some arc in adj[v].
+        let mut reaches_t = vec![false; self.adj.len()];
+        let mut queue = std::collections::VecDeque::new();
+        reaches_t[t as usize] = true;
+        queue.push_back(t);
+        while let Some(v) = queue.pop_front() {
+            for &eid in &self.adj[v as usize] {
+                // eid: v -> w; its pair (eid ^ 1): w -> v.
+                let w = self.arcs[eid as usize].to;
+                let pair = (eid ^ 1) as usize;
+                if self.arcs[pair].cap > 0 && !reaches_t[w as usize] {
+                    reaches_t[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        reaches_t.iter().map(|&r| !r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_arc() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 5);
+        assert_eq!(d.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two paths of bottleneck 10 and 4 plus a cross arc.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 10);
+        d.add_edge(0, 2, 4);
+        d.add_edge(1, 2, 2);
+        d.add_edge(1, 3, 8);
+        d.add_edge(2, 3, 10);
+        assert_eq!(d.max_flow(0, 3), 14);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero_flow() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 7);
+        assert_eq!(d.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn min_cut_sides_bracket_every_min_cut() {
+        // Two parallel bottlenecks so several min cuts exist:
+        // 0 -> 1 (cap 1) -> 2 (cap 1) -> 3; min cut value 1.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1);
+        d.add_edge(1, 2, 1);
+        d.add_edge(2, 3, 1);
+        assert_eq!(d.max_flow(0, 3), 1);
+        let lo = d.min_cut_source_side(0);
+        let hi = d.max_cut_source_side(3);
+        // minimal side = {0}; maximal side = {0, 1, 2}.
+        assert_eq!(lo, vec![true, false, false, false]);
+        assert_eq!(hi, vec![true, true, true, false]);
+        // nesting invariant
+        for i in 0..4 {
+            assert!(!lo[i] || hi[i]);
+        }
+    }
+
+    #[test]
+    fn cut_capacity_equals_flow() {
+        let mut d = Dinic::new(6);
+        let caps = [
+            (0u32, 1u32, 16i128),
+            (0, 2, 13),
+            (1, 2, 10),
+            (2, 1, 4),
+            (1, 3, 12),
+            (3, 2, 9),
+            (2, 4, 14),
+            (4, 3, 7),
+            (3, 5, 20),
+            (4, 5, 4),
+        ];
+        let mut d2 = Dinic::new(6);
+        for &(u, v, c) in &caps {
+            d.add_edge(u, v, c);
+            d2.add_edge(u, v, c);
+        }
+        let f = d.max_flow(0, 5);
+        assert_eq!(f, 23); // CLRS example
+        let side = d.min_cut_source_side(0);
+        let cut: i128 = caps
+            .iter()
+            .filter(|&&(u, v, _)| side[u as usize] && !side[v as usize])
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert_eq!(cut, f);
+        // maximal side gives the same cut value
+        let _ = d2.max_flow(0, 5);
+        let side2 = d2.max_cut_source_side(5);
+        let cut2: i128 = caps
+            .iter()
+            .filter(|&&(u, v, _)| side2[u as usize] && !side2[v as usize])
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert_eq!(cut2, f);
+    }
+
+    #[test]
+    fn huge_capacities_do_not_overflow() {
+        let big = i128::MAX / 4;
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, big);
+        d.add_edge(1, 2, big);
+        assert_eq!(d.max_flow(0, 2), big);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative capacity")]
+    fn negative_capacity_rejected() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, -1);
+    }
+
+    #[test]
+    fn residual_tracks_flow() {
+        let mut d = Dinic::new(2);
+        let e = d.add_edge(0, 1, 5);
+        let _ = d.max_flow(0, 1);
+        assert_eq!(d.residual(e), 0);
+    }
+
+    /// Randomized check: flow conservation at inner nodes.
+    #[test]
+    fn conservation_on_random_networks() {
+        // simple LCG for determinism without external deps
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20 {
+            let n = 8;
+            let mut arcs = Vec::new();
+            let mut d = Dinic::new(n);
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    if u != v && rng() % 3 == 0 {
+                        let c = (rng() % 20) as i128;
+                        let id = d.add_edge(u, v, c);
+                        arcs.push((u, v, c, id));
+                    }
+                }
+            }
+            let f = d.max_flow(0, (n - 1) as u32);
+            assert!(f >= 0);
+            // net outflow per node
+            let mut net = vec![0i128; n];
+            for &(u, v, c, id) in &arcs {
+                let flow = c - d.residual(id);
+                net[u as usize] += flow;
+                net[v as usize] -= flow;
+            }
+            assert_eq!(net[0], f);
+            assert_eq!(net[n - 1], -f);
+            for x in &net[1..n - 1] {
+                assert_eq!(*x, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Mutable accumulation of edges into a normalized [`CsrGraph`].
+
+use crate::{CsrGraph, VertexId};
+
+/// Accumulates undirected edges and produces a normalized [`CsrGraph`].
+///
+/// Normalization performed by [`GraphBuilder::build`]:
+///
+/// * self-loops are dropped (an h-clique is a set of *distinct* vertices);
+/// * parallel edges are deduplicated;
+/// * neighbor lists are sorted ascending.
+///
+/// The number of vertices is `max(explicit n, largest endpoint + 1)`, so
+/// isolated trailing vertices can be kept by calling
+/// [`GraphBuilder::ensure_vertex`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    n: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with `n` vertices pre-declared and capacity for
+    /// `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            n,
+        }
+    }
+
+    /// Declares that vertex `v` exists even if no edge touches it.
+    pub fn ensure_vertex(&mut self, v: VertexId) -> &mut Self {
+        self.n = self.n.max(v as usize + 1);
+        self
+    }
+
+    /// Adds an undirected edge `{u, v}`. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.n = self.n.max(u.max(v) as usize + 1);
+        if u != v {
+            self.edges.push(if u < v { (u, v) } else { (v, u) });
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator of pairs.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(
+        &mut self,
+        iter: I,
+    ) -> &mut Self {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of distinct vertices declared so far.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Finalizes the builder into an immutable [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Edges were processed in sorted (u, v) order with u < v, so each
+        // vertex's forward neighbors arrive sorted, but back-edges (v -> u)
+        // interleave; a per-vertex sort restores the invariant cheaply.
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1).add_edge(2, 2);
+        let g = b.build();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(5, 0).add_edge(5, 3).add_edge(5, 1).add_edge(2, 5);
+        let g = b.build();
+        assert_eq!(g.neighbors(5), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ensure_vertex_keeps_isolated_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertex(9);
+        let g = b.build();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn extend_edges_matches_individual_adds() {
+        let mut a = GraphBuilder::new();
+        a.extend_edges([(0, 1), (1, 2), (2, 0)]);
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        let (ga, gb) = (a.build(), b.build());
+        assert_eq!(ga.n(), gb.n());
+        assert_eq!(
+            ga.edges().collect::<Vec<_>>(),
+            gb.edges().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Edge k-core decomposition and degeneracy orderings.
+//!
+//! The degeneracy order is the backbone of kClist-style clique
+//! enumeration (`lhcds-clique`): orienting each edge from earlier to
+//! later peel position yields a DAG whose out-neighborhoods have size at
+//! most the degeneracy, bounding enumeration work.
+
+use crate::{CsrGraph, VertexId};
+
+/// Result of a degeneracy (min-degree) peeling sweep.
+#[derive(Debug, Clone)]
+pub struct Degeneracy {
+    /// Peeling order: `order[i]` is the i-th removed vertex.
+    pub order: Vec<VertexId>,
+    /// Inverse permutation: `position[v]` = index of `v` in `order`.
+    pub position: Vec<u32>,
+    /// Core number of each vertex.
+    pub core: Vec<u32>,
+    /// The graph degeneracy (max core number; 0 for edgeless graphs).
+    pub degeneracy: u32,
+}
+
+/// Computes core numbers and a degeneracy ordering with the classic
+/// linear-time bucket peeling algorithm (Matula–Beck / Batagelj–Zaveršnik).
+pub fn degeneracy_order(g: &CsrGraph) -> Degeneracy {
+    let n = g.n();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+
+    // bucket[d] = list of vertices with current degree d (lazy).
+    let mut bucket: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        bucket[degree[v]].push(v as VertexId);
+    }
+
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut position = vec![0u32; n];
+    let mut core = vec![0u32; n];
+    let mut cur = 0usize; // current peel level (monotone up to re-checks)
+    let mut k = 0u32; // running max peel level = core number
+
+    for step in 0..n {
+        // Find the lowest non-empty bucket holding a live vertex with an
+        // up-to-date degree (entries are lazily invalidated).
+        let v = loop {
+            while cur <= max_deg && bucket[cur].is_empty() {
+                cur += 1;
+            }
+            debug_assert!(cur <= max_deg, "ran out of vertices during peeling");
+            let v = bucket[cur].pop().expect("non-empty bucket");
+            if !removed[v as usize] && degree[v as usize] == cur {
+                break v;
+            }
+        };
+        removed[v as usize] = true;
+        k = k.max(cur as u32);
+        core[v as usize] = k;
+        position[v as usize] = step as u32;
+        order.push(v);
+        for &w in g.neighbors(v) {
+            let wi = w as usize;
+            if !removed[wi] {
+                degree[wi] -= 1;
+                bucket[degree[wi]].push(w);
+                if degree[wi] < cur {
+                    cur = degree[wi];
+                }
+            }
+        }
+    }
+
+    let degeneracy = core.iter().copied().max().unwrap_or(0);
+    Degeneracy {
+        order,
+        position,
+        core,
+        degeneracy,
+    }
+}
+
+/// Vertices of the (edge) k-core: the maximal subgraph where every vertex
+/// has degree ≥ `k` — equivalently, vertices with core number ≥ `k`.
+pub fn k_core_vertices(g: &CsrGraph, k: u32) -> Vec<VertexId> {
+    let d = degeneracy_order(g);
+    g.vertices()
+        .filter(|&v| d.core[v as usize] >= k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// K4 attached to a path: core numbers 3 inside the clique, then 1s.
+    fn k4_with_tail() -> CsrGraph {
+        CsrGraph::from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn core_numbers_of_k4_with_tail() {
+        let d = degeneracy_order(&k4_with_tail());
+        assert_eq!(&d.core[0..4], &[3, 3, 3, 3]);
+        assert_eq!(d.core[4], 1);
+        assert_eq!(d.core[5], 1);
+        assert_eq!(d.degeneracy, 3);
+    }
+
+    #[test]
+    fn order_is_a_permutation_consistent_with_position() {
+        let g = k4_with_tail();
+        let d = degeneracy_order(&g);
+        let mut seen = vec![false; g.n()];
+        for (i, &v) in d.order.iter().enumerate() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+            assert_eq!(d.position[v as usize] as usize, i);
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn out_degree_in_order_bounded_by_degeneracy() {
+        let g = k4_with_tail();
+        let d = degeneracy_order(&g);
+        for v in g.vertices() {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| d.position[w as usize] > d.position[v as usize])
+                .count();
+            assert!(later as u32 <= d.degeneracy);
+        }
+    }
+
+    #[test]
+    fn k_core_extraction() {
+        let g = k4_with_tail();
+        assert_eq!(k_core_vertices(&g, 3), vec![0, 1, 2, 3]);
+        assert_eq!(k_core_vertices(&g, 1).len(), 6);
+        assert!(k_core_vertices(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn handles_edgeless_and_empty_graphs() {
+        let g = CsrGraph::from_edges(3, []);
+        let d = degeneracy_order(&g);
+        assert_eq!(d.core, vec![0, 0, 0]);
+        assert_eq!(d.degeneracy, 0);
+        let g = CsrGraph::from_edges(0, []);
+        let d = degeneracy_order(&g);
+        assert!(d.order.is_empty());
+    }
+
+    #[test]
+    fn cycle_has_core_two() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let d = degeneracy_order(&g);
+        assert!(d.core.iter().all(|&c| c == 2));
+    }
+}

@@ -1,0 +1,185 @@
+//! Immutable compressed-sparse-row graph storage.
+
+use crate::{GraphBuilder, VertexId};
+
+/// An immutable, undirected simple graph in compressed-sparse-row form.
+///
+/// Neighbor lists are sorted ascending, enabling `O(log deg)` adjacency
+/// queries ([`CsrGraph::has_edge`]) and linear-time sorted intersection
+/// of neighborhoods — the inner loop of clique enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from raw CSR parts. `offsets` must have length
+    /// `n + 1` with `offsets[0] == 0`, be non-decreasing, and every
+    /// neighbor slice must be sorted and free of duplicates/self-loops.
+    ///
+    /// This is intended for [`GraphBuilder`], which guarantees the
+    /// invariants; they are checked in debug builds.
+    pub(crate) fn from_parts(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        #[cfg(debug_assertions)]
+        for v in 0..offsets.len() - 1 {
+            let ns = &neighbors[offsets[v]..offsets[v + 1]];
+            debug_assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted/dup neighbors");
+            debug_assert!(ns.iter().all(|&u| u as usize != v), "self-loop");
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Convenience constructor: `n` vertices and an edge iterator.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::with_capacity(n, 0);
+        if n > 0 {
+            b.ensure_vertex((n - 1) as VertexId);
+        }
+        b.extend_edges(edges);
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        // Search the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n() as VertexId
+    }
+
+    /// Iterates each undirected edge once as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Size of the sorted intersection of the neighborhoods of `u` and
+    /// `v` — the number of triangles through edge `{u, v}`.
+    pub fn common_neighbor_count(&self, u: VertexId, v: VertexId) -> usize {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (nu, nv) = (self.neighbors(u), self.neighbors(v));
+        let mut c = 0usize;
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    c += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle_plus_pendant();
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3)] {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn common_neighbors_counts_triangles_through_edge() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.common_neighbor_count(0, 1), 1); // vertex 2
+        assert_eq!(g.common_neighbor_count(2, 3), 0);
+    }
+
+    #[test]
+    fn from_edges_respects_explicit_vertex_count() {
+        let g = CsrGraph::from_edges(6, [(0, 1)]);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, []);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Graphviz DOT export for case-study visualization (paper Figures 13
+//! and 17 are rendered this way).
+
+use std::io::Write;
+
+use crate::{CsrGraph, GraphError, VertexId};
+
+/// Styling callback output for one vertex.
+#[derive(Debug, Clone, Default)]
+pub struct DotVertexStyle {
+    /// Fill color (Graphviz color name or `#rrggbb`); `None` = default.
+    pub fill: Option<String>,
+    /// Display label; `None` = no label.
+    pub label: Option<String>,
+}
+
+/// Writes `g` in DOT format. `style` decides per-vertex fill/label —
+/// the typical use is coloring the top-k LhCDS memberships.
+pub fn write_dot<W: Write>(
+    g: &CsrGraph,
+    mut writer: W,
+    name: &str,
+    mut style: impl FnMut(VertexId) -> DotVertexStyle,
+) -> Result<(), GraphError> {
+    writeln!(writer, "graph {name} {{")?;
+    writeln!(
+        writer,
+        "  node [style=filled, shape=circle, width=0.15, label=\"\"];"
+    )?;
+    for v in g.vertices() {
+        let s = style(v);
+        let mut attrs = Vec::new();
+        if let Some(fill) = s.fill {
+            attrs.push(format!("fillcolor=\"{fill}\""));
+        }
+        if let Some(label) = s.label {
+            attrs.push(format!("label=\"{}\"", label.replace('"', "\\\"")));
+        }
+        if attrs.is_empty() {
+            writeln!(writer, "  v{v};")?;
+        } else {
+            writeln!(writer, "  v{v} [{}];", attrs.join(", "))?;
+        }
+    }
+    for (u, v) in g.edges() {
+        writeln!(writer, "  v{u} -- v{v};")?;
+    }
+    writeln!(writer, "}}")?;
+    Ok(())
+}
+
+/// Convenience: DOT with a highlight palette over vertex groups — group
+/// `i` gets `palette[i % palette.len()]`, everything else stays gray.
+pub fn dot_with_groups(
+    g: &CsrGraph,
+    name: &str,
+    groups: &[Vec<VertexId>],
+    palette: &[&str],
+) -> String {
+    let mut color: Vec<Option<&str>> = vec![None; g.n()];
+    for (i, group) in groups.iter().enumerate() {
+        let c = palette[i % palette.len().max(1)];
+        for &v in group {
+            color[v as usize] = Some(c);
+        }
+    }
+    let mut buf = Vec::new();
+    write_dot(g, &mut buf, name, |v| DotVertexStyle {
+        fill: Some(color[v as usize].unwrap_or("gray90").to_string()),
+        label: None,
+    })
+    .expect("write to Vec cannot fail");
+    String::from_utf8(buf).expect("DOT output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let out = dot_with_groups(&g, "t", &[vec![0, 1]], &["steelblue"]);
+        assert!(out.starts_with("graph t {"));
+        assert!(out.contains("v0 [fillcolor=\"steelblue\"]"));
+        assert!(out.contains("v2 [fillcolor=\"gray90\"]"));
+        assert!(out.contains("v0 -- v1;"));
+        assert!(out.contains("v1 -- v2;"));
+        assert!(out.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let g = CsrGraph::from_edges(1, []);
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf, "q", |_| DotVertexStyle {
+            fill: None,
+            label: Some("say \"hi\"".into()),
+        })
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("label=\"say \\\"hi\\\"\""));
+    }
+
+    #[test]
+    fn empty_palette_groups_are_safe() {
+        let g = CsrGraph::from_edges(2, [(0, 1)]);
+        let out = dot_with_groups(&g, "e", &[], &["red"]);
+        assert!(out.contains("v0 [fillcolor=\"gray90\"]"));
+    }
+}

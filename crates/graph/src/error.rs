@@ -1,0 +1,75 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building or parsing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An I/O error while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A line of an edge list could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A vertex identifier exceeded the supported range (`u32`).
+    VertexOutOfRange(u64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::VertexOutOfRange(v) => {
+                write!(f, "vertex id {v} exceeds the supported u32 range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected two tokens".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = GraphError::VertexOutOfRange(1 << 40);
+        assert!(e.to_string().contains("u32"));
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = GraphError::VertexOutOfRange(0);
+        assert!(e.source().is_none());
+    }
+}

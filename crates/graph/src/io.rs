@@ -1,0 +1,131 @@
+//! Edge-list I/O in the whitespace-separated SNAP format.
+//!
+//! Lines starting with `#` or `%` are comments; each remaining line holds
+//! two integer vertex ids. Buffered readers/writers are used throughout
+//! (edge lists in the paper's datasets reach millions of lines).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::{CsrGraph, GraphBuilder, GraphError, VertexId};
+
+/// Reads a graph from any buffered reader in edge-list format.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut b = GraphBuilder::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (a, b_tok) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("expected two vertex ids, got '{t}'"),
+                })
+            }
+        };
+        let u = parse_vertex(a, lineno)?;
+        let v = parse_vertex(b_tok, lineno)?;
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+fn parse_vertex(tok: &str, line: usize) -> Result<VertexId, GraphError> {
+    let raw: u64 = tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id '{tok}'"),
+    })?;
+    VertexId::try_from(raw).map_err(|_| GraphError::VertexOutOfRange(raw))
+}
+
+/// Reads a graph from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes a graph as an edge list, one `u v` pair per line with `u < v`.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# n={} m={}", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_edge_list_with_comments() {
+        let input = "# a comment\n% another\n0 1\n1 2\n\n2 0\n";
+        let g = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn tolerates_tabs_and_extra_whitespace() {
+        let input = "0\t1\n  1   2  \n";
+        let g = read_edge_list(Cursor::new(input)).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list(Cursor::new("0 1\nnope\n")).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_vertex_ids() {
+        let input = format!("0 {}\n", u64::from(u32::MAX) + 1);
+        let err = read_edge_list(Cursor::new(input)).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange(_)));
+    }
+
+    #[test]
+    fn round_trips_through_write_and_read() {
+        let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("lhcds_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = CsrGraph::from_edges(4, [(0, 1), (2, 3)]);
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

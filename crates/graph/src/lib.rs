@@ -1,0 +1,43 @@
+//! # lhcds-graph
+//!
+//! Compact undirected-graph substrate used by every other crate in the
+//! `lhcds` workspace.
+//!
+//! The central type is [`CsrGraph`], an immutable compressed-sparse-row
+//! adjacency structure with sorted neighbor lists (so adjacency tests are
+//! `O(log deg)` and neighborhood intersections are linear merges). Graphs
+//! are constructed through [`GraphBuilder`], which normalizes input
+//! (drops self-loops, deduplicates parallel edges) so the rest of the
+//! workspace can assume a simple graph — the setting of the LhCDS paper.
+//!
+//! Additional modules provide the graph-level machinery the IPPV pipeline
+//! and the experiment harness need:
+//!
+//! * [`traversal`] — BFS, connected components, connectivity checks
+//!   restricted to vertex subsets (LhCDSes must be connected).
+//! * [`core_decomp`] — classic edge k-core decomposition and degeneracy
+//!   orders (the backbone of kClist-style clique enumeration).
+//! * [`properties`] — edge density, diameter, clustering coefficients
+//!   (quality measures of §6.4/§6.5 of the paper).
+//! * [`io`] — whitespace-separated edge-list reading/writing (SNAP
+//!   format).
+//! * [`dot`] — Graphviz export for the case-study visualizations.
+
+pub mod builder;
+pub mod core_decomp;
+pub mod csr;
+pub mod dot;
+pub mod error;
+pub mod io;
+pub mod properties;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use error::GraphError;
+pub use subgraph::InducedSubgraph;
+
+/// Vertex identifier. `u32` keeps hot structures (clique stores, flow
+/// arcs) small; graphs with more than 4 billion vertices are out of scope.
+pub type VertexId = u32;

@@ -1,0 +1,126 @@
+//! Structural quality measures used in the paper's evaluation
+//! (edge density, diameter, clustering coefficient — §6.4 and §6.5).
+
+use crate::traversal::bfs_distances;
+use crate::{CsrGraph, VertexId};
+
+/// Edge density `2m / (n (n - 1))` — 1.0 for cliques, 0 for edgeless
+/// graphs; defined as 0 for graphs with fewer than two vertices.
+pub fn edge_density(g: &CsrGraph) -> f64 {
+    let n = g.n();
+    if n < 2 {
+        return 0.0;
+    }
+    (2 * g.m()) as f64 / (n * (n - 1)) as f64
+}
+
+/// Exact diameter via all-pairs BFS (`O(n·m)`), intended for the small
+/// subgraphs the quality experiments inspect. Returns `None` if the
+/// graph is disconnected or empty.
+pub fn diameter(g: &CsrGraph) -> Option<u32> {
+    if g.n() == 0 {
+        return None;
+    }
+    let mut best = 0u32;
+    for v in g.vertices() {
+        let d = bfs_distances(g, v);
+        let mut ecc = 0u32;
+        for &x in &d {
+            if x == u32::MAX {
+                return None;
+            }
+            ecc = ecc.max(x);
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Local clustering coefficient of `v`:
+/// `C_v = 2·|{edges between neighbors}| / (deg(v)·(deg(v)−1))`;
+/// 0 by convention when `deg(v) < 2`.
+pub fn clustering_coefficient(g: &CsrGraph, v: VertexId) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let ns = g.neighbors(v);
+    let mut links = 0usize;
+    for (i, &a) in ns.iter().enumerate() {
+        for &b in &ns[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (d * (d - 1)) as f64
+}
+
+/// Average of local clustering coefficients over all vertices
+/// (Watts–Strogatz definition). 0 for the empty graph.
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g.vertices().map(|v| clustering_coefficient(g, v)).sum();
+    sum / g.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> CsrGraph {
+        CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn density_of_clique_is_one() {
+        assert!((edge_density(&k4()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_small_graphs_is_zero() {
+        assert_eq!(edge_density(&CsrGraph::from_edges(1, [])), 0.0);
+        assert_eq!(edge_density(&CsrGraph::from_edges(0, [])), 0.0);
+    }
+
+    #[test]
+    fn diameter_of_path_and_clique() {
+        let path = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(diameter(&path), Some(3));
+        assert_eq!(diameter(&k4()), Some(1));
+        let single = CsrGraph::from_edges(1, []);
+        assert_eq!(diameter(&single), Some(0));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_none() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (2, 3)]);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn clustering_of_clique_is_one() {
+        let g = k4();
+        for v in g.vertices() {
+            assert!((clustering_coefficient(&g, v) - 1.0).abs() < 1e-12);
+        }
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let star = CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(clustering_coefficient(&star, 0), 0.0);
+        assert_eq!(clustering_coefficient(&star, 1), 0.0);
+        assert_eq!(average_clustering(&star), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_pendant() {
+        // vertex 2 has neighbors {0, 1, 3}; only (0,1) is an edge: C = 1/3.
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert!((clustering_coefficient(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

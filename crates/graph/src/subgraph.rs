@@ -1,0 +1,140 @@
+//! Induced subgraphs with vertex-id translation.
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// A subgraph induced by a vertex subset, stored as its own compact
+/// [`CsrGraph`] together with the mapping back to the parent graph.
+///
+/// The IPPV pipeline repeatedly restricts attention to candidate regions
+/// (`G' ← G[S]` in Algorithm 6); keeping subgraphs compact keeps clique
+/// re-enumeration and flow networks small.
+#[derive(Debug, Clone)]
+pub struct InducedSubgraph {
+    /// The subgraph with vertices relabelled to `0..k`.
+    pub graph: CsrGraph,
+    /// `to_parent[local] = parent vertex id`, ascending.
+    pub to_parent: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Builds the subgraph of `parent` induced by `vertices`.
+    ///
+    /// `vertices` may be unsorted and may contain duplicates; both are
+    /// normalized. Vertices outside `parent` are ignored.
+    pub fn new(parent: &CsrGraph, vertices: &[VertexId]) -> Self {
+        let mut verts: Vec<VertexId> = vertices
+            .iter()
+            .copied()
+            .filter(|&v| (v as usize) < parent.n())
+            .collect();
+        verts.sort_unstable();
+        verts.dedup();
+
+        // parent id -> local id, only defined for members.
+        let mut local = vec![VertexId::MAX; parent.n()];
+        for (i, &v) in verts.iter().enumerate() {
+            local[v as usize] = i as VertexId;
+        }
+
+        let mut b = GraphBuilder::with_capacity(verts.len(), 0);
+        if let Some(&last) = verts.last() {
+            let _ = last;
+            b.ensure_vertex((verts.len() - 1) as VertexId);
+        }
+        for (i, &v) in verts.iter().enumerate() {
+            for &w in parent.neighbors(v) {
+                let lw = local[w as usize];
+                if lw != VertexId::MAX && (i as VertexId) < lw {
+                    b.add_edge(i as VertexId, lw);
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            to_parent: verts,
+        }
+    }
+
+    /// Translates a local vertex id to the parent graph.
+    #[inline]
+    pub fn parent_of(&self, local: VertexId) -> VertexId {
+        self.to_parent[local as usize]
+    }
+
+    /// Translates a set of local vertex ids to parent ids.
+    pub fn parents_of(&self, locals: &[VertexId]) -> Vec<VertexId> {
+        locals.iter().map(|&v| self.parent_of(v)).collect()
+    }
+
+    /// Local id of a parent vertex, if it is part of the subgraph.
+    /// `O(log k)` via binary search over the sorted mapping.
+    pub fn local_of(&self, parent: VertexId) -> Option<VertexId> {
+        self.to_parent
+            .binary_search(&parent)
+            .ok()
+            .map(|i| i as VertexId)
+    }
+
+    /// Number of vertices in the subgraph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_bridge() -> CsrGraph {
+        // 0-1-2 triangle, 3-4-5 triangle, bridge 2-3.
+        CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+    }
+
+    #[test]
+    fn induces_edges_only_inside_subset() {
+        let g = two_triangles_bridge();
+        let sg = InducedSubgraph::new(&g, &[0, 1, 2, 3]);
+        assert_eq!(sg.n(), 4);
+        // triangle 0-1-2 plus bridge 2-3 survive; edges into {4,5} do not.
+        assert_eq!(sg.graph.m(), 4);
+        assert!(sg.graph.has_edge(2, 3));
+        assert_eq!(sg.graph.degree(3), 1);
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let g = two_triangles_bridge();
+        let sg = InducedSubgraph::new(&g, &[5, 3, 1]);
+        assert_eq!(sg.to_parent, vec![1, 3, 5]);
+        for local in 0..sg.n() as VertexId {
+            let p = sg.parent_of(local);
+            assert_eq!(sg.local_of(p), Some(local));
+        }
+        assert_eq!(sg.local_of(0), None);
+        assert_eq!(sg.parents_of(&[0, 2]), vec![1, 5]);
+    }
+
+    #[test]
+    fn duplicates_and_out_of_range_ignored() {
+        let g = two_triangles_bridge();
+        let sg = InducedSubgraph::new(&g, &[2, 2, 3, 99]);
+        assert_eq!(sg.to_parent, vec![2, 3]);
+        assert_eq!(sg.graph.m(), 1);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = two_triangles_bridge();
+        let sg = InducedSubgraph::new(&g, &[]);
+        assert_eq!(sg.n(), 0);
+        assert_eq!(sg.graph.m(), 0);
+    }
+
+    #[test]
+    fn full_subset_reproduces_graph() {
+        let g = two_triangles_bridge();
+        let all: Vec<VertexId> = g.vertices().collect();
+        let sg = InducedSubgraph::new(&g, &all);
+        assert_eq!(sg.graph, g);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the graph substrate.
+
+use lhcds_graph::core_decomp::{degeneracy_order, k_core_vertices};
+use lhcds_graph::properties::{clustering_coefficient, edge_density};
+use lhcds_graph::traversal::{bfs_distances, components_within, connected_components};
+use lhcds_graph::{CsrGraph, GraphBuilder, InducedSubgraph, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = n * (n - 1) / 2;
+        prop::collection::vec(any::<bool>(), pairs).prop_map(move |bits| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex((n - 1) as VertexId);
+            let mut idx = 0;
+            for u in 0..n as VertexId {
+                for v in u + 1..n as VertexId {
+                    if bits[idx] {
+                        b.add_edge(u, v);
+                    }
+                    idx += 1;
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    /// CSR invariants: handshake lemma, sorted unique neighbors,
+    /// symmetric adjacency.
+    #[test]
+    fn csr_invariants(g in arb_graph(24)) {
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &w in ns {
+                prop_assert!(g.has_edge(w, v));
+                prop_assert_ne!(w, v);
+            }
+        }
+        prop_assert_eq!(g.edges().count(), g.m());
+    }
+
+    /// Components partition vertices, and adjacency never crosses
+    /// component boundaries.
+    #[test]
+    fn components_partition(g in arb_graph(24)) {
+        let c = connected_components(&g);
+        prop_assert!(c.label.iter().all(|&l| (l as usize) < c.count));
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.label[u as usize], c.label[v as usize]);
+        }
+        let total: usize = c.groups().iter().map(|grp| grp.len()).sum();
+        prop_assert_eq!(total, g.n());
+    }
+
+    /// `components_within` on the full vertex set matches the global
+    /// component structure.
+    #[test]
+    fn subset_components_match_global(g in arb_graph(20)) {
+        let all: Vec<VertexId> = g.vertices().collect();
+        let within = components_within(&g, &all);
+        let global = connected_components(&g).groups();
+        prop_assert_eq!(within, global);
+    }
+
+    /// Core numbers: every vertex of the k-core has ≥ k neighbors
+    /// inside the k-core, and core numbers are ≤ degree.
+    #[test]
+    fn core_number_soundness(g in arb_graph(20)) {
+        let d = degeneracy_order(&g);
+        for v in g.vertices() {
+            prop_assert!(d.core[v as usize] as usize <= g.degree(v));
+        }
+        let kmax = d.degeneracy;
+        for k in [1u32, kmax.max(1)] {
+            let core = k_core_vertices(&g, k);
+            let mut inside = vec![false; g.n()];
+            for &v in &core {
+                inside[v as usize] = true;
+            }
+            for &v in &core {
+                let deg_in = g.neighbors(v).iter().filter(|&&w| inside[w as usize]).count();
+                prop_assert!(deg_in >= k as usize, "core {k} vertex {v} has {deg_in}");
+            }
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distance_consistency(g in arb_graph(20)) {
+        let d = bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u as usize], d[v as usize]);
+            if du != u32::MAX && dv != u32::MAX {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                prop_assert_eq!(du, dv); // both unreachable
+            }
+        }
+    }
+
+    /// Induced subgraphs preserve adjacency exactly.
+    #[test]
+    fn induced_subgraph_adjacency(g in arb_graph(18), pick in prop::collection::vec(any::<bool>(), 18)) {
+        let verts: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| pick.get(v as usize).copied().unwrap_or(false))
+            .collect();
+        let sub = InducedSubgraph::new(&g, &verts);
+        for a in 0..sub.n() as VertexId {
+            for b in 0..sub.n() as VertexId {
+                if a != b {
+                    prop_assert_eq!(
+                        sub.graph.has_edge(a, b),
+                        g.has_edge(sub.parent_of(a), sub.parent_of(b))
+                    );
+                }
+            }
+        }
+    }
+
+    /// Quality measures stay in range.
+    #[test]
+    fn quality_measures_in_range(g in arb_graph(16)) {
+        let d = edge_density(&g);
+        prop_assert!((0.0..=1.0).contains(&d));
+        for v in g.vertices() {
+            let c = clustering_coefficient(&g, v);
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// Edge-list round trip through the text format is lossless.
+    #[test]
+    fn io_round_trip(g in arb_graph(16)) {
+        let mut buf = Vec::new();
+        lhcds_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = lhcds_graph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        // isolated trailing vertices are not representable in the format
+        prop_assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,409 @@
+//! Arbitrary user-defined patterns (§5's "more general patterns").
+//!
+//! A [`CustomPattern`] is any small connected graph given as an edge
+//! list on `0..k` vertices (`k ≤ 8`). Instances are enumerated as
+//! non-induced embeddings modulo the pattern's automorphism group —
+//! the same convention as the built-in patterns of
+//! [`crate::enumerate`] — by ordered backtracking over the host graph
+//! with a canonical-orbit filter: an embedding tuple is emitted only if
+//! it is the lexicographically smallest member of its automorphism
+//! orbit, so each instance appears exactly once.
+//!
+//! The resulting instance store plugs into the IPPV pipeline unchanged,
+//! which is what makes the paper's claim — the framework extends to
+//! *any* pattern, directed/attributed models aside — concrete: a
+//! five-vertex "bowtie", a "house", or a 6-cycle work out of the box
+//! (see the tests).
+
+use lhcds_clique::CliqueSet;
+use lhcds_core::pipeline::{top_k_with_instances, IppvConfig, IppvResult};
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// A user-defined pattern: a connected graph on `k ≤ 8` vertices.
+#[derive(Debug, Clone)]
+pub struct CustomPattern {
+    k: usize,
+    /// Adjacency matrix (symmetric, no loops).
+    adj: [[bool; 8]; 8],
+    edges: Vec<(usize, usize)>,
+    /// All automorphisms (permutations of `0..k` preserving edges).
+    automorphisms: Vec<[u8; 8]>,
+    name: String,
+}
+
+impl CustomPattern {
+    /// Builds a pattern from its edge list on vertices `0..k`.
+    ///
+    /// # Errors
+    /// Returns a message when `k` is out of range `2..=8`, an edge
+    /// endpoint is out of range, an edge is a loop, or the pattern
+    /// graph is disconnected.
+    pub fn new(
+        name: impl Into<String>,
+        k: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, String> {
+        if !(2..=8).contains(&k) {
+            return Err(format!("pattern arity {k} outside 2..=8"));
+        }
+        let mut adj = [[false; 8]; 8];
+        let mut list = Vec::new();
+        for &(a, b) in edges {
+            if a >= k || b >= k {
+                return Err(format!("edge ({a}, {b}) outside 0..{k}"));
+            }
+            if a == b {
+                return Err(format!("loop at {a}"));
+            }
+            if !adj[a][b] {
+                adj[a][b] = true;
+                adj[b][a] = true;
+                list.push((a.min(b), a.max(b)));
+            }
+        }
+        // connectivity of the pattern graph
+        let mut seen = vec![false; k];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for w in 0..k {
+                if adj[v][w] && !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err("pattern must be connected".into());
+        }
+
+        // automorphisms by brute force over permutations (k ≤ 8)
+        let mut automorphisms = Vec::new();
+        let mut perm: Vec<u8> = (0..k as u8).collect();
+        permute_all(&mut perm, k, &mut |p| {
+            let ok = (0..k).all(|a| {
+                (0..k).all(|b| adj[a][b] == adj[p[a] as usize][p[b] as usize])
+            });
+            if ok {
+                let mut arr = [0u8; 8];
+                arr[..k].copy_from_slice(p);
+                automorphisms.push(arr);
+            }
+        });
+        Ok(CustomPattern {
+            k,
+            adj,
+            edges: list,
+            automorphisms,
+            name: name.into(),
+        })
+    }
+
+    /// Pattern name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pattern vertices.
+    pub fn arity(&self) -> usize {
+        self.k
+    }
+
+    /// Size of the automorphism group.
+    pub fn automorphism_count(&self) -> usize {
+        self.automorphisms.len()
+    }
+
+    /// Enumerates every instance in `g` into an instance store.
+    pub fn enumerate(&self, g: &CsrGraph) -> CliqueSet {
+        let mut flat: Vec<VertexId> = Vec::new();
+        let mut assignment = vec![0 as VertexId; self.k];
+        let mut used = vec![false; g.n()];
+        self.backtrack(g, 0, &mut assignment, &mut used, &mut flat);
+        CliqueSet::from_flat_members(g.n(), self.k, flat)
+    }
+
+    fn backtrack(
+        &self,
+        g: &CsrGraph,
+        depth: usize,
+        assignment: &mut [VertexId],
+        used: &mut [bool],
+        flat: &mut Vec<VertexId>,
+    ) {
+        if depth == self.k {
+            if self.is_canonical(assignment) {
+                flat.extend_from_slice(assignment);
+            }
+            return;
+        }
+        // candidates: neighbors of an already-assigned pattern-neighbor
+        // when one exists (connectivity makes this hold for depth ≥ 1
+        // under a connected ordering; pattern vertices are tried in
+        // natural order, and patterns are connected, but vertex d may
+        // have no earlier neighbor — fall back to a full scan then).
+        let anchor = (0..depth).find(|&e| self.adj[e][depth]);
+        match anchor {
+            Some(e) => {
+                let base = assignment[e];
+                for &w in g.neighbors(base) {
+                    self.try_assign(g, depth, w, assignment, used, flat);
+                }
+            }
+            None => {
+                for w in g.vertices() {
+                    self.try_assign(g, depth, w, assignment, used, flat);
+                }
+            }
+        }
+    }
+
+    fn try_assign(
+        &self,
+        g: &CsrGraph,
+        depth: usize,
+        w: VertexId,
+        assignment: &mut [VertexId],
+        used: &mut [bool],
+        flat: &mut Vec<VertexId>,
+    ) {
+        if used[w as usize] {
+            return;
+        }
+        // all pattern edges into earlier vertices must exist
+        for (e, &img) in assignment.iter().enumerate().take(depth) {
+            if self.adj[e][depth] && !g.has_edge(img, w) {
+                return;
+            }
+        }
+        assignment[depth] = w;
+        used[w as usize] = true;
+        self.backtrack(g, depth + 1, assignment, used, flat);
+        used[w as usize] = false;
+    }
+
+    /// Whether `assignment` is the lexicographically smallest tuple in
+    /// its automorphism orbit.
+    fn is_canonical(&self, assignment: &[VertexId]) -> bool {
+        let mut image = [0 as VertexId; 8];
+        for auto in &self.automorphisms {
+            // image[i] = assignment at the preimage of i:
+            // tuple ∘ σ — position i holds assignment[σ(i)]
+            for i in 0..self.k {
+                image[i] = assignment[auto[i] as usize];
+            }
+            if image[..self.k] < *assignment {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exact count of instances (embeddings / automorphisms).
+    pub fn count(&self, g: &CsrGraph) -> u64 {
+        self.enumerate(g).len() as u64
+    }
+
+    /// Edge list of the pattern (each pair once, ascending).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+}
+
+fn permute_all(perm: &mut [u8], k: usize, f: &mut impl FnMut(&[u8])) {
+    fn heap(perm: &mut [u8], m: usize, k: usize, f: &mut impl FnMut(&[u8])) {
+        if m == 1 {
+            f(&perm[..k]);
+            return;
+        }
+        for i in 0..m {
+            heap(perm, m - 1, k, f);
+            if m.is_multiple_of(2) {
+                perm.swap(i, m - 1);
+            } else {
+                perm.swap(0, m - 1);
+            }
+        }
+    }
+    heap(perm, k, k, f);
+}
+
+/// Runs the IPPV pipeline on a custom pattern: the top-k locally
+/// `pattern`-densest subgraphs of `g`.
+pub fn top_k_custom(
+    g: &CsrGraph,
+    pattern: &CustomPattern,
+    k: usize,
+    cfg: &IppvConfig,
+) -> IppvResult {
+    let store = pattern.enumerate(g);
+    top_k_with_instances(g, &store, k, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_pattern;
+    use crate::pattern::Pattern;
+    use lhcds_graph::GraphBuilder;
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rejects_malformed_patterns() {
+        assert!(CustomPattern::new("too-big", 9, &[]).is_err());
+        assert!(CustomPattern::new("loop", 3, &[(0, 0), (0, 1), (1, 2)]).is_err());
+        assert!(CustomPattern::new("range", 3, &[(0, 5)]).is_err());
+        assert!(CustomPattern::new("disconnected", 4, &[(0, 1), (2, 3)]).is_err());
+    }
+
+    #[test]
+    fn automorphism_groups_are_correct() {
+        let tri = CustomPattern::new("triangle", 3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(tri.automorphism_count(), 6);
+        let path = CustomPattern::new("p4", 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(path.automorphism_count(), 2);
+        let c4 = CustomPattern::new("c4", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(c4.automorphism_count(), 8);
+        let star = CustomPattern::new("s3", 4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(star.automorphism_count(), 6);
+    }
+
+    type PatternSpec = (&'static str, Pattern, &'static [(usize, usize)]);
+
+    /// The custom enumerator must agree with the specialized built-in
+    /// enumerators on every 4-vertex pattern.
+    #[test]
+    fn matches_builtin_enumerators() {
+        let specs: [PatternSpec; 6] = [
+            ("3-star", Pattern::Star3, &[(0, 1), (0, 2), (0, 3)]),
+            ("4-path", Pattern::Path4, &[(0, 1), (1, 2), (2, 3)]),
+            (
+                "c3-star",
+                Pattern::TailedTriangle,
+                &[(0, 1), (1, 2), (2, 0), (2, 3)],
+            ),
+            ("4-loop", Pattern::Cycle4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            (
+                "2-triangle",
+                Pattern::Diamond,
+                &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+            ),
+            (
+                "4-clique",
+                Pattern::Clique4,
+                &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            ),
+        ];
+        let mut state = 0xFEEDu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..8 {
+            let n = 9;
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng() % 2 == 0 {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            for (name, builtin, edges) in &specs {
+                let custom = CustomPattern::new(*name, 4, edges).unwrap();
+                assert_eq!(
+                    custom.count(&g),
+                    enumerate_pattern(&g, *builtin).len() as u64,
+                    "trial {trial}: {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn five_vertex_patterns_count_on_complete_graphs() {
+        // bowtie: two triangles sharing a vertex; |Aut| = 8
+        let bowtie = CustomPattern::new(
+            "bowtie",
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+        )
+        .unwrap();
+        assert_eq!(bowtie.automorphism_count(), 8);
+        // embeddings in K5: 5!/|Aut| per 5-subset = 120/8 = 15
+        assert_eq!(bowtie.count(&complete(5)), 15);
+
+        // 5-cycle: |Aut| = 10; embeddings in K5 = 120/10 = 12
+        let c5 = CustomPattern::new("c5", 5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(c5.automorphism_count(), 10);
+        assert_eq!(c5.count(&complete(5)), 12);
+
+        // house: C5 with one chord (roof): |Aut| = 2
+        let house = CustomPattern::new(
+            "house",
+            5,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)],
+        )
+        .unwrap();
+        assert_eq!(house.automorphism_count(), 2);
+        assert_eq!(house.count(&complete(5)), 60);
+    }
+
+    #[test]
+    fn pipeline_runs_on_custom_pattern() {
+        // bowtie-dense region (K5) + a plain bowtie elsewhere
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(5, 6).add_edge(6, 7).add_edge(7, 5);
+        b.add_edge(7, 8).add_edge(8, 9).add_edge(9, 7);
+        let g = b.build();
+        let bowtie = CustomPattern::new(
+            "bowtie",
+            5,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+        )
+        .unwrap();
+        let res = top_k_custom(&g, &bowtie, 5, &IppvConfig::default());
+        assert_eq!(res.subgraphs.len(), 2);
+        assert_eq!(res.subgraphs[0].vertices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            res.subgraphs[0].density,
+            lhcds_flow::Ratio::new(15, 5)
+        );
+        assert_eq!(res.subgraphs[1].vertices, vec![5, 6, 7, 8, 9]);
+        assert_eq!(res.subgraphs[1].density, lhcds_flow::Ratio::new(1, 5));
+    }
+
+    #[test]
+    fn six_cycle_pattern() {
+        let c6 = CustomPattern::new(
+            "c6",
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        .unwrap();
+        assert_eq!(c6.automorphism_count(), 12);
+        // a single 6-cycle hosts exactly one instance
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(c6.count(&g), 1);
+        // K6: 6!/12 = 60
+        assert_eq!(c6.count(&complete(6)), 60);
+    }
+}

@@ -1,0 +1,309 @@
+//! Pattern-instance enumeration.
+//!
+//! Every enumerator emits each instance exactly once (embeddings modulo
+//! pattern automorphism) into a [`CliqueSet`]-shaped store, which is
+//! all the IPPV pipeline needs: membership lists plus a per-vertex
+//! incidence index. Canonicalization strategies:
+//!
+//! * **3-star** — center explicit, leaves as an ascending triple;
+//! * **4-path** — inner edge ordered (`b < c`);
+//! * **c3-star** (tailed triangle) — triangle ascending, anchored
+//!   pendant; the same vertex set contributes one instance per distinct
+//!   (triangle, attachment) embedding;
+//! * **4-loop** — lowest vertex first, its two cycle-neighbors ordered;
+//! * **2-triangle** (diamond) — hinge edge ordered, apexes ascending;
+//! * cliques — ascending by construction (kClist).
+
+use crate::pattern::Pattern;
+use lhcds_clique::{for_each_clique, CliqueSet};
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// Enumerates every instance of `pattern` in `g` into an instance
+/// store (flat member lists plus incidence index).
+pub fn enumerate_pattern(g: &CsrGraph, pattern: Pattern) -> CliqueSet {
+    let mut flat: Vec<VertexId> = Vec::new();
+    match pattern {
+        Pattern::Edge => return CliqueSet::enumerate(g, 2),
+        Pattern::Triangle => return CliqueSet::enumerate(g, 3),
+        Pattern::Clique(h) => return CliqueSet::enumerate(g, h),
+        Pattern::Clique4 => return CliqueSet::enumerate(g, 4),
+        Pattern::Star3 => {
+            for c in g.vertices() {
+                let ns = g.neighbors(c);
+                let d = ns.len();
+                for i in 0..d {
+                    for j in i + 1..d {
+                        for l in j + 1..d {
+                            flat.extend_from_slice(&[c, ns[i], ns[j], ns[l]]);
+                        }
+                    }
+                }
+            }
+        }
+        Pattern::Path4 => {
+            for (b, c) in g.edges() {
+                // b < c by `edges` convention
+                for &a in g.neighbors(b) {
+                    if a == c {
+                        continue;
+                    }
+                    for &d in g.neighbors(c) {
+                        if d == b || d == a {
+                            continue;
+                        }
+                        flat.extend_from_slice(&[a, b, c, d]);
+                    }
+                }
+            }
+        }
+        Pattern::TailedTriangle => {
+            for_each_clique(g, 3, |t| {
+                let mut tri = [t[0], t[1], t[2]];
+                tri.sort_unstable();
+                for &m in &tri {
+                    for &w in g.neighbors(m) {
+                        if !tri.contains(&w) {
+                            flat.extend_from_slice(&[tri[0], tri[1], tri[2], w]);
+                        }
+                    }
+                }
+            });
+        }
+        Pattern::Cycle4 => {
+            for a in g.vertices() {
+                let ns = g.neighbors(a);
+                for (i, &b) in ns.iter().enumerate() {
+                    if b < a {
+                        continue;
+                    }
+                    for &d in &ns[i + 1..] {
+                        if d < a {
+                            continue;
+                        }
+                        // common neighbors of b and d, other than a and
+                        // greater than a (a must be the cycle minimum)
+                        for &c in g.neighbors(b) {
+                            if c > a && c != d && c != b && g.has_edge(c, d) {
+                                flat.extend_from_slice(&[a, b, c, d]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Pattern::Diamond => {
+            for (x, y) in g.edges() {
+                let nx = g.neighbors(x);
+                let ny = g.neighbors(y);
+                // ascending common neighbors via sorted merge
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut common: Vec<VertexId> = Vec::new();
+                while i < nx.len() && j < ny.len() {
+                    match nx[i].cmp(&ny[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            common.push(nx[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                for (i, &u) in common.iter().enumerate() {
+                    for &v in &common[i + 1..] {
+                        flat.extend_from_slice(&[x, y, u, v]);
+                    }
+                }
+            }
+        }
+    }
+    CliqueSet::from_flat_members(g.n(), pattern.arity(), flat)
+}
+
+/// Total instance count (`|Ψhx(G)|`).
+pub fn count_pattern(g: &CsrGraph, pattern: Pattern) -> u64 {
+    enumerate_pattern(g, pattern).len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_graph::GraphBuilder;
+
+    fn complete(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        (0..k).fold(1u64, |r, i| r * (n - i) / (i + 1))
+    }
+
+    /// Closed-form motif counts on Kn (embeddings / automorphisms):
+    /// star3 = n·C(n−1, 3); path4 = 4!/2 · C(n, 4) · … — easier: every
+    /// 4-subset of Kn hosts 12 paths, 3 cycles, 6 diamonds, 12 tailed
+    /// triangles, 4 stars, 1 clique.
+    #[test]
+    fn counts_on_k5_match_closed_forms() {
+        let g = complete(5);
+        let c4 = binomial(5, 4); // 5 four-subsets
+        assert_eq!(count_pattern(&g, Pattern::Star3), 4 * c4);
+        assert_eq!(count_pattern(&g, Pattern::Path4), 12 * c4);
+        assert_eq!(count_pattern(&g, Pattern::TailedTriangle), 12 * c4);
+        assert_eq!(count_pattern(&g, Pattern::Cycle4), 3 * c4);
+        assert_eq!(count_pattern(&g, Pattern::Diamond), 6 * c4);
+        assert_eq!(count_pattern(&g, Pattern::Clique4), c4);
+    }
+
+    #[test]
+    fn counts_on_specific_small_graphs() {
+        // a pure 4-cycle
+        let c4 = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_pattern(&c4, Pattern::Cycle4), 1);
+        assert_eq!(count_pattern(&c4, Pattern::Path4), 4);
+        assert_eq!(count_pattern(&c4, Pattern::Diamond), 0);
+        assert_eq!(count_pattern(&c4, Pattern::Star3), 0);
+
+        // a star with 4 leaves: C(4,3) = 4 three-stars
+        let star = CsrGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(count_pattern(&star, Pattern::Star3), 4);
+        assert_eq!(count_pattern(&star, Pattern::Path4), 0);
+
+        // a triangle with one pendant
+        let tt = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(count_pattern(&tt, Pattern::TailedTriangle), 1);
+        assert_eq!(count_pattern(&tt, Pattern::Diamond), 0);
+        // paths: 3-1-2-0? enumerate: the tailed triangle hosts 2 paths
+        // of length 3 (3-2-0-1 and 3-2-1-0)
+        assert_eq!(count_pattern(&tt, Pattern::Path4), 2);
+
+        // diamond graph
+        let dia = CsrGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_pattern(&dia, Pattern::Diamond), 1);
+        assert_eq!(count_pattern(&dia, Pattern::Cycle4), 1);
+        // each of the two triangles admits two external attachments
+        assert_eq!(count_pattern(&dia, Pattern::TailedTriangle), 4);
+    }
+
+    #[test]
+    fn clique_patterns_delegate_to_kclist() {
+        let g = complete(6);
+        assert_eq!(count_pattern(&g, Pattern::Edge), 15);
+        assert_eq!(count_pattern(&g, Pattern::Triangle), 20);
+        assert_eq!(count_pattern(&g, Pattern::Clique(5)), 6);
+        assert_eq!(count_pattern(&g, Pattern::Clique4), 15);
+    }
+
+    /// Brute-force cross-check of every 4-vertex pattern on random
+    /// graphs: enumerate all 4-subsets and count embeddings directly.
+    #[test]
+    fn matches_bruteforce_on_random_graphs() {
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let n = 8;
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(n - 1);
+            for u in 0..n {
+                for v in u + 1..n {
+                    if rng() % 2 == 0 {
+                        b.add_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            for p in Pattern::all_four_vertex() {
+                let brute = brute_count_4(&g, p);
+                assert_eq!(
+                    count_pattern(&g, p),
+                    brute,
+                    "{p} on {:?}",
+                    g.edges().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    /// Counts embeddings of a 4-vertex pattern by checking all vertex
+    /// 4-subsets against per-subset closed forms on the induced graph.
+    fn brute_count_4(g: &CsrGraph, p: Pattern) -> u64 {
+        let n = g.n() as u32;
+        let mut total = 0u64;
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    for d in c + 1..n {
+                        total += embeddings_in_subset(g, [a, b, c, d], p);
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    fn embeddings_in_subset(g: &CsrGraph, vs: [u32; 4], p: Pattern) -> u64 {
+        // count embeddings with image exactly this vertex set via
+        // permutations / automorphisms
+        let perms = permutations(&vs);
+        let edges: Vec<(usize, usize)> = match p {
+            Pattern::Star3 => vec![(0, 1), (0, 2), (0, 3)],
+            Pattern::Path4 => vec![(0, 1), (1, 2), (2, 3)],
+            Pattern::TailedTriangle => vec![(0, 1), (1, 2), (2, 0), (2, 3)],
+            Pattern::Cycle4 => vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            Pattern::Diamond => vec![(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+            Pattern::Clique4 => vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+            _ => unreachable!(),
+        };
+        let aut: u64 = match p {
+            Pattern::Star3 => 6,
+            Pattern::Path4 => 2,
+            Pattern::TailedTriangle => 2,
+            Pattern::Cycle4 => 8,
+            Pattern::Diamond => 4,
+            Pattern::Clique4 => 24,
+            _ => unreachable!(),
+        };
+        let mut hits = 0u64;
+        for perm in &perms {
+            if edges.iter().all(|&(i, j)| g.has_edge(perm[i], perm[j])) {
+                hits += 1;
+            }
+        }
+        hits / aut
+    }
+
+    fn permutations(vs: &[u32; 4]) -> Vec<[u32; 4]> {
+        let mut out = Vec::with_capacity(24);
+        let mut v = *vs;
+        heap_permute(&mut v, 4, &mut out);
+        out
+    }
+
+    fn heap_permute(v: &mut [u32; 4], k: usize, out: &mut Vec<[u32; 4]>) {
+        if k == 1 {
+            out.push(*v);
+            return;
+        }
+        for i in 0..k {
+            heap_permute(v, k - 1, out);
+            if k.is_multiple_of(2) {
+                v.swap(i, k - 1);
+            } else {
+                v.swap(0, k - 1);
+            }
+        }
+    }
+}

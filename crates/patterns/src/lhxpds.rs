@@ -1,0 +1,155 @@
+//! Locally pattern-densest subgraph discovery (Algorithm 7, §5.2).
+//!
+//! An LhxPDS (Definition 7) is the pattern analog of an LhCDS: a
+//! connected subgraph `G[S]` that is `hx`-pattern `ρ`-compact for
+//! `ρ = d_ψhx(G[S])` and maximal with that property. The whole IPPV
+//! machinery — bounds, SEQ-kClist++, decomposition, pruning, flow
+//! verification — only consumes instance membership and incidence, so
+//! it runs unchanged on pattern instance stores; this module just wires
+//! enumeration and the pipeline together.
+
+use crate::enumerate::enumerate_pattern;
+use crate::pattern::Pattern;
+use lhcds_core::pipeline::{top_k_with_instances, IppvConfig, IppvResult, Lhcds};
+use lhcds_graph::CsrGraph;
+
+/// Result of a top-k LhxPDS run.
+#[derive(Debug, Clone)]
+pub struct LhxpdsResult {
+    /// The pattern that was mined.
+    pub pattern: Pattern,
+    /// The top-k locally pattern-densest subgraphs, density descending.
+    pub subgraphs: Vec<Lhcds>,
+    /// Pipeline statistics (pattern enumeration time under
+    /// `clique_ms`).
+    pub stats: lhcds_core::pipeline::IppvStats,
+}
+
+/// Discovers the top-k locally `pattern`-densest subgraphs of `g`.
+pub fn top_k_lhxpds(
+    g: &CsrGraph,
+    pattern: Pattern,
+    k: usize,
+    cfg: &IppvConfig,
+) -> LhxpdsResult {
+    let t0 = std::time::Instant::now();
+    let store = enumerate_pattern(g, pattern);
+    let enum_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let IppvResult {
+        subgraphs,
+        mut stats,
+    } = top_k_with_instances(g, &store, k, cfg);
+    stats.clique_ms = enum_ms;
+    LhxpdsResult {
+        pattern,
+        subgraphs,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_flow::Ratio;
+    use lhcds_graph::GraphBuilder;
+
+    fn complete_on(b: &mut GraphBuilder, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in i + 1..vs.len() {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn clique_pattern_matches_clique_pipeline() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7]);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let via_pattern = top_k_lhxpds(&g, Pattern::Triangle, 5, &IppvConfig::default());
+        let via_clique =
+            lhcds_core::pipeline::top_k_lhcds(&g, 3, 5, &IppvConfig::default());
+        assert_eq!(via_pattern.subgraphs, via_clique.subgraphs);
+    }
+
+    #[test]
+    fn cycle4_densest_region() {
+        // K4 (hosts 3 cycles) + disjoint plain 4-cycle (hosts 1)
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3]);
+        b.add_edge(4, 5).add_edge(5, 6).add_edge(6, 7).add_edge(7, 4);
+        let g = b.build();
+        let res = top_k_lhxpds(&g, Pattern::Cycle4, 5, &IppvConfig::default());
+        assert_eq!(res.subgraphs.len(), 2);
+        assert_eq!(res.subgraphs[0].vertices, vec![0, 1, 2, 3]);
+        assert_eq!(res.subgraphs[0].density, Ratio::new(3, 4));
+        assert_eq!(res.subgraphs[1].vertices, vec![4, 5, 6, 7]);
+        assert_eq!(res.subgraphs[1].density, Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn star3_prefers_hubs() {
+        // a 6-leaf star vs an isolated triangle: only the star region
+        // holds 3-star instances
+        let mut b = GraphBuilder::new();
+        for leaf in 1..=6u32 {
+            b.add_edge(0, leaf);
+        }
+        b.add_edge(7, 8).add_edge(8, 9).add_edge(9, 7);
+        let g = b.build();
+        let res = top_k_lhxpds(&g, Pattern::Star3, 3, &IppvConfig::default());
+        assert_eq!(res.subgraphs.len(), 1);
+        assert!(res.subgraphs[0].vertices.contains(&0));
+        assert!(res.subgraphs[0].density > Ratio::zero());
+    }
+
+    #[test]
+    fn diamond_pipeline_on_overlapping_triangles() {
+        // K4 minus an edge (one diamond) + K5 (lots of diamonds)
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 2).add_edge(1, 3).add_edge(2, 3);
+        complete_on(&mut b, &[4, 5, 6, 7, 8]);
+        let g = b.build();
+        let res = top_k_lhxpds(&g, Pattern::Diamond, 2, &IppvConfig::default());
+        assert_eq!(res.subgraphs.len(), 2);
+        // K5 hosts 6·C(5,4) = 30 diamonds over 5 vertices
+        assert_eq!(res.subgraphs[0].vertices, vec![4, 5, 6, 7, 8]);
+        assert_eq!(res.subgraphs[0].density, Ratio::new(30, 5));
+        assert_eq!(res.subgraphs[1].vertices, vec![0, 1, 2, 3]);
+        assert_eq!(res.subgraphs[1].density, Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn pattern_free_graph_yields_nothing() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let res = top_k_lhxpds(&g, Pattern::Clique4, 3, &IppvConfig::default());
+        assert!(res.subgraphs.is_empty());
+        let res = top_k_lhxpds(&g, Pattern::Cycle4, 3, &IppvConfig::default());
+        assert!(res.subgraphs.is_empty());
+    }
+
+    #[test]
+    fn outputs_are_disjoint_and_ordered() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        complete_on(&mut b, &[9, 10, 11, 12]);
+        b.add_edge(4, 5).add_edge(8, 9);
+        let g = b.build();
+        for p in Pattern::all_four_vertex() {
+            let res = top_k_lhxpds(&g, p, 10, &IppvConfig::default());
+            let mut seen = vec![false; g.n()];
+            for s in &res.subgraphs {
+                for &v in &s.vertices {
+                    assert!(!seen[v as usize], "{p}: overlap at {v}");
+                    seen[v as usize] = true;
+                }
+            }
+            for w in res.subgraphs.windows(2) {
+                assert!(w[0].density >= w[1].density, "{p}: order violated");
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # lhcds-patterns
+//!
+//! §5 of the LhCDS paper: locally **general-pattern** densest subgraph
+//! discovery (LhxPDS). A pattern (motif) is a small connected graph; the
+//! pattern density of `G[S]` is the number of pattern instances fully
+//! inside `S` divided by `|S|`, and an LhxPDS is the pattern analog of
+//! an LhCDS (Definition 7).
+//!
+//! The crate provides:
+//!
+//! * [`pattern::Pattern`] — the pattern vocabulary of the paper's
+//!   Figure 8 (all connected 4-vertex patterns: 3-star, 4-path, tailed
+//!   triangle, 4-cycle, diamond, 4-clique) plus edges, triangles, and
+//!   h-cliques.
+//! * [`enumerate`] — automorphism-aware instance enumeration: each
+//!   instance (vertex set + role assignment collapsed by symmetry) is
+//!   produced exactly once.
+//! * [`custom`] — arbitrary user-defined patterns (`k ≤ 8` vertices)
+//!   via ordered backtracking with automorphism-orbit deduplication —
+//!   the "more general patterns" direction of §5 made concrete.
+//! * [`lhxpds`] — Algorithm 7: the IPPV pipeline instantiated with a
+//!   pattern instance store instead of a clique store. Because
+//!   `lhcds-core` is parameterized by an instance enumerator, the whole
+//!   propose–prune–verify machinery (bounds, CP iterations, flow
+//!   verification) is reused unchanged.
+
+pub mod custom;
+pub mod enumerate;
+pub mod lhxpds;
+pub mod pattern;
+
+pub use custom::{top_k_custom, CustomPattern};
+pub use lhxpds::{top_k_lhxpds, LhxpdsResult};
+pub use pattern::Pattern;

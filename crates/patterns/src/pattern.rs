@@ -1,0 +1,140 @@
+//! The pattern vocabulary (paper Figure 8 plus clique generalizations).
+
+use std::fmt;
+
+/// A small connected pattern (motif) whose instances drive LhxPDS
+/// discovery. The six four-vertex patterns are exactly the paper's
+/// Figure 8; `Edge`/`Triangle`/`Clique(h)` make the clique pipeline a
+/// special case (an h-clique is the densest h-vertex pattern).
+///
+/// Instances are counted as *non-induced* subgraph embeddings modulo
+/// automorphism — the standard motif-counting convention: each distinct
+/// (vertex set, edge subset) isomorphic to the pattern counts once. A
+/// K4 therefore hosts three 4-cycles and six diamonds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// A single edge (`ψ2`).
+    Edge,
+    /// A triangle (`ψ3`).
+    Triangle,
+    /// The h-clique (`ψh`).
+    Clique(usize),
+    /// 3-star: a center adjacent to three leaves (Figure 8a).
+    Star3,
+    /// Path on four vertices (Figure 8b).
+    Path4,
+    /// "c3-star": a triangle with a pendant vertex (Figure 8c).
+    TailedTriangle,
+    /// 4-loop: a cycle on four vertices (Figure 8d).
+    Cycle4,
+    /// "2-triangle": two triangles sharing an edge, K4 minus an edge
+    /// (Figure 8e).
+    Diamond,
+    /// 4-clique (Figure 8f).
+    Clique4,
+}
+
+impl Pattern {
+    /// Number of vertices of the pattern (`h`).
+    pub fn arity(&self) -> usize {
+        match self {
+            Pattern::Edge => 2,
+            Pattern::Triangle => 3,
+            Pattern::Clique(h) => *h,
+            Pattern::Star3
+            | Pattern::Path4
+            | Pattern::TailedTriangle
+            | Pattern::Cycle4
+            | Pattern::Diamond
+            | Pattern::Clique4 => 4,
+        }
+    }
+
+    /// Number of edges of the pattern.
+    pub fn edge_count(&self) -> usize {
+        match self {
+            Pattern::Edge => 1,
+            Pattern::Triangle => 3,
+            Pattern::Clique(h) => h * (h.saturating_sub(1)) / 2,
+            Pattern::Star3 => 3,
+            Pattern::Path4 => 3,
+            Pattern::TailedTriangle => 4,
+            Pattern::Cycle4 => 4,
+            Pattern::Diamond => 5,
+            Pattern::Clique4 => 6,
+        }
+    }
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::Edge => "edge",
+            Pattern::Triangle => "triangle",
+            Pattern::Clique(_) => "h-clique",
+            Pattern::Star3 => "3-star",
+            Pattern::Path4 => "4-path",
+            Pattern::TailedTriangle => "c3-star",
+            Pattern::Cycle4 => "4-loop",
+            Pattern::Diamond => "2-triangle",
+            Pattern::Clique4 => "4-clique",
+        }
+    }
+
+    /// The six connected four-vertex patterns of Figure 8, paper order.
+    pub fn all_four_vertex() -> [Pattern; 6] {
+        [
+            Pattern::Star3,
+            Pattern::Path4,
+            Pattern::TailedTriangle,
+            Pattern::Cycle4,
+            Pattern::Diamond,
+            Pattern::Clique4,
+        ]
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::Clique(h) => write!(f, "{h}-clique"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities_and_edges() {
+        assert_eq!(Pattern::Edge.arity(), 2);
+        assert_eq!(Pattern::Triangle.arity(), 3);
+        assert_eq!(Pattern::Clique(5).arity(), 5);
+        for p in Pattern::all_four_vertex() {
+            assert_eq!(p.arity(), 4, "{p}");
+        }
+        assert_eq!(Pattern::Star3.edge_count(), 3);
+        assert_eq!(Pattern::Diamond.edge_count(), 5);
+        assert_eq!(Pattern::Clique4.edge_count(), 6);
+        assert_eq!(Pattern::Clique(5).edge_count(), 10);
+    }
+
+    #[test]
+    fn figure8_order_and_names() {
+        let names: Vec<&str> = Pattern::all_four_vertex()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["3-star", "4-path", "c3-star", "4-loop", "2-triangle", "4-clique"]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pattern::Clique(7).to_string(), "7-clique");
+        assert_eq!(Pattern::Diamond.to_string(), "2-triangle");
+    }
+}

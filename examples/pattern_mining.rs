@@ -1,0 +1,60 @@
+//! Locally pattern-densest subgraph discovery (§5 of the paper): mine
+//! the polbooks-like co-purchase network with all six 4-vertex patterns
+//! and compare what each pattern considers "dense".
+//!
+//! ```text
+//! cargo run --release --example pattern_mining
+//! ```
+
+use lhcds::core::pipeline::IppvConfig;
+use lhcds::data::polbooks_like;
+use lhcds::patterns::{top_k_lhxpds, Pattern};
+
+fn main() {
+    let pb = polbooks_like();
+    println!(
+        "polbooks-like co-purchase network: {} vertices, {} edges, labels {:?}",
+        pb.graph.n(),
+        pb.graph.m(),
+        pb.label_names
+    );
+
+    for pattern in Pattern::all_four_vertex() {
+        let res = top_k_lhxpds(&pb.graph, pattern, 2, &IppvConfig::default());
+        println!(
+            "\n== pattern {pattern} ({} instances in the graph)",
+            res.stats.clique_count
+        );
+        if res.subgraphs.is_empty() {
+            println!("   no pattern-dense region");
+            continue;
+        }
+        for (i, s) in res.subgraphs.iter().enumerate() {
+            // label composition of the region
+            let mut counts = vec![0usize; pb.label_names.len()];
+            for &v in &s.vertices {
+                counts[pb.labels[v as usize] as usize] += 1;
+            }
+            let mix: Vec<String> = pb
+                .label_names
+                .iter()
+                .zip(&counts)
+                .filter(|&(_, &c)| c > 0)
+                .map(|(n, c)| format!("{n}: {c}"))
+                .collect();
+            println!(
+                "   top-{}: {} vertices, pattern density {}, labels [{}]",
+                i + 1,
+                s.vertices.len(),
+                s.density,
+                mix.join(", ")
+            );
+        }
+    }
+
+    // The triangle pattern reproduces the L3CDS pipeline exactly.
+    let tri = top_k_lhxpds(&pb.graph, Pattern::Triangle, 1, &IppvConfig::default());
+    let l3 = lhcds::core::pipeline::top_k_lhcds(&pb.graph, 3, 1, &IppvConfig::default());
+    assert_eq!(tri.subgraphs, l3.subgraphs);
+    println!("\ntriangle pattern ≡ L3CDS pipeline: verified");
+}

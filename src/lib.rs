@@ -1,0 +1,12 @@
+//! # lhcds — facade crate
+//!
+//! Re-exports the public API of the LhCDS workspace. See the README for a
+//! guided tour and `examples/` for runnable entry points.
+
+pub use lhcds_baselines as baselines;
+pub use lhcds_clique as clique;
+pub use lhcds_core as core;
+pub use lhcds_data as data;
+pub use lhcds_flow as flow;
+pub use lhcds_graph as graph;
+pub use lhcds_patterns as patterns;

@@ -1,0 +1,102 @@
+//! Integration tests of the exact dense decomposition against the
+//! pipeline and the quality measures on realistic generated graphs.
+
+use lhcds::core::density::{compact_numbers, dense_decomposition};
+use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::data::datasets::by_abbr;
+use lhcds::data::gen::planted_communities;
+use lhcds::data::polbooks_like;
+use lhcds::flow::Ratio;
+
+/// Theorem 1 at scale: on a generated dataset, every reported LhCDS
+/// member's compact number equals the subgraph density, and the top-1
+/// density equals the global maximum compact number.
+#[test]
+fn theorem1_on_registry_dataset() {
+    let d = by_abbr("GQ").unwrap().generate_scaled(0.08);
+    let g = &d.graph;
+    let decomp = dense_decomposition(g, 3);
+    let res = top_k_lhcds(g, 3, 10, &IppvConfig::default());
+    for s in &res.subgraphs {
+        for &v in &s.vertices {
+            assert_eq!(decomp.phi[v as usize], s.density, "vertex {v}");
+        }
+    }
+    if let (Some(top), Some(level)) = (res.subgraphs.first(), decomp.levels.first()) {
+        assert_eq!(top.density, level.density);
+    }
+}
+
+/// Proposition 4 at scale: across every reported LhCDS, adjacent
+/// outside vertices have strictly smaller compact numbers.
+#[test]
+fn proposition4_neighbors_have_smaller_phi() {
+    let g = planted_communities(300, 3, &[(16, 0.9), (12, 0.9)], 31);
+    let phi = compact_numbers(&g, 3);
+    let res = top_k_lhcds(&g, 3, 5, &IppvConfig::default());
+    for s in &res.subgraphs {
+        let mut inside = vec![false; g.n()];
+        for &v in &s.vertices {
+            inside[v as usize] = true;
+        }
+        for &v in &s.vertices {
+            for &w in g.neighbors(v) {
+                if !inside[w as usize] {
+                    assert!(
+                        phi[w as usize] < s.density,
+                        "neighbor {w} of LhCDS has phi {} >= {}",
+                        phi[w as usize],
+                        s.density
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Level structure on the polbooks case-study network: strictly
+/// decreasing levels, phi bounded by the top density, and the pockets
+/// occupy the top levels.
+#[test]
+fn polbooks_decomposition_structure() {
+    let pb = polbooks_like();
+    let d = dense_decomposition(&pb.graph, 3);
+    assert!(!d.levels.is_empty());
+    for w in d.levels.windows(2) {
+        assert!(w[0].density > w[1].density);
+    }
+    let top = d.levels[0].density;
+    assert!(d.phi.iter().all(|&p| p <= top));
+    // the planted conservative pocket (43..52) is in the top level
+    let top_level = &d.levels[0].vertices;
+    let pocket_hits = (43u32..52).filter(|v| top_level.contains(v)).count();
+    assert!(pocket_hits >= 7, "pocket not at the top level: {top_level:?}");
+}
+
+/// The decomposition is deterministic and consistent between the
+/// one-shot API and the levels.
+#[test]
+fn phi_is_consistent_with_levels() {
+    let g = planted_communities(200, 2, &[(14, 0.95)], 4);
+    let d1 = dense_decomposition(&g, 3);
+    let d2 = dense_decomposition(&g, 3);
+    assert_eq!(d1.phi, d2.phi);
+    for level in &d1.levels {
+        for &v in &level.vertices {
+            assert_eq!(d1.phi[v as usize], level.density);
+        }
+        assert!(level.density > Ratio::zero());
+    }
+    // vertices outside all levels have phi 0
+    let mut in_level = vec![false; g.n()];
+    for level in &d1.levels {
+        for &v in &level.vertices {
+            in_level[v as usize] = true;
+        }
+    }
+    for v in 0..g.n() {
+        if !in_level[v] {
+            assert_eq!(d1.phi[v], Ratio::zero());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Integration tests of the LhxPDS pattern pipeline against the clique
+//! pipeline, the brute-force oracle (via instance-store injection), and
+//! structural invariants.
+
+use lhcds::core::pipeline::{top_k_lhcds, top_k_with_instances, IppvConfig};
+use lhcds::data::gen::{gnp, planted_communities};
+use lhcds::flow::Ratio;
+use lhcds::graph::traversal::is_connected_within;
+use lhcds::patterns::enumerate::enumerate_pattern;
+use lhcds::patterns::{top_k_lhxpds, Pattern};
+
+#[test]
+fn clique_patterns_equal_clique_pipeline() {
+    let g = planted_communities(200, 3, &[(14, 0.9), (10, 0.95)], 8);
+    for (p, h) in [
+        (Pattern::Edge, 2usize),
+        (Pattern::Triangle, 3),
+        (Pattern::Clique4, 4),
+        (Pattern::Clique(5), 5),
+    ] {
+        let via_pattern = top_k_lhxpds(&g, p, 5, &IppvConfig::default());
+        let via_clique = top_k_lhcds(&g, h, 5, &IppvConfig::default());
+        assert_eq!(via_pattern.subgraphs, via_clique.subgraphs, "{p}");
+    }
+}
+
+#[test]
+fn pattern_outputs_satisfy_invariants() {
+    let g = gnp(120, 0.12, 31);
+    for p in Pattern::all_four_vertex() {
+        let res = top_k_lhxpds(&g, p, 6, &IppvConfig::default());
+        let store = enumerate_pattern(&g, p);
+        let mut seen = vec![false; g.n()];
+        let mut last: Option<Ratio> = None;
+        for s in &res.subgraphs {
+            for &v in &s.vertices {
+                assert!(!seen[v as usize], "{p}: overlap");
+                seen[v as usize] = true;
+            }
+            assert!(is_connected_within(&g, &s.vertices), "{p}: disconnected");
+            if let Some(prev) = last {
+                assert!(s.density <= prev, "{p}: order");
+            }
+            last = Some(s.density);
+            // recount instances inside
+            let mut inside = vec![false; g.n()];
+            for &v in &s.vertices {
+                inside[v as usize] = true;
+            }
+            let count = store.cliques_inside(&inside);
+            assert_eq!(
+                s.density,
+                Ratio::new(count as i128, s.vertices.len() as i128),
+                "{p}: density recount"
+            );
+        }
+    }
+}
+
+#[test]
+fn pattern_pipeline_exactness_via_instance_injection() {
+    // The oracle works on any instance store shape: inject 4-cycle
+    // instances as if they were "cliques" of arity 4 and compare the
+    // pipeline against a manual characterization on a crafted graph.
+    //
+    // Graph: two disjoint 4-cycles plus one K4 (which hosts 3 cycles).
+    let mut edges = vec![
+        (0u32, 1u32),
+        (1, 2),
+        (2, 3),
+        (3, 0), // C4 a
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (7, 4), // C4 b
+    ];
+    for u in 8..12u32 {
+        for v in u + 1..12 {
+            edges.push((u, v)); // K4
+        }
+    }
+    let g = lhcds::graph::CsrGraph::from_edges(12, edges);
+    let res = top_k_lhxpds(&g, Pattern::Cycle4, 10, &IppvConfig::default());
+    assert_eq!(res.subgraphs.len(), 3);
+    // K4 first (3/4), then the two plain cycles (1/4 each)
+    assert_eq!(res.subgraphs[0].vertices, vec![8, 9, 10, 11]);
+    assert_eq!(res.subgraphs[0].density, Ratio::new(3, 4));
+    assert_eq!(res.subgraphs[1].density, Ratio::new(1, 4));
+    assert_eq!(res.subgraphs[2].density, Ratio::new(1, 4));
+}
+
+#[test]
+fn instance_store_injection_matches_direct_api() {
+    let g = gnp(80, 0.15, 77);
+    let store = enumerate_pattern(&g, Pattern::Diamond);
+    let direct = top_k_lhxpds(&g, Pattern::Diamond, 4, &IppvConfig::default());
+    let injected = top_k_with_instances(&g, &store, 4, &IppvConfig::default());
+    assert_eq!(direct.subgraphs, injected.subgraphs);
+}
+
+#[test]
+fn star_pattern_on_hub_network() {
+    // hubs with many leaves are 3-star-dense; a clique of the same size
+    // is denser still per vertex
+    let mut edges = Vec::new();
+    for leaf in 1..=8u32 {
+        edges.push((0, leaf));
+    }
+    for u in 9..14u32 {
+        for v in u + 1..14 {
+            edges.push((u, v)); // K5: each vertex centers C(4,3)=4 stars
+        }
+    }
+    let g = lhcds::graph::CsrGraph::from_edges(14, edges);
+    let res = top_k_lhxpds(&g, Pattern::Star3, 2, &IppvConfig::default());
+    assert!(!res.subgraphs.is_empty());
+    // hub star: 1 center with C(8,3) = 56 stars over 9 vertices ≈ 6.2;
+    // K5: 5·4 = 20 stars over 5 vertices = 4 → hub wins
+    assert!(res.subgraphs[0].vertices.contains(&0));
+    assert_eq!(res.subgraphs[0].density, Ratio::new(56, 9));
+}
+
+#[test]
+fn patterns_differ_in_selected_regions() {
+    // a graph where the 4-cycle-densest and the 4-clique-densest differ:
+    // a dense bipartite-ish block (many C4, no K4) vs a K5
+    let mut edges = Vec::new();
+    // complete bipartite K3,3 on 0..6 (9 edges, 9 C4s, no triangle)
+    for a in 0..3u32 {
+        for b in 3..6u32 {
+            edges.push((a, b));
+        }
+    }
+    for u in 6..11u32 {
+        for v in u + 1..11 {
+            edges.push((u, v)); // K5
+        }
+    }
+    let g = lhcds::graph::CsrGraph::from_edges(11, edges);
+    let cycles = top_k_lhxpds(&g, Pattern::Cycle4, 1, &IppvConfig::default());
+    let cliques = top_k_lhxpds(&g, Pattern::Clique4, 1, &IppvConfig::default());
+    // K3,3: 9 cycles / 6 vertices = 1.5; K5: 3·C(5,4) = 15 cycles / 5 = 3
+    // → cycle-densest is the K5 too, but clique-densest has density
+    // C(5,4)=5/5=1 while K3,3 has none.
+    assert_eq!(cliques.subgraphs[0].vertices, vec![6, 7, 8, 9, 10]);
+    assert_eq!(cycles.subgraphs[0].vertices, vec![6, 7, 8, 9, 10]);
+    // the bipartite block still shows up as the *second* cycle-dense
+    // region
+    let cycles2 = top_k_lhxpds(&g, Pattern::Cycle4, 2, &IppvConfig::default());
+    assert_eq!(cycles2.subgraphs[1].vertices, vec![0, 1, 2, 3, 4, 5]);
+    assert_eq!(cycles2.subgraphs[1].density, Ratio::new(9, 6));
+}
+
+#[test]
+fn oracle_check_for_pattern_pipeline_on_tiny_graphs() {
+    // brute-force LhxPDS oracle specialized to 4-cycles on tiny graphs:
+    // enumerate instances, then reuse the generic subset logic through
+    // the clique oracle by injecting the store is not possible — so we
+    // verify the *definition* directly on the outputs instead.
+    let g = gnp(10, 0.45, 13);
+    let store = enumerate_pattern(&g, Pattern::Cycle4);
+    if store.is_empty() {
+        return;
+    }
+    let res = top_k_lhxpds(&g, Pattern::Cycle4, usize::MAX, &IppvConfig::default());
+    for s in &res.subgraphs {
+        // condition 1: no denser subset (self-densest ⟺ ρ-compact)
+        let rho = s.density;
+        let n = s.vertices.len();
+        for mask in 1u32..(1 << n) {
+            let subset: Vec<u32> = (0..n)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| s.vertices[i])
+                .collect();
+            let mut inside = vec![false; g.n()];
+            for &v in &subset {
+                inside[v as usize] = true;
+            }
+            let cnt = store.cliques_inside(&inside);
+            assert!(
+                Ratio::new(cnt as i128, subset.len() as i128) <= rho,
+                "subset denser than its LhxPDS"
+            );
+        }
+    }
+}
+
+/// Full exactness oracle for the pattern pipeline: inject each
+/// 4-vertex pattern's instance store into the generalized brute-force
+/// oracle and compare complete LhxPDS lists on random graphs.
+#[test]
+fn pattern_pipeline_matches_generalized_oracle() {
+    use lhcds::core::bruteforce::all_lhcds_bruteforce_with;
+    let mut state = 0xC0FFEEu64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for trial in 0..12 {
+        let n = 9u32;
+        let mut b = lhcds::graph::GraphBuilder::new();
+        b.ensure_vertex(n - 1);
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng() % 100 < 45 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        for p in Pattern::all_four_vertex() {
+            let store = enumerate_pattern(&g, p);
+            if store.is_empty() {
+                continue;
+            }
+            let oracle = all_lhcds_bruteforce_with(&g, &store);
+            let got = top_k_lhxpds(&g, p, usize::MAX, &IppvConfig::default());
+            assert_eq!(
+                got.subgraphs.len(),
+                oracle.len(),
+                "trial {trial} pattern {p}: {:?} vs {:?}",
+                got.subgraphs,
+                oracle
+            );
+            for (a, o) in got.subgraphs.iter().zip(&oracle) {
+                assert_eq!(a.vertices, o.vertices, "trial {trial} pattern {p}");
+                assert_eq!(a.density, o.density, "trial {trial} pattern {p}");
+            }
+        }
+    }
+}
+
+/// Custom five-vertex patterns run through the same oracle.
+#[test]
+fn custom_pattern_matches_generalized_oracle() {
+    use lhcds::core::bruteforce::all_lhcds_bruteforce_with;
+    use lhcds::patterns::CustomPattern;
+    let bowtie = CustomPattern::new(
+        "bowtie",
+        5,
+        &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
+    )
+    .unwrap();
+    let mut state = 0xBEEF5u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..8 {
+        let n = 9u32;
+        let mut b = lhcds::graph::GraphBuilder::new();
+        b.ensure_vertex(n - 1);
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng() % 100 < 55 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let store = bowtie.enumerate(&g);
+        if store.is_empty() {
+            continue;
+        }
+        let oracle = all_lhcds_bruteforce_with(&g, &store);
+        let got = lhcds::patterns::top_k_custom(&g, &bowtie, usize::MAX, &IppvConfig::default());
+        assert_eq!(got.subgraphs.len(), oracle.len());
+        for (a, o) in got.subgraphs.iter().zip(&oracle) {
+            assert_eq!(a.vertices, o.vertices);
+            assert_eq!(a.density, o.density);
+        }
+    }
+}
