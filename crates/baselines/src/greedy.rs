@@ -2,16 +2,21 @@
 //! densest subgraphs via kClist++ without the locally-densest guarantee.
 //!
 //! Each round runs SEQ-kClist++ on the remaining graph, orders vertices
-//! by weight, extracts the exact-densest prefix (the kClist++ rounding
-//! step), reports its largest connected component, removes it, and
-//! repeats. Nothing enforces `ρ`-compactness or maximality, so — as the
-//! paper's Figure 14 shows — consecutive extractions can be adjacent
-//! shavings of one dense region instead of genuinely distinct
-//! communities.
+//! by weight, and extracts the densest prefix (the kClist++ rounding
+//! step). The rounding is only a lower bound after finitely many CP
+//! iterations, so the prefix is then checked against the exact max-flow
+//! densest decomposition; when the flow certifies the prefix optimal it
+//! is kept, otherwise the flow's maximal densest set replaces it. The
+//! round reports the largest connected component of the chosen set,
+//! removes it, and repeats. Nothing enforces `ρ`-compactness or
+//! maximality, so — as the paper's Figure 14 shows — consecutive
+//! extractions can be adjacent shavings of one dense region instead of
+//! genuinely distinct communities.
 
 use lhcds_clique::CliqueSet;
+use lhcds_core::compact::{densest_decomposition, local_instance};
 use lhcds_core::cp::seq_kclist_pp;
-use lhcds_flow::Ratio;
+use lhcds_core::Ratio;
 use lhcds_graph::traversal::components_within;
 use lhcds_graph::{CsrGraph, InducedSubgraph, VertexId};
 
@@ -26,12 +31,7 @@ pub struct GreedyDense {
 
 /// Extracts up to `k` dense subgraphs greedily. `iterations` is the
 /// SEQ-kClist++ round count per extraction (the paper uses `T = 20`).
-pub fn greedy_top_k_cds(
-    g: &CsrGraph,
-    h: usize,
-    k: usize,
-    iterations: usize,
-) -> Vec<GreedyDense> {
+pub fn greedy_top_k_cds(g: &CsrGraph, h: usize, k: usize, iterations: usize) -> Vec<GreedyDense> {
     let mut results = Vec::new();
     let mut remaining: Vec<VertexId> = g.vertices().collect();
     for _ in 0..k {
@@ -83,9 +83,24 @@ pub fn greedy_top_k_cds(
         if best_q == 0 {
             break;
         }
-        let prefix: Vec<VertexId> = order[..best_q].to_vec();
-        // report the largest connected piece of the prefix
-        let comps = components_within(&sub.graph, &prefix);
+        let mut chosen: Vec<VertexId> = order[..best_q].to_vec();
+        // Exact flow refinement: the rounding prefix is only a lower
+        // bound after `iterations` CP rounds, so certify it against the
+        // exact densest decomposition and replace it when it falls short.
+        let local: Vec<VertexId> = (0..sub.n() as VertexId).collect();
+        let (inst, map) = local_instance(&cliques, &local);
+        if let Some((rho, members)) = densest_decomposition(&inst) {
+            if rho > best {
+                chosen = map
+                    .iter()
+                    .zip(&members)
+                    .filter(|&(_, &m)| m)
+                    .map(|(&v, _)| v)
+                    .collect();
+            }
+        }
+        // report the largest connected piece of the chosen set
+        let comps = components_within(&sub.graph, &chosen);
         let piece = comps
             .into_iter()
             .max_by_key(|c| c.len())

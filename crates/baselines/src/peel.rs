@@ -7,7 +7,7 @@
 //! literature. It serves as a cheap seed/baseline in the benchmarks.
 
 use lhcds_clique::CliqueSet;
-use lhcds_flow::Ratio;
+use lhcds_core::Ratio;
 use lhcds_graph::{CsrGraph, VertexId};
 
 /// Result of a peeling run.

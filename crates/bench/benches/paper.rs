@@ -3,19 +3,22 @@
 //! `harness` binary runs the full-size sweeps).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lhcds_baselines::{greedy_top_k_cds, FlowLds};
-use lhcds_clique::count_cliques;
-use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
-use lhcds_data::datasets::by_abbr;
-use lhcds_data::gen::sample_edges;
-use lhcds_data::polbooks_like;
-use lhcds_graph::CsrGraph;
-use lhcds_patterns::{top_k_lhxpds, Pattern};
+use lhcds::baselines::{greedy_top_k_cds, FlowLds};
+use lhcds::clique::count_cliques;
+use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::data::datasets::by_abbr;
+use lhcds::data::gen::sample_edges;
+use lhcds::data::polbooks_like;
+use lhcds::graph::CsrGraph;
+use lhcds::patterns::{top_k_lhxpds, Pattern};
 
 const SCALE: f64 = 0.02;
 
 fn graph(abbr: &str) -> CsrGraph {
-    by_abbr(abbr).expect("known abbr").generate_scaled(SCALE).graph
+    by_abbr(abbr)
+        .expect("known abbr")
+        .generate_scaled(SCALE)
+        .graph
 }
 
 fn cfg(fast: bool) -> IppvConfig {
@@ -45,16 +48,12 @@ fn fig9_verify(c: &mut Criterion) {
     group.sample_size(10);
     for h in [3usize, 4] {
         for k in [5usize, 20] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("basic_h{h}"), k),
-                &k,
-                |b, &k| b.iter(|| top_k_lhcds(&g, h, k, &cfg(false))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new(format!("fast_h{h}"), k),
-                &k,
-                |b, &k| b.iter(|| top_k_lhcds(&g, h, k, &cfg(true))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("basic_h{h}"), k), &k, |b, &k| {
+                b.iter(|| top_k_lhcds(&g, h, k, &cfg(false)))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("fast_h{h}"), k), &k, |b, &k| {
+                b.iter(|| top_k_lhcds(&g, h, k, &cfg(true)))
+            });
         }
     }
     group.finish();
@@ -93,7 +92,9 @@ fn fig12_ldsflow(c: &mut Criterion) {
     let g = graph("EP");
     let mut group = c.benchmark_group("fig12_ldsflow");
     group.sample_size(10);
-    group.bench_function("ippv_h2_k5", |b| b.iter(|| top_k_lhcds(&g, 2, 5, &cfg(true))));
+    group.bench_function("ippv_h2_k5", |b| {
+        b.iter(|| top_k_lhcds(&g, 2, 5, &cfg(true)))
+    });
     group.bench_function("ldsflow_k5", |b| b.iter(|| FlowLds::ldsflow().top_k(&g, 5)));
     group.finish();
 }
@@ -103,7 +104,9 @@ fn table3_ltds(c: &mut Criterion) {
     let g = graph("CM");
     let mut group = c.benchmark_group("table3_ltds");
     group.sample_size(10);
-    group.bench_function("ippv_h3_k5", |b| b.iter(|| top_k_lhcds(&g, 3, 5, &cfg(true))));
+    group.bench_function("ippv_h3_k5", |b| {
+        b.iter(|| top_k_lhcds(&g, 3, 5, &cfg(true)))
+    });
     group.bench_function("ltds_k5", |b| b.iter(|| FlowLds::ltds().top_k(&g, 5)));
     group.finish();
 }
@@ -127,8 +130,12 @@ fn fig14_greedy(c: &mut Criterion) {
     let g = graph("PC");
     let mut group = c.benchmark_group("fig14_greedy");
     group.sample_size(10);
-    group.bench_function("ippv_h3_k5", |b| b.iter(|| top_k_lhcds(&g, 3, 5, &cfg(true))));
-    group.bench_function("greedy_h3_k5", |b| b.iter(|| greedy_top_k_cds(&g, 3, 5, 20)));
+    group.bench_function("ippv_h3_k5", |b| {
+        b.iter(|| top_k_lhcds(&g, 3, 5, &cfg(true)))
+    });
+    group.bench_function("greedy_h3_k5", |b| {
+        b.iter(|| greedy_top_k_cds(&g, 3, 5, 20))
+    });
     group.finish();
 }
 

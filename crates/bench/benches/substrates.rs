@@ -3,13 +3,13 @@
 //! max-flow verification primitives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lhcds_clique::{clique_core, CliqueSet};
-use lhcds_core::compact::{densest_decomposition, local_instance};
-use lhcds_core::cp::seq_kclist_pp;
-use lhcds_data::gen::{gnp, planted_communities};
-use lhcds_flow::Dinic;
-use lhcds_graph::core_decomp::degeneracy_order;
-use lhcds_graph::{CsrGraph, VertexId};
+use lhcds::clique::{clique_core, CliqueSet};
+use lhcds::core::compact::{densest_decomposition, local_instance};
+use lhcds::core::cp::seq_kclist_pp;
+use lhcds::data::gen::{gnp, planted_communities};
+use lhcds::flow::Dinic;
+use lhcds::graph::core_decomp::degeneracy_order;
+use lhcds::graph::{CsrGraph, VertexId};
 
 fn bench_graph() -> CsrGraph {
     planted_communities(2000, 4, &[(20, 0.9), (16, 0.85), (12, 0.9)], 0xBEEF)

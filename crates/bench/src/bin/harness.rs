@@ -31,9 +31,7 @@ fn main() {
                 return;
             }
             "--scale" => {
-                let v = it
-                    .next()
-                    .unwrap_or_else(|| usage("--scale needs a value"));
+                let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
                 opts.scale = v
                     .parse()
                     .unwrap_or_else(|_| usage("--scale expects a float in (0, 1]"));
@@ -69,10 +67,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "_total harness time: {:.1} s_",
-        t0.elapsed().as_secs_f64()
-    );
+    println!("_total harness time: {:.1} s_", t0.elapsed().as_secs_f64());
 }
 
 fn usage(msg: &str) -> ! {

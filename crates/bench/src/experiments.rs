@@ -7,14 +7,14 @@
 //! minutes-scale budget (the paper's originals ran up to 48 h).
 
 use crate::measure::{fmt_kb, peak_bytes, reset_peak, time_ms, MdTable};
-use lhcds_baselines::{greedy_top_k_cds, FlowLds};
-use lhcds_clique::count_cliques;
-use lhcds_core::pipeline::{top_k_lhcds, IppvConfig, IppvResult};
-use lhcds_data::datasets::by_abbr;
-use lhcds_data::{polbooks_like, registry, Dataset, LabeledGraph};
-use lhcds_graph::properties::{average_clustering, diameter, edge_density};
-use lhcds_graph::{CsrGraph, InducedSubgraph};
-use lhcds_patterns::{top_k_lhxpds, Pattern};
+use lhcds::baselines::{greedy_top_k_cds, FlowLds};
+use lhcds::clique::count_cliques;
+use lhcds::core::pipeline::{top_k_lhcds, IppvConfig, IppvResult};
+use lhcds::data::datasets::by_abbr;
+use lhcds::data::{polbooks_like, registry, Dataset, LabeledGraph};
+use lhcds::graph::properties::{average_clustering, diameter, edge_density};
+use lhcds::graph::{CsrGraph, InducedSubgraph};
+use lhcds::patterns::{top_k_lhxpds, Pattern};
 
 /// Experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +80,13 @@ pub fn run_experiment(name: &str, opts: &ExpOptions) -> Option<String> {
 /// synthetic stand-ins next to the paper's originals.
 pub fn table2(opts: &ExpOptions) -> String {
     let mut t = MdTable::new([
-        "abbr", "stand-in |V|", "stand-in |E|", "|Ψ3|", "|Ψ5|", "paper |V|", "paper |E|",
+        "abbr",
+        "stand-in |V|",
+        "stand-in |E|",
+        "|Ψ3|",
+        "|Ψ5|",
+        "paper |V|",
+        "paper |E|",
     ]);
     for spec in registry() {
         let d = spec.generate_scaled(opts.scale);
@@ -166,7 +172,7 @@ pub fn fig11(opts: &ExpOptions) -> String {
     for abbr in ["AM", "EN", "EP", "DB"] {
         let d = dataset(abbr, opts.scale);
         for pct in [20u32, 40, 60, 80, 100] {
-            let g = lhcds_data::gen::sample_edges(&d.graph, pct as f64 / 100.0, 7 + pct as u64);
+            let g = lhcds::data::gen::sample_edges(&d.graph, pct as f64 / 100.0, 7 + pct as u64);
             let psi = count_cliques(&g, 3);
             let (_, ms) = run(&g, 3, 5, true);
             t.row([
@@ -226,7 +232,7 @@ pub fn table3(opts: &ExpOptions) -> String {
     )
 }
 
-fn label_mix(lg: &LabeledGraph, verts: &[lhcds_graph::VertexId]) -> String {
+fn label_mix(lg: &LabeledGraph, verts: &[lhcds::graph::VertexId]) -> String {
     let mut counts = vec![0usize; lg.label_names.len()];
     for &v in verts {
         counts[lg.labels[v as usize] as usize] += 1;
@@ -274,7 +280,13 @@ pub fn table4(opts: &ExpOptions) -> String {
         for h in [2usize, 3, 5, 7, 9] {
             let res = top_k_lhcds(&d.graph, h, 5, &IppvConfig::default());
             if res.subgraphs.is_empty() {
-                t.row([abbr.into(), h.to_string(), "-".into(), "-".into(), "0".into()]);
+                t.row([
+                    abbr.into(),
+                    h.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "0".into(),
+                ]);
                 continue;
             }
             let mut dens = 0.0;
@@ -310,7 +322,14 @@ pub fn table4(opts: &ExpOptions) -> String {
 
 /// Figure 14: size vs h-clique density, IPPV vs Greedy, `h ∈ {3, 5}`.
 pub fn fig14(opts: &ExpOptions) -> String {
-    let mut t = MdTable::new(["dataset", "h", "algorithm", "rank", "size", "h-clique density"]);
+    let mut t = MdTable::new([
+        "dataset",
+        "h",
+        "algorithm",
+        "rank",
+        "size",
+        "h-clique density",
+    ]);
     for abbr in ["CM", "PC"] {
         let d = dataset(abbr, opts.scale);
         for h in [3usize, 5] {
@@ -390,11 +409,7 @@ pub fn fig15(opts: &ExpOptions) -> String {
         reset_peak();
         let _ = FlowLds::ltds().top_k(&d.graph, 5);
         let ltds_peak = peak_bytes();
-        t.row([
-            spec.abbr.to_string(),
-            fmt_kb(ippv_peak),
-            fmt_kb(ltds_peak),
-        ]);
+        t.row([spec.abbr.to_string(), fmt_kb(ippv_peak), fmt_kb(ltds_peak)]);
     }
     format!(
         "## Figure 15 — peak memory (paper: verification dominates; IPPV ≤ LTDS)\n\n{}",
@@ -430,7 +445,13 @@ pub fn fig17(_opts: &ExpOptions) -> String {
     for p in Pattern::all_four_vertex() {
         let res = top_k_lhxpds(&pb.graph, p, 2, &IppvConfig::default());
         if res.subgraphs.is_empty() {
-            t.row([p.to_string(), "-".into(), "0".into(), "-".into(), "-".into()]);
+            t.row([
+                p.to_string(),
+                "-".into(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         }
         for (i, s) in res.subgraphs.iter().enumerate() {
             t.row([
@@ -528,13 +549,11 @@ mod tests {
         for name in all_experiments() {
             // dispatch must know every id (we don't run them all here —
             // that's the harness's job)
-            assert!(
-                [
-                    "table2", "fig9", "fig10", "fig11", "fig12", "table3", "fig13", "table4",
-                    "fig14", "table5", "fig15", "fig16", "fig17", "ablation"
-                ]
-                .contains(name)
-            );
+            assert!([
+                "table2", "fig9", "fig10", "fig11", "fig12", "table3", "fig13", "table4", "fig14",
+                "table5", "fig15", "fig16", "fig17", "ablation"
+            ]
+            .contains(name));
         }
         assert!(run_experiment("nope", &TINY).is_none());
     }

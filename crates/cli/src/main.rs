@@ -12,9 +12,9 @@
 
 use std::process::ExitCode;
 
-use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
-use lhcds_graph::io::{read_edge_list_file, write_edge_list_file};
-use lhcds_patterns::{top_k_lhxpds, Pattern};
+use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::graph::io::{read_edge_list_file, write_edge_list_file};
+use lhcds::patterns::{top_k_lhxpds, Pattern};
 
 mod args;
 use args::Args;
@@ -125,14 +125,14 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     let h = args.get_parsed("h")?.unwrap_or(3usize);
     args.finish()?;
     let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
-    let deg = lhcds_graph::core_decomp::degeneracy_order(&g);
+    let deg = lhcds::graph::core_decomp::degeneracy_order(&g);
     println!("vertices:    {}", g.n());
     println!("edges:       {}", g.m());
     println!("max degree:  {}", g.max_degree());
     println!("degeneracy:  {}", deg.degeneracy);
-    println!("clique no.:  {}", lhcds_clique::clique_number(&g));
+    println!("clique no.:  {}", lhcds::clique::clique_number(&g));
     for hh in [3usize, h.max(3)] {
-        println!("|Psi_{hh}|:     {}", lhcds_clique::count_cliques(&g, hh));
+        println!("|Psi_{hh}|:     {}", lhcds::clique::count_cliques(&g, hh));
         if hh == h.max(3) {
             break;
         }
@@ -148,7 +148,7 @@ fn cmd_gen(args: &mut Args) -> Result<(), String> {
     if !(scale > 0.0 && scale <= 1.0) {
         return Err("--scale must be in (0, 1]".into());
     }
-    let spec = lhcds_data::datasets::by_abbr(&preset)
+    let spec = lhcds::data::datasets::by_abbr(&preset)
         .ok_or_else(|| format!("unknown preset '{preset}'"))?;
     let d = spec.generate_scaled(scale);
     write_edge_list_file(&d.graph, &out).map_err(|e| e.to_string())?;

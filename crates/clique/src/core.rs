@@ -196,9 +196,7 @@ mod tests {
         let cs = CliqueSet::enumerate(&g, 3);
         let cc = clique_core(&cs);
         let k = cc.max_core;
-        let members: Vec<bool> = (0..g.n())
-            .map(|v| cc.core[v] >= k)
-            .collect();
+        let members: Vec<bool> = (0..g.n()).map(|v| cc.core[v] >= k).collect();
         // recount degrees inside the core
         let mut inside_deg = vec![0u64; g.n()];
         for cl in cs.iter() {

@@ -287,8 +287,7 @@ mod tests {
             if mask.count_ones() as usize != h {
                 continue;
             }
-            let verts: Vec<VertexId> =
-                (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
+            let verts: Vec<VertexId> = (0..n as u32).filter(|i| mask & (1 << i) != 0).collect();
             let ok = verts
                 .iter()
                 .enumerate()

@@ -140,10 +140,7 @@ mod tests {
     fn path_maximal_cliques_are_edges() {
         let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
         let cliques = maximal_cliques(&g);
-        assert_eq!(
-            cliques,
-            vec![vec![0, 1], vec![1, 2], vec![2, 3]]
-        );
+        assert_eq!(cliques, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
         assert_eq!(clique_number(&g), 2);
     }
 
@@ -199,9 +196,7 @@ mod tests {
             // completeness: every h-clique is inside some maximal clique
             let k3 = crate::CliqueSet::enumerate(&g, 3);
             for t in k3.iter() {
-                assert!(cliques
-                    .iter()
-                    .any(|c| t.iter().all(|v| c.contains(v))));
+                assert!(cliques.iter().any(|c| t.iter().all(|v| c.contains(v))));
             }
         }
     }

@@ -1,0 +1,246 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the API subset its benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of Criterion's statistical machinery it runs a short warmup
+//! plus `sample_size` timed iterations per benchmark and prints
+//! `median / mean / total` wall-clock times — enough to compare runs by
+//! hand and to keep `cargo bench` compiling and running offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier `function_name/parameter` for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup iteration, untimed.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.target {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for source compatibility; the stand-in keys everything
+    /// off `sample_size` alone.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, &mut b.samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, &mut b.samples);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, samples: &mut [Duration]) {
+        if samples.is_empty() {
+            println!(
+                "{}/{:<40} (no samples — body never called iter)",
+                self.name, id
+            );
+            return;
+        }
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        let median = samples[samples.len() / 2];
+        let mean = total / samples.len() as u32;
+        println!(
+            "{}/{:<40} median {:>10}  mean {:>10}  ({} samples, total {})",
+            self.name,
+            id,
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len(),
+            fmt_duration(total)
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("count", 7), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        // 1 warmup + 3 samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("sq", 6), &6u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for the [`rand_chacha`] crate: a real ChaCha8 block
+//! function driving the `rand` stand-in's [`RngCore`].
+//!
+//! The key is expanded from the `u64` seed with SplitMix64, so streams are
+//! deterministic functions of the seed (the property the dataset
+//! generators rely on). They do **not** match upstream `rand_chacha`'s
+//! byte-for-byte output.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, seeded from a `u64`.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 8 key words, counter, 3 nonce words.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 forces a refill.
+    word: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // One double round: column round + diagonal round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        // Feed-forward: keystream block = working state + input block.
+        for (out, (w, inp)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*inp);
+        }
+        self.state[12] = self.state[12].wrapping_add(1); // block counter
+        self.word = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.word == 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" sigma constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        for i in 0..4 {
+            let k = splitmix64(&mut sm);
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // counter = 0, nonce = 0.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn roughly_uniform_bits() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let ones: u32 = (0..256).map(|_| r.next_u64().count_ones()).sum();
+        // 256 * 64 = 16384 bits; expect ~8192 ones, allow a wide margin.
+        assert!((7600..8800).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut r = ChaCha8Rng::seed_from_u64(0xB00C6);
+        let mut inside = 0u32;
+        for _ in 0..1000 {
+            if r.gen_bool(0.25) {
+                inside += 1;
+            }
+        }
+        assert!((150..350).contains(&inside), "inside = {inside}");
+    }
+}

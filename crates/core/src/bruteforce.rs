@@ -174,7 +174,10 @@ pub fn all_lhcds_bruteforce_with(g: &CsrGraph, cliques: &CliqueSet) -> Vec<Oracl
 /// Panics if `g.n() > 16` (`O(4ⁿ)`).
 pub fn compact_numbers_bruteforce(g: &CsrGraph, h: usize) -> Vec<Ratio> {
     let n = g.n();
-    assert!(n <= 16, "brute-force compact numbers limited to 16 vertices");
+    assert!(
+        n <= 16,
+        "brute-force compact numbers limited to 16 vertices"
+    );
     let mut phi = vec![Ratio::zero(); n];
     if n == 0 {
         return phi;
@@ -230,10 +233,7 @@ pub fn compact_numbers_bruteforce(g: &CsrGraph, h: usize) -> Vec<Ratio> {
         let mut compactness = Ratio::new(pa, sa); // B = ∅ bound: Ψ(A)/|A|
         let mut b = (mask.wrapping_sub(1)) & mask;
         while b != 0 {
-            let ratio = Ratio::new(
-                pa - psi[b as usize] as i128,
-                sa - b.count_ones() as i128,
-            );
+            let ratio = Ratio::new(pa - psi[b as usize] as i128, sa - b.count_ones() as i128);
             if ratio < compactness {
                 compactness = ratio;
             }

@@ -243,7 +243,11 @@ pub fn derive_compact(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
     }
     let eps = Ratio::new(1, (inst.n as i128) * (inst.n as i128));
     let thr = rho - eps;
-    let thr = if thr < Ratio::zero() { Ratio::zero() } else { thr };
+    let thr = if thr < Ratio::zero() {
+        Ratio::zero()
+    } else {
+        thr
+    };
     let (net, _, t) = solve_network(inst, thr);
     let side = net.max_cut_source_side(t);
     (0..inst.n).map(|v| side[v + 1]).collect()
@@ -288,10 +292,7 @@ pub fn densest_decomposition(inst: &LocalInstance) -> Option<(Ratio, Vec<bool>)>
 /// with the forced vertices pinned to the source side. Returns the
 /// marginal density and the *new* vertices (level members), or `None`
 /// when no vertex outside `forced` participates in any clique gain.
-pub fn next_density_level(
-    inst: &LocalInstance,
-    forced: &[bool],
-) -> Option<(Ratio, Vec<bool>)> {
+pub fn next_density_level(inst: &LocalInstance, forced: &[bool]) -> Option<(Ratio, Vec<bool>)> {
     let n = inst.n;
     let forced_count = forced.iter().filter(|&&f| f).count();
     if n == 0 || forced_count == n {
@@ -305,10 +306,7 @@ pub fn next_density_level(
     if total == base_inside {
         return None;
     }
-    let mut rho = Ratio::new(
-        total - base_inside,
-        (n - forced_count) as i128,
-    );
+    let mut rho = Ratio::new(total - base_inside, (n - forced_count) as i128);
 
     // Goldberg iteration on the marginal density: the minimal maximizer
     // of |Ψ(A)| − ρ|A| over A ⊇ forced shrinks as ρ grows.
@@ -342,12 +340,14 @@ pub fn next_density_level(
     // Largest maximizer at the final level (ε-perturbed threshold).
     let eps = Ratio::new(1, (n as i128) * (n as i128));
     let thr = best - eps;
-    let thr = if thr < Ratio::zero() { Ratio::zero() } else { thr };
+    let thr = if thr < Ratio::zero() {
+        Ratio::zero()
+    } else {
+        thr
+    };
     let (net, _, t) = solve_network_forced(inst, thr, Some(forced));
     let side = net.max_cut_source_side(t);
-    let level: Vec<bool> = (0..n)
-        .map(|v| side[v + 1] && !forced[v])
-        .collect();
+    let level: Vec<bool> = (0..n).map(|v| side[v + 1] && !forced[v]).collect();
     debug_assert!(level.iter().any(|&b| b), "level must be non-empty");
     Some((best, level))
 }
@@ -450,10 +450,7 @@ mod tests {
         let inst = instance_of(&b.build(), 3);
         let (rho, members) = densest_decomposition(&inst).unwrap();
         assert_eq!(rho, Ratio::from_int(2)); // 10 triangles / 5 vertices
-        assert_eq!(
-            members,
-            vec![true, true, true, true, true, false, false]
-        );
+        assert_eq!(members, vec![true, true, true, true, true, false, false]);
     }
 
     #[test]

@@ -133,10 +133,7 @@ mod tests {
         let st = seq_kclist_pp(&cs, 200);
         let expect = cs.len() as f64 / 6.0; // 20/6
         for &rv in &st.r {
-            assert!(
-                (rv - expect).abs() < 0.15,
-                "r = {rv}, expected ≈ {expect}"
-            );
+            assert!((rv - expect).abs() < 0.15, "r = {rv}, expected ≈ {expect}");
         }
     }
 

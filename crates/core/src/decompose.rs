@@ -166,7 +166,10 @@ mod tests {
             }
         }
         // triangle 5-6-7 attached to the K5 by edge 4-5
-        b.add_edge(5, 6).add_edge(6, 7).add_edge(7, 5).add_edge(4, 5);
+        b.add_edge(5, 6)
+            .add_edge(6, 7)
+            .add_edge(7, 5)
+            .add_edge(4, 5);
         b.build()
     }
 

@@ -56,3 +56,7 @@ pub mod verify;
 
 pub use bounds::{initialize_bounds, Bounds};
 pub use pipeline::{top_k_lhcds, IppvConfig, IppvResult, IppvStats, Lhcds};
+// The exact-rational density currency of the whole pipeline. Re-exported so
+// higher layers (patterns, baselines, the facade's consumers) never need a
+// direct dependency on the flow substrate.
+pub use lhcds_flow::Ratio;

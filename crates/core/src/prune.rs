@@ -23,12 +23,7 @@ use lhcds_graph::{CsrGraph, VertexId};
 
 /// Applies both pruning rules to the `alive` mask in place. Returns the
 /// number of vertices removed.
-pub fn prune(
-    g: &CsrGraph,
-    cliques: &CliqueSet,
-    bounds: &Bounds,
-    alive: &mut [bool],
-) -> usize {
+pub fn prune(g: &CsrGraph, cliques: &CliqueSet, bounds: &Bounds, alive: &mut [bool]) -> usize {
     let mut removed = 0usize;
 
     // Rule 1: one pass over edges (bounds are global and unaffected by
@@ -173,14 +168,20 @@ mod tests {
         // high lower bound on its neighbor's side, the remaining
         // triangle loses its clique and 5's restricted core drops to 0.
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 2).add_edge(1, 3);
-        b.add_edge(2, 3).add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+        b.add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 2)
+            .add_edge(1, 3);
+        b.add_edge(2, 3)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .add_edge(5, 3);
         let g = b.build();
         let cs = CliqueSet::enumerate(&g, 3);
         let mut bounds = initialize_bounds(&cs, 1e-6);
         let mut alive = vec![true; g.n()];
         alive[4] = false; // pretend 4 was already pruned
-        // demand that 5 keeps a compact number of at least 1/2
+                          // demand that 5 keeps a compact number of at least 1/2
         bounds.lower[5] = 0.5;
         let removed = prune(&g, &cs, &bounds, &mut alive);
         assert!(!alive[5], "5 must fall: its only triangle used 4");

@@ -369,8 +369,16 @@ mod tests {
         let (_, _, _, bounds) = run_pipeline_upto_stable(&g, 3, 60);
         // true φ3: K5 members = 2, triangle members = 1/3.
         for v in 0..5 {
-            assert!(bounds.lower[v] <= 2.0 + 1e-9, "lower[{v}]={}", bounds.lower[v]);
-            assert!(bounds.upper[v] >= 2.0 - 1e-9, "upper[{v}]={}", bounds.upper[v]);
+            assert!(
+                bounds.lower[v] <= 2.0 + 1e-9,
+                "lower[{v}]={}",
+                bounds.lower[v]
+            );
+            assert!(
+                bounds.upper[v] >= 2.0 - 1e-9,
+                "upper[{v}]={}",
+                bounds.upper[v]
+            );
         }
         for v in 5..8 {
             assert!(bounds.lower[v] <= 1.0 / 3.0 + 1e-9);

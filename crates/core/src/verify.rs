@@ -313,7 +313,10 @@ mod tests {
         let g = two_k5_disjoint();
         let (cs, _) = setup(&g, 3);
         let s: Vec<VertexId> = (0..5).collect();
-        assert_eq!(verify_basic(&g, &cs, &s, Ratio::from_int(2)), Verdict::Lhcds);
+        assert_eq!(
+            verify_basic(&g, &cs, &s, Ratio::from_int(2)),
+            Verdict::Lhcds
+        );
     }
 
     #[test]
@@ -535,7 +538,7 @@ mod tests {
             }
             // candidate: the densest decomposition of the whole graph
             let all: Vec<VertexId> = g.vertices().collect();
-            let (inst, map) = crate::compact::local_instance(&cs, &all);
+            let (inst, map) = local_instance(&cs, &all);
             let Some((rho, members)) = crate::compact::densest_decomposition(&inst) else {
                 continue;
             };

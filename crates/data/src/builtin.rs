@@ -163,9 +163,9 @@ pub fn harry_potter_like() -> LabeledGraph {
     // protagonists: a loose web
     for (u, v) in [
         (harry, hermione),
-        (harry, 0),     // Ron
-        (hermione, 0),  // Ron
-        (harry, 1),     // Ginny
+        (harry, 0),    // Ron
+        (hermione, 0), // Ron
+        (harry, 1),    // Ginny
         (harry, neville),
         (neville, luna),
         (harry, luna),
@@ -174,7 +174,7 @@ pub fn harry_potter_like() -> LabeledGraph {
         (dumbledore, lupin),
         (lupin, sirius),
         (harry, sirius),
-        (harry, nf + 5),   // Snape
+        (harry, nf + 5), // Snape
         (dumbledore, nf + 5),
         (hermione, neville),
     ] {

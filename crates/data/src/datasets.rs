@@ -260,8 +260,8 @@ mod tests {
         assert_eq!(
             abbrs,
             vec![
-                "HA", "GQ", "PP", "PC", "WB", "CM", "EP", "EN", "GW", "DB", "AM", "YT", "LF",
-                "FX", "WT"
+                "HA", "GQ", "PP", "PC", "WB", "CM", "EP", "EN", "GW", "DB", "AM", "YT", "LF", "FX",
+                "WT"
             ]
         );
         // stand-ins never exceed the originals
@@ -279,7 +279,10 @@ mod tests {
     #[test]
     fn small_dataset_generates_with_triangles() {
         let d = by_abbr("HA").unwrap().generate();
-        assert_eq!(d.graph.n(), 2_400 + SOCIAL_POCKETS.iter().map(|c| c.0).sum::<usize>());
+        assert_eq!(
+            d.graph.n(),
+            2_400 + SOCIAL_POCKETS.iter().map(|c| c.0).sum::<usize>()
+        );
         assert!(d.graph.m() > 10_000);
         assert!(lhcds_clique::count_cliques(&d.graph, 3) > 1_000);
     }
@@ -296,6 +299,9 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let spec = by_abbr("GQ").unwrap();
-        assert_eq!(spec.generate_scaled(0.1).graph, spec.generate_scaled(0.1).graph);
+        assert_eq!(
+            spec.generate_scaled(0.1).graph,
+            spec.generate_scaled(0.1).graph
+        );
     }
 }

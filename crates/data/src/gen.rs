@@ -276,7 +276,10 @@ mod tests {
         let g = gnp(200, 0.1, 42);
         let expect = 0.1 * (200.0 * 199.0 / 2.0);
         let m = g.m() as f64;
-        assert!((m - expect).abs() < expect * 0.25, "m = {m}, expect ≈ {expect}");
+        assert!(
+            (m - expect).abs() < expect * 0.25,
+            "m = {m}, expect ≈ {expect}"
+        );
     }
 
     #[test]

@@ -12,14 +12,12 @@ struct Net {
 
 fn arb_net() -> impl Strategy<Value = Net> {
     (3usize..10).prop_flat_map(|n| {
-        prop::collection::vec(
-            (0..n as u32, 0..n as u32, 0i128..50),
-            1..(n * n).min(40),
+        prop::collection::vec((0..n as u32, 0..n as u32, 0i128..50), 1..(n * n).min(40)).prop_map(
+            move |raw| Net {
+                n,
+                arcs: raw.into_iter().filter(|&(u, v, _)| u != v).collect(),
+            },
         )
-        .prop_map(move |raw| Net {
-            n,
-            arcs: raw.into_iter().filter(|&(u, v, _)| u != v).collect(),
-        })
     })
 }
 

@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn dedups_and_drops_self_loops() {
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1).add_edge(2, 2);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(0, 1)
+            .add_edge(2, 2);
         let g = b.build();
         assert_eq!(g.n(), 3);
         assert_eq!(g.m(), 1);
@@ -119,7 +122,10 @@ mod tests {
     #[test]
     fn neighbor_lists_are_sorted() {
         let mut b = GraphBuilder::new();
-        b.add_edge(5, 0).add_edge(5, 3).add_edge(5, 1).add_edge(2, 5);
+        b.add_edge(5, 0)
+            .add_edge(5, 3)
+            .add_edge(5, 1)
+            .add_edge(2, 5);
         let g = b.build();
         assert_eq!(g.neighbors(5), &[0, 1, 2, 3]);
     }

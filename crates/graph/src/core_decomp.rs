@@ -83,9 +83,7 @@ pub fn degeneracy_order(g: &CsrGraph) -> Degeneracy {
 /// has degree ≥ `k` — equivalently, vertices with core number ≥ `k`.
 pub fn k_core_vertices(g: &CsrGraph, k: u32) -> Vec<VertexId> {
     let d = degeneracy_order(g);
-    g.vertices()
-        .filter(|&v| d.core[v as usize] >= k)
-        .collect()
+    g.vertices().filter(|&v| d.core[v as usize] >= k).collect()
 }
 
 #[cfg(test)]
@@ -96,7 +94,16 @@ mod tests {
     fn k4_with_tail() -> CsrGraph {
         CsrGraph::from_edges(
             6,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 

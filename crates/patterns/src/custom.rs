@@ -81,9 +81,7 @@ impl CustomPattern {
         let mut automorphisms = Vec::new();
         let mut perm: Vec<u8> = (0..k as u8).collect();
         permute_all(&mut perm, k, &mut |p| {
-            let ok = (0..k).all(|a| {
-                (0..k).all(|b| adj[a][b] == adj[p[a] as usize][p[b] as usize])
-            });
+            let ok = (0..k).all(|a| (0..k).all(|b| adj[a][b] == adj[p[a] as usize][p[b] as usize]));
             if ok {
                 let mut arr = [0u8; 8];
                 arr[..k].copy_from_slice(p);
@@ -383,22 +381,15 @@ mod tests {
         let res = top_k_custom(&g, &bowtie, 5, &IppvConfig::default());
         assert_eq!(res.subgraphs.len(), 2);
         assert_eq!(res.subgraphs[0].vertices, vec![0, 1, 2, 3, 4]);
-        assert_eq!(
-            res.subgraphs[0].density,
-            lhcds_flow::Ratio::new(15, 5)
-        );
+        assert_eq!(res.subgraphs[0].density, lhcds_core::Ratio::new(15, 5));
         assert_eq!(res.subgraphs[1].vertices, vec![5, 6, 7, 8, 9]);
-        assert_eq!(res.subgraphs[1].density, lhcds_flow::Ratio::new(1, 5));
+        assert_eq!(res.subgraphs[1].density, lhcds_core::Ratio::new(1, 5));
     }
 
     #[test]
     fn six_cycle_pattern() {
-        let c6 = CustomPattern::new(
-            "c6",
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
-        )
-        .unwrap();
+        let c6 =
+            CustomPattern::new("c6", 6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         assert_eq!(c6.automorphism_count(), 12);
         // a single 6-cycle hosts exactly one instance
         let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);

@@ -26,12 +26,7 @@ pub struct LhxpdsResult {
 }
 
 /// Discovers the top-k locally `pattern`-densest subgraphs of `g`.
-pub fn top_k_lhxpds(
-    g: &CsrGraph,
-    pattern: Pattern,
-    k: usize,
-    cfg: &IppvConfig,
-) -> LhxpdsResult {
+pub fn top_k_lhxpds(g: &CsrGraph, pattern: Pattern, k: usize, cfg: &IppvConfig) -> LhxpdsResult {
     let t0 = std::time::Instant::now();
     let store = enumerate_pattern(g, pattern);
     let enum_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -50,7 +45,7 @@ pub fn top_k_lhxpds(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lhcds_flow::Ratio;
+    use lhcds_core::Ratio;
     use lhcds_graph::GraphBuilder;
 
     fn complete_on(b: &mut GraphBuilder, vs: &[u32]) {
@@ -69,8 +64,7 @@ mod tests {
         b.add_edge(4, 5);
         let g = b.build();
         let via_pattern = top_k_lhxpds(&g, Pattern::Triangle, 5, &IppvConfig::default());
-        let via_clique =
-            lhcds_core::pipeline::top_k_lhcds(&g, 3, 5, &IppvConfig::default());
+        let via_clique = lhcds_core::pipeline::top_k_lhcds(&g, 3, 5, &IppvConfig::default());
         assert_eq!(via_pattern.subgraphs, via_clique.subgraphs);
     }
 
@@ -79,7 +73,10 @@ mod tests {
         // K4 (hosts 3 cycles) + disjoint plain 4-cycle (hosts 1)
         let mut b = GraphBuilder::new();
         complete_on(&mut b, &[0, 1, 2, 3]);
-        b.add_edge(4, 5).add_edge(5, 6).add_edge(6, 7).add_edge(7, 4);
+        b.add_edge(4, 5)
+            .add_edge(5, 6)
+            .add_edge(6, 7)
+            .add_edge(7, 4);
         let g = b.build();
         let res = top_k_lhxpds(&g, Pattern::Cycle4, 5, &IppvConfig::default());
         assert_eq!(res.subgraphs.len(), 2);
@@ -109,7 +106,11 @@ mod tests {
     fn diamond_pipeline_on_overlapping_triangles() {
         // K4 minus an edge (one diamond) + K5 (lots of diamonds)
         let mut b = GraphBuilder::new();
-        b.add_edge(0, 1).add_edge(0, 2).add_edge(1, 2).add_edge(1, 3).add_edge(2, 3);
+        b.add_edge(0, 1)
+            .add_edge(0, 2)
+            .add_edge(1, 2)
+            .add_edge(1, 3)
+            .add_edge(2, 3);
         complete_on(&mut b, &[4, 5, 6, 7, 8]);
         let g = b.build();
         let res = top_k_lhxpds(&g, Pattern::Diamond, 2, &IppvConfig::default());

@@ -128,7 +128,14 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["3-star", "4-path", "c3-star", "4-loop", "2-triangle", "4-clique"]
+            vec![
+                "3-star",
+                "4-path",
+                "c3-star",
+                "4-loop",
+                "2-triangle",
+                "4-clique"
+            ]
         );
     }
 

@@ -15,11 +15,7 @@ use lhcds::data::datasets::by_abbr;
 fn main() {
     let d = by_abbr("CM").expect("registry").generate_scaled(0.12);
     let g = &d.graph;
-    println!(
-        "CA-CondMat stand-in: {} vertices, {} edges",
-        g.n(),
-        g.m()
-    );
+    println!("CA-CondMat stand-in: {} vertices, {} edges", g.n(), g.m());
 
     // --- exact algorithms must agree; compare their cost -----------
     let t = Instant::now();
@@ -32,10 +28,14 @@ fn main() {
 
     assert_eq!(ippv.subgraphs, ltds.subgraphs, "exact algorithms agree");
     println!("\nh = 3, k = 5 (both exact, identical output):");
-    println!("  IPPV : {ippv_ms:8.1} ms  ({} flow verifications, {} shortcut accepts)",
-        ippv.stats.flow_verifications, ippv.stats.shortcut_accepts);
-    println!("  LTDS : {ltds_ms:8.1} ms  ({} flow verifications)",
-        ltds.stats.flow_verifications);
+    println!(
+        "  IPPV : {ippv_ms:8.1} ms  ({} flow verifications, {} shortcut accepts)",
+        ippv.stats.flow_verifications, ippv.stats.shortcut_accepts
+    );
+    println!(
+        "  LTDS : {ltds_ms:8.1} ms  ({} flow verifications)",
+        ltds.stats.flow_verifications
+    );
     println!("  speedup: {:.2}x", ltds_ms / ippv_ms.max(1e-9));
 
     let t = Instant::now();
@@ -44,8 +44,10 @@ fn main() {
     let t = Instant::now();
     let _ = FlowLds::ldsflow().top_k(g, 5);
     let lds_ms = t.elapsed().as_secs_f64() * 1e3;
-    println!("\nh = 2, k = 5: IPPV {ippv2_ms:.1} ms vs LDSflow {lds_ms:.1} ms ({:.2}x)",
-        lds_ms / ippv2_ms.max(1e-9));
+    println!(
+        "\nh = 2, k = 5: IPPV {ippv2_ms:.1} ms vs LDSflow {lds_ms:.1} ms ({:.2}x)",
+        lds_ms / ippv2_ms.max(1e-9)
+    );
 
     // --- Greedy: same top-1 density, no locality guarantee ----------
     let greedy = greedy_top_k_cds(g, 3, 5, 20);
@@ -60,7 +62,10 @@ fn main() {
             .get(i)
             .map(|s| format!("{:>3} @ {}", s.vertices.len(), s.density))
             .unwrap_or_else(|| "-".into());
-        println!("  rank {}: IPPV {ippv_cell:<16} Greedy {greedy_cell}", i + 1);
+        println!(
+            "  rank {}: IPPV {ippv_cell:<16} Greedy {greedy_cell}",
+            i + 1
+        );
     }
     if let (Some(a), Some(b)) = (ippv.subgraphs.first(), greedy.first()) {
         assert_eq!(a.density, b.density, "top-1 CDS density agrees");

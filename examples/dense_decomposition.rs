@@ -42,10 +42,7 @@ fn main() {
             s.density,
             s.vertices.len()
         );
-        assert!(s
-            .vertices
-            .iter()
-            .all(|&v| d.phi[v as usize] == s.density));
+        assert!(s.vertices.iter().all(|&v| d.phi[v as usize] == s.density));
     }
 
     // 3. A larger generated graph: level profile as a histogram.

@@ -70,7 +70,10 @@ fn polbooks_decomposition_structure() {
     // the planted conservative pocket (43..52) is in the top level
     let top_level = &d.levels[0].vertices;
     let pocket_hits = (43u32..52).filter(|v| top_level.contains(v)).count();
-    assert!(pocket_hits >= 7, "pocket not at the top level: {top_level:?}");
+    assert!(
+        pocket_hits >= 7,
+        "pocket not at the top level: {top_level:?}"
+    );
 }
 
 /// The decomposition is deterministic and consistent between the
@@ -94,8 +97,8 @@ fn phi_is_consistent_with_levels() {
             in_level[v as usize] = true;
         }
     }
-    for v in 0..g.n() {
-        if !in_level[v] {
+    for (v, &inside) in in_level.iter().enumerate() {
+        if !inside {
             assert_eq!(d1.phi[v], Ratio::zero());
         }
     }
