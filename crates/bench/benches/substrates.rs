@@ -3,7 +3,7 @@
 //! max-flow verification primitives.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lhcds::clique::{clique_core, CliqueSet};
+use lhcds::clique::{clique_core, par_count_per_vertex, CliqueSet, Parallelism};
 use lhcds::core::compact::{densest_decomposition, local_instance};
 use lhcds::core::cp::seq_kclist_pp;
 use lhcds::data::gen::{gnp, planted_communities};
@@ -23,6 +23,28 @@ fn clique_enumeration(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("enumerate", h), &h, |b, &h| {
             b.iter(|| CliqueSet::enumerate(&g, h).len())
         });
+    }
+    group.finish();
+}
+
+/// Serial vs node-parallel enumeration at 1/2/4 threads: same store,
+/// same degree vectors — only the wall time may differ.
+fn parallel_clique_enumeration(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut group = c.benchmark_group("sub_kclist_par");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let par = Parallelism::threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("enumerate_h4", threads),
+            &threads,
+            |b, _| b.iter(|| CliqueSet::enumerate_with(&g, 4, &par).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_per_vertex_h4", threads),
+            &threads,
+            |b, _| b.iter(|| par_count_per_vertex(&g, 4, &par)),
+        );
     }
     group.finish();
 }
@@ -88,6 +110,7 @@ fn flow_primitives(c: &mut Criterion) {
 criterion_group!(
     substrates,
     clique_enumeration,
+    parallel_clique_enumeration,
     core_decompositions,
     cp_iterations,
     flow_primitives

@@ -10,6 +10,9 @@
 //! Output is GitHub-flavored markdown on stdout (tee it into a file to
 //! update `EXPERIMENTS.md`). `--scale` multiplies the background size
 //! of every dataset stand-in (default 0.08; 1.0 = full stand-in size).
+//! `--threads N` adds `N` to the thread sweep of the `kclist`
+//! experiment, which also records its rows to `BENCH_kclist.json`
+//! (directory override: `LHCDS_BENCH_DIR`).
 
 use lhcds_bench::experiments::{all_experiments, run_experiment, ExpOptions};
 use lhcds_bench::measure::CountingAllocator;
@@ -38,6 +41,14 @@ fn main() {
                 if !(opts.scale > 0.0 && opts.scale <= 1.0) {
                     usage("--scale expects a float in (0, 1]");
                 }
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                opts.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads expects a non-negative integer"));
             }
             "--help" | "-h" => usage(""),
             "all" => chosen.extend(all_experiments().iter().map(|s| s.to_string())),
@@ -75,7 +86,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: harness [all | <experiment>...] [--scale F] [--list]\n\
+        "usage: harness [all | <experiment>...] [--scale F] [--threads N] [--list]\n\
          experiments: {}",
         all_experiments().join(", ")
     );

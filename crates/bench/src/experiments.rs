@@ -8,7 +8,7 @@
 
 use crate::measure::{fmt_kb, peak_bytes, reset_peak, time_ms, MdTable};
 use lhcds::baselines::{greedy_top_k_cds, FlowLds};
-use lhcds::clique::count_cliques;
+use lhcds::clique::{count_cliques, par_count_cliques, par_count_per_vertex, Parallelism};
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig, IppvResult};
 use lhcds::data::datasets::by_abbr;
 use lhcds::data::{polbooks_like, registry, Dataset, LabeledGraph};
@@ -21,11 +21,17 @@ use lhcds::patterns::{top_k_lhxpds, Pattern};
 pub struct ExpOptions {
     /// Dataset scale factor in `(0, 1]` (background size multiplier).
     pub scale: f64,
+    /// Extra thread count for the `kclist` experiment (`0` = none; the
+    /// experiment always sweeps 1/2/4).
+    pub threads: usize,
 }
 
 impl Default for ExpOptions {
     fn default() -> Self {
-        ExpOptions { scale: 0.08 }
+        ExpOptions {
+            scale: 0.08,
+            threads: 0,
+        }
     }
 }
 
@@ -51,7 +57,7 @@ fn run(g: &CsrGraph, h: usize, k: usize, fast: bool) -> (IppvResult, f64) {
 pub fn all_experiments() -> &'static [&'static str] {
     &[
         "table2", "fig9", "fig10", "fig11", "fig12", "table3", "fig13", "table4", "fig14",
-        "table5", "fig15", "fig16", "fig17", "ablation",
+        "table5", "fig15", "fig16", "fig17", "ablation", "kclist",
     ]
 }
 
@@ -72,6 +78,7 @@ pub fn run_experiment(name: &str, opts: &ExpOptions) -> Option<String> {
         "fig16" => fig16(opts),
         "fig17" => fig17(opts),
         "ablation" => ablation(opts),
+        "kclist" => kclist(opts),
         _ => return None,
     })
 }
@@ -469,6 +476,108 @@ pub fn fig17(_opts: &ExpOptions) -> String {
     )
 }
 
+/// Serial vs node-parallel kClist enumeration, recorded to
+/// `BENCH_kclist.json` so future perf PRs have a committed
+/// before/after anchor.
+///
+/// The workloads are fixed (independent of `--scale`) to keep the
+/// recorded baseline comparable across runs: the largest
+/// planted-community synthetic plus a dense `G(n, p)` whose 4/5-clique
+/// counts dominate enumeration time. Every parallel run is asserted
+/// equal to the serial count, and the per-vertex degree vector is
+/// asserted byte-identical at 4 threads.
+pub fn kclist(opts: &ExpOptions) -> String {
+    let workloads: Vec<(&str, CsrGraph, Vec<usize>)> = vec![
+        (
+            "planted_communities_8000",
+            lhcds::data::gen::planted_communities(
+                8000,
+                4,
+                &[(28, 0.9), (22, 0.85), (16, 0.9), (12, 0.95)],
+                0xBEEF,
+            ),
+            vec![3, 4, 5],
+        ),
+        (
+            "gnp_2000_p10",
+            lhcds::data::gen::gnp(2000, 0.1, 0xBEEF),
+            vec![4, 5],
+        ),
+    ];
+    let dir = std::env::var("LHCDS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    kclist_on(opts, workloads, std::path::Path::new(&dir))
+}
+
+/// [`kclist`] with explicit workloads and output directory (unit tests
+/// swap in tiny graphs and a temp dir — the full-size sweep only runs
+/// under the release-built harness).
+fn kclist_on(
+    opts: &ExpOptions,
+    workloads: Vec<(&str, CsrGraph, Vec<usize>)>,
+    out_dir: &std::path::Path,
+) -> String {
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    if opts.threads > 0 && !threads.contains(&opts.threads) {
+        threads.push(opts.threads);
+    }
+
+    let mut t = MdTable::new(["graph", "h", "threads", "time (ms)", "|Ψh|", "speedup"]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for (name, g, hs) in &workloads {
+        for &h in hs {
+            let mut serial_ms = 0.0f64;
+            let mut serial_count = 0u64;
+            for &tc in &threads {
+                let par = Parallelism::threads(tc);
+                let (count, ms) = time_ms(|| par_count_cliques(g, h, &par));
+                if tc == 1 {
+                    serial_ms = ms;
+                    serial_count = count;
+                } else {
+                    assert_eq!(count, serial_count, "{name} h={h} threads={tc} diverged");
+                }
+                let speedup = serial_ms / ms.max(1e-9);
+                t.row([
+                    name.to_string(),
+                    h.to_string(),
+                    tc.to_string(),
+                    format!("{ms:.1}"),
+                    count.to_string(),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_rows.push(format!(
+                    "    {{\"graph\": \"{name}\", \"n\": {}, \"m\": {}, \"h\": {h}, \
+                     \"threads\": {tc}, \"wall_ms\": {ms:.3}, \"cliques\": {count}, \
+                     \"speedup_vs_serial\": {speedup:.3}}}",
+                    g.n(),
+                    g.m(),
+                ));
+            }
+            // byte-identical degree vectors, the acceptance contract
+            assert_eq!(
+                par_count_per_vertex(g, h, &Parallelism::threads(4)),
+                par_count_per_vertex(g, h, &Parallelism::serial()),
+                "{name} h={h}: degree vectors must be byte-identical"
+            );
+        }
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let json = format!(
+        "{{\n  \"experiment\": \"kclist\",\n  \"host_parallelism\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = out_dir.join("BENCH_kclist.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("baseline recorded to `{}`", path.display()),
+        Err(e) => format!("could not write `{}`: {e}", path.display()),
+    };
+    format!(
+        "## kClist — serial vs node-parallel enumeration (host parallelism: {host})\n\n{}\n{note}\n",
+        t.render()
+    )
+}
+
 /// Ablation: fast-verifier features on/off (DESIGN.md §4).
 pub fn ablation(opts: &ExpOptions) -> String {
     let mut t = MdTable::new([
@@ -542,7 +651,10 @@ pub fn ablation(opts: &ExpOptions) -> String {
 mod tests {
     use super::*;
 
-    const TINY: ExpOptions = ExpOptions { scale: 0.011 };
+    const TINY: ExpOptions = ExpOptions {
+        scale: 0.011,
+        threads: 0,
+    };
 
     #[test]
     fn experiment_registry_is_complete() {
@@ -551,11 +663,48 @@ mod tests {
             // that's the harness's job)
             assert!([
                 "table2", "fig9", "fig10", "fig11", "fig12", "table3", "fig13", "table4", "fig14",
-                "table5", "fig15", "fig16", "fig17", "ablation"
+                "table5", "fig15", "fig16", "fig17", "ablation", "kclist"
             ]
             .contains(name));
         }
         assert!(run_experiment("nope", &TINY).is_none());
+    }
+
+    #[test]
+    fn kclist_records_a_json_baseline() {
+        let dir = std::env::temp_dir().join("lhcds_bench_kclist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tiny = vec![(
+            "planted_tiny",
+            lhcds::data::gen::planted_communities(60, 2, &[(8, 0.9)], 0xBEEF),
+            vec![3usize],
+        )];
+        // 7 appears in neither the default sweep (1/2/4) nor the h
+        // list, so it can only come from the --threads plumbing
+        let out = kclist_on(
+            &ExpOptions {
+                threads: 7,
+                ..ExpOptions::default()
+            },
+            tiny,
+            &dir,
+        );
+        assert!(out.contains("baseline recorded"));
+        assert!(out.contains("| 7 "), "extra --threads row missing");
+        let json = std::fs::read_to_string(dir.join("BENCH_kclist.json")).unwrap();
+        assert!(json.contains("\"threads\": 7"), "extra thread row: {json}");
+        for key in [
+            "\"experiment\": \"kclist\"",
+            "\"graph\"",
+            "\"h\"",
+            "\"threads\": 1",
+            "\"wall_ms\"",
+            "\"cliques\"",
+            "\"speedup_vs_serial\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!
 //! The `harness` binary drives the runners:
 //! `cargo run --release -p lhcds-bench --bin harness -- all`.
+//! The `kclist` experiment additionally records its serial-vs-parallel
+//! enumeration rows to `BENCH_kclist.json` (see `--threads`), the
+//! committed baseline anchor for perf PRs.
 //! The Criterion benches under `benches/` cover the same experiments at
 //! reduced scale for `cargo bench`.
 

@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use lhcds::clique::Parallelism;
+
 /// Parsed command line: one positional command plus `--key value` pairs
 /// and bare `--flag`s.
 #[derive(Debug, Default)]
@@ -63,6 +65,19 @@ impl Args {
                 .map(Some)
                 .map_err(|_| format!("invalid value '{v}' for --{key}")),
         }
+    }
+
+    /// Takes the shared `--threads N` option and builds the clique
+    /// enumeration thread policy: absent = serial, `0` = auto-detect
+    /// (with the tiny-graph serial fallback), `N ≥ 1` = exactly `N`
+    /// worker threads. Results never depend on this setting — the
+    /// parallel enumerator is byte-equivalent to the serial one.
+    pub fn parallelism(&mut self) -> Result<Parallelism, String> {
+        Ok(match self.get_parsed::<usize>("threads")? {
+            None => Parallelism::serial(),
+            Some(0) => Parallelism::auto(),
+            Some(n) => Parallelism::threads(n),
+        })
     }
 
     /// Whether a bare `--flag` was given (consumes it).
@@ -136,5 +151,18 @@ mod tests {
     fn no_command_is_empty() {
         let a = Args::parse(sv(&["--graph", "x"])).unwrap();
         assert_eq!(a.command, "");
+    }
+
+    #[test]
+    fn threads_option_maps_to_parallelism_policy() {
+        let mut a = Args::parse(sv(&["topk"])).unwrap();
+        assert_eq!(a.parallelism().unwrap(), Parallelism::serial());
+        let mut a = Args::parse(sv(&["topk", "--threads", "4"])).unwrap();
+        assert_eq!(a.parallelism().unwrap(), Parallelism::threads(4));
+        assert!(a.finish().is_ok(), "--threads must be consumed");
+        let mut a = Args::parse(sv(&["topk", "--threads", "0"])).unwrap();
+        assert_eq!(a.parallelism().unwrap(), Parallelism::auto());
+        let mut a = Args::parse(sv(&["topk", "--threads", "many"])).unwrap();
+        assert!(a.parallelism().is_err());
     }
 }

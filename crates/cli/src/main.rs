@@ -1,11 +1,14 @@
 //! `lhcds` — command-line locally h-clique densest subgraph discovery.
 //!
 //! ```text
-//! lhcds topk --graph edges.txt --h 3 --k 5 [--basic] [--pattern 4-loop]
-//! lhcds stats --graph edges.txt [--h 3]
+//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop]
+//! lhcds stats --graph edges.txt [--h 3] [--threads 4]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
 //! lhcds help
 //! ```
+//!
+//! `--threads N` runs h-clique enumeration on `N` worker threads
+//! (`0` = auto-detect); output is identical to the serial default.
 //!
 //! Graphs are whitespace-separated edge lists (`#`/`%` comments
 //! allowed) — the SNAP format.
@@ -47,11 +50,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
-         USAGE:\n  lhcds topk  --graph FILE [--h H] [--k K] [--basic] [--pattern NAME] [--quiet]\n  \
-         lhcds stats --graph FILE [--h H]\n  \
+         USAGE:\n  lhcds topk  --graph FILE [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--quiet]\n  \
+         lhcds stats --graph FILE [--h H] [--threads N]\n  \
          lhcds gen   --out FILE --preset ABBR [--scale F]\n\n\
          PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
-         PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)"
+         PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)\n\
+         THREADS:  enumeration worker threads (0 = auto); results never depend on it"
     );
 }
 
@@ -74,6 +78,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
     let basic = args.flag("basic");
     let quiet = args.flag("quiet");
     let pattern = args.get("pattern");
+    let parallelism = args.parallelism()?;
     args.finish()?;
 
     let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
@@ -82,6 +87,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
     }
     let cfg = IppvConfig {
         fast_verify: !basic,
+        parallelism,
         ..IppvConfig::default()
     };
 
@@ -123,6 +129,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
 fn cmd_stats(args: &mut Args) -> Result<(), String> {
     let path = args.required("graph")?;
     let h = args.get_parsed("h")?.unwrap_or(3usize);
+    let parallelism = args.parallelism()?;
     args.finish()?;
     let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
     let deg = lhcds::graph::core_decomp::degeneracy_order(&g);
@@ -132,7 +139,10 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     println!("degeneracy:  {}", deg.degeneracy);
     println!("clique no.:  {}", lhcds::clique::clique_number(&g));
     for hh in [3usize, h.max(3)] {
-        println!("|Psi_{hh}|:     {}", lhcds::clique::count_cliques(&g, hh));
+        println!(
+            "|Psi_{hh}|:     {}",
+            lhcds::clique::par_count_cliques(&g, hh, &parallelism)
+        );
         if hh == h.max(3) {
             break;
         }
@@ -219,6 +229,35 @@ mod tests {
         ])
         .unwrap();
         run(vec!["stats".into(), "--graph".into(), path.clone()]).unwrap();
+        // multi-threaded enumeration accepts the same inputs
+        run(vec![
+            "topk".into(),
+            "--graph".into(),
+            path.clone(),
+            "--k".into(),
+            "2".into(),
+            "--threads".into(),
+            "4".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        run(vec![
+            "stats".into(),
+            "--graph".into(),
+            path.clone(),
+            "--threads".into(),
+            "2".into(),
+        ])
+        .unwrap();
+        assert!(run(vec![
+            "topk".into(),
+            "--graph".into(),
+            path.clone(),
+            "--threads".into(),
+            "lots".into(),
+            "--quiet".into(),
+        ])
+        .is_err());
         // pattern mode
         run(vec![
             "topk".into(),

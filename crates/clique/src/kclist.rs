@@ -10,15 +10,18 @@ use lhcds_graph::core_decomp::degeneracy_order;
 use lhcds_graph::{CsrGraph, VertexId};
 
 /// Degeneracy-oriented DAG in rank space.
-struct Dag {
+///
+/// Shared read-only by the serial sweep and the node-parallel workers in
+/// [`crate::parallel`]: it holds only plain `Vec`s, so `&Dag` is `Sync`.
+pub(crate) struct Dag {
     /// `out[r]` = ranks of out-neighbors of the vertex with rank `r`,
     /// sorted ascending.
-    out: Vec<Vec<u32>>,
+    pub(crate) out: Vec<Vec<u32>>,
     /// `orig[r]` = original vertex id of rank `r`.
-    orig: Vec<VertexId>,
+    pub(crate) orig: Vec<VertexId>,
 }
 
-fn build_dag(g: &CsrGraph) -> Dag {
+pub(crate) fn build_dag(g: &CsrGraph) -> Dag {
     let d = degeneracy_order(g);
     let n = g.n();
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -54,11 +57,58 @@ fn intersect_into(a: &[u32], b: &[u32], dst: &mut Vec<u32>) {
     }
 }
 
+/// Reusable per-sweep (per-worker, in the parallel path) scratch state:
+/// the partial clique plus one intersection buffer per recursion depth.
+///
+/// Sizing contract: the root level contributes `dag.out[r]` directly and
+/// the final level emits without intersecting, so a full sweep for
+/// h-cliques needs exactly `h - 2` intersection buffers (`h ≤ 2` needs
+/// none). `Scratch::new` is the single place that encodes this — both
+/// the serial and parallel enumerators allocate through it.
+pub(crate) struct Scratch {
+    pub(crate) clique: Vec<VertexId>,
+    pub(crate) buffers: Vec<Vec<u32>>,
+}
+
+impl Scratch {
+    pub(crate) fn new(h: usize) -> Self {
+        Scratch {
+            clique: Vec::with_capacity(h),
+            buffers: vec![Vec::new(); h.saturating_sub(2)],
+        }
+    }
+}
+
+/// Full depth-first sweep below one first-level root `r` (`h ≥ 2`).
+pub(crate) fn root_sweep<F: FnMut(&[VertexId])>(
+    dag: &Dag,
+    r: usize,
+    h: usize,
+    scratch: &mut Scratch,
+    f: &mut F,
+) {
+    debug_assert!(h >= 2);
+    scratch.clique.push(dag.orig[r]);
+    recurse(
+        dag,
+        &dag.out[r],
+        h - 1,
+        &mut scratch.clique,
+        &mut scratch.buffers,
+        f,
+    );
+    scratch.clique.pop();
+}
+
 /// Invokes `f` once per h-clique of `g`, passing the member vertices
 /// (original ids, ascending degeneracy rank — i.e. an arbitrary but
 /// deterministic order, *not* sorted by id).
 ///
 /// `h == 1` yields every vertex; `h == 2` yields every edge.
+///
+/// For a multi-threaded sweep over large graphs see
+/// [`crate::parallel::par_for_each_clique`], which emits the same clique
+/// multiset (callback order differs across threads).
 ///
 /// # Panics
 /// Panics if `h == 0`.
@@ -74,15 +124,11 @@ pub fn for_each_clique<F: FnMut(&[VertexId])>(g: &CsrGraph, h: usize, mut f: F) 
         return;
     }
     let dag = build_dag(g);
-    let mut clique: Vec<VertexId> = Vec::with_capacity(h);
-    // One scratch buffer per recursion depth, reused across the sweep.
-    let mut buffers: Vec<Vec<u32>> = vec![Vec::new(); h.saturating_sub(2)];
+    let mut scratch = Scratch::new(h);
 
     // Iterative setup over the first level; recursion handles the rest.
     for r in 0..dag.out.len() {
-        clique.push(dag.orig[r]);
-        recurse(&dag, &dag.out[r], h - 1, &mut clique, &mut buffers, &mut f);
-        clique.pop();
+        root_sweep(&dag, r, h, &mut scratch, &mut f);
     }
 }
 
@@ -254,6 +300,45 @@ mod tests {
     fn zero_h_panics() {
         let g = complete(3);
         count_cliques(&g, 0);
+    }
+
+    /// The scratch sizing contract: `h - 2` intersection buffers
+    /// (saturating at 0), one slot consumed per recursion depth. A
+    /// too-short buffer stack would panic inside `recurse` ("buffer per
+    /// depth"), so sweeping Kn at every h also exercises the bound
+    /// tightly: enumerating h-cliques of Kh uses all h - 2 buffers.
+    #[test]
+    fn scratch_buffer_count_matches_recursion_depth() {
+        for (h, want) in [(1usize, 0usize), (2, 0), (3, 1), (4, 2), (9, 7)] {
+            let s = Scratch::new(h);
+            assert_eq!(s.buffers.len(), want, "h={h}");
+            assert!(s.clique.capacity() >= h);
+            assert!(s.clique.is_empty());
+        }
+        // depth exercise: Kn at h = n forces the deepest recursion
+        for n in 3..=7usize {
+            let g = complete(n);
+            assert_eq!(count_cliques(&g, n), 1, "K{n} has one {n}-clique");
+        }
+    }
+
+    /// A single `Scratch` is reusable across roots and sweeps: buffers
+    /// are cleared on entry by `intersect_into`, and the partial clique
+    /// always unwinds to empty.
+    #[test]
+    fn scratch_is_reusable_across_sweeps() {
+        let g = complete(6);
+        let dag = build_dag(&g);
+        let mut scratch = Scratch::new(4);
+        for sweep in 0..2 {
+            let mut count = 0u64;
+            let mut f = |_: &[VertexId]| count += 1;
+            for r in 0..dag.out.len() {
+                root_sweep(&dag, r, 4, &mut scratch, &mut f);
+            }
+            assert_eq!(count, 15, "sweep {sweep}"); // C(6,4)
+            assert!(scratch.clique.is_empty());
+        }
     }
 
     /// Brute-force cross-check on a small, irregular graph.

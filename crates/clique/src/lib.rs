@@ -4,6 +4,11 @@
 //!
 //! * [`kclist`] — kClist-style h-clique enumeration over the degeneracy
 //!   DAG (Danisch et al.), with both callback and counting entry points.
+//! * [`parallel`] — node-parallel kClist: the first DAG level is sharded
+//!   across scoped worker threads ([`Parallelism`] picks the count) with
+//!   per-shard accumulators merged deterministically in rank order, so
+//!   every counting/collecting entry point is byte-identical to its
+//!   serial twin. Callbacks here are `Fn + Sync` instead of `FnMut`.
 //! * [`store`] — [`CliqueSet`], an explicit flat store of all h-cliques
 //!   plus a per-vertex incidence index; the convex program
 //!   (SEQ-kClist++), the flow networks, and the verification algorithms
@@ -18,9 +23,11 @@
 pub mod core;
 pub mod kclist;
 pub mod maximal;
+pub mod parallel;
 pub mod store;
 
 pub use crate::core::{clique_core, CliqueCore};
 pub use kclist::{count_cliques, count_per_vertex, for_each_clique};
 pub use maximal::{clique_number, for_each_maximal_clique, maximal_cliques};
+pub use parallel::{par_count_cliques, par_count_per_vertex, par_for_each_clique, Parallelism};
 pub use store::CliqueSet;

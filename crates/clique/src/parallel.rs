@@ -1,0 +1,391 @@
+//! Node-parallel kClist enumeration over the degeneracy DAG.
+//!
+//! The standard parallelization of kClist (Danisch et al.; also the
+//! shared-memory densest-subgraph algorithms of Fang et al. and
+//! De Zoysa et al.) shards the *first* level of the degeneracy DAG:
+//! every h-clique has a unique minimum-rank root, so partitioning the
+//! roots partitions the cliques, and workers never synchronize inside a
+//! sweep. This module implements that scheme on `std::thread::scope`
+//! (no external dependency — the build is offline), with each worker
+//! owning its own [`Scratch`] buffers.
+//!
+//! ## Thread-safety contract
+//!
+//! * Callbacks are `Fn + Sync` (not `FnMut` as in the serial
+//!   [`for_each_clique`]): they are invoked concurrently from worker
+//!   threads and must synchronize any shared mutation themselves.
+//! * The emitted *multiset* of cliques is exactly the serial one; only
+//!   the callback interleaving differs across runs.
+//!
+//! ## Deterministic merge
+//!
+//! Everything merge-based is bit-for-bit reproducible and equal to the
+//! serial result:
+//!
+//! * [`par_count_cliques`] / [`par_count_per_vertex`] fold per-shard
+//!   `u64` accumulators; integer addition is exact and commutative, and
+//!   partials are combined in shard order, so the results are
+//!   byte-identical to the serial counts.
+//! * [`collect_members`] (behind `CliqueSet::enumerate_with`) stores one
+//!   member vector per *block* of consecutive roots and concatenates the
+//!   blocks in ascending rank order — the flat member array, and hence
+//!   the whole `CliqueSet` (clique ids, incidence index), is identical
+//!   to the serial enumeration's.
+//!
+//! Work is distributed as contiguous rank blocks claimed from an atomic
+//! counter: early (low-rank) roots head the largest subtrees, so static
+//! striping would load-balance poorly; small self-scheduled blocks keep
+//! all workers busy without per-root contention.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::kclist::Scratch;
+use crate::kclist::{build_dag, count_cliques, count_per_vertex, for_each_clique, root_sweep};
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// Thread-count policy for clique enumeration.
+///
+/// `Parallelism::serial()` (the `Default`) keeps every code path on the
+/// single-threaded enumerator. Explicit thread requests
+/// ([`Parallelism::threads`]) always engage; [`Parallelism::auto`]
+/// resolves to the machine's available parallelism but falls back to
+/// serial below a minimum vertex count, where thread startup would
+/// dominate the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Requested worker count; `0` = auto-detect.
+    threads: usize,
+    /// Graphs with fewer vertices run serially.
+    min_vertices: usize,
+}
+
+impl Parallelism {
+    /// Serial fallback threshold used by [`Parallelism::auto`].
+    pub const DEFAULT_MIN_VERTICES: usize = 512;
+
+    /// Always single-threaded (identical to the serial enumerator).
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            min_vertices: 0,
+        }
+    }
+
+    /// Exactly `threads` workers regardless of graph size (`0` = auto).
+    pub fn threads(threads: usize) -> Self {
+        Parallelism {
+            threads,
+            min_vertices: 0,
+        }
+    }
+
+    /// Auto-detected worker count with the tiny-graph serial fallback.
+    pub fn auto() -> Self {
+        Parallelism {
+            threads: 0,
+            min_vertices: Self::DEFAULT_MIN_VERTICES,
+        }
+    }
+
+    /// Replaces the serial-fallback threshold (vertex count below which
+    /// enumeration stays single-threaded).
+    pub fn with_min_vertices(mut self, min_vertices: usize) -> Self {
+        self.min_vertices = min_vertices;
+        self
+    }
+
+    /// Worker count actually used for a graph with `n` vertices.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        if n < self.min_vertices {
+            return 1;
+        }
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.threads
+        };
+        // more workers than roots would only spin on an empty queue
+        requested.max(1).min(n.max(1))
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+/// Self-scheduling queue of contiguous first-level rank blocks.
+struct BlockQueue {
+    next: AtomicUsize,
+    block_size: usize,
+    n: usize,
+}
+
+impl BlockQueue {
+    fn new(n: usize, threads: usize) -> Self {
+        // ~16 blocks per worker levels out the rank-skewed subtree
+        // sizes while keeping the atomic traffic negligible.
+        let block_size = (n / (threads * 16)).max(1);
+        BlockQueue {
+            next: AtomicUsize::new(0),
+            block_size,
+            n,
+        }
+    }
+
+    fn blocks(&self) -> usize {
+        self.n.div_ceil(self.block_size)
+    }
+
+    /// Claims the next unprocessed block: `(block index, rank range)`.
+    fn claim(&self) -> Option<(usize, Range<usize>)> {
+        let b = self.next.fetch_add(1, Ordering::Relaxed);
+        let lo = b * self.block_size;
+        if lo >= self.n {
+            return None;
+        }
+        Some((b, lo..(lo + self.block_size).min(self.n)))
+    }
+}
+
+/// Runs `worker` on `threads` scoped threads and collects each worker's
+/// return value in spawn (shard) order.
+fn run_workers<T: Send>(threads: usize, worker: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || worker(w)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect()
+    })
+}
+
+/// Invokes `f` once per h-clique of `g` from up to
+/// `par.effective_threads(g.n())` worker threads.
+///
+/// Same clique multiset and per-clique member order as
+/// [`for_each_clique`]; the interleaving of callbacks across cliques is
+/// unspecified. `f` must therefore be `Fn + Sync` and synchronize any
+/// shared state it mutates.
+///
+/// # Panics
+/// Panics if `h == 0`.
+pub fn par_for_each_clique<F>(g: &CsrGraph, h: usize, par: &Parallelism, f: F)
+where
+    F: Fn(&[VertexId]) + Sync,
+{
+    assert!(h >= 1, "h-cliques require h >= 1");
+    if g.n() == 0 {
+        return;
+    }
+    let threads = par.effective_threads(g.n());
+    if threads <= 1 || h == 1 {
+        // h == 1 is a pure vertex scan — never worth sharding.
+        for_each_clique(g, h, |c| f(c));
+        return;
+    }
+    let dag = build_dag(g);
+    let queue = BlockQueue::new(dag.out.len(), threads);
+    run_workers(threads, |_| {
+        let mut scratch = Scratch::new(h);
+        let mut call = |c: &[VertexId]| f(c);
+        while let Some((_, ranks)) = queue.claim() {
+            for r in ranks {
+                root_sweep(&dag, r, h, &mut scratch, &mut call);
+            }
+        }
+    });
+}
+
+/// Multi-threaded [`count_cliques`]: total number of h-cliques of `g`.
+///
+/// Per-shard `u64` partials are summed in shard order — byte-identical
+/// to the serial count.
+pub fn par_count_cliques(g: &CsrGraph, h: usize, par: &Parallelism) -> u64 {
+    assert!(h >= 1, "h-cliques require h >= 1");
+    if g.n() == 0 {
+        return 0;
+    }
+    let threads = par.effective_threads(g.n());
+    if threads <= 1 || h == 1 {
+        return count_cliques(g, h);
+    }
+    let dag = build_dag(g);
+    let queue = BlockQueue::new(dag.out.len(), threads);
+    run_workers(threads, |_| {
+        let mut scratch = Scratch::new(h);
+        let mut local = 0u64;
+        let mut tally = |_: &[VertexId]| local += 1;
+        while let Some((_, ranks)) = queue.claim() {
+            for r in ranks {
+                root_sweep(&dag, r, h, &mut scratch, &mut tally);
+            }
+        }
+        local
+    })
+    .into_iter()
+    .sum()
+}
+
+/// Multi-threaded [`count_per_vertex`]: per-vertex h-clique degrees
+/// `deg_G(v, ψh)`.
+///
+/// Each shard accumulates into its own dense `u64` vector; the vectors
+/// are added element-wise in shard order. `u64` addition is exact, so
+/// the result is byte-identical to the serial degree vector.
+pub fn par_count_per_vertex(g: &CsrGraph, h: usize, par: &Parallelism) -> Vec<u64> {
+    assert!(h >= 1, "h-cliques require h >= 1");
+    let threads = par.effective_threads(g.n());
+    if threads <= 1 || h == 1 || g.n() == 0 {
+        return count_per_vertex(g, h);
+    }
+    let dag = build_dag(g);
+    let queue = BlockQueue::new(dag.out.len(), threads);
+    let shards = run_workers(threads, |_| {
+        let mut scratch = Scratch::new(h);
+        let mut deg = vec![0u64; dag.out.len()];
+        let mut bump = |c: &[VertexId]| {
+            for &v in c {
+                deg[v as usize] += 1;
+            }
+        };
+        while let Some((_, ranks)) = queue.claim() {
+            for r in ranks {
+                root_sweep(&dag, r, h, &mut scratch, &mut bump);
+            }
+        }
+        deg
+    });
+    let mut total = vec![0u64; g.n()];
+    for shard in shards {
+        for (t, s) in total.iter_mut().zip(shard) {
+            *t += s;
+        }
+    }
+    total
+}
+
+/// Flat member array of every h-clique, in the *serial* enumeration
+/// order. Backs `CliqueSet::enumerate_with`.
+///
+/// Workers collect one member vector per claimed block; blocks cover
+/// contiguous ascending rank ranges, so concatenating them by block
+/// index reproduces the serial order exactly (clique ids and the
+/// incidence index of the resulting store are byte-identical).
+pub(crate) fn collect_members(g: &CsrGraph, h: usize, par: &Parallelism) -> Vec<VertexId> {
+    let threads = if g.n() == 0 {
+        1
+    } else {
+        par.effective_threads(g.n())
+    };
+    if threads <= 1 || h == 1 {
+        let mut members = Vec::new();
+        for_each_clique(g, h, |c| members.extend_from_slice(c));
+        return members;
+    }
+    let dag = build_dag(g);
+    let queue = BlockQueue::new(dag.out.len(), threads);
+    let mut blocks: Vec<Option<Vec<VertexId>>> = (0..queue.blocks()).map(|_| None).collect();
+    let per_worker = run_workers(threads, |_| {
+        let mut scratch = Scratch::new(h);
+        let mut mine: Vec<(usize, Vec<VertexId>)> = Vec::new();
+        while let Some((b, ranks)) = queue.claim() {
+            let mut members: Vec<VertexId> = Vec::new();
+            let mut push = |c: &[VertexId]| members.extend_from_slice(c);
+            for r in ranks {
+                root_sweep(&dag, r, h, &mut scratch, &mut push);
+            }
+            mine.push((b, members));
+        }
+        mine
+    });
+    for (b, members) in per_worker.into_iter().flatten() {
+        debug_assert!(blocks[b].is_none(), "block {b} claimed twice");
+        blocks[b] = Some(members);
+    }
+    let total: usize = blocks.iter().flatten().map(Vec::len).sum();
+    let mut members = Vec::with_capacity(total);
+    for block in blocks.into_iter().flatten() {
+        members.extend_from_slice(&block);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_policy_is_one_thread() {
+        assert_eq!(Parallelism::serial().effective_threads(1_000_000), 1);
+        assert_eq!(Parallelism::default(), Parallelism::serial());
+    }
+
+    #[test]
+    fn explicit_threads_always_engage() {
+        let p = Parallelism::threads(4);
+        assert_eq!(p.effective_threads(10), 4);
+        // ... but never exceed the root count
+        assert_eq!(p.effective_threads(2), 2);
+        assert_eq!(p.effective_threads(0), 1);
+    }
+
+    #[test]
+    fn auto_falls_back_to_serial_on_tiny_graphs() {
+        let p = Parallelism::auto();
+        assert_eq!(
+            p.effective_threads(Parallelism::DEFAULT_MIN_VERTICES - 1),
+            1
+        );
+        assert!(p.effective_threads(Parallelism::DEFAULT_MIN_VERTICES) >= 1);
+        // the threshold is adjustable
+        let eager = Parallelism::auto().with_min_vertices(0);
+        assert!(eager.effective_threads(8) >= 1);
+        let lazy = Parallelism::threads(8).with_min_vertices(1_000);
+        assert_eq!(lazy.effective_threads(999), 1);
+        assert_eq!(lazy.effective_threads(1_000), 8);
+    }
+
+    #[test]
+    fn block_queue_partitions_exactly() {
+        for (n, threads) in [(1usize, 4usize), (7, 2), (1000, 3), (64, 64)] {
+            let q = BlockQueue::new(n, threads);
+            let mut seen = vec![false; n];
+            let mut last_block = None;
+            while let Some((b, ranks)) = q.claim() {
+                if let Some(prev) = last_block {
+                    assert_eq!(b, prev + 1, "blocks must come out in order");
+                }
+                last_block = Some(b);
+                for r in ranks {
+                    assert!(!seen[r], "rank {r} dealt twice");
+                    seen[r] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} threads={threads}");
+            assert!(q.claim().is_none(), "queue must stay exhausted");
+        }
+    }
+
+    #[test]
+    fn zero_sized_inputs() {
+        let g = CsrGraph::from_edges(0, []);
+        let p = Parallelism::threads(4);
+        assert_eq!(par_count_cliques(&g, 3, &p), 0);
+        assert!(par_count_per_vertex(&g, 3, &p).is_empty());
+        par_for_each_clique(&g, 3, &p, |_| panic!("no cliques in empty graph"));
+        assert!(collect_members(&g, 3, &p).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "h >= 1")]
+    fn zero_h_panics_in_parallel_too() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        par_count_cliques(&g, 0, &Parallelism::threads(2));
+    }
+}

@@ -1,6 +1,6 @@
 //! Explicit h-clique storage with a per-vertex incidence index.
 
-use crate::kclist::for_each_clique;
+use crate::parallel::{collect_members, Parallelism};
 use lhcds_graph::{CsrGraph, VertexId};
 
 /// All h-cliques of a graph in a flat array, plus the inverted index
@@ -20,11 +20,19 @@ pub struct CliqueSet {
 }
 
 impl CliqueSet {
-    /// Enumerates and stores every h-clique of `g`.
+    /// Enumerates and stores every h-clique of `g` (single-threaded).
     pub fn enumerate(g: &CsrGraph, h: usize) -> Self {
-        let mut members: Vec<VertexId> = Vec::new();
-        for_each_clique(g, h, |c| members.extend_from_slice(c));
-        Self::from_flat_members(g.n(), h, members)
+        Self::enumerate_with(g, h, &Parallelism::serial())
+    }
+
+    /// Enumerates with an explicit thread policy. The resulting store is
+    /// byte-identical to [`CliqueSet::enumerate`]'s — parallel workers
+    /// cover contiguous degeneracy-rank blocks whose member vectors are
+    /// concatenated in rank order, preserving clique ids, member order,
+    /// and the incidence index exactly.
+    pub fn enumerate_with(g: &CsrGraph, h: usize, par: &Parallelism) -> Self {
+        assert!(h >= 1, "h-cliques require h >= 1");
+        Self::from_flat_members(g.n(), h, collect_members(g, h, par))
     }
 
     /// Builds a store from pre-collected flat members (`h` consecutive

@@ -183,6 +183,31 @@ mod tests {
         }
     }
 
+    /// SEQ-kClist++ iterates cliques in store order, so the run is only
+    /// reproducible because a parallel-enumerated store is byte-identical
+    /// to the serial one — assert that contract end-to-end here.
+    #[test]
+    fn parallel_store_reproduces_cp_state_exactly() {
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in u + 1..8 {
+                if (u + v) % 3 != 0 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let serial = seq_kclist_pp(&CliqueSet::enumerate(&g, 3), 25);
+        for t in [2usize, 4] {
+            let cs = CliqueSet::enumerate_with(&g, 3, &lhcds_clique::Parallelism::threads(t));
+            let par = seq_kclist_pp(&cs, 25);
+            // bit-for-bit, not approximately: same store order ⇒ same
+            // float operation sequence
+            assert_eq!(par.r, serial.r, "threads={t}");
+            assert_eq!(par.alpha, serial.alpha, "threads={t}");
+        }
+    }
+
     #[test]
     fn empty_clique_set_is_fine() {
         let g = CsrGraph::from_edges(4, [(0, 1), (1, 2)]);

@@ -44,7 +44,7 @@ use crate::decompose::tentative_gd;
 use crate::prune::prune;
 use crate::stable::derive_stable_groups;
 use crate::verify::{verify_basic, verify_fast, FastConfig, Verdict};
-use lhcds_clique::CliqueSet;
+use lhcds_clique::{CliqueSet, Parallelism};
 use lhcds_flow::Ratio;
 use lhcds_graph::traversal::components_within;
 use lhcds_graph::{CsrGraph, VertexId};
@@ -70,6 +70,11 @@ pub struct IppvConfig {
     pub use_cp: bool,
     /// Apply Proposition 5 pruning.
     pub use_prune: bool,
+    /// Thread policy for the h-clique enumeration stage. The enumerated
+    /// store is byte-identical for every policy (see
+    /// [`CliqueSet::enumerate_with`]), so this setting affects wall
+    /// time only, never results.
+    pub parallelism: Parallelism,
 }
 
 impl Default for IppvConfig {
@@ -81,6 +86,7 @@ impl Default for IppvConfig {
             bound_slack: DEFAULT_SLACK,
             use_cp: true,
             use_prune: true,
+            parallelism: Parallelism::serial(),
         }
     }
 }
@@ -152,7 +158,7 @@ pub struct IppvResult {
 pub fn top_k_lhcds(g: &CsrGraph, h: usize, k: usize, cfg: &IppvConfig) -> IppvResult {
     assert!(h >= 2, "LhCDS requires h >= 2 (h = 2 is the classic LDS)");
     let t0 = Instant::now();
-    let cliques = CliqueSet::enumerate(g, h);
+    let cliques = CliqueSet::enumerate_with(g, h, &cfg.parallelism);
     let clique_ms = t0.elapsed().as_secs_f64() * 1e3;
     let mut res = top_k_with_instances(g, &cliques, k, cfg);
     res.stats.clique_ms = clique_ms;
@@ -756,6 +762,26 @@ mod tests {
         // densities are non-increasing
         for w in res.subgraphs.windows(2) {
             assert!(w[0].density >= w[1].density);
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_serial_pipeline() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[4, 5, 6, 7]);
+        complete_on(&mut b, &[8, 9, 10]);
+        b.add_edge(7, 8);
+        let g = b.build();
+        let serial = top_k_lhcds(&g, 3, 10, &IppvConfig::default());
+        for t in [2usize, 4, 8] {
+            let cfg = IppvConfig {
+                parallelism: Parallelism::threads(t),
+                ..IppvConfig::default()
+            };
+            let par = top_k_lhcds(&g, 3, 10, &cfg);
+            assert_eq!(par.subgraphs, serial.subgraphs, "threads={t}");
+            assert_eq!(par.stats.clique_count, serial.stats.clique_count);
         }
     }
 

@@ -213,6 +213,28 @@ mod tests {
         assert_eq!(restricted, full.core);
     }
 
+    /// Pruning decisions depend on the incidence index; a
+    /// parallel-enumerated store must reproduce them exactly.
+    #[test]
+    fn parallel_store_reproduces_pruning_exactly() {
+        let g = k5_with_path();
+        let serial_cs = CliqueSet::enumerate(&g, 3);
+        let bounds = initialize_bounds(&serial_cs, 1e-6);
+        let mut serial_alive = vec![true; g.n()];
+        let serial_removed = prune(&g, &serial_cs, &bounds, &mut serial_alive);
+        for t in [2usize, 4] {
+            let cs = CliqueSet::enumerate_with(&g, 3, &lhcds_clique::Parallelism::threads(t));
+            let mut alive = vec![true; g.n()];
+            let removed = prune(&g, &cs, &initialize_bounds(&cs, 1e-6), &mut alive);
+            assert_eq!(removed, serial_removed, "threads={t}");
+            assert_eq!(alive, serial_alive, "threads={t}");
+            assert_eq!(
+                clique_core_restricted(&cs, &alive),
+                clique_core_restricted(&serial_cs, &serial_alive)
+            );
+        }
+    }
+
     #[test]
     fn dead_vertices_have_zero_restricted_core() {
         let g = k5_with_path();

@@ -2,6 +2,7 @@
 //! definition-level brute-force oracle on random small graphs, for every
 //! verifier configuration.
 
+use lhcds_clique::Parallelism;
 use lhcds_core::bruteforce::all_lhcds_bruteforce;
 use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
 use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
@@ -82,6 +83,21 @@ proptest! {
         let g = graph_from_bits(9, &bits);
         let cfg = IppvConfig { cp_iterations: 120, ..IppvConfig::default() };
         check_graph(&g, 3, &cfg);
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_oracle(bits in prop::collection::vec(prop::bool::weighted(0.5), 45)) {
+        // Exactness must not depend on the enumeration thread count:
+        // multi-threaded runs face the oracle directly, and the full
+        // decomposition must also be identical to the serial run's.
+        let g = graph_from_bits(10, &bits);
+        let serial = top_k_lhcds(&g, 3, usize::MAX, &IppvConfig::default());
+        for t in [2usize, 4, 8] {
+            let cfg = IppvConfig { parallelism: Parallelism::threads(t), ..IppvConfig::default() };
+            check_graph(&g, 3, &cfg);
+            let par = top_k_lhcds(&g, 3, usize::MAX, &cfg);
+            prop_assert_eq!(&par.subgraphs, &serial.subgraphs, "threads = {}", t);
+        }
     }
 
     #[test]

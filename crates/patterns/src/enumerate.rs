@@ -15,18 +15,28 @@
 //! * cliques — ascending by construction (kClist).
 
 use crate::pattern::Pattern;
-use lhcds_clique::{for_each_clique, CliqueSet};
+use lhcds_clique::{for_each_clique, CliqueSet, Parallelism};
 use lhcds_graph::{CsrGraph, VertexId};
 
 /// Enumerates every instance of `pattern` in `g` into an instance
 /// store (flat member lists plus incidence index).
 pub fn enumerate_pattern(g: &CsrGraph, pattern: Pattern) -> CliqueSet {
+    enumerate_pattern_with(g, pattern, &Parallelism::serial())
+}
+
+/// Same as [`enumerate_pattern`] with an explicit thread policy.
+///
+/// Clique-shaped patterns delegate to the (optionally node-parallel)
+/// kClist enumerator and produce a byte-identical store for every
+/// policy; the bespoke non-clique enumerators below are single-threaded
+/// and ignore `par`.
+pub fn enumerate_pattern_with(g: &CsrGraph, pattern: Pattern, par: &Parallelism) -> CliqueSet {
     let mut flat: Vec<VertexId> = Vec::new();
     match pattern {
-        Pattern::Edge => return CliqueSet::enumerate(g, 2),
-        Pattern::Triangle => return CliqueSet::enumerate(g, 3),
-        Pattern::Clique(h) => return CliqueSet::enumerate(g, h),
-        Pattern::Clique4 => return CliqueSet::enumerate(g, 4),
+        Pattern::Edge => return CliqueSet::enumerate_with(g, 2, par),
+        Pattern::Triangle => return CliqueSet::enumerate_with(g, 3, par),
+        Pattern::Clique(h) => return CliqueSet::enumerate_with(g, h, par),
+        Pattern::Clique4 => return CliqueSet::enumerate_with(g, 4, par),
         Pattern::Star3 => {
             for c in g.vertices() {
                 let ns = g.neighbors(c);

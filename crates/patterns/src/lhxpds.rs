@@ -8,7 +8,7 @@
 //! it runs unchanged on pattern instance stores; this module just wires
 //! enumeration and the pipeline together.
 
-use crate::enumerate::enumerate_pattern;
+use crate::enumerate::enumerate_pattern_with;
 use crate::pattern::Pattern;
 use lhcds_core::pipeline::{top_k_with_instances, IppvConfig, IppvResult, Lhcds};
 use lhcds_graph::CsrGraph;
@@ -28,7 +28,7 @@ pub struct LhxpdsResult {
 /// Discovers the top-k locally `pattern`-densest subgraphs of `g`.
 pub fn top_k_lhxpds(g: &CsrGraph, pattern: Pattern, k: usize, cfg: &IppvConfig) -> LhxpdsResult {
     let t0 = std::time::Instant::now();
-    let store = enumerate_pattern(g, pattern);
+    let store = enumerate_pattern_with(g, pattern, &cfg.parallelism);
     let enum_ms = t0.elapsed().as_secs_f64() * 1e3;
     let IppvResult {
         subgraphs,

@@ -3,7 +3,7 @@
 //! all exact configurations, and baseline consistency.
 
 use lhcds::baselines::{greedy_top_k_cds, peel_densest, FlowLds};
-use lhcds::clique::CliqueSet;
+use lhcds::clique::{CliqueSet, Parallelism};
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig, IppvResult};
 use lhcds::data::datasets::by_abbr;
 use lhcds::data::gen::{gnp, planted_communities, sbm};
@@ -144,6 +144,48 @@ fn top1_is_the_global_cds() {
     let (inst, _) = lhcds::core::compact::local_instance(&cs, &all);
     let (rho_star, _) = lhcds::core::compact::densest_decomposition(&inst).unwrap();
     assert_eq!(top.density, rho_star);
+}
+
+/// The full IPPV decomposition (not just the top-k prefix) must be
+/// identical whether h-cliques are enumerated serially or on 2/4/8
+/// worker threads — the pipeline-level face of the serial-equivalence
+/// contract in `crates/clique/tests/parallel.rs`.
+#[test]
+fn parallel_enumeration_yields_identical_decomposition() {
+    let g = planted_communities(350, 3, &[(16, 0.9), (13, 0.85), (11, 0.9)], 2024);
+    for h in [2usize, 3, 4] {
+        let serial = top_k_lhcds(
+            &g,
+            h,
+            usize::MAX,
+            &IppvConfig {
+                parallelism: Parallelism::serial(),
+                ..IppvConfig::default()
+            },
+        );
+        check_invariants(&g, h, &serial);
+        for t in [2usize, 4, 8] {
+            let cfg = IppvConfig {
+                parallelism: Parallelism::threads(t),
+                ..IppvConfig::default()
+            };
+            let par = top_k_lhcds(&g, h, usize::MAX, &cfg);
+            assert_eq!(par.subgraphs, serial.subgraphs, "h={h} threads={t}");
+            assert_eq!(par.stats.clique_count, serial.stats.clique_count);
+        }
+        // the auto policy (whatever it resolves to on this machine) is
+        // equivalent too
+        let auto = top_k_lhcds(
+            &g,
+            h,
+            usize::MAX,
+            &IppvConfig {
+                parallelism: Parallelism::auto(),
+                ..IppvConfig::default()
+            },
+        );
+        assert_eq!(auto.subgraphs, serial.subgraphs, "h={h} auto");
+    }
 }
 
 #[test]
