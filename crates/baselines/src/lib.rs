@@ -18,6 +18,29 @@
 //! * [`peel::peel_densest`] — Charikar-style greedy peeling for the
 //!   h-clique densest subgraph (the classic `1/h`-approximation), used
 //!   as a cheap seed and as a sanity baseline in benches.
+//!
+//! In the workspace DAG this crate sits above `lhcds-core` (as
+//! `lhcds-patterns`' sibling); the bench harness compares it against
+//! IPPV in Figures 12/14/15 and Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_baselines::FlowLds;
+//! use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
+//! use lhcds_graph::CsrGraph;
+//!
+//! // Two triangles joined by a path: both algorithms must agree.
+//! let g = CsrGraph::from_edges(
+//!     8,
+//!     [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 5)],
+//! );
+//! let baseline = FlowLds::ltds().top_k(&g, 2);
+//! let ippv = top_k_lhcds(&g, 3, 2, &IppvConfig::default());
+//! assert_eq!(baseline.subgraphs, ippv.subgraphs);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod flowlds;
 pub mod greedy;

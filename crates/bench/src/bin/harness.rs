@@ -11,8 +11,17 @@
 //! update `EXPERIMENTS.md`). `--scale` multiplies the background size
 //! of every dataset stand-in (default 0.08; 1.0 = full stand-in size).
 //! `--threads N` adds `N` to the thread sweep of the `kclist`
-//! experiment, which also records its rows to `BENCH_kclist.json`
-//! (directory override: `LHCDS_BENCH_DIR`).
+//! experiment.
+//!
+//! Two experiments record committed `BENCH_*.json` baselines (directory
+//! override: `LHCDS_BENCH_DIR`), each stamped with the recording host's
+//! parallelism (`host_parallelism`, `recorded_on_single_cpu`):
+//!
+//! * `kclist` → `BENCH_kclist.json` — serial vs node-parallel
+//!   enumeration;
+//! * `table2real` → `BENCH_table2.json` — statistics of any real SNAP
+//!   graphs present via the `datasets.toml` manifest (skips gracefully
+//!   when none are downloaded, so CI stays hermetic).
 
 use lhcds_bench::experiments::{all_experiments, run_experiment, ExpOptions};
 use lhcds_bench::measure::CountingAllocator;

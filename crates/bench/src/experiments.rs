@@ -6,11 +6,12 @@
 //! by [`ExpOptions::scale`]; the defaults keep the full sweep in a
 //! minutes-scale budget (the paper's originals ran up to 48 h).
 
-use crate::measure::{fmt_kb, peak_bytes, reset_peak, time_ms, MdTable};
+use crate::measure::{fmt_kb, peak_bytes, reset_peak, time_ms, BenchProvenance, MdTable};
 use lhcds::baselines::{greedy_top_k_cds, FlowLds};
 use lhcds::clique::{count_cliques, par_count_cliques, par_count_per_vertex, Parallelism};
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig, IppvResult};
 use lhcds::data::datasets::by_abbr;
+use lhcds::data::manifest::DatasetRegistry;
 use lhcds::data::{polbooks_like, registry, Dataset, LabeledGraph};
 use lhcds::graph::properties::{average_clustering, diameter, edge_density};
 use lhcds::graph::{CsrGraph, InducedSubgraph};
@@ -21,8 +22,10 @@ use lhcds::patterns::{top_k_lhxpds, Pattern};
 pub struct ExpOptions {
     /// Dataset scale factor in `(0, 1]` (background size multiplier).
     pub scale: f64,
-    /// Extra thread count for the `kclist` experiment (`0` = none; the
-    /// experiment always sweeps 1/2/4).
+    /// Worker threads for clique enumeration where an experiment
+    /// supports it: `kclist` adds this count to its 1/2/4 sweep, and
+    /// `table2real` counts |Ψ3|/|Ψ5| on this many threads (`0` =
+    /// serial). Results never depend on it — only wall time does.
     pub threads: usize,
 }
 
@@ -56,8 +59,22 @@ fn run(g: &CsrGraph, h: usize, k: usize, fast: bool) -> (IppvResult, f64) {
 /// All experiment ids, paper order.
 pub fn all_experiments() -> &'static [&'static str] {
     &[
-        "table2", "fig9", "fig10", "fig11", "fig12", "table3", "fig13", "table4", "fig14",
-        "table5", "fig15", "fig16", "fig17", "ablation", "kclist",
+        "table2",
+        "table2real",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table3",
+        "fig13",
+        "table4",
+        "fig14",
+        "table5",
+        "fig15",
+        "fig16",
+        "fig17",
+        "ablation",
+        "kclist",
     ]
 }
 
@@ -65,6 +82,7 @@ pub fn all_experiments() -> &'static [&'static str] {
 pub fn run_experiment(name: &str, opts: &ExpOptions) -> Option<String> {
     Some(match name {
         "table2" => table2(opts),
+        "table2real" => table2real(opts),
         "fig9" => fig9(opts),
         "fig10" => fig10(opts),
         "fig11" => fig11(opts),
@@ -109,6 +127,157 @@ pub fn table2(opts: &ExpOptions) -> String {
         ]);
     }
     format!("## Table 2 — dataset statistics\n\n{}", t.render())
+}
+
+/// Table 2 on *real* graphs: loads every locally-present dataset from
+/// the `datasets.toml` manifest (see `lhcds-data::manifest`), measures
+/// load time (through the binary cache), `|V|`, `|E|`, `|Ψ3|`, `|Ψ5|`,
+/// and records the rows to `BENCH_table2.json`.
+///
+/// Hermetic by design: when no manifest exists or no dataset file has
+/// been downloaded, the experiment reports a skip note and writes
+/// nothing — CI never depends on network downloads.
+pub fn table2real(opts: &ExpOptions) -> String {
+    let dir = std::env::var("LHCDS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    table2real_on(
+        opts,
+        &DatasetRegistry::default_path(),
+        std::path::Path::new(&dir),
+    )
+}
+
+/// Escapes a string for splicing into a JSON string literal (dataset
+/// names come from the user's manifest, not from this crate).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// [`table2real`] with explicit manifest and output paths (unit tests
+/// point these at fixtures and temp dirs).
+fn table2real_on(
+    opts: &ExpOptions,
+    manifest: &std::path::Path,
+    out_dir: &std::path::Path,
+) -> String {
+    let heading = "## Table 2 (real) — user-provided SNAP graphs";
+    let parallelism = if opts.threads > 0 {
+        Parallelism::threads(opts.threads)
+    } else {
+        Parallelism::serial()
+    };
+    if !manifest.is_file() {
+        return format!(
+            "{heading}\n\nskipped: no manifest at `{}` — run \
+             `lhcds datasets fetch-instructions` to set one up.\n",
+            manifest.display()
+        );
+    }
+    let registry = match DatasetRegistry::load(manifest) {
+        Ok(r) => r,
+        Err(e) => return format!("{heading}\n\nskipped: {e}\n"),
+    };
+
+    let mut t = MdTable::new([
+        "dataset",
+        "|V|",
+        "|E|",
+        "|Ψ3|",
+        "|Ψ5|",
+        "load (ms)",
+        "source",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    let mut absent: Vec<&str> = Vec::new();
+    for entry in registry.entries() {
+        if !entry.is_present() {
+            absent.push(&entry.name);
+            continue;
+        }
+        let (loaded, ms) = time_ms(|| entry.load());
+        let (g, status) = match loaded {
+            Ok(ok) => ok,
+            Err(e) => {
+                t.row([
+                    entry.name.clone(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("{ms:.1}"),
+                    format!("FAILED: {e}"),
+                ]);
+                continue;
+            }
+        };
+        let g = &g.graph;
+        let psi3 = par_count_cliques(g, 3, &parallelism);
+        let psi5 = par_count_cliques(g, 5, &parallelism);
+        let source = match status {
+            lhcds::data::CacheStatus::Hit => "cache",
+            lhcds::data::CacheStatus::Built => "text (cache written)",
+            lhcds::data::CacheStatus::Rebuilt => "text (cache rebuilt)",
+            lhcds::data::CacheStatus::Uncached => "text (cache not writable)",
+        };
+        t.row([
+            entry.name.clone(),
+            g.n().to_string(),
+            g.m().to_string(),
+            psi3.to_string(),
+            psi5.to_string(),
+            format!("{ms:.1}"),
+            source.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"dataset\": \"{}\", \"n\": {}, \"m\": {}, \"psi3\": {psi3}, \
+             \"psi5\": {psi5}, \"load_ms\": {ms:.3}, \"from_cache\": {}}}",
+            json_escape(&entry.name),
+            g.n(),
+            g.m(),
+            status == lhcds::data::CacheStatus::Hit,
+        ));
+    }
+
+    if t.is_empty() {
+        return format!(
+            "{heading}\n\nskipped: manifest `{}` lists {} dataset(s) but none are \
+             downloaded — see `lhcds datasets fetch-instructions`.\n",
+            manifest.display(),
+            registry.entries().len()
+        );
+    }
+    // Every present dataset failed to load: report, but never clobber a
+    // previously recorded good baseline with an empty rows array.
+    if json_rows.is_empty() {
+        return format!(
+            "{heading}\n\n{}\nno dataset loaded successfully — `BENCH_table2.json` left untouched\n",
+            t.render()
+        );
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"table2real\",\n  {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        BenchProvenance::detect().json_fields(),
+        json_rows.join(",\n")
+    );
+    let path = out_dir.join("BENCH_table2.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("recorded to `{}`", path.display()),
+        Err(e) => format!("could not write `{}`: {e}", path.display()),
+    };
+    let absent_note = if absent.is_empty() {
+        String::new()
+    } else {
+        format!("\nnot downloaded (skipped): {}\n", absent.join(", "))
+    };
+    format!("{heading}\n\n{}\n{note}\n{absent_note}", t.render())
 }
 
 /// Figure 9: basic vs fast verification runtime across `h ∈ {3,4,5}`
@@ -562,9 +731,11 @@ fn kclist_on(
         }
     }
 
-    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let provenance = BenchProvenance::detect();
+    let host = provenance.host_parallelism;
     let json = format!(
-        "{{\n  \"experiment\": \"kclist\",\n  \"host_parallelism\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"kclist\",\n  {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        provenance.json_fields(),
         json_rows.join(",\n")
     );
     let path = out_dir.join("BENCH_kclist.json");
@@ -662,8 +833,22 @@ mod tests {
             // dispatch must know every id (we don't run them all here —
             // that's the harness's job)
             assert!([
-                "table2", "fig9", "fig10", "fig11", "fig12", "table3", "fig13", "table4", "fig14",
-                "table5", "fig15", "fig16", "fig17", "ablation", "kclist"
+                "table2",
+                "table2real",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "table3",
+                "fig13",
+                "table4",
+                "fig14",
+                "table5",
+                "fig15",
+                "fig16",
+                "fig17",
+                "ablation",
+                "kclist"
             ]
             .contains(name));
         }
@@ -673,6 +858,7 @@ mod tests {
     #[test]
     fn kclist_records_a_json_baseline() {
         let dir = std::env::temp_dir().join("lhcds_bench_kclist_test");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let tiny = vec![(
             "planted_tiny",
@@ -695,6 +881,8 @@ mod tests {
         assert!(json.contains("\"threads\": 7"), "extra thread row: {json}");
         for key in [
             "\"experiment\": \"kclist\"",
+            "\"host_parallelism\"",
+            "\"recorded_on_single_cpu\"",
             "\"graph\"",
             "\"h\"",
             "\"threads\": 1",
@@ -704,6 +892,111 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn fixture() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../data/fixtures/figure2.txt")
+    }
+
+    #[test]
+    fn table2real_skips_gracefully_without_files() {
+        let dir = std::env::temp_dir().join("lhcds_bench_table2real_skip");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // no manifest at all
+        let out = table2real_on(&TINY, &dir.join("none.toml"), &dir);
+        assert!(out.contains("skipped: no manifest"));
+        assert!(!dir.join("BENCH_table2.json").exists(), "hermetic skip");
+
+        // manifest present, dataset files absent
+        let manifest = dir.join("datasets.toml");
+        std::fs::write(&manifest, "[gone]\npath = \"gone.txt\"\n").unwrap();
+        let out = table2real_on(&TINY, &manifest, &dir);
+        assert!(out.contains("none are"), "{out}");
+        assert!(!dir.join("BENCH_table2.json").exists(), "hermetic skip");
+
+        // unparseable manifest also skips rather than panics
+        std::fs::write(&manifest, "[broken\n").unwrap();
+        let out = table2real_on(&TINY, &manifest, &dir);
+        assert!(out.contains("skipped:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain-name"), "plain-name");
+        assert_eq!(json_escape("we\"ird\\no"), "we\\\"ird\\\\no");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn table2real_escapes_dataset_names_in_json() {
+        let dir = std::env::temp_dir().join("lhcds_bench_table2real_escape");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("g.txt"), "0 1\n1 2\n2 0\n").unwrap();
+        let manifest = dir.join("datasets.toml");
+        std::fs::write(&manifest, "[we\"ird]\npath = \"g.txt\"\n").unwrap();
+        let out = table2real_on(&TINY, &manifest, &dir);
+        assert!(out.contains("recorded"), "{out}");
+        let json = std::fs::read_to_string(dir.join("BENCH_table2.json")).unwrap();
+        assert!(json.contains("\"dataset\": \"we\\\"ird\""), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table2real_records_present_datasets() {
+        let dir = std::env::temp_dir().join("lhcds_bench_table2real_run");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::copy(fixture(), dir.join("figure2.txt")).unwrap();
+        let manifest = dir.join("datasets.toml");
+        std::fs::write(
+            &manifest,
+            "[figure2]\npath = \"figure2.txt\"\nvertices = 20\nedges = 39\n\
+             [absent]\npath = \"absent.txt\"\n",
+        )
+        .unwrap();
+
+        let out = table2real_on(&TINY, &manifest, &dir);
+        assert!(out.contains("| figure2 "), "{out}");
+        assert!(out.contains("not downloaded (skipped): absent"), "{out}");
+        let json = std::fs::read_to_string(dir.join("BENCH_table2.json")).unwrap();
+        for key in [
+            "\"experiment\": \"table2real\"",
+            "\"host_parallelism\"",
+            "\"recorded_on_single_cpu\"",
+            "\"dataset\": \"figure2\"",
+            "\"n\": 20",
+            "\"m\": 39",
+            "\"psi3\"",
+            "\"psi5\"",
+            "\"load_ms\"",
+            "\"from_cache\": false",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // second run goes through the cache (and exercises the parallel
+        // counting path, which is byte-identical to serial)
+        let out = table2real_on(&ExpOptions { threads: 2, ..TINY }, &manifest, &dir);
+        assert!(out.contains("cache"), "{out}");
+        let json = std::fs::read_to_string(dir.join("BENCH_table2.json")).unwrap();
+        assert!(json.contains("\"from_cache\": true"), "{json}");
+
+        // when every present dataset fails, the recorded baseline must
+        // NOT be clobbered with an empty rows array
+        std::fs::write(
+            &manifest,
+            "[figure2]\npath = \"figure2.txt\"\nvertices = 9999\n",
+        )
+        .unwrap();
+        let out = table2real_on(&TINY, &manifest, &dir);
+        assert!(out.contains("FAILED"), "{out}");
+        assert!(out.contains("left untouched"), "{out}");
+        let unchanged = std::fs::read_to_string(dir.join("BENCH_table2.json")).unwrap();
+        assert_eq!(unchanged, json, "good baseline must survive a failed run");
         std::fs::remove_dir_all(&dir).ok();
     }
 

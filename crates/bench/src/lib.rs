@@ -11,11 +11,30 @@
 //!
 //! The `harness` binary drives the runners:
 //! `cargo run --release -p lhcds-bench --bin harness -- all`.
-//! The `kclist` experiment additionally records its serial-vs-parallel
-//! enumeration rows to `BENCH_kclist.json` (see `--threads`), the
-//! committed baseline anchor for perf PRs.
+//! Two experiments record committed `BENCH_*.json` baselines, each
+//! stamped with the recording host's [`measure::BenchProvenance`]:
+//! `kclist` (serial vs node-parallel enumeration, `BENCH_kclist.json`)
+//! and `table2real` (statistics of locally-present real SNAP graphs,
+//! `BENCH_table2.json`; skips gracefully when none are downloaded).
 //! The Criterion benches under `benches/` cover the same experiments at
 //! reduced scale for `cargo bench`.
+//!
+//! This crate is a top-layer consumer: everything reaches it through
+//! the `lhcds` facade, keeping the workspace DAG honest.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_bench::experiments::{run_experiment, ExpOptions};
+//!
+//! // Run the polbooks case study (Figure 13) at default options and
+//! // check the harness produced a markdown section.
+//! let section = run_experiment("fig13", &ExpOptions::default()).unwrap();
+//! assert!(section.contains("## Figure 13"));
+//! assert!(run_experiment("no-such-experiment", &ExpOptions::default()).is_none());
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod experiments;
 pub mod measure;

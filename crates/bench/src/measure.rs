@@ -47,6 +47,44 @@ pub fn current_bytes() -> usize {
     CURRENT.load(Ordering::Relaxed)
 }
 
+/// Host provenance stamped into every `BENCH_*.json` the harness
+/// records.
+///
+/// Wall-clock numbers only mean what the recording host lets them mean:
+/// a speedup column recorded on a single-CPU container is ~1.0x by
+/// construction, whatever the code does. Stamping
+/// `recorded_on_single_cpu` makes that caveat machine-readable, so a
+/// later perf PR comparing against a committed baseline can refuse to
+/// read a speedup column that never had a chance.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchProvenance {
+    /// `std::thread::available_parallelism()` of the recording host.
+    pub host_parallelism: usize,
+    /// True when the host had exactly one CPU — parallel speedup
+    /// columns in the same file are then meaningless.
+    pub recorded_on_single_cpu: bool,
+}
+
+impl BenchProvenance {
+    /// Probes the current host.
+    pub fn detect() -> Self {
+        let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+        BenchProvenance {
+            host_parallelism: host,
+            recorded_on_single_cpu: host == 1,
+        }
+    }
+
+    /// The provenance fields as a JSON fragment (no surrounding braces),
+    /// ready to splice into a `BENCH_*.json` header.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"host_parallelism\": {}, \"recorded_on_single_cpu\": {}",
+            self.host_parallelism, self.recorded_on_single_cpu
+        )
+    }
+}
+
 /// Times a closure, returning its result and elapsed milliseconds.
 pub fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let t0 = Instant::now();
@@ -156,6 +194,19 @@ mod tests {
     fn fmt_kb_rounds() {
         assert_eq!(fmt_kb(2048), "2");
         assert_eq!(fmt_kb(0), "0");
+    }
+
+    #[test]
+    fn provenance_fields_are_well_formed() {
+        let p = BenchProvenance::detect();
+        assert!(p.host_parallelism >= 1);
+        assert_eq!(p.recorded_on_single_cpu, p.host_parallelism == 1);
+        let json = p.json_fields();
+        assert!(json.contains("\"host_parallelism\": "));
+        assert!(
+            json.contains("\"recorded_on_single_cpu\": true")
+                || json.contains("\"recorded_on_single_cpu\": false")
+        );
     }
 
     #[test]

@@ -2,21 +2,42 @@
 //!
 //! ```text
 //! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop]
+//! lhcds topk --input web-Stanford.txt [--format snap|csv|auto] [--no-cache] --h 3 --k 5
 //! lhcds stats --graph edges.txt [--h 3] [--threads 4]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
+//! lhcds datasets list | fetch-instructions | cache | verify [--manifest datasets.toml] [--name X]
 //! lhcds help
 //! ```
 //!
+//! Two input paths:
+//!
+//! * `--graph FILE` — strict already-compact edge list (ids `0..n`,
+//!   whitespace-separated, `#`/`%` comments), parsed on every run.
+//! * `--input FILE` — the real-dataset ingest path: tolerant streaming
+//!   parser (tabs/commas, CRLF, duplicate + reversed edges, self-loops,
+//!   arbitrary non-contiguous 64-bit ids remapped to compact ranks)
+//!   backed by a binary on-disk cache (`FILE.csrcache`), so large
+//!   downloads are parsed once. Reported vertex ids are the *original*
+//!   file ids.
+//!
+//! The `datasets` subcommand manages a `datasets.toml` manifest of real
+//! graphs (the paper's Table 2 corpus): `list` shows local status,
+//! `fetch-instructions` prints download pointers (or a template
+//! manifest), `cache` pre-builds binary snapshots, and `verify`
+//! validates loaded graphs against the recorded `|V|`/`|E|`.
+//!
 //! `--threads N` runs h-clique enumeration on `N` worker threads
 //! (`0` = auto-detect); output is identical to the serial default.
-//!
-//! Graphs are whitespace-separated edge lists (`#`/`%` comments
-//! allowed) — the SNAP format.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::data::cache::{cache_path_for, load_or_build, CacheStatus};
+use lhcds::data::ingest::{read_graph_file, EdgeListFormat};
+use lhcds::data::manifest::{table2_template, DatasetRegistry};
 use lhcds::graph::io::{read_edge_list_file, write_edge_list_file};
+use lhcds::graph::CsrGraph;
 use lhcds::patterns::{top_k_lhxpds, Pattern};
 
 mod args;
@@ -34,6 +55,12 @@ fn main() -> ExitCode {
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
+    // `datasets` takes its own action word, so it re-parses the tail:
+    // `lhcds datasets list --manifest m.toml` → action "list".
+    if argv.first().map(String::as_str) == Some("datasets") {
+        let mut args = Args::parse(argv[1..].to_vec())?;
+        return cmd_datasets(&mut args);
+    }
     let mut args = Args::parse(argv)?;
     match args.command.as_str() {
         "topk" => cmd_topk(&mut args),
@@ -50,13 +77,129 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
-         USAGE:\n  lhcds topk  --graph FILE [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--quiet]\n  \
-         lhcds stats --graph FILE [--h H] [--threads N]\n  \
-         lhcds gen   --out FILE --preset ABBR [--scale F]\n\n\
+         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--quiet]\n  \
+         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N]\n  \
+         lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
+         lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n\n\
+         INPUT:    --graph = strict compact edge list; --input = tolerant SNAP ingest with a\n          \
+         binary on-disk cache (FILE.csrcache) and original-id reporting\n\
+         FORMATS:  auto (default), snap (whitespace), csv\n\
          PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
          PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)\n\
          THREADS:  enumeration worker threads (0 = auto); results never depend on it"
     );
+}
+
+/// A graph loaded from either input path, with the id mapping needed to
+/// report vertices in the caller's namespace.
+struct LoadedGraph {
+    graph: CsrGraph,
+    /// rank → original file id; `None` when ids were already compact
+    /// (`--graph` path, or an identity remap).
+    original_ids: Option<Vec<u64>>,
+    note: String,
+}
+
+impl LoadedGraph {
+    fn display_id(&self, v: lhcds::graph::VertexId) -> u64 {
+        match &self.original_ids {
+            Some(ids) => ids[v as usize],
+            None => u64::from(v),
+        }
+    }
+
+    fn display_ids(&self, vs: &[lhcds::graph::VertexId]) -> Vec<u64> {
+        vs.iter().map(|&v| self.display_id(v)).collect()
+    }
+}
+
+/// The shared input options (`--graph` / `--input` / `--format` /
+/// `--no-cache`), consumed and validated *before* `args.finish()` so a
+/// mistyped flag is reported without first parsing a multi-gigabyte
+/// file. Call [`InputSpec::load`] after `finish()` succeeds.
+enum InputSpec {
+    /// `--graph FILE`: strict compact edge list, parsed every run.
+    Strict(String),
+    /// `--input FILE`: tolerant ingest path with optional cache bypass.
+    Ingest {
+        path: String,
+        format: EdgeListFormat,
+        no_cache: bool,
+    },
+}
+
+impl InputSpec {
+    fn take(args: &mut Args) -> Result<InputSpec, String> {
+        let graph_path = args.get("graph");
+        let input_path = args.get("input");
+        let format = args.get("format");
+        let no_cache = args.flag("no-cache");
+        match (graph_path, input_path) {
+            (Some(_), Some(_)) => Err("--graph and --input are mutually exclusive".into()),
+            (None, None) => Err("missing input: pass --graph FILE or --input FILE".into()),
+            (Some(path), None) => {
+                if format.is_some() || no_cache {
+                    return Err("--format/--no-cache only apply to --input".into());
+                }
+                Ok(InputSpec::Strict(path))
+            }
+            (None, Some(path)) => Ok(InputSpec::Ingest {
+                path,
+                format: match format {
+                    Some(name) => EdgeListFormat::parse(&name)?,
+                    None => EdgeListFormat::Auto,
+                },
+                no_cache,
+            }),
+        }
+    }
+
+    fn load(self) -> Result<LoadedGraph, String> {
+        match self {
+            InputSpec::Strict(path) => {
+                let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
+                Ok(LoadedGraph {
+                    graph: g,
+                    original_ids: None,
+                    note: format!("loaded {path}"),
+                })
+            }
+            InputSpec::Ingest {
+                path,
+                format,
+                no_cache,
+            } => {
+                let (remapped, how) = if no_cache {
+                    let g = read_graph_file(&path, format).map_err(|e| e.to_string())?;
+                    (g, "parsed, cache bypassed".to_string())
+                } else {
+                    let src = PathBuf::from(&path);
+                    let (g, status) =
+                        load_or_build(&src, format, None).map_err(|e| e.to_string())?;
+                    let cache = cache_path_for(&src);
+                    let how = match status {
+                        CacheStatus::Hit => format!("cache hit: {}", cache.display()),
+                        CacheStatus::Built => {
+                            format!("parsed, cache written: {}", cache.display())
+                        }
+                        CacheStatus::Rebuilt => {
+                            format!("stale cache rebuilt: {}", cache.display())
+                        }
+                        CacheStatus::Uncached => {
+                            format!("parsed; cache not writable at {}", cache.display())
+                        }
+                    };
+                    (g, how)
+                };
+                let identity = remapped.is_identity();
+                Ok(LoadedGraph {
+                    graph: remapped.graph,
+                    original_ids: (!identity).then_some(remapped.original_ids),
+                    note: format!("loaded {path} ({how})"),
+                })
+            }
+        }
+    }
 }
 
 fn parse_pattern(name: &str) -> Result<Pattern, String> {
@@ -72,18 +215,19 @@ fn parse_pattern(name: &str) -> Result<Pattern, String> {
 }
 
 fn cmd_topk(args: &mut Args) -> Result<(), String> {
-    let path = args.required("graph")?;
     let k = args.get_parsed("k")?.unwrap_or(5usize);
     let h = args.get_parsed("h")?.unwrap_or(3usize);
     let basic = args.flag("basic");
     let quiet = args.flag("quiet");
     let pattern = args.get("pattern");
     let parallelism = args.parallelism()?;
+    let input = InputSpec::take(args)?;
     args.finish()?;
+    let loaded = input.load()?;
 
-    let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
+    let g = &loaded.graph;
     if !quiet {
-        eprintln!("loaded {}: {} vertices, {} edges", path, g.n(), g.m());
+        eprintln!("{}: {} vertices, {} edges", loaded.note, g.n(), g.m());
     }
     let cfg = IppvConfig {
         fast_verify: !basic,
@@ -93,13 +237,13 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
 
     let (subgraphs, stats) = if let Some(pname) = pattern {
         let p = parse_pattern(&pname)?;
-        let res = top_k_lhxpds(&g, p, k, &cfg);
+        let res = top_k_lhxpds(g, p, k, &cfg);
         (res.subgraphs, res.stats)
     } else {
         if h < 2 {
             return Err("--h must be at least 2".into());
         }
-        let res = top_k_lhcds(&g, h, k, &cfg);
+        let res = top_k_lhcds(g, h, k, &cfg);
         (res.subgraphs, res.stats)
     };
 
@@ -110,7 +254,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
             d = s.density,
             n = s.vertices.len(),
             c = s.clique_count,
-            v = s.vertices,
+            v = loaded.display_ids(&s.vertices),
         );
     }
     if !quiet {
@@ -127,27 +271,152 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &mut Args) -> Result<(), String> {
-    let path = args.required("graph")?;
     let h = args.get_parsed("h")?.unwrap_or(3usize);
     let parallelism = args.parallelism()?;
+    let input = InputSpec::take(args)?;
     args.finish()?;
-    let g = read_edge_list_file(&path).map_err(|e| e.to_string())?;
-    let deg = lhcds::graph::core_decomp::degeneracy_order(&g);
+    let loaded = input.load()?;
+    let g = &loaded.graph;
+    eprintln!("{}", loaded.note);
+    let deg = lhcds::graph::core_decomp::degeneracy_order(g);
     println!("vertices:    {}", g.n());
     println!("edges:       {}", g.m());
     println!("max degree:  {}", g.max_degree());
     println!("degeneracy:  {}", deg.degeneracy);
-    println!("clique no.:  {}", lhcds::clique::clique_number(&g));
+    println!("clique no.:  {}", lhcds::clique::clique_number(g));
     for hh in [3usize, h.max(3)] {
         println!(
             "|Psi_{hh}|:     {}",
-            lhcds::clique::par_count_cliques(&g, hh, &parallelism)
+            lhcds::clique::par_count_cliques(g, hh, &parallelism)
         );
         if hh == h.max(3) {
             break;
         }
     }
     Ok(())
+}
+
+/// `lhcds datasets <action>` — manage the real-dataset manifest.
+fn cmd_datasets(args: &mut Args) -> Result<(), String> {
+    let action = args.command.clone();
+    let manifest_path = args
+        .get("manifest")
+        .map(PathBuf::from)
+        .unwrap_or_else(DatasetRegistry::default_path);
+    let name = args.get("name");
+    args.finish()?;
+
+    // `fetch-instructions` is the one action that works without a
+    // manifest: it prints a template to get the user started.
+    if action == "fetch-instructions" && !manifest_path.is_file() {
+        println!(
+            "# No manifest at {} — start from this template:\n",
+            manifest_path.display()
+        );
+        println!("{}", table2_template());
+        return Ok(());
+    }
+    let registry = DatasetRegistry::load(&manifest_path)?;
+    let selected: Vec<_> = match &name {
+        Some(n) => vec![registry
+            .get(n)
+            .ok_or_else(|| format!("no dataset '{n}' in {}", manifest_path.display()))?],
+        None => registry.entries().iter().collect(),
+    };
+
+    match action.as_str() {
+        "list" => {
+            let header = ["name", "abbr", "|V| expected", "|E| expected", "status"];
+            println!(
+                "{:<24} {:<6} {:>12} {:>12}  {}",
+                header[0], header[1], header[2], header[3], header[4]
+            );
+            for e in selected {
+                let status = if !e.is_present() {
+                    "missing".to_string()
+                } else if cache_path_for(&e.path).is_file() {
+                    "present, cached".to_string()
+                } else {
+                    "present, no cache".to_string()
+                };
+                let opt = |v: Option<u64>| v.map_or("-".into(), |x| x.to_string());
+                println!(
+                    "{:<24} {:<6} {:>12} {:>12}  {}",
+                    e.name,
+                    e.abbr.as_deref().unwrap_or("-"),
+                    opt(e.vertices),
+                    opt(e.edges),
+                    status
+                );
+            }
+            Ok(())
+        }
+        "fetch-instructions" => {
+            for e in selected {
+                let status = if e.is_present() {
+                    "already present"
+                } else {
+                    "missing"
+                };
+                println!("{} ({status})", e.name);
+                println!(
+                    "  download page: {}",
+                    e.url.as_deref().unwrap_or("(no url recorded)")
+                );
+                println!("  expected path: {}", e.path.display());
+            }
+            println!("\nAfter downloading, run `lhcds datasets verify` to validate and cache.");
+            Ok(())
+        }
+        "cache" | "verify" => {
+            let mut failures = 0usize;
+            let mut skipped = 0usize;
+            for e in &selected {
+                if !e.is_present() {
+                    // explicit --name must fail hard; bulk runs just report
+                    if name.is_some() {
+                        return Err(format!(
+                            "dataset '{}': file not found at {}",
+                            e.name,
+                            e.path.display()
+                        ));
+                    }
+                    println!("{:<24} skipped (file missing)", e.name);
+                    skipped += 1;
+                    continue;
+                }
+                match e.load() {
+                    Ok((g, status)) => println!(
+                        "{:<24} ok: {} vertices, {} edges ({})",
+                        e.name,
+                        g.graph.n(),
+                        g.graph.m(),
+                        match status {
+                            CacheStatus::Hit => "cache hit",
+                            CacheStatus::Built => "cache built",
+                            CacheStatus::Rebuilt => "cache rebuilt",
+                            CacheStatus::Uncached => "cache not writable",
+                        }
+                    ),
+                    Err(err) => {
+                        println!("{:<24} FAILED: {err}", e.name);
+                        failures += 1;
+                    }
+                }
+            }
+            if failures > 0 {
+                return Err(format!("{failures} dataset(s) failed verification"));
+            }
+            if skipped > 0 && skipped == selected.len() {
+                println!("(no dataset files present — see `lhcds datasets fetch-instructions`)");
+            }
+            Ok(())
+        }
+        "" => Err("missing datasets action: list | fetch-instructions | cache | verify".into()),
+        other => Err(format!(
+            "unknown datasets action '{other}' — try list | fetch-instructions | cache | verify"
+        )),
+    }
 }
 
 fn cmd_gen(args: &mut Args) -> Result<(), String> {
@@ -204,9 +473,164 @@ mod tests {
         assert!(run(vec![]).is_ok());
     }
 
+    fn fixture() -> String {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../data/fixtures/figure2.txt")
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn input_path_loads_and_matches_builtin_decomposition() {
+        let dir = std::env::temp_dir().join("lhcds_cli_input_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure2.txt");
+        std::fs::copy(fixture(), &path).unwrap();
+        let path_s = path.to_string_lossy().into_owned();
+
+        // --input works end-to-end, both cold (cache build) and warm (hit)
+        for _ in 0..2 {
+            run(vec![
+                "topk".into(),
+                "--input".into(),
+                path_s.clone(),
+                "--k".into(),
+                "2".into(),
+                "--quiet".into(),
+            ])
+            .unwrap();
+        }
+        run(vec!["stats".into(), "--input".into(), path_s.clone()]).unwrap();
+        run(vec![
+            "topk".into(),
+            "--input".into(),
+            path_s.clone(),
+            "--no-cache".into(),
+            "--format".into(),
+            "snap".into(),
+            "--k".into(),
+            "1".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+
+        // acceptance contract: the ingested fixture decomposes exactly
+        // like the equivalent builtin graph
+        let ingested = read_graph_file(&path, EdgeListFormat::Auto).unwrap();
+        let builtin = lhcds::data::figure2_graph();
+        assert_eq!(ingested.graph, builtin);
+        let a = top_k_lhcds(&ingested.graph, 3, 3, &IppvConfig::default());
+        let b = top_k_lhcds(&builtin, 3, 3, &IppvConfig::default());
+        assert_eq!(a.subgraphs, b.subgraphs);
+
+        // input-option misuse
+        assert!(run(vec![
+            "topk".into(),
+            "--graph".into(),
+            path_s.clone(),
+            "--input".into(),
+            path_s.clone(),
+        ])
+        .is_err());
+        assert!(run(vec![
+            "topk".into(),
+            "--graph".into(),
+            path_s.clone(),
+            "--format".into(),
+            "csv".into(),
+        ])
+        .is_err());
+        assert!(run(vec![
+            "topk".into(),
+            "--input".into(),
+            path_s.clone(),
+            "--format".into(),
+            "xml".into(),
+        ])
+        .is_err());
+        assert!(run(vec!["topk".into(), "--quiet".into()]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn datasets_subcommand_lifecycle() {
+        let dir = std::env::temp_dir().join("lhcds_cli_datasets_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::copy(fixture(), dir.join("figure2.txt")).unwrap();
+        let manifest = dir.join("datasets.toml");
+        std::fs::write(
+            &manifest,
+            "[figure2]\nabbr = \"F2\"\npath = \"figure2.txt\"\nvertices = 20\nedges = 39\n\
+             [absent]\npath = \"not-downloaded.txt\"\n",
+        )
+        .unwrap();
+        let m = manifest.to_string_lossy().into_owned();
+        let with_manifest = |action: &str| {
+            vec![
+                "datasets".into(),
+                action.to_string(),
+                "--manifest".into(),
+                m.clone(),
+            ]
+        };
+
+        run(with_manifest("list")).unwrap();
+        run(with_manifest("fetch-instructions")).unwrap();
+        run(with_manifest("cache")).unwrap();
+        run(with_manifest("verify")).unwrap();
+        // per-name selection
+        let mut v = with_manifest("verify");
+        v.extend(["--name".into(), "F2".into()]);
+        run(v).unwrap();
+        // explicit --name on a missing file fails hard
+        let mut v = with_manifest("cache");
+        v.extend(["--name".into(), "absent".into()]);
+        assert!(run(v).is_err());
+        // unknown name / action / missing action
+        let mut v = with_manifest("verify");
+        v.extend(["--name".into(), "nope".into()]);
+        assert!(run(v).is_err());
+        assert!(run(with_manifest("frobnicate")).is_err());
+        assert!(run(vec!["datasets".into()]).is_err());
+
+        // a validation mismatch is a hard error
+        std::fs::write(
+            &manifest,
+            "[figure2]\npath = \"figure2.txt\"\nvertices = 21\n",
+        )
+        .unwrap();
+        assert!(run(with_manifest("verify")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn datasets_fetch_instructions_without_manifest_prints_template() {
+        let missing = std::env::temp_dir()
+            .join("lhcds_cli_no_such_dir")
+            .join("datasets.toml");
+        run(vec![
+            "datasets".into(),
+            "fetch-instructions".into(),
+            "--manifest".into(),
+            missing.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        // but every other action needs the manifest to exist
+        assert!(run(vec![
+            "datasets".into(),
+            "list".into(),
+            "--manifest".into(),
+            missing.to_string_lossy().into_owned(),
+        ])
+        .is_err());
+    }
+
     #[test]
     fn gen_and_topk_round_trip() {
         let dir = std::env::temp_dir().join("lhcds_cli_test");
+        std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("g.txt").to_string_lossy().into_owned();
         run(vec![

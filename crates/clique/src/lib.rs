@@ -19,6 +19,28 @@
 //!   after Fang et al.): peeling by h-clique degree yields each vertex's
 //!   h-clique-core number, the source of the initial compact-number
 //!   bounds (Algorithm 1).
+//!
+//! In the workspace DAG this crate sits directly above `lhcds-graph`
+//! (with `lhcds-flow` as its sibling) and below `lhcds-core`, which
+//! drives every entry point here from the IPPV pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_clique::{count_cliques, count_per_vertex, par_count_cliques, Parallelism};
+//! use lhcds_graph::CsrGraph;
+//!
+//! // K4 plus a pendant: C(4,3) = 4 triangles, one 4-clique.
+//! let g = CsrGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+//! assert_eq!(count_cliques(&g, 3), 4);
+//! assert_eq!(count_cliques(&g, 4), 1);
+//! // per-vertex h-clique degrees: the pendant touches no triangle
+//! assert_eq!(count_per_vertex(&g, 3), vec![3, 3, 3, 3, 0]);
+//! // the parallel twin is byte-identical to serial, any thread count
+//! assert_eq!(par_count_cliques(&g, 3, &Parallelism::threads(4)), 4);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod core;
 pub mod kclist;

@@ -7,7 +7,7 @@
 //! roots partitions the cliques, and workers never synchronize inside a
 //! sweep. This module implements that scheme on `std::thread::scope`
 //! (no external dependency — the build is offline), with each worker
-//! owning its own [`Scratch`] buffers.
+//! owning its own `Scratch` buffers.
 //!
 //! ## Thread-safety contract
 //!
@@ -26,7 +26,7 @@
 //!   `u64` accumulators; integer addition is exact and commutative, and
 //!   partials are combined in shard order, so the results are
 //!   byte-identical to the serial counts.
-//! * [`collect_members`] (behind `CliqueSet::enumerate_with`) stores one
+//! * `collect_members` (behind `CliqueSet::enumerate_with`) stores one
 //!   member vector per *block* of consecutive roots and concatenates the
 //!   blocks in ascending rank order — the flat member array, and hence
 //!   the whole `CliqueSet` (clique ids, incidence index), is identical

@@ -312,7 +312,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Lengths acceptable to [`vec`]: a fixed size or a range of sizes.
+    /// Lengths acceptable to [`vec()`]: a fixed size or a range of sizes.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

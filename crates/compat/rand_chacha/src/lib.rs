@@ -1,4 +1,5 @@
-//! Offline stand-in for the [`rand_chacha`] crate: a real ChaCha8 block
+//! Offline stand-in for the
+//! [`rand_chacha`](https://crates.io/crates/rand_chacha) crate: a real ChaCha8 block
 //! function driving the `rand` stand-in's [`RngCore`].
 //!
 //! The key is expanded from the `u64` seed with SplitMix64, so streams are

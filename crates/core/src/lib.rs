@@ -42,6 +42,14 @@
 //! assert_eq!(result.subgraphs.len(), 2);
 //! assert_eq!(result.subgraphs[0].density.to_string(), "1/3");
 //! ```
+//!
+//! In the workspace DAG this crate consumes `lhcds-graph`,
+//! `lhcds-clique`, and `lhcds-flow`, and is consumed by
+//! `lhcds-patterns` (which re-instantiates the pipeline over pattern
+//! stores) and `lhcds-baselines` (which shares its verification
+//! machinery).
+
+#![warn(missing_docs)]
 
 pub mod bounds;
 pub mod bruteforce;

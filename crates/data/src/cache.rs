@@ -1,0 +1,591 @@
+//! Binary on-disk cache of parsed graphs (CSR snapshots).
+//!
+//! Parsing a multi-gigabyte text edge list is an `O(text)` job that only
+//! needs to happen once: afterwards the normalized CSR (plus its
+//! rank → original-id table) is written as a compact binary snapshot
+//! next to the source file, and every later load is a sequential binary
+//! read — typically an order of magnitude smaller than the text and
+//! with zero parsing work.
+//!
+//! # File format (version 1, little-endian)
+//!
+//! ```text
+//! magic            8 bytes   b"LHCDSCSR"
+//! version          u32       1
+//! n                u64       vertex count
+//! neighbor_count   u64       length of the neighbor slab (2·|E|)
+//! id_count         u64       length of the original-id table (= n)
+//! source_len       u64       byte length of the source text at cache time
+//! source_mtime     u64       source mtime (ns since epoch, truncated)
+//! checksum         u64       FNV-1a 64 over the payload bytes
+//! payload:
+//!   offsets        (n+1) × u64
+//!   neighbors      neighbor_count × u32
+//!   original_ids   id_count × u64
+//! ```
+//!
+//! Loads verify the magic and version, check that the header's implied
+//! payload length matches the file's actual size *before* allocating
+//! (a corrupt header cannot provoke a huge allocation), verify the
+//! checksum, then rebuild the graph through
+//! [`CsrGraph::try_from_parts`] — so a cache file that survives the
+//! checksum but encodes a structurally invalid graph is still rejected.
+//! The recorded source length + mtime are a staleness guard:
+//! [`load_or_build`] reparses when either no longer matches the source
+//! file.
+//!
+//! ```
+//! use lhcds_data::cache::{load_or_build, CacheStatus};
+//! use lhcds_data::ingest::EdgeListFormat;
+//!
+//! let dir = std::env::temp_dir().join("lhcds_cache_doc");
+//! std::fs::remove_dir_all(&dir).ok(); // leftovers from an aborted run
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let src = dir.join("tiny.txt");
+//! std::fs::write(&src, "0 1\n1 2\n2 0\n").unwrap();
+//!
+//! let (first, s1) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+//! let (second, s2) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+//! assert_eq!(s1, CacheStatus::Built);
+//! assert_eq!(s2, CacheStatus::Hit);
+//! assert_eq!(first, second); // byte-identical CSR either way
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+use crate::ingest::{read_graph_file, EdgeListFormat};
+use lhcds_graph::{CsrGraph, GraphError, RemappedGraph};
+
+/// First 8 bytes of every cache file.
+pub const CACHE_MAGIC: &[u8; 8] = b"LHCDSCSR";
+/// Current cache format version.
+pub const CACHE_VERSION: u32 = 1;
+
+/// Total header size: magic + version + five `u64` fields + checksum.
+const HEADER_LEN: u64 = 8 + 4 + 8 * 6;
+
+/// Identity of a source file at a point in time — the cache's
+/// staleness guard. Length alone would accept same-length in-place
+/// edits, so the mtime (nanoseconds since epoch, truncated to `u64`;
+/// only equality matters) is recorded too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceStamp {
+    /// Byte length of the source file.
+    pub len: u64,
+    /// Modification time, ns since the epoch (0 when unknown).
+    pub mtime_ns: u64,
+}
+
+impl SourceStamp {
+    /// Stamp for an unknown source (never matches a real file's stamp
+    /// unless that file also reports zeroes).
+    pub const UNKNOWN: SourceStamp = SourceStamp {
+        len: 0,
+        mtime_ns: 0,
+    };
+
+    /// Reads the current stamp of `path`.
+    pub fn of(path: &Path) -> std::io::Result<SourceStamp> {
+        let meta = std::fs::metadata(path)?;
+        let mtime_ns = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+            .map_or(0, |d| d.as_nanos() as u64);
+        Ok(SourceStamp {
+            len: meta.len(),
+            mtime_ns,
+        })
+    }
+}
+
+/// Errors raised while writing or loading cache snapshots.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Underlying file I/O failed (includes short files, which surface
+    /// as unexpected-EOF reads).
+    Io(std::io::Error),
+    /// The file does not start with [`CACHE_MAGIC`].
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The header's implied payload size disagrees with the file's
+    /// actual size — truncated, padded, or a corrupted header.
+    SizeMismatch {
+        /// Payload bytes the header implies.
+        expected: u128,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The payload bytes do not match the recorded checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The payload passed the checksum but does not describe a valid
+    /// graph, or the source text failed to parse during a rebuild.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache i/o error: {e}"),
+            CacheError::BadMagic => write!(f, "not a lhcds cache file (bad magic)"),
+            CacheError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported cache version {v} (this build reads {CACHE_VERSION})"
+                )
+            }
+            CacheError::SizeMismatch { expected, actual } => write!(
+                f,
+                "cache payload size mismatch (header implies {expected} bytes, file holds \
+                 {actual}) — file is truncated or its header is corrupt"
+            ),
+            CacheError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "cache checksum mismatch (expected {expected:#018x}, got {actual:#018x}) — \
+                 file is corrupt"
+            ),
+            CacheError::Graph(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io(e) => Some(e),
+            CacheError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+impl From<GraphError> for CacheError {
+    fn from(e: GraphError) -> Self {
+        // Parser I/O errors stay I/O errors; everything else is a graph problem.
+        match e {
+            GraphError::Io(io) => CacheError::Io(io),
+            other => CacheError::Graph(other),
+        }
+    }
+}
+
+/// How [`load_or_build`] obtained the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// A valid, fresh cache file was loaded; the text was never touched.
+    Hit,
+    /// No cache existed: the text was parsed and a snapshot written.
+    Built,
+    /// A cache existed but was stale/corrupt/unreadable: reparsed and
+    /// rewritten.
+    Rebuilt,
+    /// The text was parsed but the snapshot could not be written (e.g.
+    /// a read-only directory) — the graph is still fully usable, the
+    /// next load just parses again.
+    Uncached,
+}
+
+/// A loaded cache snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedGraph {
+    /// The graph plus its rank → original-id table.
+    pub remapped: RemappedGraph,
+    /// Length + mtime of the source text when the snapshot was written.
+    pub source: SourceStamp,
+}
+
+/// Default cache location for a source file: the same path with
+/// `.csrcache` appended (`web-Stanford.txt` → `web-Stanford.txt.csrcache`).
+pub fn cache_path_for(source: &Path) -> PathBuf {
+    let mut name = source
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
+    name.push(".csrcache");
+    source.with_file_name(name)
+}
+
+/// FNV-1a 64-bit running checksum.
+#[derive(Debug, Clone, Copy)]
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn payload_bytes(g: &RemappedGraph) -> Vec<u8> {
+    let (offsets, neighbors) = g.graph.as_parts();
+    let mut out =
+        Vec::with_capacity(offsets.len() * 8 + neighbors.len() * 4 + g.original_ids.len() * 8);
+    for &o in offsets {
+        out.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    for &v in neighbors {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &id in &g.original_ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+/// Writes a cache snapshot of `g` to `path`.
+///
+/// `source` should be the [`SourceStamp`] of the text file the graph
+/// was parsed from ([`SourceStamp::UNKNOWN`] when there is none);
+/// [`load_or_build`] uses it to detect a replaced or edited source.
+///
+/// The snapshot is written to a process-unique temporary file and
+/// renamed into place, so concurrent writers (two processes caching the
+/// same graph) or a crash mid-write can never publish a torn file at
+/// `path` — the last completed rename wins.
+pub fn write_cache(path: &Path, g: &RemappedGraph, source: SourceStamp) -> Result<(), CacheError> {
+    let payload = payload_bytes(g);
+    let mut checksum = Fnv1a::new();
+    checksum.update(&payload);
+
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".tmp{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let write = || -> Result<(), CacheError> {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(CACHE_MAGIC)?;
+        w.write_all(&CACHE_VERSION.to_le_bytes())?;
+        w.write_all(&(g.graph.n() as u64).to_le_bytes())?;
+        let (_, neighbors) = g.graph.as_parts();
+        w.write_all(&(neighbors.len() as u64).to_le_bytes())?;
+        w.write_all(&(g.original_ids.len() as u64).to_le_bytes())?;
+        w.write_all(&source.len.to_le_bytes())?;
+        w.write_all(&source.mtime_ns.to_le_bytes())?;
+        w.write_all(&checksum.finish().to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.flush()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    };
+    write().inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CacheError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CacheError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Loads a cache snapshot, verifying magic, version, payload size,
+/// checksum, and the structural CSR invariants (via
+/// [`CsrGraph::try_from_parts`]).
+pub fn read_cache(path: &Path) -> Result<CachedGraph, CacheError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CACHE_MAGIC {
+        return Err(CacheError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != CACHE_VERSION {
+        return Err(CacheError::UnsupportedVersion(version));
+    }
+    let n64 = read_u64(&mut r)?;
+    let neighbor_count64 = read_u64(&mut r)?;
+    let id_count64 = read_u64(&mut r)?;
+    let source_len = read_u64(&mut r)?;
+    let source_mtime = read_u64(&mut r)?;
+    let expected_checksum = read_u64(&mut r)?;
+
+    // The header's implied payload length must match the file's actual
+    // size exactly — checked in u128 BEFORE any allocation, so a
+    // corrupted header can only produce an error, never an OOM abort.
+    let implied: u128 =
+        (u128::from(n64) + 1) * 8 + u128::from(neighbor_count64) * 4 + u128::from(id_count64) * 8;
+    let available = file_len.saturating_sub(HEADER_LEN);
+    if implied != u128::from(available) {
+        return Err(CacheError::SizeMismatch {
+            expected: implied,
+            actual: available,
+        });
+    }
+    let (n, neighbor_count, id_count) =
+        (n64 as usize, neighbor_count64 as usize, id_count64 as usize);
+    let mut payload = vec![0u8; implied as usize];
+    r.read_exact(&mut payload)?;
+
+    let mut checksum = Fnv1a::new();
+    checksum.update(&payload);
+    let actual = checksum.finish();
+    if actual != expected_checksum {
+        return Err(CacheError::ChecksumMismatch {
+            expected: expected_checksum,
+            actual,
+        });
+    }
+
+    let mut at = 0usize;
+    let mut take = |len: usize| {
+        let s = &payload[at..at + len];
+        at += len;
+        s
+    };
+    let offsets: Vec<usize> = take((n + 1) * 8)
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+        .collect();
+    let neighbors: Vec<u32> = take(neighbor_count * 4)
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    let original_ids: Vec<u64> = take(id_count * 8)
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+
+    let graph = CsrGraph::try_from_parts(offsets, neighbors).map_err(CacheError::Graph)?;
+    if original_ids.len() != graph.n() {
+        return Err(CacheError::Graph(GraphError::InvalidCsr(
+            "original-id table length must equal the vertex count".into(),
+        )));
+    }
+    if original_ids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CacheError::Graph(GraphError::InvalidCsr(
+            "original-id table must be strictly ascending".into(),
+        )));
+    }
+    Ok(CachedGraph {
+        remapped: RemappedGraph {
+            graph,
+            original_ids,
+        },
+        source: SourceStamp {
+            len: source_len,
+            mtime_ns: source_mtime,
+        },
+    })
+}
+
+/// Loads `source` through the cache: a valid, fresh snapshot (at `cache`
+/// or, when `None`, at [`cache_path_for`]`(source)`) is loaded directly;
+/// otherwise the text is parsed and a snapshot written for next time.
+///
+/// Only an unreadable/corrupt/stale *cache* triggers a rebuild — errors
+/// from parsing the source text itself are always propagated. A cache
+/// that cannot be *written* (read-only directory) is not an error
+/// either: the parsed graph is returned with [`CacheStatus::Uncached`].
+pub fn load_or_build(
+    source: &Path,
+    format: EdgeListFormat,
+    cache: Option<&Path>,
+) -> Result<(RemappedGraph, CacheStatus), CacheError> {
+    let cache_path = cache
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| cache_path_for(source));
+    let stamp = SourceStamp::of(source)?;
+
+    let mut status = CacheStatus::Built;
+    if cache_path.exists() {
+        match read_cache(&cache_path) {
+            Ok(cached) if cached.source == stamp => {
+                return Ok((cached.remapped, CacheStatus::Hit));
+            }
+            // stale (source replaced/edited) or damaged: reparse
+            Ok(_) | Err(_) => status = CacheStatus::Rebuilt,
+        }
+    }
+
+    let remapped = read_graph_file(source, format)?;
+    if write_cache(&cache_path, &remapped, stamp).is_err() {
+        status = CacheStatus::Uncached;
+    }
+    Ok((remapped, status))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lhcds_cache_unit").join(name);
+        // leftovers from an aborted previous run must not poison this one
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> RemappedGraph {
+        CsrGraph::from_edge_stream([(10u64, 20u64), (20, 30), (30, 10), (30, 99)].map(Ok)).unwrap()
+    }
+
+    #[test]
+    fn cache_path_appends_extension() {
+        assert_eq!(
+            cache_path_for(Path::new("/data/web.txt")),
+            PathBuf::from("/data/web.txt.csrcache")
+        );
+    }
+
+    #[test]
+    fn write_read_round_trip_is_identity() {
+        let dir = tmp("round_trip");
+        let path = dir.join("g.csrcache");
+        let g = sample();
+        let stamp = SourceStamp {
+            len: 123,
+            mtime_ns: 456,
+        };
+        write_cache(&path, &g, stamp).unwrap();
+        let cached = read_cache(&path).unwrap();
+        assert_eq!(cached.remapped, g);
+        assert_eq!(cached.source, stamp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let dir = tmp("magic");
+        let path = dir.join("g.csrcache");
+        std::fs::write(&path, b"NOTACSRX________").unwrap();
+        assert!(matches!(read_cache(&path), Err(CacheError::BadMagic)));
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CACHE_MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 48]);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            read_cache(&path),
+            Err(CacheError::UnsupportedVersion(99))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn absurd_header_counts_error_without_allocating() {
+        let dir = tmp("absurd_header");
+        let path = dir.join("g.csrcache");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CACHE_MAGIC);
+        bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        // n = 2^50 vertices: implied payload is petabytes; the size
+        // check must reject it before any allocation happens
+        bytes.extend_from_slice(&(1u64 << 50).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 40]); // remaining header fields
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            read_cache(&path),
+            Err(CacheError::SizeMismatch { .. })
+        ));
+        // n = u64::MAX must not overflow the implied-size arithmetic
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CACHE_MAGIC);
+        bytes.extend_from_slice(&CACHE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 40]);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            read_cache(&path),
+            Err(CacheError::SizeMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_build_hits_then_rebuilds_on_source_change() {
+        let dir = tmp("lifecycle");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, "0 1\n1 2\n2 0\n").unwrap();
+
+        let (g1, s1) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s1, CacheStatus::Built);
+        let (g2, s2) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s2, CacheStatus::Hit);
+        assert_eq!(g1, g2);
+
+        // replace the source with a longer file: stale cache is rebuilt
+        std::fs::write(&src, "0 1\n1 2\n2 0\n0 3\n").unwrap();
+        let (g3, s3) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s3, CacheStatus::Rebuilt);
+        assert_eq!(g3.graph.m(), 4);
+        let (_, s4) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s4, CacheStatus::Hit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_length_edit_is_detected_via_mtime() {
+        let dir = tmp("mtime");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, "0 1\n1 2\n2 0\n").unwrap();
+        let (_, s1) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s1, CacheStatus::Built);
+
+        // same byte length, different content; force a distinct mtime so
+        // the test does not depend on filesystem timestamp granularity
+        std::fs::write(&src, "0 1\n1 3\n3 0\n").unwrap();
+        let f = File::options().append(true).open(&src).unwrap();
+        f.set_modified(std::time::SystemTime::now() + std::time::Duration::from_secs(2))
+            .unwrap();
+
+        let (g, s2) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s2, CacheStatus::Rebuilt, "same-length edit must invalidate");
+        assert!(g
+            .graph
+            .has_edge(g.rank_of(1).unwrap(), g.rank_of(3).unwrap()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_cache_degrades_instead_of_failing() {
+        let dir = tmp("unwritable");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, "0 1\n1 2\n2 0\n").unwrap();
+        // cache path inside a directory that does not exist: the write
+        // fails, but the parse result must still come back
+        let bad_cache = dir.join("no-such-subdir").join("g.csrcache");
+        let (g, status) = load_or_build(&src, EdgeListFormat::Auto, Some(&bad_cache)).unwrap();
+        assert_eq!(status, CacheStatus::Uncached);
+        assert_eq!(g.graph.m(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,237 @@
+//! Streaming ingest of real-world edge-list files (SNAP and friends).
+//!
+//! Text edge lists in the wild are messy: `#`/`%` comment headers, blank
+//! lines, CRLF endings, tab or space delimiters (or commas, for
+//! `.csv` exports), duplicate and reversed edges, self-loops, and vertex
+//! ids drawn from a sparse 64-bit space. This module parses all of that
+//! *streaming* — one pass over a buffered reader, never holding the text
+//! in memory — and hands the raw edge stream to
+//! [`CsrGraph::from_edge_stream`], which normalizes it into a compact
+//! CSR plus a rank → original-id table.
+//!
+//! ```
+//! use lhcds_data::ingest::{read_graph, EdgeListFormat};
+//!
+//! let text = "# SNAP-style header\r\n10 20\r\n20\t10\r\n20 30\r\n30 30\r\n";
+//! let loaded = read_graph(text.as_bytes(), EdgeListFormat::Auto).unwrap();
+//! assert_eq!(loaded.graph.n(), 3);            // ids 10, 20, 30 → ranks 0, 1, 2
+//! assert_eq!(loaded.graph.m(), 2);            // duplicate + self-loop dropped
+//! assert_eq!(loaded.original_ids, vec![10, 20, 30]);
+//! ```
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use lhcds_graph::{CsrGraph, GraphError, RemappedGraph};
+
+/// Delimiter convention of a text edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeListFormat {
+    /// Accept whitespace *or* commas between the two ids (per line).
+    #[default]
+    Auto,
+    /// SNAP convention: ids separated by spaces and/or tabs.
+    Snap,
+    /// Comma-separated pairs — a comma is *required* (spaces around it
+    /// tolerated), mirroring how [`EdgeListFormat::Snap`] rejects commas.
+    Csv,
+}
+
+impl EdgeListFormat {
+    /// Parses a CLI/manifest format name (`auto`, `snap`, `edges`, `csv`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name.to_ascii_lowercase().as_str() {
+            "auto" => EdgeListFormat::Auto,
+            "snap" | "edges" | "edgelist" | "edge-list" | "tsv" => EdgeListFormat::Snap,
+            "csv" => EdgeListFormat::Csv,
+            other => return Err(format!("unknown edge-list format '{other}'")),
+        })
+    }
+
+    /// Splits a trimmed data line into exactly two id tokens, or `None`.
+    /// `Snap` rejects commas, `Csv` requires exactly one comma (spaces
+    /// around it tolerated), `Auto` accepts either convention.
+    fn two_tokens(self, line: &str) -> Option<(&str, &str)> {
+        fn take_two<'a, I: Iterator<Item = &'a str>>(mut it: I) -> Option<(&'a str, &'a str)> {
+            match (it.next(), it.next(), it.next()) {
+                (Some(a), Some(b), None) => Some((a, b)),
+                _ => None,
+            }
+        }
+        match self {
+            EdgeListFormat::Snap => take_two(line.split_whitespace()),
+            EdgeListFormat::Csv => {
+                take_two(line.split(',').map(str::trim).filter(|t| !t.is_empty()))
+            }
+            EdgeListFormat::Auto => take_two(
+                line.split(|c: char| c.is_whitespace() || c == ',')
+                    .filter(|t| !t.is_empty()),
+            ),
+        }
+    }
+}
+
+/// Iterator adapter turning buffered text lines into raw `(u64, u64)`
+/// edges, skipping comments (`#`, `%`, `//`) and blank lines and
+/// tolerating CRLF endings. Yields at most one edge per line; lines with
+/// fewer or more than two id tokens are parse errors.
+pub struct EdgeLines<R: BufRead> {
+    reader: R,
+    format: EdgeListFormat,
+    line: String,
+    lineno: usize,
+}
+
+impl<R: BufRead> EdgeLines<R> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R, format: EdgeListFormat) -> Self {
+        EdgeLines {
+            reader,
+            format,
+            line: String::new(),
+            lineno: 0,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for EdgeLines<R> {
+    type Item = Result<(u64, u64), GraphError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(GraphError::Io(e))),
+            }
+            self.lineno += 1;
+            // trim() removes the trailing '\n' and any '\r' before it,
+            // so CRLF files parse identically to LF files.
+            let t = self.line.trim();
+            if t.is_empty() || t.starts_with('#') || t.starts_with('%') || t.starts_with("//") {
+                continue;
+            }
+            let Some((a, b)) = self.format.two_tokens(t) else {
+                return Some(Err(GraphError::Parse {
+                    line: self.lineno,
+                    message: format!("expected exactly two vertex ids, got '{t}'"),
+                }));
+            };
+            let parse = |tok: &str| -> Result<u64, GraphError> {
+                tok.parse().map_err(|_| GraphError::Parse {
+                    line: self.lineno,
+                    message: format!("invalid vertex id '{tok}'"),
+                })
+            };
+            return Some(parse(a).and_then(|u| parse(b).map(|v| (u, v))));
+        }
+    }
+}
+
+/// Reads an edge-list graph from any buffered reader.
+///
+/// One streaming pass: comments/blank lines are skipped, self-loops
+/// dropped, duplicate and reversed edges deduplicated, and the distinct
+/// 64-bit ids remapped to compact ranks (see
+/// [`CsrGraph::from_edge_stream`]).
+pub fn read_graph<R: BufRead>(
+    reader: R,
+    format: EdgeListFormat,
+) -> Result<RemappedGraph, GraphError> {
+    CsrGraph::from_edge_stream(EdgeLines::new(reader, format))
+}
+
+/// Reads an edge-list graph from a file path.
+pub fn read_graph_file<P: AsRef<Path>>(
+    path: P,
+    format: EdgeListFormat,
+) -> Result<RemappedGraph, GraphError> {
+    read_graph(BufReader::new(File::open(path)?), format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_parse() {
+        for (name, f) in [
+            ("auto", EdgeListFormat::Auto),
+            ("snap", EdgeListFormat::Snap),
+            ("edges", EdgeListFormat::Snap),
+            ("tsv", EdgeListFormat::Snap),
+            ("CSV", EdgeListFormat::Csv),
+        ] {
+            assert_eq!(EdgeListFormat::parse(name).unwrap(), f, "{name}");
+        }
+        assert!(EdgeListFormat::parse("xml").is_err());
+    }
+
+    #[test]
+    fn snap_format_rejects_commas() {
+        let err = read_graph("1,2\n".as_bytes(), EdgeListFormat::Snap).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        // but auto and csv accept them
+        assert_eq!(
+            read_graph("1,2\n".as_bytes(), EdgeListFormat::Auto)
+                .unwrap()
+                .graph
+                .m(),
+            1
+        );
+        assert_eq!(
+            read_graph("1, 2\n".as_bytes(), EdgeListFormat::Csv)
+                .unwrap()
+                .graph
+                .m(),
+            1
+        );
+    }
+
+    #[test]
+    fn csv_format_requires_a_comma() {
+        let err = read_graph("1 2\n".as_bytes(), EdgeListFormat::Csv).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        // two commas are also malformed
+        let err = read_graph("1,2,3\n".as_bytes(), EdgeListFormat::Csv).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        // but auto accepts whitespace for the same line
+        assert_eq!(
+            read_graph("1 2\n".as_bytes(), EdgeListFormat::Auto)
+                .unwrap()
+                .graph
+                .m(),
+            1
+        );
+    }
+
+    #[test]
+    fn three_tokens_are_rejected() {
+        let err = read_graph("1 2 3\n".as_bytes(), EdgeListFormat::Snap).unwrap_err();
+        match err {
+            GraphError::Parse { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("exactly two"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn line_numbers_count_comments_and_blanks() {
+        let input = "# header\n\n% more\n0 1\nbroken\n";
+        let err = read_graph(input.as_bytes(), EdgeListFormat::Auto).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_slash_comments_are_skipped() {
+        let g = read_graph("// header\n0 1\n".as_bytes(), EdgeListFormat::Auto).unwrap();
+        assert_eq!(g.graph.m(), 1);
+    }
+}

@@ -1,31 +1,64 @@
 //! # lhcds-data
 //!
-//! Dataset substrate for the experiment harness.
+//! Dataset substrate of the workspace — the layer between the algorithm
+//! crates below (`lhcds-graph` … `lhcds-baselines`) and the two binary
+//! consumers above (`lhcds-cli`, `lhcds-bench`). It supplies every graph
+//! the rest of the repo runs on, from two sources:
 //!
-//! The paper evaluates on 15 SNAP / Network Repository graphs (Table 2)
-//! plus the Krebs *books about US politics* network (Figures 13/17).
-//! Those downloads are unavailable offline, so this crate supplies:
+//! **Synthetic** (always available, seeded, bit-for-bit reproducible):
 //!
-//! * [`gen`] — seeded synthetic generators: `G(n,p)`, `G(n,m)`,
-//!   stochastic block models with planted dense communities,
-//!   Barabási–Albert preferential attachment, R-MAT, and the edge
-//!   sampler used by the density-variation experiment (Figure 11).
-//! * [`datasets`] — a registry of named stand-ins mirroring Table 2
-//!   (same abbreviations; sizes at or below the originals, scaled to a
-//!   laptop budget). Each recipe plants dense communities in a sparse
-//!   background so the LhCDS structure the paper probes exists by
-//!   construction.
+//! * [`gen`] — generators: `G(n,p)`, `G(n,m)`, stochastic block models
+//!   with planted dense communities, Barabási–Albert preferential
+//!   attachment, R-MAT, and the edge sampler used by the
+//!   density-variation experiment (Figure 11).
+//! * [`datasets`] — named stand-ins mirroring the paper's Table 2 (same
+//!   abbreviations; sizes at or below the originals). Each recipe plants
+//!   dense communities in a sparse background so the LhCDS structure the
+//!   paper probes exists by construction.
 //! * [`builtin`] — exact small graphs: the paper's Figure 2 worked
 //!   example (with known 3-clique compact numbers), a Harry-Potter-like
 //!   network (Figure 1), and a polbooks-like labeled co-purchase network
 //!   (Figures 13/17).
 //!
-//! All generators take explicit seeds and use `rand_chacha`, so every
-//! experiment in the repo is bit-for-bit reproducible.
+//! **Real** (user-provided edge lists, e.g. the actual Table 2 SNAP
+//! downloads):
+//!
+//! * [`ingest`] — streaming edge-list parser: comments, blank lines,
+//!   CRLF, whitespace/tab/comma delimiters, self-loop and duplicate-edge
+//!   normalization, arbitrary non-contiguous 64-bit vertex ids remapped
+//!   to compact `u32` ranks.
+//! * [`cache`] — versioned, checksummed binary CSR snapshots so a
+//!   multi-gigabyte text file is parsed once and binary-loaded forever
+//!   after.
+//! * [`manifest`] — [`manifest::DatasetRegistry`]: resolves dataset
+//!   names to local paths via a `datasets.toml` manifest, with recorded
+//!   `|V|`/`|E|` validated after every load.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_data::{datasets::by_abbr, figure2_graph};
+//!
+//! // Exact builtin: the paper's Figure 2 worked example.
+//! let fig2 = figure2_graph();
+//! assert_eq!((fig2.n(), fig2.m()), (20, 39));
+//!
+//! // Seeded synthetic stand-in for Table 2's CA-GrQc, at 10% scale.
+//! let gq = by_abbr("GQ").unwrap().generate_scaled(0.1);
+//! assert!(gq.graph.n() > 500);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod builtin;
+pub mod cache;
 pub mod datasets;
 pub mod gen;
+pub mod ingest;
+pub mod manifest;
 
 pub use builtin::{figure2_graph, harry_potter_like, polbooks_like, LabeledGraph};
+pub use cache::{load_or_build, CacheStatus};
 pub use datasets::{registry, Dataset, DatasetSpec};
+pub use ingest::{read_graph_file, EdgeListFormat};
+pub use manifest::DatasetRegistry;

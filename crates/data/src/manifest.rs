@@ -1,0 +1,515 @@
+//! Registry of *real* datasets resolved through a local `datasets.toml`
+//! manifest.
+//!
+//! The paper's evaluation (Table 2) runs on public SNAP / Network
+//! Repository graphs that cannot be vendored into this repository. The
+//! contract instead: the user downloads the edge lists they care about,
+//! writes (or generates — see [`table2_template`]) a small manifest
+//! mapping dataset names to local paths, and everything above this layer
+//! (CLI `--input`/`datasets`, the bench harness's `table2real`
+//! experiment) resolves names like `CA-GrQc` through a
+//! [`DatasetRegistry`]. Each entry can record the expected `|V|`/`|E|`
+//! of the *loaded* (deduplicated, undirected) graph; loads validate
+//! against them, so a truncated download or a wrong file is caught
+//! immediately.
+//!
+//! The manifest is a restricted TOML subset — one `[table]` per dataset,
+//! `key = value` pairs with quoted strings and bare integers — parsed
+//! here directly so the offline build needs no `toml` dependency:
+//!
+//! ```toml
+//! [CA-GrQc]
+//! abbr = "GQ"
+//! path = "CA-GrQc.txt"            # relative to the manifest file
+//! url = "https://snap.stanford.edu/data/ca-GrQc.html"
+//! format = "snap"                 # snap | csv | auto (default auto)
+//! vertices = 5242                 # optional: expected |V| after load
+//! edges = 14484                   # optional: expected |E| after load
+//! ```
+//!
+//! ```
+//! use lhcds_data::manifest::DatasetRegistry;
+//!
+//! let manifest = r#"
+//! [tiny]
+//! path = "tiny.txt"
+//! vertices = 3
+//! edges = 3
+//! "#;
+//! let dir = std::env::temp_dir().join("lhcds_manifest_doc");
+//! std::fs::remove_dir_all(&dir).ok(); // leftovers from an aborted run
+//! std::fs::create_dir_all(&dir).unwrap();
+//! std::fs::write(dir.join("tiny.txt"), "0 1\n1 2\n2 0\n").unwrap();
+//!
+//! let reg = DatasetRegistry::parse(manifest, &dir).unwrap();
+//! let entry = reg.get("tiny").unwrap();
+//! assert!(entry.is_present());
+//! let (graph, _status) = entry.load().unwrap(); // parses, caches, validates |V|/|E|
+//! assert_eq!(graph.graph.n(), 3);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::cache::{load_or_build, CacheError, CacheStatus};
+use crate::ingest::EdgeListFormat;
+use lhcds_graph::RemappedGraph;
+
+/// Environment variable naming the default manifest path.
+pub const MANIFEST_ENV: &str = "LHCDS_DATASETS";
+/// Default manifest file name (looked up in the working directory).
+pub const MANIFEST_DEFAULT: &str = "datasets.toml";
+
+/// One `[table]` of the manifest: a named dataset and where to find it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Dataset name (the `[table]` header).
+    pub name: String,
+    /// Optional short code (Table 2 abbreviation).
+    pub abbr: Option<String>,
+    /// Edge-list location, resolved against the manifest's directory.
+    pub path: PathBuf,
+    /// Where the dataset can be downloaded (documentation only).
+    pub url: Option<String>,
+    /// Expected `|V|` of the loaded graph, if recorded.
+    pub vertices: Option<u64>,
+    /// Expected `|E|` of the loaded graph, if recorded.
+    pub edges: Option<u64>,
+    /// Delimiter convention of the file.
+    pub format: EdgeListFormat,
+}
+
+impl ManifestEntry {
+    /// Whether the edge-list file exists locally.
+    pub fn is_present(&self) -> bool {
+        self.path.is_file()
+    }
+
+    /// Loads the dataset through the on-disk cache
+    /// ([`load_or_build`]) and validates the result against the
+    /// recorded `vertices`/`edges`, when present.
+    pub fn load(&self) -> Result<(RemappedGraph, CacheStatus), DatasetError> {
+        if !self.is_present() {
+            return Err(DatasetError::Missing {
+                name: self.name.clone(),
+                path: self.path.clone(),
+            });
+        }
+        let (g, status) =
+            load_or_build(&self.path, self.format, None).map_err(|e| DatasetError::Load {
+                name: self.name.clone(),
+                source: e,
+            })?;
+        for (field, expected, actual) in [
+            ("vertices", self.vertices, g.graph.n() as u64),
+            ("edges", self.edges, g.graph.m() as u64),
+        ] {
+            if let Some(expected) = expected {
+                if expected != actual {
+                    return Err(DatasetError::Validation {
+                        name: self.name.clone(),
+                        field,
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+        Ok((g, status))
+    }
+}
+
+/// Errors raised while resolving or loading manifest datasets.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// The entry's edge-list file does not exist locally.
+    Missing {
+        /// Dataset name.
+        name: String,
+        /// Path the manifest points at.
+        path: PathBuf,
+    },
+    /// Parsing or cache I/O failed.
+    Load {
+        /// Dataset name.
+        name: String,
+        /// Underlying failure.
+        source: CacheError,
+    },
+    /// The loaded graph disagrees with the recorded `|V|`/`|E|`.
+    Validation {
+        /// Dataset name.
+        name: String,
+        /// Which field disagreed (`"vertices"` or `"edges"`).
+        field: &'static str,
+        /// Value recorded in the manifest.
+        expected: u64,
+        /// Value measured after loading.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Missing { name, path } => {
+                write!(f, "dataset '{name}': file not found at {}", path.display())
+            }
+            DatasetError::Load { name, source } => write!(f, "dataset '{name}': {source}"),
+            DatasetError::Validation {
+                name,
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dataset '{name}': loaded graph has {actual} {field}, manifest records {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Load { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed manifest: named real datasets resolvable to local paths.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetRegistry {
+    entries: Vec<ManifestEntry>,
+}
+
+impl DatasetRegistry {
+    /// Parses manifest text; relative `path`s resolve against `base_dir`
+    /// (normally the manifest file's directory).
+    pub fn parse(text: &str, base_dir: &Path) -> Result<Self, String> {
+        let mut entries: Vec<ManifestEntry> = Vec::new();
+        let mut current: Option<ManifestEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let name = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {lineno}: unterminated table header"))?
+                    .trim();
+                if name.is_empty() {
+                    return Err(format!("line {lineno}: empty table name"));
+                }
+                if let Some(done) = current.take() {
+                    entries.push(done);
+                }
+                if entries.iter().any(|e| e.name == name) {
+                    return Err(format!("line {lineno}: duplicate table [{name}]"));
+                }
+                current = Some(ManifestEntry {
+                    name: name.to_string(),
+                    abbr: None,
+                    path: PathBuf::new(),
+                    url: None,
+                    vertices: None,
+                    edges: None,
+                    format: EdgeListFormat::Auto,
+                });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+            let entry = current
+                .as_mut()
+                .ok_or_else(|| format!("line {lineno}: key outside any [table]"))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "path" => {
+                    let p = PathBuf::from(parse_string(value, lineno)?);
+                    entry.path = if p.is_absolute() { p } else { base_dir.join(p) };
+                }
+                "abbr" => entry.abbr = Some(parse_string(value, lineno)?),
+                "url" => entry.url = Some(parse_string(value, lineno)?),
+                "format" => {
+                    entry.format = EdgeListFormat::parse(&parse_string(value, lineno)?)
+                        .map_err(|e| format!("line {lineno}: {e}"))?
+                }
+                "vertices" => entry.vertices = Some(parse_integer(value, lineno)?),
+                "edges" => entry.edges = Some(parse_integer(value, lineno)?),
+                other => return Err(format!("line {lineno}: unknown key '{other}'")),
+            }
+        }
+        if let Some(done) = current.take() {
+            entries.push(done);
+        }
+        for e in &entries {
+            if e.path.as_os_str().is_empty() {
+                return Err(format!("dataset '{}' has no `path` key", e.name));
+            }
+        }
+        // [`DatasetRegistry::get`] resolves case-insensitively over both
+        // names and abbreviations, so every such key must be unambiguous
+        // (a dataset may reuse its own name as its abbr).
+        let mut seen: Vec<String> = Vec::new();
+        for e in &entries {
+            let mut keys = vec![e.name.to_ascii_lowercase()];
+            if let Some(a) = &e.abbr {
+                keys.push(a.to_ascii_lowercase());
+            }
+            keys.dedup();
+            for k in keys {
+                if seen.contains(&k) {
+                    return Err(format!(
+                        "ambiguous dataset key '{k}': names and abbreviations must be \
+                         unique, case-insensitively"
+                    ));
+                }
+                seen.push(k);
+            }
+        }
+        Ok(DatasetRegistry { entries })
+    }
+
+    /// Reads and parses a manifest file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+        let base = path.parent().unwrap_or(Path::new("."));
+        Self::parse(&text, base).map_err(|e| format!("manifest {}: {e}", path.display()))
+    }
+
+    /// The default manifest location: `$LHCDS_DATASETS` if set, else
+    /// `datasets.toml` in the working directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os(MANIFEST_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(MANIFEST_DEFAULT))
+    }
+
+    /// All entries, manifest order.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Looks an entry up by name or abbreviation (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| {
+            e.name.eq_ignore_ascii_case(name)
+                || e.abbr
+                    .as_deref()
+                    .is_some_and(|a| a.eq_ignore_ascii_case(name))
+        })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // a `#` outside double quotes starts a comment
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a double-quoted string, got `{value}`"))
+}
+
+fn parse_integer(value: &str, lineno: usize) -> Result<u64, String> {
+    value
+        .replace('_', "")
+        .parse()
+        .map_err(|_| format!("line {lineno}: expected an integer, got `{value}`"))
+}
+
+/// Download page for each Table 2 dataset, by abbreviation.
+fn table2_url(abbr: &str) -> &'static str {
+    match abbr {
+        "HA" => "https://networkrepository.com/soc-hamsterster.php",
+        "GQ" => "https://snap.stanford.edu/data/ca-GrQc.html",
+        "PP" => "https://networkrepository.com/fb-pages-politician.php",
+        "PC" => "https://networkrepository.com/fb-pages-company.php",
+        "WB" => "https://networkrepository.com/web-webbase-2001.php",
+        "CM" => "https://snap.stanford.edu/data/ca-CondMat.html",
+        "EP" => "https://snap.stanford.edu/data/soc-Epinions1.html",
+        "EN" => "https://snap.stanford.edu/data/email-Enron.html",
+        "GW" => "https://snap.stanford.edu/data/loc-Gowalla.html",
+        "DB" => "https://snap.stanford.edu/data/com-DBLP.html",
+        "AM" => "https://snap.stanford.edu/data/com-Amazon.html",
+        "YT" => "https://networkrepository.com/soc-youtube.php",
+        "LF" => "https://networkrepository.com/soc-lastfm.php",
+        "FX" => "https://networkrepository.com/soc-flixster.php",
+        "WT" => "https://snap.stanford.edu/data/wiki-Talk.html",
+        _ => "https://snap.stanford.edu/data/",
+    }
+}
+
+/// Generates a ready-to-edit `datasets.toml` covering the paper's full
+/// Table 2 corpus: name, abbreviation, download page, and the paper's
+/// `|V|`/`|E|` as commented-out validation values (the counts of *our*
+/// loaded graph can differ from the paper's table — uncomment and adjust
+/// after the first successful load).
+pub fn table2_template() -> String {
+    let mut out = String::from(
+        "# datasets.toml — local manifest for the paper's Table 2 graphs.\n\
+         # Download the edge lists you want (see each `url`), drop them next to\n\
+         # this file (or use absolute paths), then:  lhcds datasets verify\n\n",
+    );
+    for spec in crate::datasets::registry() {
+        out.push_str(&format!(
+            "[{name}]\nabbr = \"{abbr}\"\npath = \"{name}.txt\"\nurl = \"{url}\"\n\
+             format = \"auto\"\n# paper reports |V| = {n}, |E| = {m}; uncomment to validate:\n\
+             # vertices = {n}\n# edges = {m}\n\n",
+            name = spec.name,
+            abbr = spec.abbr,
+            url = table2_url(spec.abbr),
+            n = spec.paper_n,
+            m = spec.paper_m,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_entry() {
+        let text = r#"
+# a comment
+[CA-GrQc]
+abbr = "GQ"                 # trailing comment
+path = "graphs/ca-grqc.txt"
+url = "https://snap.stanford.edu/data/ca-GrQc.html"
+format = "snap"
+vertices = 5_242
+edges = 14484
+"#;
+        let reg = DatasetRegistry::parse(text, Path::new("/base")).unwrap();
+        assert_eq!(reg.entries().len(), 1);
+        let e = reg.get("ca-grqc").unwrap();
+        assert_eq!(e.abbr.as_deref(), Some("GQ"));
+        assert_eq!(e.path, PathBuf::from("/base/graphs/ca-grqc.txt"));
+        assert_eq!(e.vertices, Some(5242));
+        assert_eq!(e.edges, Some(14484));
+        assert_eq!(e.format, EdgeListFormat::Snap);
+        assert!(reg.get("gq").is_some(), "abbr lookup");
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_manifests() {
+        let base = Path::new(".");
+        assert!(DatasetRegistry::parse("[x\npath = \"p\"", base).is_err());
+        assert!(DatasetRegistry::parse("key = \"before table\"", base).is_err());
+        assert!(DatasetRegistry::parse("[x]\nmystery = 1", base).is_err());
+        assert!(DatasetRegistry::parse("[x]\npath = unquoted", base).is_err());
+        assert!(DatasetRegistry::parse("[x]\nvertices = \"three\"\npath = \"p\"", base).is_err());
+        assert!(
+            DatasetRegistry::parse("[x]\nabbr = \"A\"", base).is_err(),
+            "path required"
+        );
+        assert!(DatasetRegistry::parse("[x]\npath = \"p\"\n[x]\npath = \"q\"", base).is_err());
+    }
+
+    #[test]
+    fn lookup_keys_must_be_unambiguous() {
+        let base = Path::new(".");
+        // case-insensitive name clash
+        assert!(DatasetRegistry::parse("[GQ]\npath = \"a\"\n[gq]\npath = \"b\"", base).is_err());
+        // one entry's abbr clashing with another's name
+        assert!(DatasetRegistry::parse(
+            "[first]\nabbr = \"GQ\"\npath = \"a\"\n[gq]\npath = \"b\"",
+            base
+        )
+        .is_err());
+        // two entries sharing an abbr
+        assert!(DatasetRegistry::parse(
+            "[a]\nabbr = \"X\"\npath = \"a\"\n[b]\nabbr = \"x\"\npath = \"b\"",
+            base
+        )
+        .is_err());
+        // a dataset may reuse its own name as its abbr
+        let reg = DatasetRegistry::parse("[GQ]\nabbr = \"GQ\"\npath = \"a\"", base).unwrap();
+        assert_eq!(reg.entries().len(), 1);
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        let text = "[x]\npath = \"with#hash.txt\"\n";
+        let reg = DatasetRegistry::parse(text, Path::new("/b")).unwrap();
+        assert_eq!(
+            reg.get("x").unwrap().path,
+            PathBuf::from("/b/with#hash.txt")
+        );
+    }
+
+    #[test]
+    fn absolute_paths_are_kept() {
+        let text = "[x]\npath = \"/abs/g.txt\"\n";
+        let reg = DatasetRegistry::parse(text, Path::new("/elsewhere")).unwrap();
+        assert_eq!(reg.get("x").unwrap().path, PathBuf::from("/abs/g.txt"));
+    }
+
+    #[test]
+    fn template_covers_table2_and_reparses() {
+        let t = table2_template();
+        let reg = DatasetRegistry::parse(&t, Path::new(".")).unwrap();
+        assert_eq!(reg.entries().len(), 15);
+        for abbr in ["HA", "GQ", "WT"] {
+            let e = reg.get(abbr).unwrap();
+            assert!(e.url.as_deref().unwrap().starts_with("https://"), "{abbr}");
+        }
+    }
+
+    #[test]
+    fn load_validates_recorded_counts() {
+        let dir = std::env::temp_dir().join("lhcds_manifest_validate");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("t.txt"), "0 1\n1 2\n2 0\n").unwrap();
+        let good = "[t]\npath = \"t.txt\"\nvertices = 3\nedges = 3\n";
+        let reg = DatasetRegistry::parse(good, &dir).unwrap();
+        let (g, _) = reg.get("t").unwrap().load().unwrap();
+        assert_eq!(g.graph.m(), 3);
+
+        let bad = "[t]\npath = \"t.txt\"\nvertices = 4\n";
+        let reg = DatasetRegistry::parse(bad, &dir).unwrap();
+        let err = reg.get("t").unwrap().load().unwrap_err();
+        match err {
+            DatasetError::Validation {
+                field,
+                expected,
+                actual,
+                ..
+            } => {
+                assert_eq!(field, "vertices");
+                assert_eq!((expected, actual), (4, 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let missing = "[gone]\npath = \"nope.txt\"\n";
+        let reg = DatasetRegistry::parse(missing, &dir).unwrap();
+        assert!(matches!(
+            reg.get("gone").unwrap().load().unwrap_err(),
+            DatasetError::Missing { .. }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

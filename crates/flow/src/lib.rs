@@ -17,6 +17,32 @@
 //! Both the *minimal* and the *maximal* source-side min-cut are exposed:
 //! `DeriveCompact` needs the largest subgraph attaining the optimum
 //! (Theorem 5), which is the maximal source side of a minimum cut.
+//!
+//! In the workspace DAG this crate sits directly above `lhcds-graph`
+//! (as `lhcds-clique`'s sibling) and below `lhcds-core`, which builds
+//! its verification networks on it and re-exports [`Ratio`] so higher
+//! layers never depend on this crate directly.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_flow::{Dinic, Ratio};
+//!
+//! // s=0 → {1, 2} → t=3, one unit through each middle vertex.
+//! let mut d = Dinic::new(4);
+//! d.add_edge(0, 1, 1);
+//! d.add_edge(0, 2, 1);
+//! d.add_edge(1, 3, 1);
+//! d.add_edge(2, 3, 1);
+//! assert_eq!(d.max_flow(0, 3), 2);
+//!
+//! // exact rational densities: no rounding anywhere in the pipeline
+//! let rho = Ratio::new(13, 6);
+//! assert!(rho > Ratio::new(2, 1));
+//! assert_eq!((rho - Ratio::new(1, 6)).to_string(), "2");
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod dinic;
 pub mod rational;

@@ -1,6 +1,6 @@
 //! Immutable compressed-sparse-row graph storage.
 
-use crate::{GraphBuilder, VertexId};
+use crate::{GraphBuilder, GraphError, VertexId};
 
 /// An immutable, undirected simple graph in compressed-sparse-row form.
 ///
@@ -31,6 +31,64 @@ impl CsrGraph {
             debug_assert!(ns.iter().all(|&u| u as usize != v), "self-loop");
         }
         CsrGraph { offsets, neighbors }
+    }
+
+    /// Rebuilds a graph from raw CSR parts originating *outside* this
+    /// process (e.g. the on-disk cache in `lhcds-data`), with every
+    /// structural invariant checked in release builds too:
+    ///
+    /// * `offsets` is non-empty, starts at 0, is non-decreasing, and
+    ///   ends at `neighbors.len()`;
+    /// * every neighbor list is strictly ascending (sorted, duplicate-free)
+    ///   with all entries in `0..n` and no self-loops;
+    /// * adjacency is symmetric (`u ∈ N(v)` ⇔ `v ∈ N(u)`).
+    ///
+    /// A checksum can prove a file was not corrupted in transit; only
+    /// this validation proves the bytes describe a simple undirected
+    /// graph.
+    pub fn try_from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+    ) -> Result<Self, GraphError> {
+        let invalid = |message: &str| GraphError::InvalidCsr(message.to_string());
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(invalid("offsets must be non-empty and start at 0"));
+        }
+        if *offsets.last().unwrap() != neighbors.len() {
+            return Err(invalid("final offset must equal the neighbor count"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid("offsets must be non-decreasing"));
+        }
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            let ns = &neighbors[offsets[v]..offsets[v + 1]];
+            if ns.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(invalid("neighbor lists must be strictly ascending"));
+            }
+            if ns.iter().any(|&u| u as usize >= n) {
+                return Err(invalid("neighbor id out of range"));
+            }
+            if ns.iter().any(|&u| u as usize == v) {
+                return Err(invalid("self-loop"));
+            }
+        }
+        let g = CsrGraph { offsets, neighbors };
+        for v in 0..n as VertexId {
+            for &u in g.neighbors(v) {
+                if g.neighbors(u).binary_search(&v).is_err() {
+                    return Err(invalid("adjacency must be symmetric"));
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// Raw CSR parts `(offsets, neighbors)` — the exact arrays the
+    /// on-disk cache serializes. `offsets` has length `n + 1`;
+    /// `neighbors` concatenates the sorted neighbor lists.
+    pub fn as_parts(&self) -> (&[usize], &[VertexId]) {
+        (&self.offsets, &self.neighbors)
     }
 
     /// Convenience constructor: `n` vertices and an edge iterator.
@@ -173,6 +231,34 @@ mod tests {
         let g = CsrGraph::from_edges(6, [(0, 1)]);
         assert_eq!(g.n(), 6);
         assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn as_parts_round_trips_through_try_from_parts() {
+        let g = triangle_plus_pendant();
+        let (offsets, neighbors) = g.as_parts();
+        let g2 = CsrGraph::try_from_parts(offsets.to_vec(), neighbors.to_vec()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn try_from_parts_rejects_invalid_structures() {
+        // final offset disagrees with the neighbor count
+        assert!(CsrGraph::try_from_parts(vec![0, 2], vec![1]).is_err());
+        // empty offsets
+        assert!(CsrGraph::try_from_parts(vec![], vec![]).is_err());
+        // decreasing offsets
+        assert!(CsrGraph::try_from_parts(vec![0, 2, 1, 2], vec![1, 2]).is_err());
+        // unsorted neighbor list
+        assert!(CsrGraph::try_from_parts(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).is_err());
+        // self-loop
+        assert!(CsrGraph::try_from_parts(vec![0, 1, 2], vec![0, 0]).is_err());
+        // neighbor out of range
+        assert!(CsrGraph::try_from_parts(vec![0, 1, 2], vec![1, 5]).is_err());
+        // asymmetric adjacency: 0 lists 1 but 1 lists 2
+        assert!(CsrGraph::try_from_parts(vec![0, 1, 2, 3], vec![1, 2, 1]).is_err());
+        // valid single edge passes
+        assert!(CsrGraph::try_from_parts(vec![0, 1, 2], vec![1, 0]).is_ok());
     }
 
     #[test]

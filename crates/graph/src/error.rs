@@ -16,6 +16,11 @@ pub enum GraphError {
     },
     /// A vertex identifier exceeded the supported range (`u32`).
     VertexOutOfRange(u64),
+    /// An edge stream contained more distinct endpoints than `u32` ranks.
+    TooManyVertices(usize),
+    /// Raw CSR parts (e.g. from an on-disk cache) violated a structural
+    /// invariant of a simple undirected graph.
+    InvalidCsr(String),
 }
 
 impl fmt::Display for GraphError {
@@ -27,6 +32,15 @@ impl fmt::Display for GraphError {
             }
             GraphError::VertexOutOfRange(v) => {
                 write!(f, "vertex id {v} exceeds the supported u32 range")
+            }
+            GraphError::TooManyVertices(n) => {
+                write!(
+                    f,
+                    "{n} distinct vertices exceed the supported u32 rank space"
+                )
+            }
+            GraphError::InvalidCsr(message) => {
+                write!(f, "invalid CSR structure: {message}")
             }
         }
     }

@@ -21,7 +21,30 @@
 //!   (quality measures of §6.4/§6.5 of the paper).
 //! * [`io`] — whitespace-separated edge-list reading/writing (SNAP
 //!   format).
+//! * [`stream`] — bulk construction from raw edge streams with
+//!   arbitrary (non-contiguous, 64-bit) external ids remapped to
+//!   compact ranks; the substrate of `lhcds-data`'s real-dataset
+//!   ingest path.
 //! * [`dot`] — Graphviz export for the case-study visualizations.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_graph::{CsrGraph, GraphBuilder};
+//!
+//! // A triangle with a pendant vertex, built two ways.
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0).add_edge(2, 3);
+//! let g = b.build();
+//! assert_eq!(g, CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]));
+//!
+//! assert_eq!(g.n(), 4);
+//! assert_eq!(g.m(), 4);
+//! assert_eq!(g.neighbors(2), &[0, 1, 3]);
+//! assert!(g.has_edge(0, 2) && !g.has_edge(0, 3));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod core_decomp;
@@ -30,12 +53,14 @@ pub mod dot;
 pub mod error;
 pub mod io;
 pub mod properties;
+pub mod stream;
 pub mod subgraph;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use error::GraphError;
+pub use stream::RemappedGraph;
 pub use subgraph::InducedSubgraph;
 
 /// Vertex identifier. `u32` keeps hot structures (clique stores, flow

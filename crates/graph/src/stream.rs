@@ -1,0 +1,199 @@
+//! Bulk construction from streams of raw (possibly non-contiguous) edges.
+//!
+//! Real-world edge lists (SNAP, Network Repository) identify vertices by
+//! arbitrary 64-bit integers — sparse id spaces, gaps, ids larger than
+//! `u32`. [`CsrGraph::from_edge_stream`] consumes such a stream once,
+//! remaps the distinct ids that actually occur to compact `u32` ranks
+//! (preserving numeric order), and builds the normalized CSR directly —
+//! no intermediate [`crate::GraphBuilder`], one sort over the edge set.
+//!
+//! ```
+//! use lhcds_graph::CsrGraph;
+//!
+//! // Ids far apart (one beyond u32) collapse to ranks 0, 1, 2.
+//! let edges = [(7u64, 1_000_000_007u64), (1 << 40, 7)].map(Ok);
+//! let remapped = CsrGraph::from_edge_stream(edges).unwrap();
+//! assert_eq!(remapped.graph.n(), 3);
+//! assert_eq!(remapped.original_ids, vec![7, 1_000_000_007, 1 << 40]);
+//! assert_eq!(remapped.rank_of(1 << 40), Some(2));
+//! ```
+
+use crate::{CsrGraph, GraphError, VertexId};
+
+/// A graph built from raw external ids, together with the id remapping.
+///
+/// `original_ids[rank]` is the external id of internal vertex `rank`;
+/// the table is strictly ascending, so ranks preserve the numeric order
+/// of the external ids and [`RemappedGraph::rank_of`] is a binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemappedGraph {
+    /// The compact graph over ranks `0..n`.
+    pub graph: CsrGraph,
+    /// Rank → external id (strictly ascending).
+    pub original_ids: Vec<u64>,
+}
+
+impl RemappedGraph {
+    /// Internal rank of an external id, if it occurred in the stream.
+    pub fn rank_of(&self, original: u64) -> Option<VertexId> {
+        self.original_ids
+            .binary_search(&original)
+            .ok()
+            .map(|r| r as VertexId)
+    }
+
+    /// External id of internal vertex `rank`.
+    pub fn original_of(&self, rank: VertexId) -> u64 {
+        self.original_ids[rank as usize]
+    }
+
+    /// Whether the remapping is the identity (`original_ids == 0..n`) —
+    /// true for edge lists that already use every id in `0..n`.
+    pub fn is_identity(&self) -> bool {
+        self.original_ids
+            .iter()
+            .enumerate()
+            .all(|(rank, &id)| id == rank as u64)
+    }
+}
+
+impl CsrGraph {
+    /// Builds a graph from a fallible stream of raw `(u64, u64)` edges.
+    ///
+    /// This is the bulk-ingest counterpart of [`CsrGraph::from_edges`]:
+    /// input ids may be arbitrary 64-bit integers with gaps. The stream
+    /// is consumed once; self-loops are dropped, duplicate and reversed
+    /// edges are deduplicated, and the distinct endpoint ids are
+    /// remapped to compact ranks `0..n` in ascending numeric order.
+    ///
+    /// Errors from the stream itself (e.g. parse failures from a file
+    /// reader) are propagated unchanged; streams with more than `u32`
+    /// distinct endpoints are rejected with
+    /// [`GraphError::TooManyVertices`].
+    pub fn from_edge_stream<I>(edges: I) -> Result<RemappedGraph, GraphError>
+    where
+        I: IntoIterator<Item = Result<(u64, u64), GraphError>>,
+    {
+        let mut pairs: Vec<(u64, u64)> = Vec::new();
+        for edge in edges {
+            let (a, b) = edge?;
+            if a != b {
+                pairs.push(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+
+        // Distinct endpoint ids, ascending: the rank table.
+        let mut ids: Vec<u64> = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b) in &pairs {
+            ids.push(a);
+            ids.push(b);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        if ids.len() > u32::MAX as usize {
+            return Err(GraphError::TooManyVertices(ids.len()));
+        }
+        let n = ids.len();
+
+        let rank = |id: u64| ids.binary_search(&id).expect("endpoint in table") as VertexId;
+        let mut edges: Vec<(VertexId, VertexId)> =
+            pairs.iter().map(|&(a, b)| (rank(a), rank(b))).collect();
+        edges.sort_unstable();
+        edges.dedup();
+
+        // Direct CSR assembly (same normalization as GraphBuilder::build,
+        // without re-buffering through a builder).
+        let mut degrees = vec![0usize; n];
+        for &(u, v) in &edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+
+        Ok(RemappedGraph {
+            graph: CsrGraph::from_parts(offsets, neighbors),
+            original_ids: ids,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_edges(pairs: &[(u64, u64)]) -> Vec<Result<(u64, u64), GraphError>> {
+        pairs.iter().copied().map(Ok).collect()
+    }
+
+    #[test]
+    fn compact_ids_build_identically_to_from_edges() {
+        let pairs = [(0u64, 1), (1, 2), (2, 0), (2, 3)];
+        let r = CsrGraph::from_edge_stream(ok_edges(&pairs)).unwrap();
+        let direct = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(r.graph, direct);
+        assert!(r.is_identity());
+    }
+
+    #[test]
+    fn gaps_and_64bit_ids_are_remapped_in_order() {
+        let big = u64::from(u32::MAX) + 10;
+        let r = CsrGraph::from_edge_stream(ok_edges(&[(100, 5), (big, 100)])).unwrap();
+        assert_eq!(r.original_ids, vec![5, 100, big]);
+        assert_eq!(r.graph.n(), 3);
+        assert_eq!(r.graph.m(), 2);
+        assert!(r.graph.has_edge(0, 1)); // 5 — 100
+        assert!(r.graph.has_edge(1, 2)); // 100 — big
+        assert!(!r.graph.has_edge(0, 2));
+        assert_eq!(r.rank_of(big), Some(2));
+        assert_eq!(r.rank_of(6), None);
+        assert_eq!(r.original_of(1), 100);
+        assert!(!r.is_identity());
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_normalized() {
+        let r = CsrGraph::from_edge_stream(ok_edges(&[(3, 3), (1, 2), (2, 1), (1, 2), (9, 9)]))
+            .unwrap();
+        // pure self-loop endpoints never materialize: ids 3 and 9 carry no edge
+        assert_eq!(r.original_ids, vec![1, 2]);
+        assert_eq!(r.graph.m(), 1);
+    }
+
+    #[test]
+    fn stream_errors_propagate() {
+        let edges = vec![
+            Ok((0u64, 1u64)),
+            Err(GraphError::Parse {
+                line: 7,
+                message: "bad".into(),
+            }),
+        ];
+        let err = CsrGraph::from_edge_stream(edges).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 7, .. }));
+    }
+
+    #[test]
+    fn empty_stream_builds_empty_graph() {
+        let r = CsrGraph::from_edge_stream(std::iter::empty()).unwrap();
+        assert_eq!(r.graph.n(), 0);
+        assert!(r.original_ids.is_empty());
+        assert!(r.is_identity());
+    }
+}

@@ -23,6 +23,26 @@
 //!   `lhcds-core` is parameterized by an instance enumerator, the whole
 //!   propose–prune–verify machinery (bounds, CP iterations, flow
 //!   verification) is reused unchanged.
+//!
+//! In the workspace DAG this crate sits above `lhcds-core` (as
+//! `lhcds-baselines`' sibling) and is consumed by `lhcds-data`'s
+//! dependents, the CLI (`--pattern`) and the bench harness (Figure 17).
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_core::pipeline::IppvConfig;
+//! use lhcds_graph::CsrGraph;
+//! use lhcds_patterns::{top_k_lhxpds, Pattern};
+//!
+//! // A 4-cycle with a chord plus a pendant: the diamond {0,1,2,3} is
+//! // the densest 2-triangle (diamond) region.
+//! let g = CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (2, 4)]);
+//! let res = top_k_lhxpds(&g, Pattern::Diamond, 1, &IppvConfig::default());
+//! assert_eq!(res.subgraphs[0].vertices, vec![0, 1, 2, 3]);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod custom;
 pub mod enumerate;

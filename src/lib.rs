@@ -1,7 +1,28 @@
 //! # lhcds — facade crate
 //!
-//! Re-exports the public API of the LhCDS workspace. See the README for a
-//! guided tour and `examples/` for runnable entry points.
+//! Re-exports the public API of the LhCDS workspace — exact top-k
+//! locally h-clique densest subgraph discovery (IPPV, SIGMOD 2024). The
+//! two binaries (`lhcds-cli`, `lhcds-bench`) consume everything through
+//! this crate, so the seven library crates stay an internal layering
+//! detail: `graph → {clique, flow} → core → {patterns, baselines} →
+//! data`. See the README for a guided tour, `docs/ARCHITECTURE.md` for
+//! the paper-to-module map, and `examples/` for runnable entry points.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+//! use lhcds::data::figure2_graph;
+//!
+//! // The paper's Figure 2 worked example: the top-1 locally
+//! // triangle-densest subgraph is S1 = {11..=16} at density 13/6.
+//! let g = figure2_graph();
+//! let result = top_k_lhcds(&g, 3, 2, &IppvConfig::default());
+//! assert_eq!(result.subgraphs[0].vertices, vec![11, 12, 13, 14, 15, 16]);
+//! assert_eq!(result.subgraphs[0].density.to_string(), "13/6");
+//! ```
+
+#![warn(missing_docs)]
 
 pub use lhcds_baselines as baselines;
 pub use lhcds_clique as clique;
