@@ -13,15 +13,18 @@
 //! `--threads N` adds `N` to the thread sweep of the `kclist`
 //! experiment.
 //!
-//! Two experiments record committed `BENCH_*.json` baselines (directory
-//! override: `LHCDS_BENCH_DIR`), each stamped with the recording host's
-//! parallelism (`host_parallelism`, `recorded_on_single_cpu`):
+//! Three experiments record committed `BENCH_*.json` baselines
+//! (directory override: `LHCDS_BENCH_DIR`), each stamped with the
+//! recording host's parallelism (`host_parallelism`,
+//! `recorded_on_single_cpu`):
 //!
 //! * `kclist` → `BENCH_kclist.json` — serial vs node-parallel
 //!   enumeration;
 //! * `table2real` → `BENCH_table2.json` — statistics of any real SNAP
 //!   graphs present via the `datasets.toml` manifest (skips gracefully
-//!   when none are downloaded, so CI stays hermetic).
+//!   when none are downloaded, so CI stays hermetic);
+//! * `serve_qps` → `BENCH_serve.json` — query-daemon throughput and
+//!   tail latency (`lhcds-service`).
 
 use lhcds_bench::experiments::{all_experiments, run_experiment, ExpOptions};
 use lhcds_bench::measure::CountingAllocator;

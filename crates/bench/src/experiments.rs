@@ -75,6 +75,7 @@ pub fn all_experiments() -> &'static [&'static str] {
         "fig17",
         "ablation",
         "kclist",
+        "serve_qps",
     ]
 }
 
@@ -97,6 +98,7 @@ pub fn run_experiment(name: &str, opts: &ExpOptions) -> Option<String> {
         "fig17" => fig17(opts),
         "ablation" => ablation(opts),
         "kclist" => kclist(opts),
+        "serve_qps" => serve_qps(opts),
         _ => return None,
     })
 }
@@ -749,6 +751,188 @@ fn kclist_on(
     )
 }
 
+/// Serving throughput of the `lhcds-service` daemon: spawn a server
+/// in-process, hammer it from concurrent persistent connections with a
+/// mixed query workload (`top_k` across the k range, `density_of`,
+/// `membership`), and record client-observed p50/p99 latency and QPS to
+/// `BENCH_serve.json` (standard provenance stamp).
+///
+/// Queries are index reads — no flow network, no pipeline — so this
+/// measures the protocol + thread-pool + LRU path, which is exactly
+/// what a perf PR on the service layer needs as its before/after
+/// anchor. Note the usual single-CPU caveat: with
+/// `recorded_on_single_cpu: true`, client and server threads share one
+/// core and the QPS floor is pessimistic.
+pub fn serve_qps(_opts: &ExpOptions) -> String {
+    let dir = std::env::var("LHCDS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let workloads: Vec<(&str, CsrGraph)> = vec![
+        ("figure2", lhcds::data::figure2_graph()),
+        (
+            "planted_communities_2000",
+            lhcds::data::gen::planted_communities(
+                2000,
+                3,
+                &[(18, 0.9), (14, 0.9), (10, 0.95)],
+                0xFEED,
+            ),
+        ),
+    ];
+    serve_qps_on(workloads, 4, 400, std::path::Path::new(&dir))
+}
+
+/// [`serve_qps`] with explicit workloads, client count, per-client
+/// request count, and output directory (unit tests shrink all three).
+fn serve_qps_on(
+    workloads: Vec<(&str, CsrGraph)>,
+    clients: usize,
+    requests_per_client: usize,
+    out_dir: &std::path::Path,
+) -> String {
+    use lhcds::core::index::{DecompositionIndex, IndexConfig};
+    use lhcds::service::server::{ServeOptions, ServedIndexes, Server};
+    use std::io::{BufRead, BufReader, Write};
+
+    const K_MAX: usize = 8;
+    let mut t = MdTable::new([
+        "workload",
+        "clients",
+        "requests",
+        "QPS",
+        "p50 (µs)",
+        "p99 (µs)",
+        "LRU hit rate",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    for (name, g) in &workloads {
+        let mut indexes = std::collections::BTreeMap::new();
+        indexes.insert(
+            3usize,
+            DecompositionIndex::build(
+                g,
+                3,
+                &IndexConfig {
+                    k_max: K_MAX,
+                    ..IndexConfig::default()
+                },
+            ),
+        );
+        let served = ServedIndexes {
+            name: (*name).into(),
+            n: g.n(),
+            m: g.m(),
+            original_ids: None,
+            indexes,
+        };
+        let server = Server::bind(
+            "127.0.0.1:0",
+            served,
+            &ServeOptions {
+                workers: clients,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr();
+
+        let n = g.n() as u64;
+        let t0 = std::time::Instant::now();
+        let all_latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        // one persistent connection per client, like a
+                        // well-behaved consumer
+                        let stream = std::net::TcpStream::connect(addr).expect("connect");
+                        stream.set_nodelay(true).ok();
+                        let mut writer = stream.try_clone().expect("clone");
+                        let mut reader = BufReader::new(stream);
+                        let mut lat = Vec::with_capacity(requests_per_client);
+                        let mut line = String::new();
+                        for i in 0..requests_per_client {
+                            // mixed workload: ~half hot top_k, half
+                            // per-vertex point queries
+                            let request = match i % 4 {
+                                0 | 1 => format!(
+                                    "{{\"op\":\"top_k\",\"h\":3,\"k\":{}}}\n",
+                                    1 + (i + c) % K_MAX
+                                ),
+                                2 => format!(
+                                    "{{\"op\":\"density_of\",\"h\":3,\"vertex\":{}}}\n",
+                                    (i as u64 * 7919 + c as u64) % n
+                                ),
+                                _ => format!(
+                                    "{{\"op\":\"membership\",\"h\":3,\"vertex\":{}}}\n",
+                                    (i as u64 * 104729 + c as u64) % n
+                                ),
+                            };
+                            let q0 = std::time::Instant::now();
+                            writer.write_all(request.as_bytes()).expect("send");
+                            writer.flush().expect("flush");
+                            line.clear();
+                            reader.read_line(&mut line).expect("receive");
+                            lat.push(q0.elapsed().as_secs_f64() * 1e6);
+                            assert!(line.contains("\"ok\":true"), "{name}: {line}");
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+        let (hits, misses) = server.lru_counters();
+        server.shutdown_handle().shutdown();
+        server.join();
+
+        let mut lat: Vec<f64> = all_latencies.into_iter().flatten().collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let total = lat.len();
+        let pct = |p: f64| lat[((total - 1) as f64 * p) as usize];
+        let (p50, p99) = (pct(0.50), pct(0.99));
+        let qps = total as f64 / wall_s.max(1e-9);
+        let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+        t.row([
+            name.to_string(),
+            clients.to_string(),
+            total.to_string(),
+            format!("{qps:.0}"),
+            format!("{p50:.0}"),
+            format!("{p99:.0}"),
+            format!("{:.0}%", hit_rate * 100.0),
+        ]);
+        json_rows.push(format!(
+            "    {{\"workload\": \"{name}\", \"n\": {}, \"m\": {}, \"h\": 3, \
+             \"k_max\": {K_MAX}, \"clients\": {clients}, \"requests\": {total}, \
+             \"qps\": {qps:.1}, \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \
+             \"lru_hit_rate\": {hit_rate:.4}}}",
+            g.n(),
+            g.m(),
+        ));
+    }
+
+    let provenance = BenchProvenance::detect();
+    let json = format!(
+        "{{\n  \"experiment\": \"serve_qps\",\n  {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        provenance.json_fields(),
+        json_rows.join(",\n")
+    );
+    let path = out_dir.join("BENCH_serve.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("baseline recorded to `{}`", path.display()),
+        Err(e) => format!("could not write `{}`: {e}", path.display()),
+    };
+    format!(
+        "## serve_qps — query daemon throughput (host parallelism: {})\n\n{}\n{note}\n",
+        provenance.host_parallelism,
+        t.render()
+    )
+}
+
 /// Ablation: fast-verifier features on/off (DESIGN.md §4).
 pub fn ablation(opts: &ExpOptions) -> String {
     let mut t = MdTable::new([
@@ -848,11 +1032,39 @@ mod tests {
                 "fig16",
                 "fig17",
                 "ablation",
-                "kclist"
+                "kclist",
+                "serve_qps"
             ]
             .contains(name));
         }
         assert!(run_experiment("nope", &TINY).is_none());
+    }
+
+    #[test]
+    fn serve_qps_records_a_json_baseline() {
+        let dir = std::env::temp_dir().join("lhcds_bench_serve_qps_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let tiny = vec![("figure2_tiny", lhcds::data::figure2_graph())];
+        let out = serve_qps_on(tiny, 2, 12, &dir);
+        assert!(out.contains("baseline recorded"), "{out}");
+        assert!(out.contains("| figure2_tiny "), "{out}");
+        let json = std::fs::read_to_string(dir.join("BENCH_serve.json")).unwrap();
+        for key in [
+            "\"experiment\": \"serve_qps\"",
+            "\"host_parallelism\"",
+            "\"recorded_on_single_cpu\"",
+            "\"workload\": \"figure2_tiny\"",
+            "\"clients\": 2",
+            "\"requests\": 24",
+            "\"qps\"",
+            "\"p50_us\"",
+            "\"p99_us\"",
+            "\"lru_hit_rate\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

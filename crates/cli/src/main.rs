@@ -1,11 +1,13 @@
 //! `lhcds` — command-line locally h-clique densest subgraph discovery.
 //!
 //! ```text
-//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop]
+//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--json]
 //! lhcds topk --input web-Stanford.txt [--format snap|csv|auto] [--no-cache] --h 3 --k 5
-//! lhcds stats --graph edges.txt [--h 3] [--threads 4]
+//! lhcds stats --graph edges.txt [--h 3] [--threads 4] [--json]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
 //! lhcds datasets list | fetch-instructions | cache | verify [--manifest datasets.toml] [--name X]
+//! lhcds serve --input FILE --h 3 --port 4321 [--k-max 32] [--workers 4]
+//! lhcds query top-k --port 4321 --h 3 --k 5
 //! lhcds help
 //! ```
 //!
@@ -24,48 +26,75 @@
 //! graphs (the paper's Table 2 corpus): `list` shows local status,
 //! `fetch-instructions` prints download pointers (or a template
 //! manifest), `cache` pre-builds binary snapshots, and `verify`
-//! validates loaded graphs against the recorded `|V|`/`|E|`.
+//! validates loaded graphs against the recorded `|V|`/`|E|` — any
+//! mismatch or load failure makes the process exit non-zero.
+//!
+//! The `serve` subcommand builds (or binary-loads, via the `LHCDSIDX`
+//! cache) a decomposition index per requested `h` and serves the
+//! newline-delimited JSON query protocol on a TCP port until SIGTERM /
+//! ctrl-c / a protocol `shutdown` request; `query` is the matching
+//! one-shot client. A served `top_k` answer is string-identical to
+//! `lhcds topk --json` on the same graph — the serializer is shared.
 //!
 //! `--threads N` runs h-clique enumeration on `N` worker threads
 //! (`0` = auto-detect); output is identical to the serial default.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use lhcds::core::index::{DecompositionIndex, IndexConfig};
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
 use lhcds::data::cache::{cache_path_for, load_or_build, CacheStatus};
+use lhcds::data::index_cache::{build_or_load_index_for, IndexBuildOptions};
 use lhcds::data::ingest::{read_graph_file, EdgeListFormat};
 use lhcds::data::manifest::{table2_template, DatasetRegistry};
 use lhcds::graph::io::{read_edge_list_file, write_edge_list_file};
 use lhcds::graph::CsrGraph;
 use lhcds::patterns::{top_k_lhxpds, Pattern};
+use lhcds::service::json::Json;
+use lhcds::service::protocol::{topk_result, AnswerRow, Request};
+use lhcds::service::server::{ServeOptions, ServedIndexes, Server};
+use lhcds::service::{client, signals};
 
 mod args;
 use args::Args;
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(run_to_exit_code(std::env::args().skip(1).collect()))
+}
+
+/// The whole CLI as a function of argv → process exit code (0 success,
+/// 2 any failure — including `datasets verify` finding a `|V|`/`|E|`
+/// mismatch). Tests assert on this directly.
+fn run_to_exit_code(argv: Vec<String>) -> u8 {
     match run(argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => 0,
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::from(2)
+            2
         }
     }
 }
 
 fn run(argv: Vec<String>) -> Result<(), String> {
-    // `datasets` takes its own action word, so it re-parses the tail:
-    // `lhcds datasets list --manifest m.toml` → action "list".
+    // `datasets` and `query` take their own action word, so they
+    // re-parse the tail: `lhcds datasets list --manifest m.toml` →
+    // action "list"; `lhcds query top-k --port 4321` → action "top-k".
     if argv.first().map(String::as_str) == Some("datasets") {
         let mut args = Args::parse(argv[1..].to_vec())?;
         return cmd_datasets(&mut args);
+    }
+    if argv.first().map(String::as_str) == Some("query") {
+        let mut args = Args::parse(argv[1..].to_vec())?;
+        return cmd_query(&mut args);
     }
     let mut args = Args::parse(argv)?;
     match args.command.as_str() {
         "topk" => cmd_topk(&mut args),
         "stats" => cmd_stats(&mut args),
         "gen" => cmd_gen(&mut args),
+        "serve" => cmd_serve(&mut args),
         "help" | "" => {
             print_help();
             Ok(())
@@ -77,16 +106,22 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
-         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--quiet]\n  \
-         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N]\n  \
+         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--quiet] [--json]\n  \
+         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N] [--json]\n  \
          lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
-         lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n\n\
+         lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n  \
+         lhcds serve (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H[,H...]] [--k-max K]\n              \
+         [--host ADDR] [--port N] [--workers N] [--threads N] [--port-file FILE] [--quiet]\n  \
+         lhcds query (top-k | density-of | membership | stats | ping | shutdown)\n              \
+         [--host ADDR] --port N [--h H] [--k K] [--vertex V] [--timeout SECS]\n\n\
          INPUT:    --graph = strict compact edge list; --input = tolerant SNAP ingest with a\n          \
          binary on-disk cache (FILE.csrcache) and original-id reporting\n\
          FORMATS:  auto (default), snap (whitespace), csv\n\
          PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
          PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)\n\
-         THREADS:  enumeration worker threads (0 = auto); results never depend on it"
+         THREADS:  enumeration worker threads (0 = auto); results never depend on it\n\
+         SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx) and\n          \
+         binary-loaded on restart; answers match `lhcds topk --json` exactly"
     );
 }
 
@@ -219,6 +254,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
     let h = args.get_parsed("h")?.unwrap_or(3usize);
     let basic = args.flag("basic");
     let quiet = args.flag("quiet");
+    let json = args.flag("json");
     let pattern = args.get("pattern");
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
@@ -235,27 +271,47 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         ..IppvConfig::default()
     };
 
-    let (subgraphs, stats) = if let Some(pname) = pattern {
+    let (subgraphs, stats, eff_h) = if let Some(pname) = pattern {
         let p = parse_pattern(&pname)?;
         let res = top_k_lhxpds(g, p, k, &cfg);
-        (res.subgraphs, res.stats)
+        // in pattern mode "h" is the pattern arity — what the density
+        // denominator’s instance size is
+        (res.subgraphs, res.stats, p.arity())
     } else {
         if h < 2 {
             return Err("--h must be at least 2".into());
         }
         let res = top_k_lhcds(g, h, k, &cfg);
-        (res.subgraphs, res.stats)
+        (res.subgraphs, res.stats, h)
     };
 
-    for (i, s) in subgraphs.iter().enumerate() {
-        println!(
-            "top-{rank}\tdensity={d}\tsize={n}\tinstances={c}\tvertices={v:?}",
-            rank = i + 1,
-            d = s.density,
-            n = s.vertices.len(),
-            c = s.clique_count,
-            v = loaded.display_ids(&s.vertices),
+    if json {
+        // Machine-readable output, in original file ids — the exact
+        // result object the serve protocol returns for the same query
+        // (shared serializer; CI diffs the two).
+        let ids = |v: lhcds::graph::VertexId| loaded.display_id(v);
+        let result = topk_result(
+            eff_h,
+            k,
+            subgraphs.iter().map(|s| AnswerRow {
+                vertices: &s.vertices,
+                density: s.density,
+                clique_count: s.clique_count,
+            }),
+            &ids,
         );
+        println!("{}", result.render());
+    } else {
+        for (i, s) in subgraphs.iter().enumerate() {
+            println!(
+                "top-{rank}\tdensity={d}\tsize={n}\tinstances={c}\tvertices={v:?}",
+                rank = i + 1,
+                d = s.density,
+                n = s.vertices.len(),
+                c = s.clique_count,
+                v = loaded.display_ids(&s.vertices),
+            );
+        }
     }
     if !quiet {
         eprintln!(
@@ -272,27 +328,249 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
 
 fn cmd_stats(args: &mut Args) -> Result<(), String> {
     let h = args.get_parsed("h")?.unwrap_or(3usize);
+    let json = args.flag("json");
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
     let loaded = input.load()?;
     let g = &loaded.graph;
-    eprintln!("{}", loaded.note);
+    if !json {
+        eprintln!("{}", loaded.note);
+    }
     let deg = lhcds::graph::core_decomp::degeneracy_order(g);
-    println!("vertices:    {}", g.n());
-    println!("edges:       {}", g.m());
-    println!("max degree:  {}", g.max_degree());
-    println!("degeneracy:  {}", deg.degeneracy);
-    println!("clique no.:  {}", lhcds::clique::clique_number(g));
+    let clique_no = lhcds::clique::clique_number(g);
+    let mut psi: Vec<(usize, u64)> = Vec::new();
     for hh in [3usize, h.max(3)] {
-        println!(
-            "|Psi_{hh}|:     {}",
-            lhcds::clique::par_count_cliques(g, hh, &parallelism)
-        );
+        psi.push((hh, lhcds::clique::par_count_cliques(g, hh, &parallelism)));
         if hh == h.max(3) {
             break;
         }
     }
+    if json {
+        let result = Json::object([
+            ("vertices", Json::Int(g.n() as i128)),
+            ("edges", Json::Int(g.m() as i128)),
+            ("max_degree", Json::Int(g.max_degree() as i128)),
+            ("degeneracy", Json::Int(deg.degeneracy as i128)),
+            ("clique_number", Json::Int(clique_no as i128)),
+            (
+                "clique_counts",
+                Json::Array(
+                    psi.iter()
+                        .map(|&(hh, c)| {
+                            Json::Object(vec![
+                                ("h".into(), Json::Int(hh as i128)),
+                                ("count".into(), Json::Int(c as i128)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        println!("{}", result.render());
+        return Ok(());
+    }
+    println!("vertices:    {}", g.n());
+    println!("edges:       {}", g.m());
+    println!("max degree:  {}", g.max_degree());
+    println!("degeneracy:  {}", deg.degeneracy);
+    println!("clique no.:  {}", clique_no);
+    for (hh, c) in psi {
+        println!("|Psi_{hh}|:     {c}");
+    }
+    Ok(())
+}
+
+/// Parses the serve subcommand's `--h` list (`"3"` or `"2,3,4"`).
+fn parse_h_list(spec: &str) -> Result<Vec<usize>, String> {
+    let mut hs = Vec::new();
+    for part in spec.split(',') {
+        let h: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid clique size '{part}' in --h"))?;
+        if h < 2 {
+            return Err("--h entries must be at least 2".into());
+        }
+        if !hs.contains(&h) {
+            hs.push(h);
+        }
+    }
+    Ok(hs)
+}
+
+/// `lhcds serve` — build/load the decomposition index per requested h
+/// and answer protocol queries until shutdown.
+fn cmd_serve(args: &mut Args) -> Result<(), String> {
+    let hs = parse_h_list(&args.get("h").unwrap_or_else(|| "3".into()))?;
+    let k_max: usize = args.get_parsed("k-max")?.unwrap_or(32);
+    if k_max == 0 {
+        return Err("--k-max must be at least 1".into());
+    }
+    let host = args.get("host").unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = args.get_parsed("port")?.unwrap_or(0);
+    let workers: usize = args.get_parsed("workers")?.unwrap_or(4);
+    let port_file = args.get("port-file").map(PathBuf::from);
+    let quiet = args.flag("quiet");
+    let parallelism = args.parallelism()?;
+    let input = InputSpec::take(args)?;
+    args.finish()?;
+
+    let index_config = IndexConfig {
+        k_max,
+        ippv: IppvConfig {
+            parallelism,
+            ..IppvConfig::default()
+        },
+    };
+    let note = |msg: &str| {
+        if !quiet {
+            eprintln!("{msg}");
+        }
+    };
+
+    // Build or binary-load one index per h. Only the ingest-with-cache
+    // path persists (`FILE.hH.lhcdsidx`, keyed on the source stamp);
+    // strict/--no-cache inputs build in memory.
+    let served = match input {
+        InputSpec::Ingest {
+            ref path,
+            format,
+            no_cache: false,
+        } => {
+            let src = PathBuf::from(path);
+            let opts = IndexBuildOptions {
+                config: index_config.clone(),
+                cache_path: None,
+                no_graph_cache: false,
+            };
+            // load the (possibly multi-gigabyte) graph exactly once;
+            // each h then only reads/builds its own index snapshot
+            let (remapped, graph_status) =
+                load_or_build(&src, format, None).map_err(|e| e.to_string())?;
+            note(&format!(
+                "graph: {} vertices, {} edges ({graph_status:?})",
+                remapped.graph.n(),
+                remapped.graph.m()
+            ));
+            let mut indexes = std::collections::BTreeMap::new();
+            for &h in &hs {
+                let (idx, status) = build_or_load_index_for(&src, &remapped, h, &opts)
+                    .map_err(|e| e.to_string())?;
+                note(&format!(
+                    "index h={h}: {} subgraphs ({status:?})",
+                    idx.len()
+                ));
+                indexes.insert(h, idx);
+            }
+            let identity = remapped.is_identity();
+            ServedIndexes {
+                name: path.clone(),
+                n: remapped.graph.n(),
+                m: remapped.graph.m(),
+                original_ids: (!identity).then_some(remapped.original_ids),
+                indexes,
+            }
+        }
+        other => {
+            let name = match &other {
+                InputSpec::Strict(p) | InputSpec::Ingest { path: p, .. } => p.clone(),
+            };
+            let loaded = other.load()?;
+            let mut indexes = std::collections::BTreeMap::new();
+            for &h in &hs {
+                let idx = DecompositionIndex::build(&loaded.graph, h, &index_config);
+                note(&format!(
+                    "index h={h}: {} subgraphs (built in memory)",
+                    idx.len()
+                ));
+                indexes.insert(h, idx);
+            }
+            ServedIndexes {
+                name,
+                n: loaded.graph.n(),
+                m: loaded.graph.m(),
+                original_ids: loaded.original_ids,
+                indexes,
+            }
+        }
+    };
+
+    let opts = ServeOptions {
+        workers,
+        ..ServeOptions::default()
+    };
+    let server = Server::bind((host.as_str(), port), served, &opts)
+        .map_err(|e| format!("cannot bind {host}:{port}: {e}"))?;
+    let addr = server.local_addr();
+    // stdout carries exactly one machine-parseable line; everything
+    // else goes to stderr
+    println!("lhcds-serve listening on {addr} (h={hs:?}, k_max={k_max}, workers={workers})");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Some(pf) = &port_file {
+        std::fs::write(pf, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write --port-file {}: {e}", pf.display()))?;
+    }
+
+    // SIGTERM/ctrl-c → graceful stop; the protocol `shutdown` op flips
+    // the same server-side flag.
+    signals::install();
+    let handle = server.shutdown_handle();
+    while !signals::requested() && !handle.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    note("shutting down: draining in-flight requests…");
+    server.join();
+    note("shutdown complete");
+    if let Some(pf) = &port_file {
+        std::fs::remove_file(pf).ok();
+    }
+    Ok(())
+}
+
+/// `lhcds query <action>` — one-shot protocol client.
+fn cmd_query(args: &mut Args) -> Result<(), String> {
+    let action = args.command.clone();
+    let host = args.get("host").unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = args
+        .get_parsed("port")?
+        .ok_or_else(|| "missing --port (the port `lhcds serve` printed)".to_string())?;
+    let timeout: u64 = args.get_parsed("timeout")?.unwrap_or(10);
+    let h: usize = args.get_parsed("h")?.unwrap_or(3);
+    let k: usize = args.get_parsed("k")?.unwrap_or(5);
+    let vertex: Option<u64> = args.get_parsed("vertex")?;
+    args.finish()?;
+
+    let need_vertex = || vertex.ok_or_else(|| format!("'{action}' needs --vertex"));
+    let request = match action.as_str() {
+        "top-k" => Request::TopK { h, k },
+        "density-of" => Request::DensityOf {
+            h,
+            vertex: need_vertex()?,
+        },
+        "membership" => Request::Membership {
+            h,
+            vertex: need_vertex()?,
+        },
+        "stats" => Request::Stats,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        "" => return Err(
+            "missing query action: top-k | density-of | membership | stats | ping | shutdown"
+                .into(),
+        ),
+        other => {
+            return Err(format!(
+                "unknown query action '{other}' — try top-k | density-of | membership | stats | ping | shutdown"
+            ))
+        }
+    };
+    let addr = format!("{host}:{port}");
+    let result = client::query(&addr, &request, Duration::from_secs(timeout.max(1)))
+        .map_err(|e| e.to_string())?;
+    println!("{}", result.render());
     Ok(())
 }
 
@@ -603,6 +881,279 @@ mod tests {
         .unwrap();
         assert!(run(with_manifest("verify")).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn datasets_verify_exit_code_contract() {
+        // The satellite contract: a manifest |V|/|E| mismatch must make
+        // the *process exit code* non-zero, not just print a line.
+        let dir = std::env::temp_dir().join("lhcds_cli_verify_exit");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::copy(fixture(), dir.join("figure2.txt")).unwrap();
+        let manifest = dir.join("datasets.toml");
+        let m = manifest.to_string_lossy().into_owned();
+        let verify = |m: &str| {
+            run_to_exit_code(vec![
+                "datasets".into(),
+                "verify".into(),
+                "--manifest".into(),
+                m.into(),
+            ])
+        };
+
+        // correct expectations → exit 0
+        std::fs::write(
+            &manifest,
+            "[figure2]\npath = \"figure2.txt\"\nvertices = 20\nedges = 39\n",
+        )
+        .unwrap();
+        assert_eq!(verify(&m), 0);
+
+        // wrong |V| → non-zero
+        std::fs::write(
+            &manifest,
+            "[figure2]\npath = \"figure2.txt\"\nvertices = 21\nedges = 39\n",
+        )
+        .unwrap();
+        assert_eq!(verify(&m), 2, "|V| mismatch must fail the process");
+
+        // wrong |E| → non-zero
+        std::fs::write(
+            &manifest,
+            "[figure2]\npath = \"figure2.txt\"\nvertices = 20\nedges = 40\n",
+        )
+        .unwrap();
+        assert_eq!(verify(&m), 2, "|E| mismatch must fail the process");
+
+        // the same contract holds for `cache` (it loads + validates too)
+        assert_eq!(
+            run_to_exit_code(vec![
+                "datasets".into(),
+                "cache".into(),
+                "--manifest".into(),
+                m.clone(),
+            ]),
+            2
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn topk_json_matches_shared_serializer_and_original_ids() {
+        let dir = std::env::temp_dir().join("lhcds_cli_json_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // non-contiguous original ids: a triangle on {100, 205, 300}
+        let path = dir.join("g.txt");
+        std::fs::write(&path, "100 205\n205 300\n300 100\n").unwrap();
+        let path_s = path.to_string_lossy().into_owned();
+
+        // --json runs end-to-end on both input paths
+        run(vec![
+            "topk".into(),
+            "--input".into(),
+            path_s.clone(),
+            "--k".into(),
+            "1".into(),
+            "--json".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        run(vec![
+            "stats".into(),
+            "--input".into(),
+            path_s.clone(),
+            "--json".into(),
+        ])
+        .unwrap();
+
+        // the JSON the CLI prints is exactly the shared serializer's
+        // output, with original file ids
+        let ingested = read_graph_file(&path, EdgeListFormat::Auto).unwrap();
+        let res = top_k_lhcds(&ingested.graph, 3, 1, &IppvConfig::default());
+        let ids = |v: lhcds::graph::VertexId| ingested.original_ids[v as usize];
+        let expected = topk_result(
+            3,
+            1,
+            res.subgraphs.iter().map(|s| AnswerRow {
+                vertices: &s.vertices,
+                density: s.density,
+                clique_count: s.clique_count,
+            }),
+            &ids,
+        );
+        let rendered = expected.render();
+        assert!(
+            rendered.contains("\"vertices\":[100,205,300]"),
+            "{rendered}"
+        );
+
+        // pattern mode accepts --json too
+        run(vec![
+            "topk".into(),
+            "--graph".into(),
+            {
+                let p = dir.join("compact.txt");
+                std::fs::write(&p, "0 1\n1 2\n2 0\n2 3\n").unwrap();
+                p.to_string_lossy().into_owned()
+            },
+            "--pattern".into(),
+            "4-path".into(),
+            "--k".into(),
+            "1".into(),
+            "--json".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_and_query_round_trip() {
+        use lhcds::service::json::Json;
+
+        let dir = std::env::temp_dir().join("lhcds_cli_serve_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("figure2.txt");
+        std::fs::copy(fixture(), &path).unwrap();
+        let path_s = path.to_string_lossy().into_owned();
+        let port_file = dir.join("port");
+
+        // daemon on an ephemeral port, address published via --port-file
+        let serve_args = vec![
+            "serve".into(),
+            "--input".into(),
+            path_s.clone(),
+            "--h".into(),
+            "2,3".into(),
+            "--k-max".into(),
+            "8".into(),
+            "--port".into(),
+            "0".into(),
+            "--port-file".into(),
+            port_file.to_string_lossy().into_owned(),
+            "--quiet".into(),
+        ];
+        let daemon = std::thread::spawn(move || run(serve_args));
+
+        // wait for the daemon to publish its address
+        let addr = {
+            let mut waited = 0u64;
+            loop {
+                if let Ok(s) = std::fs::read_to_string(&port_file) {
+                    if s.trim().ends_with(|c: char| c.is_ascii_digit()) && !s.trim().is_empty() {
+                        break s.trim().to_string();
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+                waited += 20;
+                assert!(waited < 30_000, "daemon never published its port");
+            }
+        };
+        let (host, port) = addr.rsplit_once(':').unwrap();
+        let base = |action: &str| {
+            vec![
+                "query".into(),
+                action.to_string(),
+                "--host".into(),
+                host.to_string(),
+                "--port".into(),
+                port.to_string(),
+            ]
+        };
+
+        // round trips: ping, top-k, density-of, membership, stats
+        run(base("ping")).unwrap();
+        let mut v = base("top-k");
+        v.extend(["--h".into(), "3".into(), "--k".into(), "2".into()]);
+        run(v).unwrap();
+        let mut v = base("density-of");
+        v.extend(["--h".into(), "3".into(), "--vertex".into(), "11".into()]);
+        run(v).unwrap();
+        let mut v = base("membership");
+        v.extend(["--h".into(), "2".into(), "--vertex".into(), "0".into()]);
+        run(v).unwrap();
+        run(base("stats")).unwrap();
+
+        // served answer == batch answer (string-identical result JSON)
+        let served = client::query(
+            &addr,
+            &Request::TopK { h: 3, k: 2 },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        let g = lhcds::data::figure2_graph();
+        let fresh = top_k_lhcds(&g, 3, 2, &IppvConfig::default());
+        let ids = |v: lhcds::graph::VertexId| u64::from(v);
+        let batch = topk_result(
+            3,
+            2,
+            fresh.subgraphs.iter().map(|s| AnswerRow {
+                vertices: &s.vertices,
+                density: s.density,
+                clique_count: s.clique_count,
+            }),
+            &ids,
+        );
+        assert_eq!(served.render(), batch.render());
+
+        // protocol errors surface as CLI errors (exit non-zero), but do
+        // not kill the daemon
+        let mut v = base("top-k");
+        v.extend(["--h".into(), "9".into()]);
+        assert_eq!(run_to_exit_code(v), 2);
+        let pong = client::query(&addr, &Request::Ping, Duration::from_secs(10)).unwrap();
+        assert_eq!(pong, Json::Str("pong".into()));
+
+        // query usage errors
+        assert!(run(base("density-of")).is_err(), "--vertex required");
+        assert!(run(base("frobnicate")).is_err());
+        assert!(
+            run(vec!["query".into(), "ping".into()]).is_err(),
+            "--port required"
+        );
+
+        // shutdown: daemon drains and the serve command returns Ok
+        run(base("shutdown")).unwrap();
+        daemon.join().unwrap().unwrap();
+
+        // restart hits the persisted LHCDSIDX (exercised by a second
+        // in-memory check: the index cache file exists next to the input)
+        assert!(dir.join("figure2.txt.h3.lhcdsidx").is_file());
+        assert!(dir.join("figure2.txt.h2.lhcdsidx").is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_input_validation() {
+        // bad h list / k-max / missing input are caught before binding
+        assert!(run(vec!["serve".into()]).is_err());
+        assert!(run(vec![
+            "serve".into(),
+            "--graph".into(),
+            "nope.txt".into(),
+            "--h".into(),
+            "1".into(),
+        ])
+        .is_err());
+        assert!(run(vec![
+            "serve".into(),
+            "--graph".into(),
+            "nope.txt".into(),
+            "--h".into(),
+            "x".into(),
+        ])
+        .is_err());
+        assert!(run(vec![
+            "serve".into(),
+            "--graph".into(),
+            "nope.txt".into(),
+            "--k-max".into(),
+            "0".into(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,640 @@
+//! The servable decomposition index — compute once, query many.
+//!
+//! A full IPPV run is a compute-once artifact: the LhCDSes it emits are
+//! pairwise disjoint and totally ordered by exact density, so *every*
+//! top-k query, per-vertex density lookup, and membership test is a
+//! pure read over the finished decomposition. [`DecompositionIndex`]
+//! freezes one run (one graph, one `h`) into a compact, immutable
+//! answer table:
+//!
+//! * `top_k(k)` — the k densest LhCDSes, in `O(answer size)`;
+//! * `density_of(v)` — the exact density of the LhCDS containing `v`;
+//! * `membership(v)` — which LhCDS (rank + boundaries) `v` belongs to.
+//!
+//! No query ever touches the flow network: the index stores only plain
+//! arrays (a CSR-style member slab with per-subgraph offsets, exact
+//! `i128` density fractions, and a per-vertex rank table), and
+//! construction is the only place the pipeline runs. Tests pin this
+//! with [`lhcds_flow::max_flow_invocations`].
+//!
+//! The index is built from the **complete** decomposition
+//! (`k = usize::MAX`), so membership answers are exact for every
+//! vertex; [`IndexConfig::k_max`] only bounds the *served* top-k range
+//! (the paper's evaluation never needs `k > 20`; serving layers want a
+//! hard cap so a hostile `k` cannot request an unbounded answer).
+//! Because the IPPV driver emits results in exact density order and its
+//! candidate processing never depends on `k` except for stopping early,
+//! `top_k(k)` of the index equals a fresh `top_k_lhcds(g, h, k, ..)`
+//! run for every `k` in range — the integration suite asserts this
+//! identity per (h, k) pair.
+//!
+//! ```
+//! use lhcds_core::index::{DecompositionIndex, IndexConfig};
+//! use lhcds_graph::CsrGraph;
+//!
+//! // Two triangles joined by a path: two LhCDSes at density 1/3.
+//! let g = CsrGraph::from_edges(
+//!     8,
+//!     [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 5)],
+//! );
+//! let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+//! assert_eq!(idx.len(), 2);
+//! let top = idx.top_k(1).unwrap();
+//! assert_eq!(top[0].density.to_string(), "1/3");
+//! assert_eq!(idx.membership(0).unwrap().rank, top[0].rank);
+//! assert!(idx.density_of(4).is_none()); // path vertex: in no LhCDS
+//! ```
+
+use crate::pipeline::{top_k_lhcds, IppvConfig, Lhcds};
+use lhcds_flow::Ratio;
+use lhcds_graph::{CsrGraph, VertexId};
+
+/// Sentinel in the per-vertex rank table: vertex is in no LhCDS.
+const NO_RANK: u32 = u32::MAX;
+
+/// Index construction options.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Largest `k` the index will serve. The underlying decomposition
+    /// is always complete; this caps only the answer range a serving
+    /// layer exposes (and therefore the size of a worst-case answer).
+    pub k_max: usize,
+    /// Pipeline configuration used for the one-time construction run.
+    pub ippv: IppvConfig,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            k_max: 32,
+            ippv: IppvConfig::default(),
+        }
+    }
+}
+
+/// Errors a query can produce (construction panics like the pipeline —
+/// it is a build-time activity; queries must never panic a server).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// `k` exceeds the configured serving range.
+    KOutOfRange {
+        /// The requested k.
+        k: usize,
+        /// The index's configured maximum.
+        k_max: usize,
+    },
+    /// `k = 0` carries no information; reject it loudly.
+    KZero,
+    /// The vertex id is not a vertex of the indexed graph.
+    VertexOutOfRange {
+        /// The requested vertex.
+        vertex: u64,
+        /// Vertex count of the indexed graph.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::KOutOfRange { k, k_max } => {
+                write!(
+                    f,
+                    "k = {k} exceeds the index's serving range (k_max = {k_max})"
+                )
+            }
+            QueryError::KZero => write!(f, "k must be at least 1"),
+            QueryError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (graph has {n} vertices)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One indexed LhCDS, viewed by reference into the index's slabs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubgraphView<'a> {
+    /// 1-based density rank (rank 1 = densest).
+    pub rank: usize,
+    /// Member vertices, ascending.
+    pub vertices: &'a [VertexId],
+    /// Exact h-clique density.
+    pub density: Ratio,
+    /// Number of h-cliques inside the subgraph.
+    pub clique_count: u64,
+}
+
+/// Errors raised when reassembling an index from untrusted parts (a
+/// deserialized `LHCDSIDX` payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidIndex(pub String);
+
+impl std::fmt::Display for InvalidIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid decomposition index: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidIndex {}
+
+/// Raw index parts, as produced by [`DecompositionIndex::as_parts`] and
+/// consumed by [`DecompositionIndex::try_from_parts`]. This is the
+/// serialization contract of the `LHCDSIDX` on-disk format in
+/// `lhcds-data`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexParts {
+    /// Clique size the index answers for.
+    pub h: usize,
+    /// Configured serving cap.
+    pub k_max: usize,
+    /// Vertex count of the indexed graph.
+    pub n: usize,
+    /// Per-subgraph offsets into `members` (`len = count + 1`).
+    pub offsets: Vec<usize>,
+    /// Concatenated member lists, ascending within each subgraph.
+    pub members: Vec<VertexId>,
+    /// Exact density numerators, per subgraph (rank order).
+    pub density_num: Vec<i128>,
+    /// Exact density denominators, per subgraph (rank order).
+    pub density_den: Vec<i128>,
+    /// h-clique counts, per subgraph (rank order).
+    pub clique_counts: Vec<u64>,
+}
+
+/// A frozen locally h-clique densest decomposition, queryable in
+/// `O(answer size)` with no flow network anywhere on the read path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompositionIndex {
+    h: usize,
+    k_max: usize,
+    n: usize,
+    /// CSR-style subgraph storage, density-rank order.
+    offsets: Vec<usize>,
+    members: Vec<VertexId>,
+    densities: Vec<Ratio>,
+    clique_counts: Vec<u64>,
+    /// vertex → 0-based rank of its LhCDS, `NO_RANK` when in none.
+    /// Derived from `members` (never serialized — it cannot disagree).
+    rank_of: Vec<u32>,
+}
+
+impl DecompositionIndex {
+    /// Runs the IPPV pipeline to completion and freezes the result.
+    ///
+    /// This is the only expensive call in the module; everything below
+    /// is array reads.
+    pub fn build(g: &CsrGraph, h: usize, cfg: &IndexConfig) -> DecompositionIndex {
+        let result = top_k_lhcds(g, h, usize::MAX, &cfg.ippv);
+        Self::from_subgraphs(g.n(), h, cfg.k_max, &result.subgraphs)
+    }
+
+    /// Freezes an already-computed full decomposition (`subgraphs` must
+    /// be a *complete* decomposition in emission order, as returned by
+    /// `top_k_lhcds(g, h, usize::MAX, ..)`).
+    pub fn from_subgraphs(
+        n: usize,
+        h: usize,
+        k_max: usize,
+        subgraphs: &[Lhcds],
+    ) -> DecompositionIndex {
+        let mut offsets = Vec::with_capacity(subgraphs.len() + 1);
+        let mut members = Vec::new();
+        let mut densities = Vec::with_capacity(subgraphs.len());
+        let mut clique_counts = Vec::with_capacity(subgraphs.len());
+        offsets.push(0);
+        for s in subgraphs {
+            members.extend_from_slice(&s.vertices);
+            offsets.push(members.len());
+            densities.push(s.density);
+            clique_counts.push(s.clique_count);
+        }
+        let rank_of = derive_rank_table(n, &offsets, &members)
+            .expect("pipeline output is a valid disjoint decomposition");
+        DecompositionIndex {
+            h,
+            k_max: k_max.max(1),
+            n,
+            offsets,
+            members,
+            densities,
+            clique_counts,
+            rank_of,
+        }
+    }
+
+    /// Clique size this index answers for.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Largest `k` the index serves.
+    pub fn k_max(&self) -> usize {
+        self.k_max
+    }
+
+    /// Narrows the serving cap to `min(current, k_max)` (never widens —
+    /// answers beyond the built range do not exist). Serving layers
+    /// call this after loading a persisted index that was built with a
+    /// wider cap than the operator configured, so the configured
+    /// `--k-max` is always the one actually enforced.
+    pub fn clamp_k_max(&mut self, k_max: usize) {
+        self.k_max = self.k_max.min(k_max.max(1));
+    }
+
+    /// Vertex count of the indexed graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of LhCDSes in the full decomposition.
+    pub fn len(&self) -> usize {
+        self.densities.len()
+    }
+
+    /// Whether the graph has no LhCDS at all (no h-clique anywhere).
+    pub fn is_empty(&self) -> bool {
+        self.densities.is_empty()
+    }
+
+    /// The subgraph at 0-based `rank`, if any.
+    pub fn subgraph(&self, rank: usize) -> Option<SubgraphView<'_>> {
+        if rank >= self.len() {
+            return None;
+        }
+        Some(SubgraphView {
+            rank: rank + 1,
+            vertices: &self.members[self.offsets[rank]..self.offsets[rank + 1]],
+            density: self.densities[rank],
+            clique_count: self.clique_counts[rank],
+        })
+    }
+
+    /// The top-k LhCDSes, densest first — identical to a fresh
+    /// `top_k_lhcds(g, h, k, ..)` run, in `O(answer size)` time.
+    pub fn top_k(&self, k: usize) -> Result<Vec<SubgraphView<'_>>, QueryError> {
+        if k == 0 {
+            return Err(QueryError::KZero);
+        }
+        if k > self.k_max {
+            return Err(QueryError::KOutOfRange {
+                k,
+                k_max: self.k_max,
+            });
+        }
+        Ok((0..k.min(self.len()))
+            .map(|r| self.subgraph(r).expect("rank in range"))
+            .collect())
+    }
+
+    /// Exact density of the LhCDS containing `v` (`None`: in none).
+    pub fn density_of(&self, v: VertexId) -> Option<Ratio> {
+        match self.rank_of.get(v as usize) {
+            Some(&r) if r != NO_RANK => Some(self.densities[r as usize]),
+            _ => None,
+        }
+    }
+
+    /// The LhCDS containing `v`, with its rank and boundaries
+    /// (`None`: `v` is in no LhCDS).
+    pub fn membership(&self, v: VertexId) -> Option<SubgraphView<'_>> {
+        match self.rank_of.get(v as usize) {
+            Some(&r) if r != NO_RANK => self.subgraph(r as usize),
+            _ => None,
+        }
+    }
+
+    /// Checked variant of [`DecompositionIndex::membership`] for
+    /// serving layers: distinguishes "no such vertex" (protocol error)
+    /// from "vertex in no LhCDS" (a valid `null` answer).
+    pub fn membership_checked(&self, v: u64) -> Result<Option<SubgraphView<'_>>, QueryError> {
+        if v >= self.n as u64 {
+            return Err(QueryError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
+        }
+        Ok(self.membership(v as VertexId))
+    }
+
+    /// Decomposes the index into its raw serializable parts.
+    pub fn as_parts(&self) -> IndexParts {
+        IndexParts {
+            h: self.h,
+            k_max: self.k_max,
+            n: self.n,
+            offsets: self.offsets.clone(),
+            members: self.members.clone(),
+            density_num: self.densities.iter().map(|d| d.num()).collect(),
+            density_den: self.densities.iter().map(|d| d.den()).collect(),
+            clique_counts: self.clique_counts.clone(),
+        }
+    }
+
+    /// Rebuilds an index from untrusted parts, re-validating every
+    /// structural invariant (a deserialized payload that survives its
+    /// checksum can still be semantically nonsense):
+    ///
+    /// * offsets start at 0, end at `members.len()`, non-decreasing,
+    ///   with no empty subgraph;
+    /// * members in `0..n`, strictly ascending within each subgraph,
+    ///   and globally disjoint across subgraphs;
+    /// * densities positive, normalized, and non-increasing in rank
+    ///   order; parallel arrays of equal length.
+    pub fn try_from_parts(parts: IndexParts) -> Result<DecompositionIndex, InvalidIndex> {
+        let IndexParts {
+            h,
+            k_max,
+            n,
+            offsets,
+            members,
+            density_num,
+            density_den,
+            clique_counts,
+        } = parts;
+        if h < 2 {
+            return Err(InvalidIndex(format!("h = {h} (must be at least 2)")));
+        }
+        if k_max == 0 {
+            return Err(InvalidIndex("k_max must be at least 1".into()));
+        }
+        let count = offsets
+            .len()
+            .checked_sub(1)
+            .ok_or_else(|| InvalidIndex("offsets must hold at least the leading 0".into()))?;
+        if density_num.len() != count || density_den.len() != count || clique_counts.len() != count
+        {
+            return Err(InvalidIndex(format!(
+                "parallel arrays disagree: {count} subgraphs but {} numerators, \
+                 {} denominators, {} clique counts",
+                density_num.len(),
+                density_den.len(),
+                clique_counts.len()
+            )));
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") != members.len() {
+            return Err(InvalidIndex(
+                "offsets must start at 0 and end at the member count".into(),
+            ));
+        }
+        for w in offsets.windows(2) {
+            if w[0] >= w[1] {
+                return Err(InvalidIndex(
+                    "offsets must be strictly increasing (no empty subgraph)".into(),
+                ));
+            }
+        }
+        for (rank, pair) in offsets.windows(2).enumerate() {
+            let vs = &members[pair[0]..pair[1]];
+            for w in vs.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(InvalidIndex(format!(
+                        "subgraph {rank} members must be strictly ascending"
+                    )));
+                }
+            }
+            if vs.last().is_some_and(|&v| v as usize >= n) {
+                return Err(InvalidIndex(format!(
+                    "subgraph {rank} has a member outside 0..{n}"
+                )));
+            }
+        }
+        let mut densities = Vec::with_capacity(count);
+        for (rank, (&num, &den)) in density_num.iter().zip(&density_den).enumerate() {
+            if num <= 0 || den <= 0 {
+                return Err(InvalidIndex(format!(
+                    "subgraph {rank} density {num}/{den} is not positive"
+                )));
+            }
+            let r = Ratio::new(num, den);
+            if (r.num(), r.den()) != (num, den) {
+                return Err(InvalidIndex(format!(
+                    "subgraph {rank} density {num}/{den} is not in lowest terms"
+                )));
+            }
+            if let Some(&prev) = densities.last() {
+                if r > prev {
+                    return Err(InvalidIndex(format!(
+                        "densities must be non-increasing (rank {rank} rose to {r})"
+                    )));
+                }
+            }
+            densities.push(r);
+        }
+        let rank_of = derive_rank_table(n, &offsets, &members)
+            .ok_or_else(|| InvalidIndex("subgraphs overlap — LhCDSes are disjoint".into()))?;
+        Ok(DecompositionIndex {
+            h,
+            k_max,
+            n,
+            offsets,
+            members,
+            densities,
+            clique_counts,
+            rank_of,
+        })
+    }
+}
+
+/// Builds the vertex → rank table; `None` if two subgraphs overlap.
+fn derive_rank_table(n: usize, offsets: &[usize], members: &[VertexId]) -> Option<Vec<u32>> {
+    let mut rank_of = vec![NO_RANK; n];
+    for (rank, pair) in offsets.windows(2).enumerate() {
+        for &v in &members[pair[0]..pair[1]] {
+            let slot = rank_of.get_mut(v as usize)?;
+            if *slot != NO_RANK {
+                return None;
+            }
+            *slot = rank as u32;
+        }
+    }
+    Some(rank_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_graph::GraphBuilder;
+
+    fn complete_on(b: &mut GraphBuilder, vs: &[u32]) {
+        for i in 0..vs.len() {
+            for j in i + 1..vs.len() {
+                b.add_edge(vs[i], vs[j]);
+            }
+        }
+    }
+
+    fn k5_k4_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        b.add_edge(8, 9).add_edge(9, 10);
+        b.build()
+    }
+
+    #[test]
+    fn index_matches_fresh_runs_for_every_k_in_range() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        assert_eq!(idx.len(), 2);
+        for k in 1..=idx.k_max() {
+            let fresh = top_k_lhcds(&g, 3, k, &IppvConfig::default());
+            let served = idx.top_k(k).unwrap();
+            assert_eq!(served.len(), fresh.subgraphs.len(), "k={k}");
+            for (a, b) in served.iter().zip(&fresh.subgraphs) {
+                assert_eq!(a.vertices, &b.vertices[..]);
+                assert_eq!(a.density, b.density);
+                assert_eq!(a.clique_count, b.clique_count);
+            }
+        }
+    }
+
+    #[test]
+    fn membership_and_density_lookups() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        for v in 0..5u32 {
+            assert_eq!(idx.density_of(v), Some(Ratio::from_int(2)), "K5 vertex {v}");
+            assert_eq!(idx.membership(v).unwrap().rank, 1);
+        }
+        for v in 5..9u32 {
+            assert_eq!(idx.density_of(v), Some(Ratio::from_int(1)), "K4 vertex {v}");
+            assert_eq!(idx.membership(v).unwrap().rank, 2);
+            assert_eq!(idx.membership(v).unwrap().vertices, &[5, 6, 7, 8]);
+        }
+        for v in 9..11u32 {
+            assert!(idx.density_of(v).is_none(), "path vertex {v}");
+            assert!(idx.membership(v).is_none());
+        }
+        // out of range is a protocol error, not a panic
+        assert!(matches!(
+            idx.membership_checked(11),
+            Err(QueryError::VertexOutOfRange { vertex: 11, n: 11 })
+        ));
+        assert!(idx.membership_checked(9).unwrap().is_none());
+        assert!(idx.membership_checked(0).unwrap().is_some());
+    }
+
+    #[test]
+    fn query_range_is_enforced() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(
+            &g,
+            3,
+            &IndexConfig {
+                k_max: 4,
+                ..IndexConfig::default()
+            },
+        );
+        assert!(idx.top_k(4).is_ok());
+        assert_eq!(
+            idx.top_k(5),
+            Err(QueryError::KOutOfRange { k: 5, k_max: 4 })
+        );
+        assert_eq!(idx.top_k(0), Err(QueryError::KZero));
+        // k beyond the decomposition size (but in range) returns all
+        assert_eq!(idx.top_k(4).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn queries_are_flow_free() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        let before = lhcds_flow::max_flow_invocations();
+        for _ in 0..3 {
+            let _ = idx.top_k(idx.k_max());
+            for v in 0..g.n() as u32 {
+                let _ = idx.density_of(v);
+                let _ = idx.membership(v);
+            }
+        }
+        assert_eq!(
+            lhcds_flow::max_flow_invocations(),
+            before,
+            "index queries must never run a max-flow"
+        );
+    }
+
+    #[test]
+    fn parts_round_trip_is_identity() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        let back = DecompositionIndex::try_from_parts(idx.as_parts()).unwrap();
+        assert_eq!(back, idx);
+        // and the parts themselves are stable
+        assert_eq!(back.as_parts(), idx.as_parts());
+    }
+
+    #[test]
+    fn try_from_parts_rejects_corruption() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        let good = idx.as_parts();
+
+        let mut p = good.clone();
+        p.members[0] = p.members[1]; // non-ascending
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.members[5] = 0; // overlap with subgraph 0 (and unsorted)
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.offsets[1] = p.offsets[0]; // empty subgraph
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.density_num[1] = p.density_num[0] + 100; // density rises
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.density_num[0] = 4;
+        p.density_den[0] = 2; // 4/2 not in lowest terms
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.density_den[0] = 0;
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.n = 6; // members out of the shrunken range
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.clique_counts.pop(); // parallel array mismatch
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good.clone();
+        p.h = 1;
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+
+        let mut p = good;
+        p.offsets.clear();
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+    }
+
+    #[test]
+    fn empty_decomposition_is_servable() {
+        // star: no triangle → empty index that still answers queries
+        let g = CsrGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        assert!(idx.is_empty());
+        assert!(idx.top_k(3).unwrap().is_empty());
+        assert!(idx.density_of(0).is_none());
+        let back = DecompositionIndex::try_from_parts(idx.as_parts()).unwrap();
+        assert_eq!(back, idx);
+    }
+
+    #[test]
+    fn h2_index_works() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3]);
+        b.add_edge(4, 5).add_edge(5, 6).add_edge(6, 4);
+        let g = b.build();
+        let idx = DecompositionIndex::build(&g, 2, &IndexConfig::default());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.top_k(1).unwrap()[0].density, Ratio::new(6, 4));
+        assert_eq!(idx.density_of(4), Some(Ratio::from_int(1)));
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`verify`] | §4.4 — basic (Alg. 4) and fast (Alg. 5) LhCDS verification |
 //! | [`pipeline`] | §4.5 — Algorithm 6, the exact top-k driver |
 //! | [`density`] | §5.1 — exact dense decomposition / compact numbers via marginal-density cuts |
+//! | [`index`] | servable decomposition index — compute once, query many (flow-free reads) |
 //! | [`bruteforce`] | Definition-level oracle for small graphs (test anchor) |
 //!
 //! ## Quick start
@@ -57,12 +58,14 @@ pub mod compact;
 pub mod cp;
 pub mod decompose;
 pub mod density;
+pub mod index;
 pub mod pipeline;
 pub mod prune;
 pub mod stable;
 pub mod verify;
 
 pub use bounds::{initialize_bounds, Bounds};
+pub use index::{DecompositionIndex, IndexConfig, QueryError, SubgraphView};
 pub use pipeline::{top_k_lhcds, IppvConfig, IppvResult, IppvStats, Lhcds};
 // The exact-rational density currency of the whole pipeline. Re-exported so
 // higher layers (patterns, baselines, the facade's consumers) never need a

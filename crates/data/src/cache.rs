@@ -221,28 +221,44 @@ pub fn cache_path_for(source: &Path) -> PathBuf {
     source.with_file_name(name)
 }
 
-/// FNV-1a 64-bit running checksum.
+/// FNV-1a 64-bit running checksum (shared with the `LHCDSIDX` sibling
+/// format in [`crate::index_cache`]).
 #[derive(Debug, Clone, Copy)]
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(Self::OFFSET)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
     }
+}
+
+/// Returns a tmp path next to `path` that no other writer — in this
+/// process or another — is using. The process id alone is not enough:
+/// two *threads* racing [`write_cache`] on the same target would share
+/// a pid, interleave writes into one tmp file, and the first rename
+/// could publish the other thread's half-written bytes. A process-wide
+/// counter disambiguates threads; the pid disambiguates processes.
+pub(crate) fn unique_tmp_path(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(format!(".tmp{}.{}", std::process::id(), seq));
+    PathBuf::from(tmp)
 }
 
 fn payload_bytes(g: &RemappedGraph) -> Vec<u8> {
@@ -267,18 +283,17 @@ fn payload_bytes(g: &RemappedGraph) -> Vec<u8> {
 /// was parsed from ([`SourceStamp::UNKNOWN`] when there is none);
 /// [`load_or_build`] uses it to detect a replaced or edited source.
 ///
-/// The snapshot is written to a process-unique temporary file and
-/// renamed into place, so concurrent writers (two processes caching the
-/// same graph) or a crash mid-write can never publish a torn file at
-/// `path` — the last completed rename wins.
+/// The snapshot is written to a writer-unique temporary file (pid +
+/// process-wide sequence number) and renamed into place, so concurrent writers
+/// — other processes *or* other threads of this one — and crashes
+/// mid-write can never publish a torn file at `path`: the last
+/// completed rename wins, and every completed rename is a whole file.
 pub fn write_cache(path: &Path, g: &RemappedGraph, source: SourceStamp) -> Result<(), CacheError> {
     let payload = payload_bytes(g);
     let mut checksum = Fnv1a::new();
     checksum.update(&payload);
 
-    let mut tmp = path.as_os_str().to_os_string();
-    tmp.push(format!(".tmp{}", std::process::id()));
-    let tmp = PathBuf::from(tmp);
+    let tmp = unique_tmp_path(path);
     let write = || -> Result<(), CacheError> {
         let mut w = BufWriter::new(File::create(&tmp)?);
         w.write_all(CACHE_MAGIC)?;
@@ -300,13 +315,13 @@ pub fn write_cache(path: &Path, g: &RemappedGraph, source: SourceStamp) -> Resul
     })
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CacheError> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32, CacheError> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, CacheError> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, CacheError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))

@@ -1,0 +1,586 @@
+//! Binary on-disk cache of decomposition indexes (`LHCDSIDX`).
+//!
+//! A [`DecompositionIndex`] is far more expensive to build than to
+//! store: construction runs the full IPPV pipeline, while the frozen
+//! index is a handful of flat arrays. This module persists it next to
+//! the graph's own `LHCDSCSR` snapshot with the exact same lifecycle —
+//! versioned magic, FNV-1a checksum, header-implied-size check before
+//! any allocation, source length+mtime staleness guard, and atomic
+//! tmp-file + rename publication — so a daemon restart serves queries
+//! after one sequential binary read instead of a pipeline re-run.
+//!
+//! # File format (version 1, little-endian)
+//!
+//! ```text
+//! magic            8 bytes   b"LHCDSIDX"
+//! version          u32       1
+//! h                u32       clique size the index answers for
+//! k_max            u64       configured serving cap
+//! n                u64       vertex count of the indexed graph
+//! count            u64       number of subgraphs
+//! member_count     u64       total members across all subgraphs
+//! source_len       u64       byte length of the source text at build time
+//! source_mtime     u64       source mtime (ns since epoch, truncated)
+//! checksum         u64       FNV-1a 64 over the payload bytes
+//! payload:
+//!   offsets        (count+1) × u64
+//!   members        member_count × u32
+//!   density_num    count × i128
+//!   density_den    count × i128
+//!   clique_counts  count × u64
+//! ```
+//!
+//! The per-vertex rank table is *not* stored — it is derived from the
+//! member slab on load (`DecompositionIndex::try_from_parts`), so a
+//! cache file can never smuggle in an inconsistent one. Everything the
+//! checksum does not catch, the structural re-validation in
+//! `try_from_parts` does.
+//!
+//! ```
+//! use lhcds_data::index_cache::{load_or_build_index, IndexBuildOptions};
+//! use lhcds_data::ingest::EdgeListFormat;
+//! use lhcds_data::CacheStatus;
+//!
+//! let dir = std::env::temp_dir().join("lhcds_idx_doc");
+//! std::fs::remove_dir_all(&dir).ok();
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let src = dir.join("tiny.txt");
+//! std::fs::write(&src, "0 1\n1 2\n2 0\n").unwrap();
+//!
+//! let opts = IndexBuildOptions::default();
+//! let (_, idx1, s1) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+//! let (_, idx2, s2) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+//! assert_eq!(s1.index, CacheStatus::Built);
+//! assert_eq!(s2.index, CacheStatus::Hit);
+//! assert_eq!(idx1, idx2); // identical index either way
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::cache::{
+    load_or_build, read_u32, read_u64, unique_tmp_path, CacheError, CacheStatus, SourceStamp,
+};
+use crate::ingest::EdgeListFormat;
+use lhcds_core::index::{DecompositionIndex, IndexConfig, IndexParts};
+use lhcds_graph::{GraphError, RemappedGraph};
+
+/// First 8 bytes of every index cache file.
+pub const INDEX_MAGIC: &[u8; 8] = b"LHCDSIDX";
+/// Current index cache format version.
+pub const INDEX_VERSION: u32 = 1;
+
+/// Total header size: magic + two `u32` + six `u64` fields + checksum.
+const HEADER_LEN: u64 = 8 + 4 + 4 + 8 * 7;
+
+/// Construction options forwarded to [`DecompositionIndex::build`].
+#[derive(Debug, Clone, Default)]
+pub struct IndexBuildOptions {
+    /// Index configuration (serving cap + pipeline knobs).
+    pub config: IndexConfig,
+    /// Explicit index cache path (`None`: [`index_path_for`]).
+    pub cache_path: Option<PathBuf>,
+    /// Bypass the graph's own CSR cache when parsing the source.
+    pub no_graph_cache: bool,
+}
+
+/// How each layer of [`load_or_build_index`] obtained its artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexLoadStatus {
+    /// The CSR graph cache outcome.
+    pub graph: CacheStatus,
+    /// The decomposition index cache outcome.
+    pub index: CacheStatus,
+}
+
+/// Default index cache location for a source file and clique size:
+/// the source path with `.h{h}.lhcdsidx` appended
+/// (`web-Stanford.txt` → `web-Stanford.txt.h3.lhcdsidx`), one file per
+/// `(graph, h)` key.
+pub fn index_path_for(source: &Path, h: usize) -> PathBuf {
+    let mut name = source
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".h{h}.lhcdsidx"));
+    source.with_file_name(name)
+}
+
+fn payload_bytes(parts: &IndexParts) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        parts.offsets.len() * 8
+            + parts.members.len() * 4
+            + parts.density_num.len() * 32
+            + parts.clique_counts.len() * 8,
+    );
+    for &o in &parts.offsets {
+        out.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    for &v in &parts.members {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &x in &parts.density_num {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for &x in &parts.density_den {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for &c in &parts.clique_counts {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out
+}
+
+/// Writes an index snapshot of `idx` to `path` (atomic tmp + rename,
+/// same discipline as [`crate::cache::write_cache`]).
+pub fn write_index(
+    path: &Path,
+    idx: &DecompositionIndex,
+    source: SourceStamp,
+) -> Result<(), CacheError> {
+    let parts = idx.as_parts();
+    let payload = payload_bytes(&parts);
+    let mut checksum = crate::cache::Fnv1a::new();
+    checksum.update(&payload);
+
+    let tmp = unique_tmp_path(path);
+    let write = || -> Result<(), CacheError> {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(INDEX_MAGIC)?;
+        w.write_all(&INDEX_VERSION.to_le_bytes())?;
+        w.write_all(&(parts.h as u32).to_le_bytes())?;
+        w.write_all(&(parts.k_max as u64).to_le_bytes())?;
+        w.write_all(&(parts.n as u64).to_le_bytes())?;
+        w.write_all(&(parts.clique_counts.len() as u64).to_le_bytes())?;
+        w.write_all(&(parts.members.len() as u64).to_le_bytes())?;
+        w.write_all(&source.len.to_le_bytes())?;
+        w.write_all(&source.mtime_ns.to_le_bytes())?;
+        w.write_all(&checksum.finish().to_le_bytes())?;
+        w.write_all(&payload)?;
+        w.flush()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    };
+    write().inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
+}
+
+/// A loaded index snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedIndex {
+    /// The revalidated index.
+    pub index: DecompositionIndex,
+    /// Length + mtime of the source text when the snapshot was written.
+    pub source: SourceStamp,
+}
+
+/// Loads an index snapshot, verifying magic, version, payload size
+/// (before any allocation), checksum, and every structural invariant
+/// (via `DecompositionIndex::try_from_parts`).
+pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != INDEX_MAGIC {
+        return Err(CacheError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != INDEX_VERSION {
+        return Err(CacheError::UnsupportedVersion(version));
+    }
+    let h = read_u32(&mut r)?;
+    let k_max = read_u64(&mut r)?;
+    let n = read_u64(&mut r)?;
+    let count64 = read_u64(&mut r)?;
+    let member_count64 = read_u64(&mut r)?;
+    let source_len = read_u64(&mut r)?;
+    let source_mtime = read_u64(&mut r)?;
+    let expected_checksum = read_u64(&mut r)?;
+
+    // Header-implied payload size vs actual file size, in u128, BEFORE
+    // any allocation — same anti-OOM discipline as the CSR cache.
+    let implied: u128 = (u128::from(count64) + 1) * 8
+        + u128::from(member_count64) * 4
+        + u128::from(count64) * 32
+        + u128::from(count64) * 8;
+    let available = file_len.saturating_sub(HEADER_LEN);
+    if implied != u128::from(available) {
+        return Err(CacheError::SizeMismatch {
+            expected: implied,
+            actual: available,
+        });
+    }
+    let (count, member_count) = (count64 as usize, member_count64 as usize);
+    let mut payload = vec![0u8; implied as usize];
+    r.read_exact(&mut payload)?;
+
+    let mut checksum = crate::cache::Fnv1a::new();
+    checksum.update(&payload);
+    let actual = checksum.finish();
+    if actual != expected_checksum {
+        return Err(CacheError::ChecksumMismatch {
+            expected: expected_checksum,
+            actual,
+        });
+    }
+
+    let mut at = 0usize;
+    let mut take = |len: usize| {
+        let s = &payload[at..at + len];
+        at += len;
+        s
+    };
+    let offsets: Vec<usize> = take((count + 1) * 8)
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
+        .collect();
+    let members: Vec<u32> = take(member_count * 4)
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    let density_num: Vec<i128> = take(count * 16)
+        .chunks_exact(16)
+        .map(|c| i128::from_le_bytes(c.try_into().expect("16-byte chunk")))
+        .collect();
+    let density_den: Vec<i128> = take(count * 16)
+        .chunks_exact(16)
+        .map(|c| i128::from_le_bytes(c.try_into().expect("16-byte chunk")))
+        .collect();
+    let clique_counts: Vec<u64> = take(count * 8)
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+
+    let index = DecompositionIndex::try_from_parts(IndexParts {
+        h: h as usize,
+        k_max: k_max as usize,
+        n: n as usize,
+        offsets,
+        members,
+        density_num,
+        density_den,
+        clique_counts,
+    })
+    .map_err(|e| CacheError::Graph(GraphError::InvalidCsr(e.0)))?;
+    Ok(CachedIndex {
+        index,
+        source: SourceStamp {
+            len: source_len,
+            mtime_ns: source_mtime,
+        },
+    })
+}
+
+/// Loads or builds the decomposition index for an **already-loaded**
+/// graph. This is the per-`h` half of [`load_or_build_index`]: callers
+/// serving several clique sizes (`lhcds serve --h 2,3,4`) load the
+/// graph once and call this once per `h` instead of re-reading a
+/// multi-gigabyte CSR snapshot for every index.
+///
+/// The index snapshot is keyed on the source's stamp and `h` (the `h`
+/// lives in the file name, see [`index_path_for`]). A fresh, valid
+/// snapshot with a serving cap of at least `config.k_max` is a
+/// [`CacheStatus::Hit`] — clamped down to the *requested* cap, so a
+/// wider previously-persisted index never overrides the operator's
+/// configured `k_max`. A stale, corrupt, version-skewed, wrong-`h`, or
+/// under-capped snapshot is rebuilt ([`CacheStatus::Rebuilt`]); an
+/// unwritable cache degrades to [`CacheStatus::Uncached`], exactly
+/// like the CSR layer.
+pub fn build_or_load_index_for(
+    source: &Path,
+    remapped: &RemappedGraph,
+    h: usize,
+    opts: &IndexBuildOptions,
+) -> Result<(DecompositionIndex, CacheStatus), CacheError> {
+    let stamp = SourceStamp::of(source)?;
+    let index_path = opts
+        .cache_path
+        .clone()
+        .unwrap_or_else(|| index_path_for(source, h));
+    let mut index_status = CacheStatus::Built;
+    if index_path.exists() {
+        match read_index(&index_path) {
+            Ok(cached)
+                if cached.source == stamp
+                    && cached.index.h() == h
+                    && cached.index.n() == remapped.graph.n()
+                    && cached.index.k_max() >= opts.config.k_max =>
+            {
+                let mut index = cached.index;
+                index.clamp_k_max(opts.config.k_max);
+                return Ok((index, CacheStatus::Hit));
+            }
+            // stale, damaged, or built for different parameters: rebuild
+            Ok(_) | Err(_) => index_status = CacheStatus::Rebuilt,
+        }
+    }
+
+    let index = DecompositionIndex::build(&remapped.graph, h, &opts.config);
+    if write_index(&index_path, &index, stamp).is_err() {
+        index_status = CacheStatus::Uncached;
+    }
+    Ok((index, index_status))
+}
+
+/// Loads a source graph *and* its decomposition index through both
+/// cache layers.
+///
+/// The graph goes through [`load_or_build`] (unless
+/// [`IndexBuildOptions::no_graph_cache`]); the index half is
+/// [`build_or_load_index_for`] — see there for the Hit/Built/Rebuilt/
+/// Uncached lifecycle and the `k_max` clamping contract.
+pub fn load_or_build_index(
+    source: &Path,
+    format: EdgeListFormat,
+    h: usize,
+    opts: &IndexBuildOptions,
+) -> Result<(RemappedGraph, DecompositionIndex, IndexLoadStatus), CacheError> {
+    let (remapped, graph_status) = if opts.no_graph_cache {
+        (
+            crate::ingest::read_graph_file(source, format)?,
+            CacheStatus::Uncached,
+        )
+    } else {
+        load_or_build(source, format, None)?
+    };
+    let (index, index_status) = build_or_load_index_for(source, &remapped, h, opts)?;
+    Ok((
+        remapped,
+        index,
+        IndexLoadStatus {
+            graph: graph_status,
+            index: index_status,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("lhcds_idx_unit").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Two triangles separated by a 2-vertex path — two LhCDSes at 1/3
+    /// (a direct bridge would merge them into one compact union).
+    const TWO_TRIANGLES: &str = "0 1\n1 2\n2 0\n2 3\n3 4\n4 5\n5 6\n6 7\n7 5\n";
+
+    #[test]
+    fn index_path_encodes_h() {
+        assert_eq!(
+            index_path_for(Path::new("/data/web.txt"), 3),
+            PathBuf::from("/data/web.txt.h3.lhcdsidx")
+        );
+        assert_ne!(
+            index_path_for(Path::new("g.txt"), 3),
+            index_path_for(Path::new("g.txt"), 4)
+        );
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let dir = tmp("round_trip");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions::default();
+
+        let (_, idx, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st.index, CacheStatus::Built);
+        assert_eq!(idx.len(), 2);
+
+        let path = index_path_for(&src, 3);
+        let bytes1 = std::fs::read(&path).unwrap();
+
+        // reload → identical index, and re-persisting it reproduces the
+        // file byte for byte
+        let cached = read_index(&path).unwrap();
+        assert_eq!(cached.index, idx);
+        let again = dir.join("again.lhcdsidx");
+        write_index(&again, &cached.index, cached.source).unwrap();
+        assert_eq!(bytes1, std::fs::read(&again).unwrap(), "byte-identical");
+
+        let (_, idx2, st2) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st2.index, CacheStatus::Hit);
+        assert_eq!(idx2, idx);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_and_corrupt_snapshots_are_rebuilt() {
+        let dir = tmp("lifecycle");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions::default();
+
+        let (_, _, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st.index, CacheStatus::Built);
+
+        // source grows (append a disjoint K4): stale snapshot rebuilt
+        std::fs::write(
+            &src,
+            format!("{TWO_TRIANGLES}8 9\n8 10\n8 11\n9 10\n9 11\n10 11\n"),
+        )
+        .unwrap();
+        let (_, idx, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st.index, CacheStatus::Rebuilt);
+        assert_eq!(idx.len(), 3); // the K4 now leads at density 1
+        let (_, _, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st.index, CacheStatus::Hit);
+
+        // corrupt one payload byte: checksum rejects, loader rebuilds
+        let path = index_path_for(&src, 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            read_index(&path),
+            Err(CacheError::ChecksumMismatch { .. })
+        ));
+        let (_, idx2, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st.index, CacheStatus::Rebuilt);
+        assert_eq!(idx2, idx);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_version_and_size_are_rejected() {
+        let dir = tmp("reject");
+        let path = dir.join("x.lhcdsidx");
+        std::fs::write(&path, b"LHCDSCSR________").unwrap();
+        assert!(matches!(read_index(&path), Err(CacheError::BadMagic)));
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(INDEX_MAGIC);
+        bytes.extend_from_slice(&9u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_index(&path),
+            Err(CacheError::UnsupportedVersion(9))
+        ));
+
+        // absurd count: implied payload in the petabytes must be caught
+        // before any allocation
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(INDEX_MAGIC);
+        bytes.extend_from_slice(&INDEX_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // h
+        bytes.extend_from_slice(&8u64.to_le_bytes()); // k_max
+        bytes.extend_from_slice(&10u64.to_le_bytes()); // n
+        bytes.extend_from_slice(&(1u64 << 50).to_le_bytes()); // count
+        bytes.extend_from_slice(&[0u8; 32]); // rest of header
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_index(&path),
+            Err(CacheError::SizeMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn semantic_garbage_survives_checksum_but_not_validation() {
+        // a payload that checksums fine but encodes overlapping
+        // subgraphs must be rejected by the structural re-validation
+        let dir = tmp("semantic");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions::default();
+        let (_, idx, _) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+
+        let mut parts = idx.as_parts();
+        parts.members[3] = parts.members[0]; // overlap + unsorted
+                                             // bypass try_from_parts by writing the raw payload directly
+        let path = dir.join("evil.lhcdsidx");
+        let payload = payload_bytes(&parts);
+        let mut checksum = crate::cache::Fnv1a::new();
+        checksum.update(&payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(INDEX_MAGIC);
+        bytes.extend_from_slice(&INDEX_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(parts.h as u32).to_le_bytes());
+        bytes.extend_from_slice(&(parts.k_max as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.n as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.clique_counts.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.members.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&checksum.finish().to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(read_index(&path), Err(CacheError::Graph(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn under_capped_snapshot_is_rebuilt_wider() {
+        let dir = tmp("kmax");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let narrow = IndexBuildOptions {
+            config: IndexConfig {
+                k_max: 2,
+                ..IndexConfig::default()
+            },
+            ..IndexBuildOptions::default()
+        };
+        let (_, idx, _) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &narrow).unwrap();
+        assert_eq!(idx.k_max(), 2);
+
+        // a wider request cannot be served by the narrow snapshot
+        let wide = IndexBuildOptions::default();
+        let (_, idx, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &wide).unwrap();
+        assert_eq!(st.index, CacheStatus::Rebuilt);
+        assert!(idx.k_max() >= 32);
+
+        // …but the narrow request is happily served by the wide one —
+        // clamped, so the operator's configured cap is the enforced one
+        let (_, idx, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &narrow).unwrap();
+        assert_eq!(st.index, CacheStatus::Hit);
+        assert_eq!(idx.k_max(), 2, "wide snapshot must be clamped on hit");
+        assert!(idx.top_k(3).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_h_snapshots_do_not_collide() {
+        let dir = tmp("per_h");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions::default();
+        let (_, i3, s3) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        let (_, i2, s2) = load_or_build_index(&src, EdgeListFormat::Auto, 2, &opts).unwrap();
+        assert_eq!(s3.index, CacheStatus::Built);
+        assert_eq!(s2.index, CacheStatus::Built, "distinct file per h");
+        assert_eq!(i3.h(), 3);
+        assert_eq!(i2.h(), 2);
+        let (_, _, s3b) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(s3b.index, CacheStatus::Hit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_index_cache_degrades() {
+        let dir = tmp("unwritable");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions {
+            cache_path: Some(dir.join("no-such-subdir").join("g.lhcdsidx")),
+            ..IndexBuildOptions::default()
+        };
+        let (_, idx, st) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
+        assert_eq!(st.index, CacheStatus::Uncached);
+        assert_eq!(idx.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -30,6 +30,9 @@
 //! * [`cache`] — versioned, checksummed binary CSR snapshots so a
 //!   multi-gigabyte text file is parsed once and binary-loaded forever
 //!   after.
+//! * [`index_cache`] — the `LHCDSIDX` sibling format: persists a
+//!   `lhcds-core` decomposition index next to the graph snapshot, so a
+//!   query daemon restart skips the IPPV pipeline entirely.
 //! * [`manifest`] — [`manifest::DatasetRegistry`]: resolves dataset
 //!   names to local paths via a `datasets.toml` manifest, with recorded
 //!   `|V|`/`|E|` validated after every load.
@@ -54,11 +57,15 @@ pub mod builtin;
 pub mod cache;
 pub mod datasets;
 pub mod gen;
+pub mod index_cache;
 pub mod ingest;
 pub mod manifest;
 
 pub use builtin::{figure2_graph, harry_potter_like, polbooks_like, LabeledGraph};
 pub use cache::{load_or_build, CacheStatus};
 pub use datasets::{registry, Dataset, DatasetSpec};
+pub use index_cache::{
+    build_or_load_index_for, load_or_build_index, IndexBuildOptions, IndexLoadStatus,
+};
 pub use ingest::{read_graph_file, EdgeListFormat};
 pub use manifest::DatasetRegistry;

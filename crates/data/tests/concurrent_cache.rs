@@ -1,0 +1,113 @@
+//! Concurrency contract of the binary cache layers: racing writers must
+//! never publish a torn file.
+//!
+//! `write_cache`/`write_index` stage into a writer-unique tmp file and
+//! `rename(2)` into place, so any number of concurrent builders — other
+//! processes or other threads of this process — end with *some* writer's
+//! complete snapshot at the cache path. These tests race threads through
+//! `load_or_build`/`load_or_build_index` on one source and assert that
+//! every racer succeeds with the same graph and that exactly one valid,
+//! checksum-clean cache file remains (no `.tmp*` leftovers).
+
+use std::path::PathBuf;
+use std::sync::Barrier;
+
+use lhcds_data::cache::{cache_path_for, load_or_build, read_cache, CacheStatus};
+use lhcds_data::index_cache::{index_path_for, load_or_build_index, read_index, IndexBuildOptions};
+use lhcds_data::ingest::EdgeListFormat;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("lhcds_concurrent_cache")
+        .join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Files next to `src` whose names contain `.tmp` — staging leftovers.
+fn tmp_leftovers(dir: &std::path::Path) -> Vec<String> {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp"))
+        .collect()
+}
+
+#[test]
+fn racing_graph_cache_builds_all_succeed_with_one_valid_file() {
+    let dir = tmp("graph");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, "0 1\n1 2\n2 0\n2 3\n3 4\n4 5\n5 3\n").unwrap();
+
+    // several rounds to give interleavings a chance; each round starts
+    // from a cold cache
+    for round in 0..5 {
+        std::fs::remove_file(cache_path_for(&src)).ok();
+        const RACERS: usize = 4;
+        let barrier = Barrier::new(RACERS);
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    let barrier = &barrier;
+                    let src = &src;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        load_or_build(src, EdgeListFormat::Auto, None).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // every racer got the same graph, whatever path it took
+        for (g, status) in &results {
+            assert_eq!(g, &results[0].0, "round {round}");
+            assert!(
+                matches!(status, CacheStatus::Built | CacheStatus::Hit),
+                "round {round}: unexpected status {status:?}"
+            );
+        }
+        // exactly one cache file, valid and checksum-clean, no staging
+        // leftovers
+        let cached = read_cache(&cache_path_for(&src)).unwrap();
+        assert_eq!(cached.remapped, results[0].0, "round {round}");
+        assert_eq!(tmp_leftovers(&dir), Vec::<String>::new(), "round {round}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn racing_index_builds_all_succeed_with_one_valid_file() {
+    let dir = tmp("index");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, "0 1\n1 2\n2 0\n2 3\n3 4\n4 5\n5 3\n").unwrap();
+    let opts = IndexBuildOptions::default();
+
+    for round in 0..3 {
+        std::fs::remove_file(index_path_for(&src, 3)).ok();
+        const RACERS: usize = 4;
+        let barrier = Barrier::new(RACERS);
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..RACERS)
+                .map(|_| {
+                    let barrier = &barrier;
+                    let (src, opts) = (&src, &opts);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        load_or_build_index(src, EdgeListFormat::Auto, 3, opts).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (_, idx, _) in &results {
+            assert_eq!(idx, &results[0].1, "round {round}");
+        }
+        let cached = read_index(&index_path_for(&src, 3)).unwrap();
+        assert_eq!(cached.index, results[0].1, "round {round}");
+        assert_eq!(tmp_leftovers(&dir), Vec::<String>::new(), "round {round}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,6 +16,31 @@
 /// Arc identifier returned by [`Dinic::add_edge`].
 pub type ArcId = usize;
 
+/// Process-wide count of [`Dinic::max_flow`] invocations.
+///
+/// This is observability, not control flow: callers that promise a
+/// *flow-free* path (the query side of `lhcds-core`'s decomposition
+/// index, served by `lhcds-service`) prove the promise in tests by
+/// snapshotting this counter around the queried region and asserting it
+/// never moved. Relaxed ordering is enough — tests only compare values
+/// taken on the asserting thread before and after fully-joined work.
+static MAX_FLOW_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total number of max-flow solves this process has run so far.
+///
+/// ```
+/// use lhcds_flow::{max_flow_invocations, Dinic};
+///
+/// let before = max_flow_invocations();
+/// let mut net = Dinic::new(2);
+/// net.add_edge(0, 1, 3);
+/// net.max_flow(0, 1);
+/// assert!(max_flow_invocations() > before);
+/// ```
+pub fn max_flow_invocations() -> u64 {
+    MAX_FLOW_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 #[derive(Debug, Clone)]
 struct Arc {
     to: u32,
@@ -110,6 +135,7 @@ impl Dinic {
     /// Computes the maximum `s`–`t` flow. May be called once per network.
     pub fn max_flow(&mut self, s: u32, t: u32) -> i128 {
         assert_ne!(s, t, "source equals sink");
+        MAX_FLOW_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut flow = 0i128;
         while self.bfs(s, t) {
             self.iter.iter_mut().for_each(|i| *i = 0);

@@ -47,5 +47,5 @@
 pub mod dinic;
 pub mod rational;
 
-pub use dinic::Dinic;
+pub use dinic::{max_flow_invocations, Dinic};
 pub use rational::Ratio;

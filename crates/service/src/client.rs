@@ -1,0 +1,101 @@
+//! Protocol client: one-shot request/response round trips for the
+//! `lhcds query` subcommand, scripts, and tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{request_json, Request};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect, send, or receive.
+    Io(std::io::Error),
+    /// The server closed the connection without responding.
+    NoResponse,
+    /// The response line was not valid protocol JSON.
+    BadResponse(String),
+    /// The server answered with `ok:false`; code and message attached.
+    Server {
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::NoResponse => write!(f, "server closed the connection early"),
+            ClientError::BadResponse(line) => write!(f, "unparseable response: {line}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Sends one raw request line to `addr` and returns the raw response
+/// line (without the trailing newline).
+pub fn round_trip(addr: &str, line: &str, timeout: Duration) -> Result<String, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true).ok();
+    stream.write_all(line.as_bytes())?;
+    if !line.ends_with('\n') {
+        stream.write_all(b"\n")?;
+    }
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(ClientError::NoResponse);
+    }
+    Ok(response.trim_end().to_string())
+}
+
+/// Sends a typed request and unwraps the success envelope: returns the
+/// `result` value, or [`ClientError::Server`] for `ok:false`.
+pub fn query(addr: &str, req: &Request, timeout: Duration) -> Result<Json, ClientError> {
+    let line = request_json(req).render();
+    let response = round_trip(addr, &line, timeout)?;
+    let v = Json::parse(&response).map_err(|_| ClientError::BadResponse(response.clone()))?;
+    match v.get("ok").and_then(Json::as_bool) {
+        Some(true) => v
+            .get("result")
+            .cloned()
+            .ok_or(ClientError::BadResponse(response)),
+        Some(false) => {
+            let err = v.get("error");
+            let part = |name: &str| {
+                err.and_then(|e| e.get(name))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string()
+            };
+            Err(ClientError::Server {
+                code: part("code"),
+                message: part("message"),
+            })
+        }
+        None => Err(ClientError::BadResponse(response)),
+    }
+}

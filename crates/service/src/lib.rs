@@ -1,0 +1,77 @@
+//! # lhcds-service
+//!
+//! The query-serving subsystem: turns a one-shot LhCDS decomposition
+//! into a servable, persistent artifact. This is the first production
+//! layer of the ROADMAP's north star — the expensive IPPV pipeline runs
+//! once (construction), and every query after that is an `O(answer)`
+//! array read:
+//!
+//! * [`protocol`] — the newline-delimited JSON request/response
+//!   protocol (`top_k`, `density_of`, `membership`, `stats`, `ping`,
+//!   `shutdown`), plus the answer serializers shared with the CLI's
+//!   `--json` mode so batch and served answers are string-identical.
+//! * [`server`] — the daemon: `std::net::TcpListener`, a fixed worker
+//!   thread pool, an LRU of hot `(h, k)` answers, and graceful
+//!   shutdown that drains in-flight requests.
+//! * [`client`] — one-shot round trips for `lhcds query`, scripts, and
+//!   tests.
+//! * [`json`] — the minimal JSON tree/parser/serializer everything
+//!   above speaks (hand-rolled; the build is offline, so no `serde`).
+//! * [`lru`], [`signals`] — supporting pieces: the hot-answer cache
+//!   and the SIGINT/SIGTERM bridge.
+//!
+//! The indexes themselves come from below: `lhcds-core`'s
+//! `DecompositionIndex` (construction + queries), persisted through
+//! `lhcds-data`'s `LHCDSIDX` cache format. In the workspace DAG this
+//! crate depends only on `lhcds-graph` + `lhcds-core` and sits beside
+//! the data layer; the CLI wires `lhcds-data`'s persistence to this
+//! crate's server, and both reach consumers through `lhcds::service`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use std::time::Duration;
+//! use lhcds_core::index::{DecompositionIndex, IndexConfig};
+//! use lhcds_graph::CsrGraph;
+//! use lhcds_service::client;
+//! use lhcds_service::protocol::Request;
+//! use lhcds_service::server::{ServedIndexes, Server, ServeOptions};
+//!
+//! let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+//! let mut indexes = BTreeMap::new();
+//! indexes.insert(3, DecompositionIndex::build(&g, 3, &IndexConfig::default()));
+//! let served = ServedIndexes {
+//!     name: "triangle".into(),
+//!     n: g.n(),
+//!     m: g.m(),
+//!     original_ids: None,
+//!     indexes,
+//! };
+//! let server = Server::bind("127.0.0.1:0", served, &ServeOptions::default()).unwrap();
+//! let addr = server.local_addr().to_string();
+//!
+//! let result = client::query(
+//!     &addr,
+//!     &Request::TopK { h: 3, k: 1 },
+//!     Duration::from_secs(5),
+//! )
+//! .unwrap();
+//! assert_eq!(result.get("found").unwrap().as_u64(), Some(1));
+//!
+//! server.shutdown_handle().shutdown();
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod lru;
+pub mod protocol;
+pub mod server;
+pub mod signals;
+
+pub use json::Json;
+pub use protocol::{AnswerRow, ProtocolError, Request};
+pub use server::{ServeOptions, ServedIndexes, Server, ShutdownHandle};

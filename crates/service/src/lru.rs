@@ -1,0 +1,118 @@
+//! A small least-recently-used cache.
+//!
+//! Hand-rolled because the build is offline; sized for the daemon's
+//! hot-answer cache (tens of entries), so the O(capacity) eviction
+//! scan is cheaper than maintaining an intrusive list would be. Access
+//! order is tracked with a monotonic tick per entry; eviction removes
+//! the minimum tick.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A fixed-capacity LRU map.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    /// Creates a cache holding at most `capacity` entries (≥ 1).
+    pub fn new(capacity: usize) -> Lru<K, V> {
+        assert!(capacity >= 1, "LRU capacity must be at least 1");
+        Lru {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.0 = tick;
+            slot.1.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        assert_eq!(lru.get(&1), Some(10)); // refresh 1 → 2 is oldest
+        lru.insert(3, 30);
+        assert_eq!(lru.get(&2), None, "2 was evicted");
+        assert_eq!(lru.get(&1), Some(10));
+        assert_eq!(lru.get(&3), Some(30));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut lru: Lru<u32, u32> = Lru::new(2);
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        lru.insert(1, 11); // same key: no eviction
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some(11));
+        assert_eq!(lru.get(&2), Some(20));
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let mut lru: Lru<&str, u8> = Lru::new(1);
+        assert!(lru.is_empty());
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), None);
+        assert_eq!(lru.get(&"b"), Some(2));
+        assert_eq!(lru.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Lru::<u8, u8>::new(0);
+    }
+}

@@ -1,0 +1,377 @@
+//! The serve protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response per line, over any byte stream
+//! (the daemon speaks it over TCP; tests speak it over in-memory
+//! buffers). Requests are objects with an `"op"` discriminator:
+//!
+//! ```text
+//! {"op":"top_k","h":3,"k":5}
+//! {"op":"density_of","h":3,"vertex":11}
+//! {"op":"membership","h":3,"vertex":11}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"ok":true,"result":…}` or
+//! `{"ok":false,"error":{"code":…,"message":…}}`. Every malformed
+//! request maps to an error *response* — a protocol error must never
+//! tear down the connection, let alone the daemon.
+//!
+//! Vertex ids on the wire are always **original file ids** (the u64 ids
+//! of the ingested edge list); the daemon translates to and from
+//! compact ranks internally. Densities travel as the exact string
+//! (`"13/6"`) plus integer numerator/denominator — never a float.
+//!
+//! The answer serializers here ([`topk_result`], [`subgraph_json`]) are
+//! shared with the CLI's `--json` mode, so a batch `lhcds topk --json`
+//! and a served `top_k` query produce *string-identical* result
+//! objects; CI diffs the two.
+
+use crate::json::Json;
+use lhcds_core::index::{QueryError, SubgraphView};
+use lhcds_core::Ratio;
+use lhcds_graph::VertexId;
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// The k densest LhCDSes at clique size h.
+    TopK {
+        /// Clique size.
+        h: usize,
+        /// How many subgraphs.
+        k: usize,
+    },
+    /// Exact density of the LhCDS containing a vertex.
+    DensityOf {
+        /// Clique size.
+        h: usize,
+        /// Vertex, in original file ids.
+        vertex: u64,
+    },
+    /// The LhCDS containing a vertex (rank + members).
+    Membership {
+        /// Clique size.
+        h: usize,
+        /// Vertex, in original file ids.
+        vertex: u64,
+    },
+    /// Server and index statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to stop accepting and drain in-flight work.
+    Shutdown,
+}
+
+/// A protocol-level failure, rendered as an `ok:false` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable machine-readable code (`bad_request`, `unknown_op`,
+    /// `bad_h`, `bad_k`, `bad_vertex`, `shutting_down`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error with the given code and message.
+    pub fn new(code: &'static str, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<QueryError> for ProtocolError {
+    fn from(e: QueryError) -> Self {
+        let code = match e {
+            QueryError::KOutOfRange { .. } | QueryError::KZero => "bad_k",
+            QueryError::VertexOutOfRange { .. } => "bad_vertex",
+        };
+        ProtocolError::new(code, e.to_string())
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let v = Json::parse(line).map_err(|e| ProtocolError::new("bad_request", e.to_string()))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new("bad_request", "missing string field 'op'"))?;
+    let field = |name: &str| -> Result<u64, ProtocolError> {
+        v.get(name).and_then(Json::as_u64).ok_or_else(|| {
+            ProtocolError::new(
+                "bad_request",
+                format!("op '{op}' needs a non-negative integer field '{name}'"),
+            )
+        })
+    };
+    match op {
+        "top_k" => Ok(Request::TopK {
+            h: field("h")? as usize,
+            k: field("k")? as usize,
+        }),
+        "density_of" => Ok(Request::DensityOf {
+            h: field("h")? as usize,
+            vertex: field("vertex")?,
+        }),
+        "membership" => Ok(Request::Membership {
+            h: field("h")? as usize,
+            vertex: field("vertex")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtocolError::new(
+            "unknown_op",
+            format!("unknown op '{other}' (try top_k | density_of | membership | stats | ping | shutdown)"),
+        )),
+    }
+}
+
+/// Serializes a request (the client side of [`parse_request`]).
+pub fn request_json(req: &Request) -> Json {
+    match req {
+        Request::TopK { h, k } => Json::object([
+            ("op", Json::Str("top_k".into())),
+            ("h", Json::Int(*h as i128)),
+            ("k", Json::Int(*k as i128)),
+        ]),
+        Request::DensityOf { h, vertex } => Json::object([
+            ("op", Json::Str("density_of".into())),
+            ("h", Json::Int(*h as i128)),
+            ("vertex", Json::Int(*vertex as i128)),
+        ]),
+        Request::Membership { h, vertex } => Json::object([
+            ("op", Json::Str("membership".into())),
+            ("h", Json::Int(*h as i128)),
+            ("vertex", Json::Int(*vertex as i128)),
+        ]),
+        Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
+        Request::Ping => Json::object([("op", Json::Str("ping".into()))]),
+        Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
+    }
+}
+
+/// Wraps a result in the success envelope, newline-framed.
+pub fn ok_response(result: Json) -> String {
+    let mut line = Json::object([("ok", Json::Bool(true)), ("result", result)]).render();
+    line.push('\n');
+    line
+}
+
+/// Wraps an error in the failure envelope, newline-framed.
+pub fn err_response(e: &ProtocolError) -> String {
+    let mut line = Json::object([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::object([
+                ("code", Json::Str(e.code.into())),
+                ("message", Json::Str(e.message.clone())),
+            ]),
+        ),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+/// One answer row: an LhCDS as the serializers see it. Both the batch
+/// CLI (`Lhcds` values) and the index-backed server ([`SubgraphView`])
+/// convert into this.
+#[derive(Debug, Clone)]
+pub struct AnswerRow<'a> {
+    /// Member vertices, compact ranks, ascending.
+    pub vertices: &'a [VertexId],
+    /// Exact h-clique density.
+    pub density: Ratio,
+    /// Number of h-cliques inside.
+    pub clique_count: u64,
+}
+
+impl<'a> From<SubgraphView<'a>> for AnswerRow<'a> {
+    fn from(v: SubgraphView<'a>) -> Self {
+        AnswerRow {
+            vertices: v.vertices,
+            density: v.density,
+            clique_count: v.clique_count,
+        }
+    }
+}
+
+/// Serializes one subgraph. `rank` is 1-based; `ids` maps compact ranks
+/// to original file ids (identity for already-compact inputs).
+pub fn subgraph_json(rank: usize, row: &AnswerRow<'_>, ids: &dyn Fn(VertexId) -> u64) -> Json {
+    Json::object([
+        ("rank", Json::Int(rank as i128)),
+        ("density", Json::Str(row.density.to_string())),
+        ("density_num", Json::Int(row.density.num())),
+        ("density_den", Json::Int(row.density.den())),
+        ("size", Json::Int(row.vertices.len() as i128)),
+        ("instances", Json::Int(row.clique_count as i128)),
+        (
+            "vertices",
+            Json::Array(
+                row.vertices
+                    .iter()
+                    .map(|&v| Json::Int(ids(v) as i128))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes a full top-k answer — **the** shared shape between
+/// `lhcds topk --json`, `lhcds query top-k`, and the daemon.
+pub fn topk_result<'a>(
+    h: usize,
+    k: usize,
+    rows: impl IntoIterator<Item = AnswerRow<'a>>,
+    ids: &dyn Fn(VertexId) -> u64,
+) -> Json {
+    let subgraphs: Vec<Json> = rows
+        .into_iter()
+        .enumerate()
+        .map(|(i, row)| subgraph_json(i + 1, &row, ids))
+        .collect();
+    Json::object([
+        ("h", Json::Int(h as i128)),
+        ("k", Json::Int(k as i128)),
+        ("found", Json::Int(subgraphs.len() as i128)),
+        ("subgraphs", Json::Array(subgraphs)),
+    ])
+}
+
+/// Serializes a `density_of` answer (`null` density: vertex in no
+/// LhCDS).
+pub fn density_result(h: usize, vertex: u64, density: Option<Ratio>) -> Json {
+    let (d, num, den) = match density {
+        Some(r) => (
+            Json::Str(r.to_string()),
+            Json::Int(r.num()),
+            Json::Int(r.den()),
+        ),
+        None => (Json::Null, Json::Null, Json::Null),
+    };
+    Json::object([
+        ("h", Json::Int(h as i128)),
+        ("vertex", Json::Int(vertex as i128)),
+        ("density", d),
+        ("density_num", num),
+        ("density_den", den),
+    ])
+}
+
+/// Serializes a `membership` answer (`null` subgraph: vertex in no
+/// LhCDS).
+pub fn membership_result(
+    h: usize,
+    vertex: u64,
+    member_of: Option<(usize, AnswerRow<'_>)>,
+    ids: &dyn Fn(VertexId) -> u64,
+) -> Json {
+    let subgraph = match member_of {
+        Some((rank, row)) => subgraph_json(rank, &row, ids),
+        None => Json::Null,
+    };
+    Json::object([
+        ("h", Json::Int(h as i128)),
+        ("vertex", Json::Int(vertex as i128)),
+        ("subgraph", subgraph),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::TopK { h: 3, k: 5 },
+            Request::DensityOf { h: 4, vertex: 7 },
+            Request::Membership { h: 2, vertex: 0 },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = request_json(&r).render();
+            assert_eq!(parse_request(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for (line, code) in [
+            ("", "bad_request"),
+            ("not json", "bad_request"),
+            ("{}", "bad_request"),
+            (r#"{"op":42}"#, "bad_request"),
+            (r#"{"op":"frobnicate"}"#, "unknown_op"),
+            (r#"{"op":"top_k"}"#, "bad_request"),
+            (r#"{"op":"top_k","h":3}"#, "bad_request"),
+            (r#"{"op":"top_k","h":3,"k":-1}"#, "bad_request"),
+            (r#"{"op":"top_k","h":"three","k":1}"#, "bad_request"),
+            (r#"{"op":"density_of","h":3}"#, "bad_request"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, code, "{line}");
+        }
+    }
+
+    #[test]
+    fn envelopes_are_parseable_one_liners() {
+        let ok = ok_response(Json::Int(1));
+        assert!(ok.ends_with('\n') && !ok.trim_end().contains('\n'));
+        let v = Json::parse(ok.trim_end()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+
+        let err = err_response(&ProtocolError::new("bad_k", "k too big"));
+        let v = Json::parse(err.trim_end()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad_k")
+        );
+    }
+
+    #[test]
+    fn topk_result_shape() {
+        let vertices: Vec<u32> = vec![0, 1, 2];
+        let rows = vec![AnswerRow {
+            vertices: &vertices,
+            density: Ratio::new(13, 6),
+            clique_count: 13,
+        }];
+        let ids = |v: u32| u64::from(v) + 100; // a non-identity remap
+        let out = topk_result(3, 2, rows, &ids).render();
+        assert_eq!(
+            out,
+            r#"{"h":3,"k":2,"found":1,"subgraphs":[{"rank":1,"density":"13/6","density_num":13,"density_den":6,"size":3,"instances":13,"vertices":[100,101,102]}]}"#
+        );
+    }
+
+    #[test]
+    fn density_and_membership_nulls() {
+        let out = density_result(3, 9, None).render();
+        assert!(out.contains(r#""density":null"#), "{out}");
+        let out = membership_result(3, 9, None, &|v| u64::from(v)).render();
+        assert!(out.contains(r#""subgraph":null"#), "{out}");
+        let out = density_result(3, 9, Some(Ratio::new(1, 3))).render();
+        assert!(out.contains(r#""density":"1/3""#), "{out}");
+    }
+
+    #[test]
+    fn query_errors_map_to_stable_codes() {
+        let e: ProtocolError = QueryError::KZero.into();
+        assert_eq!(e.code, "bad_k");
+        let e: ProtocolError = QueryError::VertexOutOfRange { vertex: 9, n: 3 }.into();
+        assert_eq!(e.code, "bad_vertex");
+    }
+}

@@ -1,0 +1,656 @@
+//! The `lhcds` query daemon: a fixed worker-thread pool serving the
+//! NDJSON protocol over `std::net::TcpListener`.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Queries are flow-free.** The daemon owns finished
+//!    [`DecompositionIndex`]es; every request is answered from their
+//!    arrays (plus an LRU of hot serialized `top_k` answers). The IPPV
+//!    pipeline and the flow network are construction-time machinery
+//!    that never runs here.
+//! 2. **A client can never take the daemon down.** Malformed lines,
+//!    unknown ops, out-of-range parameters, over-long lines, and
+//!    disconnects map to protocol error responses or dropped
+//!    connections — the request loop has no panic path.
+//! 3. **Shutdown is graceful.** [`ShutdownHandle::shutdown`] (also
+//!    triggered by the protocol `shutdown` op and, in the CLI, by
+//!    SIGTERM/ctrl-c) stops the accept loop; workers finish every
+//!    request whose bytes have already arrived, flush the response, and
+//!    only then close. [`Server::join`] returns once all threads are
+//!    parked.
+//!
+//! Everything is `std`: no async runtime, no network crates — the
+//! build is offline by constraint, and a thread-per-connection-slot
+//! model is plenty for a read-only in-memory index (see
+//! `BENCH_serve.json`).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::lru::Lru;
+use crate::protocol::{
+    density_result, err_response, membership_result, ok_response, parse_request, topk_result,
+    AnswerRow, ProtocolError, Request,
+};
+use lhcds_core::index::DecompositionIndex;
+use lhcds_graph::VertexId;
+
+/// How often blocked loops re-check the stop flag.
+const POLL: Duration = Duration::from_millis(20);
+/// Read timeout on client sockets (bounds shutdown latency, not
+/// clients: a slow client just spans several timeouts).
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Write timeout on client sockets. A client that stops *reading*
+/// eventually fills its TCP receive window; without this bound a
+/// worker would block in `write_all` forever, never observe the stop
+/// flag, and wedge `Server::join`. On timeout the connection is
+/// dropped (the response would be torn anyway).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Longest accepted request line, in bytes.
+const MAX_LINE: usize = 1 << 20;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Fixed worker-thread count (= concurrently served connections).
+    pub workers: usize,
+    /// Capacity of the hot `(h, k)` answer cache.
+    pub lru_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            lru_capacity: 64,
+        }
+    }
+}
+
+/// The immutable data a server answers from: one graph, one index per
+/// configured clique size, and the rank ↔ original-id translation.
+#[derive(Debug, Clone)]
+pub struct ServedIndexes {
+    /// Display name of the graph (source path or "builtin").
+    pub name: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// rank → original file id; `None` = identity (already compact).
+    pub original_ids: Option<Vec<u64>>,
+    /// One finished index per served clique size.
+    pub indexes: BTreeMap<usize, DecompositionIndex>,
+}
+
+impl ServedIndexes {
+    fn display_id(&self, v: VertexId) -> u64 {
+        match &self.original_ids {
+            Some(ids) => ids[v as usize],
+            None => u64::from(v),
+        }
+    }
+
+    /// Compact rank of an original file id, if it names a vertex.
+    fn rank_of(&self, original: u64) -> Option<VertexId> {
+        match &self.original_ids {
+            Some(ids) => ids.binary_search(&original).ok().map(|r| r as VertexId),
+            None => (original < self.n as u64).then_some(original as VertexId),
+        }
+    }
+
+    fn index_for(&self, h: usize) -> Result<&DecompositionIndex, ProtocolError> {
+        self.indexes.get(&h).ok_or_else(|| {
+            ProtocolError::new(
+                "bad_h",
+                format!(
+                    "h = {h} is not served (this daemon indexes h ∈ {:?})",
+                    self.indexes.keys().collect::<Vec<_>>()
+                ),
+            )
+        })
+    }
+}
+
+/// Live counters, exposed by the `stats` op and by tests.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests answered (ok or error), across all connections.
+    pub requests: AtomicU64,
+    /// Responses answered from the hot-answer LRU.
+    pub lru_hits: AtomicU64,
+    /// `top_k` responses that had to be serialized fresh.
+    pub lru_misses: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+struct Shared {
+    served: ServedIndexes,
+    stats: ServerStats,
+    lru: Mutex<Lru<(usize, usize), Arc<String>>>,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Answers one already-framed request line. Infallible by design:
+    /// every failure becomes an error response.
+    fn respond(&self, line: &str) -> (Arc<String>, bool) {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match parse_request(line) {
+            Err(e) => (Arc::new(err_response(&e)), false),
+            Ok(Request::Ping) => (Arc::new(ok_response(Json::Str("pong".into()))), false),
+            Ok(Request::Shutdown) => (Arc::new(ok_response(Json::Str("stopping".into()))), true),
+            Ok(Request::Stats) => (Arc::new(ok_response(self.stats_json())), false),
+            Ok(Request::TopK { h, k }) => (self.top_k(h, k), false),
+            Ok(Request::DensityOf { h, vertex }) => {
+                (Arc::new(self.vertex_query(h, vertex, false)), false)
+            }
+            Ok(Request::Membership { h, vertex }) => {
+                (Arc::new(self.vertex_query(h, vertex, true)), false)
+            }
+        }
+    }
+
+    fn top_k(&self, h: usize, k: usize) -> Arc<String> {
+        if let Some(hit) = self.lru.lock().expect("lru poisoned").get(&(h, k)) {
+            self.stats.lru_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let line = match self.top_k_fresh(h, k) {
+            Ok(result) => ok_response(result),
+            Err(e) => return Arc::new(err_response(&e)),
+        };
+        self.stats.lru_misses.fetch_add(1, Ordering::Relaxed);
+        let line = Arc::new(line);
+        self.lru
+            .lock()
+            .expect("lru poisoned")
+            .insert((h, k), Arc::clone(&line));
+        line
+    }
+
+    fn top_k_fresh(&self, h: usize, k: usize) -> Result<Json, ProtocolError> {
+        let idx = self.served.index_for(h)?;
+        let views = idx.top_k(k)?;
+        let ids = |v: VertexId| self.served.display_id(v);
+        Ok(topk_result(
+            h,
+            k,
+            views.into_iter().map(AnswerRow::from),
+            &ids,
+        ))
+    }
+
+    fn vertex_query(&self, h: usize, vertex: u64, membership: bool) -> String {
+        let idx = match self.served.index_for(h) {
+            Ok(idx) => idx,
+            Err(e) => return err_response(&e),
+        };
+        let Some(rank) = self.served.rank_of(vertex) else {
+            return err_response(&ProtocolError::new(
+                "bad_vertex",
+                format!("vertex {vertex} is not a vertex of the served graph"),
+            ));
+        };
+        let ids = |v: VertexId| self.served.display_id(v);
+        if membership {
+            let found = idx
+                .membership(rank)
+                .map(|view| (view.rank, AnswerRow::from(view)));
+            ok_response(membership_result(h, vertex, found, &ids))
+        } else {
+            ok_response(density_result(h, vertex, idx.density_of(rank)))
+        }
+    }
+
+    fn stats_json(&self) -> Json {
+        let hs: Vec<Json> = self
+            .served
+            .indexes
+            .keys()
+            .map(|&h| Json::Int(h as i128))
+            .collect();
+        let decompositions: Vec<Json> = self
+            .served
+            .indexes
+            .iter()
+            .map(|(&h, idx)| {
+                Json::object([
+                    ("h", Json::Int(h as i128)),
+                    ("k_max", Json::Int(idx.k_max() as i128)),
+                    ("subgraphs", Json::Int(idx.len() as i128)),
+                ])
+            })
+            .collect();
+        let lru = self.lru.lock().expect("lru poisoned");
+        Json::object([
+            ("graph", Json::Str(self.served.name.clone())),
+            ("n", Json::Int(self.served.n as i128)),
+            ("m", Json::Int(self.served.m as i128)),
+            ("h_values", Json::Array(hs)),
+            ("indexes", Json::Array(decompositions)),
+            (
+                "requests",
+                Json::Int(self.stats.requests.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "connections",
+                Json::Int(self.stats.connections.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "lru",
+                Json::object([
+                    (
+                        "hits",
+                        Json::Int(self.stats.lru_hits.load(Ordering::Relaxed) as i128),
+                    ),
+                    (
+                        "misses",
+                        Json::Int(self.stats.lru_misses.load(Ordering::Relaxed) as i128),
+                    ),
+                    ("entries", Json::Int(lru.len() as i128)),
+                    ("capacity", Json::Int(lru.capacity() as i128)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A handle that can stop a running [`Server`] from any thread (the
+/// CLI's signal handler, tests, or the daemon itself on the `shutdown`
+/// op).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful stop: no new connections, in-flight requests
+    /// answered, then all threads exit.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running daemon. Dropping without [`Server::join`] detaches the
+/// threads; prefer `shutdown_handle().shutdown()` + `join()`.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop plus the fixed worker pool.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        served: ServedIndexes,
+        opts: &ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            served,
+            stats: ServerStats::default(),
+            lru: Mutex::new(Lru::new(opts.lru_capacity.max(1))),
+            stop: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..opts.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lhcds-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("lhcds-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &tx, &accept_shared))
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable handle that can request a graceful stop.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Whether a stop has been requested (by a handle or the protocol).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered so far (ok or error).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.stats.requests.load(Ordering::Relaxed)
+    }
+
+    /// LRU (hits, misses) so far.
+    pub fn lru_counters(&self) -> (u64, u64) {
+        (
+            self.shared.stats.lru_hits.load(Ordering::Relaxed),
+            self.shared.stats.lru_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Blocks until the server has fully stopped (all threads joined).
+    /// Call [`ShutdownHandle::shutdown`] first, or rely on the protocol
+    /// `shutdown` op / the CLI signal handler.
+    pub fn join(self) {
+        self.accept_thread.join().expect("accept thread panicked");
+        for w in self.workers {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    return; // all workers gone (only on stop)
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                std::thread::sleep(POLL);
+            }
+            // transient accept errors (e.g. a connection reset between
+            // queue and accept) must not kill the daemon
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Graceful drain: clients whose connect(2) already succeeded are
+    // sitting in the kernel backlog even though we never accept(2)ed
+    // them. Hand them to the workers too — their requests count as
+    // in-flight. The listener is non-blocking, so this terminates at
+    // WouldBlock (retrying EINTR: a signal is exactly what triggers
+    // shutdown in the CLI path, and it must not truncate the drain).
+    // Dropping `tx` afterwards is what lets the workers finish: they
+    // serve until the queue disconnects.
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        // No stop-flag check here on purpose: a worker runs until the
+        // accept thread has drained the backlog and dropped the sender
+        // (Disconnected) — that is the "in-flight requests are
+        // answered" half of graceful shutdown. Hold the lock only
+        // while polling, so workers take turns.
+        let next = rx.lock().expect("worker queue poisoned").recv_timeout(POLL);
+        match next {
+            Ok(stream) => handle_connection(stream, shared),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+enum LineOutcome {
+    Line(Vec<u8>),
+    /// EOF, I/O error, or over-long line: drop the connection.
+    Close,
+    /// Stop requested while idle between requests.
+    Stopped,
+}
+
+/// After a stop, how many read-timeout cycles a *partially received*
+/// request line is given to complete before the connection is dropped.
+/// A request only counts as in-flight once its bytes have fully
+/// arrived; without this bound, one client holding a half-written line
+/// open would park a worker forever and `Server::join` would hang.
+const STOP_GRACE_POLLS: u32 = 3;
+
+/// Reads one `\n`-framed line, polling the stop flag while idle.
+/// Bytes that have already arrived are always served before a stop is
+/// honored — that is the "in-flight requests are answered" guarantee.
+/// A partial line gets [`STOP_GRACE_POLLS`] timeouts to finish after a
+/// stop, then the connection is closed.
+fn read_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> LineOutcome {
+    let mut line: Vec<u8> = Vec::new();
+    let mut stop_polls = 0u32;
+    loop {
+        let (consumed, done) = match reader.fill_buf() {
+            Ok([]) => return LineOutcome::Close,
+            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            },
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    if line.is_empty() {
+                        return LineOutcome::Stopped;
+                    }
+                    stop_polls += 1;
+                    if stop_polls > STOP_GRACE_POLLS {
+                        return LineOutcome::Close;
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineOutcome::Close,
+        };
+        reader.consume(consumed);
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return LineOutcome::Line(line);
+        }
+        if line.len() > MAX_LINE {
+            return LineOutcome::Close;
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_line(&mut reader, &shared.stop) {
+            LineOutcome::Close | LineOutcome::Stopped => return,
+            LineOutcome::Line(raw) => {
+                if raw.iter().all(|b| b.is_ascii_whitespace()) {
+                    continue; // tolerate blank lines (interactive use)
+                }
+                let (response, is_shutdown) = match std::str::from_utf8(&raw) {
+                    Ok(line) => shared.respond(line),
+                    Err(_) => (
+                        Arc::new(err_response(&ProtocolError::new(
+                            "bad_request",
+                            "request line is not valid utf-8",
+                        ))),
+                        false,
+                    ),
+                };
+                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                    return; // client went away mid-response
+                }
+                if is_shutdown {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lhcds_core::index::{DecompositionIndex, IndexConfig};
+    use lhcds_graph::CsrGraph;
+
+    fn served() -> ServedIndexes {
+        let g = CsrGraph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 5),
+            ],
+        );
+        let mut indexes = BTreeMap::new();
+        indexes.insert(3, DecompositionIndex::build(&g, 3, &IndexConfig::default()));
+        ServedIndexes {
+            name: "unit".into(),
+            n: g.n(),
+            m: g.m(),
+            original_ids: None,
+            indexes,
+        }
+    }
+
+    fn shared() -> Shared {
+        Shared {
+            served: served(),
+            stats: ServerStats::default(),
+            lru: Mutex::new(Lru::new(4)),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    #[test]
+    fn respond_handles_every_op_and_never_panics() {
+        let s = shared();
+        for line in [
+            r#"{"op":"ping"}"#,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"top_k","h":3,"k":2}"#,
+            r#"{"op":"density_of","h":3,"vertex":0}"#,
+            r#"{"op":"membership","h":3,"vertex":4}"#,
+            "garbage",
+            r#"{"op":"top_k","h":9,"k":2}"#,
+            r#"{"op":"top_k","h":3,"k":0}"#,
+            r#"{"op":"top_k","h":3,"k":100000}"#,
+            r#"{"op":"density_of","h":3,"vertex":99}"#,
+        ] {
+            let (resp, is_shutdown) = s.respond(line);
+            assert!(!is_shutdown);
+            let v = Json::parse(resp.trim_end()).unwrap();
+            assert!(v.get("ok").is_some(), "{line}");
+        }
+        let (_, is_shutdown) = s.respond(r#"{"op":"shutdown"}"#);
+        assert!(is_shutdown);
+    }
+
+    #[test]
+    fn lru_serves_repeats_from_cache() {
+        let s = shared();
+        let (a, _) = s.respond(r#"{"op":"top_k","h":3,"k":2}"#);
+        let (b, _) = s.respond(r#"{"op":"top_k","h":3,"k":2}"#);
+        assert_eq!(a, b);
+        assert_eq!(s.stats.lru_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats.lru_hits.load(Ordering::Relaxed), 1);
+        // errors are not cached
+        let _ = s.respond(r#"{"op":"top_k","h":3,"k":0}"#);
+        assert_eq!(s.stats.lru_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn remapped_ids_translate_both_ways() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let mut indexes = BTreeMap::new();
+        indexes.insert(3, DecompositionIndex::build(&g, 3, &IndexConfig::default()));
+        let s = Shared {
+            served: ServedIndexes {
+                name: "remap".into(),
+                n: 3,
+                m: 3,
+                original_ids: Some(vec![100, 200, 300]),
+                indexes,
+            },
+            stats: ServerStats::default(),
+            lru: Mutex::new(Lru::new(4)),
+            stop: AtomicBool::new(false),
+        };
+        let (resp, _) = s.respond(r#"{"op":"membership","h":3,"vertex":200}"#);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        let sub = v.get("result").unwrap().get("subgraph").unwrap();
+        let verts: Vec<u64> = sub
+            .get("vertices")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        assert_eq!(verts, vec![100, 200, 300]);
+        // a compact rank is NOT a valid wire id when a remap exists
+        let (resp, _) = s.respond(r#"{"op":"density_of","h":3,"vertex":0}"#);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    }
+}

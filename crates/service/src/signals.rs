@@ -1,0 +1,81 @@
+//! Minimal SIGINT/SIGTERM → flag bridge for the daemon.
+//!
+//! `std` exposes no signal API and the offline build cannot add the
+//! `libc`/`ctrlc` crates, so this declares the one libc symbol it needs
+//! (`signal(2)` — std already links libc on every unix target). The
+//! handler does the only async-signal-safe thing there is to do: store
+//! into a process-global atomic. The daemon's main loop polls
+//! [`requested`] and turns it into a graceful
+//! [`crate::server::ShutdownHandle::shutdown`].
+//!
+//! On non-unix targets [`install`] is a no-op and [`requested`] stays
+//! false — the protocol `shutdown` op still works everywhere.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT (ctrl-c) or SIGTERM has arrived since [`install`].
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test/support hook: fake an incoming signal (sets the same flag the
+/// real handler sets).
+pub fn request_now() {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // The only safe thing in a signal handler: one atomic store.
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)` from libc, which std links unconditionally on
+        // unix. The return value (previous handler) is ignored.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Routes SIGINT and SIGTERM to the [`requested`] flag. Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_safe_and_flag_is_settable() {
+        install();
+        install(); // idempotent
+                   // Cannot portably raise a real signal here without taking the
+                   // whole test process down a non-deterministic path; the CLI
+                   // integration relies on the same flag via request_now().
+        assert!(!requested() || requested()); // readable either way
+        request_now();
+        assert!(requested());
+    }
+}

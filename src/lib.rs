@@ -3,10 +3,12 @@
 //! Re-exports the public API of the LhCDS workspace — exact top-k
 //! locally h-clique densest subgraph discovery (IPPV, SIGMOD 2024). The
 //! two binaries (`lhcds-cli`, `lhcds-bench`) consume everything through
-//! this crate, so the seven library crates stay an internal layering
-//! detail: `graph → {clique, flow} → core → {patterns, baselines} →
-//! data`. See the README for a guided tour, `docs/ARCHITECTURE.md` for
-//! the paper-to-module map, and `examples/` for runnable entry points.
+//! this crate, so the eight library crates stay an internal layering
+//! detail: `graph → {clique, flow} → core → {patterns, baselines,
+//! service}`, with `data` above patterns/baselines and `service`
+//! alongside it. See the README for a guided tour,
+//! `docs/ARCHITECTURE.md` for the paper-to-module map, and `examples/`
+//! for runnable entry points.
 //!
 //! # Example
 //!
@@ -31,3 +33,4 @@ pub use lhcds_data as data;
 pub use lhcds_flow as flow;
 pub use lhcds_graph as graph;
 pub use lhcds_patterns as patterns;
+pub use lhcds_service as service;
