@@ -14,7 +14,7 @@
 //! genuinely distinct communities.
 
 use lhcds_clique::CliqueSet;
-use lhcds_core::compact::{densest_decomposition, local_instance};
+use lhcds_core::compact::{local_instance, InstanceSolver};
 use lhcds_core::cp::seq_kclist_pp;
 use lhcds_core::Ratio;
 use lhcds_graph::traversal::components_within;
@@ -89,7 +89,7 @@ pub fn greedy_top_k_cds(g: &CsrGraph, h: usize, k: usize, iterations: usize) -> 
         // exact densest decomposition and replace it when it falls short.
         let local: Vec<VertexId> = (0..sub.n() as VertexId).collect();
         let (inst, map) = local_instance(&cliques, &local);
-        if let Some((rho, members)) = densest_decomposition(&inst) {
+        if let Some((rho, members)) = InstanceSolver::new(inst).densest_decomposition() {
             if rho > best {
                 chosen = map
                     .iter()

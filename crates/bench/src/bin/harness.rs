@@ -13,7 +13,7 @@
 //! `--threads N` adds `N` to the thread sweep of the `kclist`
 //! experiment.
 //!
-//! Three experiments record committed `BENCH_*.json` baselines
+//! Four experiments record committed `BENCH_*.json` baselines
 //! (directory override: `LHCDS_BENCH_DIR`), each stamped with the
 //! recording host's parallelism (`host_parallelism`,
 //! `recorded_on_single_cpu`):
@@ -24,7 +24,12 @@
 //!   graphs present via the `datasets.toml` manifest (skips gracefully
 //!   when none are downloaded, so CI stays hermetic);
 //! * `serve_qps` → `BENCH_serve.json` — query-daemon throughput and
-//!   tail latency (`lhcds-service`).
+//!   tail latency (`lhcds-service`);
+//! * `flowreuse` → `BENCH_flow.json` — parametric flow-network reuse
+//!   vs rebuild-per-probe on the decomposition ladder and the full
+//!   pipeline (wall time + networks/arcs built, max-flow invocations,
+//!   warm-start hit rate); also asserts reuse/scratch bit-identity and
+//!   the fewer-networks-than-probes contract on every run.
 
 use lhcds_bench::experiments::{all_experiments, run_experiment, ExpOptions};
 use lhcds_bench::measure::CountingAllocator;

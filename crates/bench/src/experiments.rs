@@ -76,6 +76,7 @@ pub fn all_experiments() -> &'static [&'static str] {
         "ablation",
         "kclist",
         "serve_qps",
+        "flowreuse",
     ]
 }
 
@@ -99,6 +100,7 @@ pub fn run_experiment(name: &str, opts: &ExpOptions) -> Option<String> {
         "ablation" => ablation(opts),
         "kclist" => kclist(opts),
         "serve_qps" => serve_qps(opts),
+        "flowreuse" => flowreuse(opts),
         _ => return None,
     })
 }
@@ -933,6 +935,147 @@ fn serve_qps_on(
     )
 }
 
+/// Parametric flow-network reuse A/B: the decomposition ladder (exact
+/// dense decomposition — every marginal-density probe) and a full IPPV
+/// run, with `flow_reuse` off (historical rebuild-per-probe) vs on
+/// (one warm-started network per instance). Records wall time and the
+/// flow work counters (networks/arcs built, max-flow invocations, warm
+/// vs cold solves) to `BENCH_flow.json` with the standard provenance
+/// stamp — the committed before/after anchor for flow-layer perf work.
+///
+/// Exactness is asserted, not hoped for: both modes must produce
+/// bit-identical decompositions and pipeline outputs, and the reuse
+/// path must build strictly fewer networks than it runs max-flows
+/// (the CI smoke contract).
+pub fn flowreuse(_opts: &ExpOptions) -> String {
+    let dir = std::env::var("LHCDS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    let workloads: Vec<(&str, CsrGraph, usize)> = vec![
+        ("figure2", lhcds::data::figure2_graph(), 3),
+        (
+            "planted_communities_1200",
+            lhcds::data::gen::planted_communities(
+                1200,
+                3,
+                &[(20, 0.9), (16, 0.85), (12, 0.9), (10, 0.95)],
+                0xF10,
+            ),
+            3,
+        ),
+        ("gnp_200_p20_h4", lhcds::data::gen::gnp(200, 0.2, 0xF10), 4),
+    ];
+    flowreuse_on(workloads, std::path::Path::new(&dir))
+}
+
+/// [`flowreuse`] with explicit workloads and output directory. Public
+/// for the integration test (`tests/flowreuse.rs`), which must own its
+/// process: the experiment asserts exact process-wide flow-counter
+/// relations, so it cannot share a test binary with other flow-running
+/// tests.
+pub fn flowreuse_on(workloads: Vec<(&str, CsrGraph, usize)>, out_dir: &std::path::Path) -> String {
+    use lhcds::core::density::dense_decomposition_opts;
+    use lhcds::core::flow_stats;
+
+    let mut t = MdTable::new([
+        "graph",
+        "h",
+        "mode",
+        "ladder (ms)",
+        "pipeline (ms)",
+        "max-flows",
+        "networks",
+        "arcs",
+        "warm/cold",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for (name, g, h) in &workloads {
+        let cliques = lhcds::clique::CliqueSet::enumerate(g, *h);
+        let mut outputs: Vec<(lhcds::core::density::DenseDecomposition, IppvResult)> = Vec::new();
+        for (mode, reuse) in [("scratch", false), ("reuse", true)] {
+            let cfg = IppvConfig {
+                flow_reuse: reuse,
+                ..IppvConfig::default()
+            };
+            let before = flow_stats();
+            let (decomp, ladder_ms) = time_ms(|| dense_decomposition_opts(g, &cliques, reuse));
+            let (res, pipeline_ms) = time_ms(|| {
+                lhcds::core::pipeline::top_k_with_instances(g, &cliques, usize::MAX, &cfg)
+            });
+            let d = flow_stats().since(&before);
+
+            if reuse {
+                // the tentpole contract, enforced on every run (CI
+                // smoke included): asymptotically fewer networks than
+                // ρ-probes on the reuse path
+                assert!(
+                    d.max_flow_invocations <= 1 || d.networks_built < d.max_flow_invocations,
+                    "{name}: reuse built {} networks for {} max-flows",
+                    d.networks_built,
+                    d.max_flow_invocations
+                );
+            } else {
+                assert_eq!(
+                    d.networks_built, d.max_flow_invocations,
+                    "{name}: scratch mode must rebuild per probe"
+                );
+            }
+
+            t.row([
+                name.to_string(),
+                h.to_string(),
+                mode.to_string(),
+                format!("{ladder_ms:.1}"),
+                format!("{pipeline_ms:.1}"),
+                d.max_flow_invocations.to_string(),
+                d.networks_built.to_string(),
+                d.arcs_built.to_string(),
+                format!("{}/{}", d.warm_solves, d.cold_solves),
+            ]);
+            json_rows.push(format!(
+                "    {{\"graph\": \"{name}\", \"n\": {}, \"m\": {}, \"h\": {h}, \
+                 \"mode\": \"{mode}\", \"ladder_wall_ms\": {ladder_ms:.3}, \
+                 \"pipeline_wall_ms\": {pipeline_ms:.3}, \
+                 \"max_flow_invocations\": {}, \"networks_built\": {}, \
+                 \"arcs_built\": {}, \"warm_solves\": {}, \"cold_solves\": {}, \
+                 \"warm_hit_rate\": {:.4}}}",
+                g.n(),
+                g.m(),
+                d.max_flow_invocations,
+                d.networks_built,
+                d.arcs_built,
+                d.warm_solves,
+                d.cold_solves,
+                d.warm_hit_rate(),
+            ));
+            outputs.push((decomp, res));
+        }
+        // bit-identity across modes: levels, compact numbers, pipeline
+        let (scratch, reuse) = (&outputs[0], &outputs[1]);
+        assert_eq!(scratch.0.levels, reuse.0.levels, "{name}: ladder diverged");
+        assert_eq!(scratch.0.phi, reuse.0.phi, "{name}: φ diverged");
+        assert_eq!(
+            scratch.1.subgraphs, reuse.1.subgraphs,
+            "{name}: pipeline diverged"
+        );
+    }
+
+    let provenance = BenchProvenance::detect();
+    let json = format!(
+        "{{\n  \"experiment\": \"flowreuse\",\n  {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        provenance.json_fields(),
+        json_rows.join(",\n")
+    );
+    let path = out_dir.join("BENCH_flow.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("baseline recorded to `{}`", path.display()),
+        Err(e) => format!("could not write `{}`: {e}", path.display()),
+    };
+    format!(
+        "## flowreuse — parametric network reuse vs rebuild-per-probe (host parallelism: {})\n\n{}\n{note}\n",
+        provenance.host_parallelism,
+        t.render()
+    )
+}
+
 /// Ablation: fast-verifier features on/off (DESIGN.md §4).
 pub fn ablation(opts: &ExpOptions) -> String {
     let mut t = MdTable::new([
@@ -1033,7 +1176,8 @@ mod tests {
                 "fig17",
                 "ablation",
                 "kclist",
-                "serve_qps"
+                "serve_qps",
+                "flowreuse"
             ]
             .contains(name));
         }

@@ -1,0 +1,46 @@
+//! The `flowreuse` experiment end-to-end on tiny workloads.
+//!
+//! Lives in its own integration-test binary (not the lib's unit tests)
+//! because the experiment asserts exact process-wide flow-counter
+//! relations — scratch mode must build exactly one network per
+//! max-flow — which only hold when no sibling test runs flow work in
+//! the same process.
+
+use lhcds_bench::experiments::flowreuse_on;
+
+#[test]
+fn flowreuse_records_a_json_baseline_and_enforces_identity() {
+    let dir = std::env::temp_dir().join("lhcds_bench_flowreuse_test");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let tiny = vec![
+        ("figure2_tiny", lhcds::data::figure2_graph(), 3usize),
+        ("gnp_tiny_h4", lhcds::data::gen::gnp(24, 0.4, 7), 4usize),
+    ];
+    let out = flowreuse_on(tiny, &dir);
+    assert!(out.contains("baseline recorded"), "{out}");
+    assert!(out.contains("| figure2_tiny "), "{out}");
+    assert!(out.contains("| reuse "), "{out}");
+    assert!(out.contains("| scratch "), "{out}");
+    let json = std::fs::read_to_string(dir.join("BENCH_flow.json")).unwrap();
+    for key in [
+        "\"experiment\": \"flowreuse\"",
+        "\"host_parallelism\"",
+        "\"recorded_on_single_cpu\"",
+        "\"graph\": \"figure2_tiny\"",
+        "\"mode\": \"scratch\"",
+        "\"mode\": \"reuse\"",
+        "\"h\": 4",
+        "\"ladder_wall_ms\"",
+        "\"pipeline_wall_ms\"",
+        "\"max_flow_invocations\"",
+        "\"networks_built\"",
+        "\"arcs_built\"",
+        "\"warm_solves\"",
+        "\"cold_solves\"",
+        "\"warm_hit_rate\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -53,7 +53,7 @@ use lhcds::graph::io::{read_edge_list_file, write_edge_list_file};
 use lhcds::graph::CsrGraph;
 use lhcds::patterns::{top_k_lhxpds, Pattern};
 use lhcds::service::json::Json;
-use lhcds::service::protocol::{topk_result, AnswerRow, Request};
+use lhcds::service::protocol::{flow_stats_json, topk_result, AnswerRow, Request};
 use lhcds::service::server::{ServeOptions, ServedIndexes, Server};
 use lhcds::service::{client, signals};
 
@@ -271,6 +271,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         ..IppvConfig::default()
     };
 
+    let flow_before = lhcds::core::flow_stats();
     let (subgraphs, stats, eff_h) = if let Some(pname) = pattern {
         let p = parse_pattern(&pname)?;
         let res = top_k_lhxpds(g, p, k, &cfg);
@@ -322,6 +323,16 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
             stats.shortcut_accepts,
             stats.pruned_vertices,
         );
+        let flow = lhcds::core::flow_stats().since(&flow_before);
+        eprintln!(
+            "flow: {} networks built | {} max-flow solves ({} warm / {} cold, {:.0}% warm) | {} arcs",
+            flow.networks_built,
+            flow.max_flow_invocations,
+            flow.warm_solves,
+            flow.cold_solves,
+            flow.warm_hit_rate() * 100.0,
+            flow.arcs_built,
+        );
     }
     Ok(())
 }
@@ -346,6 +357,12 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
             break;
         }
     }
+    // Process-total flow counters, rendered by the same serializer the
+    // daemon's `stats` op uses — batch and served telemetry are
+    // string-identical. Graph statistics never run max-flow, so on this
+    // path every counter stays at its process-start value (zero for a
+    // one-shot CLI invocation): the flow-free contract, visible.
+    let flow = lhcds::core::flow_stats();
     if json {
         let result = Json::object([
             ("vertices", Json::Int(g.n() as i128)),
@@ -366,6 +383,7 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
                         .collect(),
                 ),
             ),
+            ("flow", flow_stats_json(&flow)),
         ]);
         println!("{}", result.render());
         return Ok(());
@@ -378,6 +396,10 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     for (hh, c) in psi {
         println!("|Psi_{hh}|:     {c}");
     }
+    println!(
+        "flow:        {} networks, {} solves ({} warm / {} cold)",
+        flow.networks_built, flow.max_flow_invocations, flow.warm_solves, flow.cold_solves
+    );
     Ok(())
 }
 

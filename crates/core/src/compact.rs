@@ -24,10 +24,27 @@
 //!   h-clique `ρ`-compact);
 //! * the maximal source side at threshold `ρ − 1/n²` is the union of
 //!   all maximal `ρ`-compact subgraphs (Theorem 5).
+//!
+//! ## Network reuse
+//! Every routine above probes the *same* network at several thresholds:
+//! the Goldberg ladder of [`InstanceSolver::densest_decomposition`],
+//! the marginal-density iteration of
+//! [`InstanceSolver::next_density_level`], and the final ε-perturbed
+//! `DeriveCompact` all share the gadget arcs and differ only in the
+//! ρ-dependent terminal capacities. [`InstanceSolver`] therefore builds
+//! **one** [`ParametricNetwork`] per instance (lazily, on the first
+//! probe) and re-tunes it between solves, warm-starting from the
+//! retained residual flow when the change is monotone. The free
+//! functions below are thin compatibility wrappers that build a
+//! throwaway solver; hot paths hold an `InstanceSolver` instead.
+//! Because minimal/maximal min-cut source sides are canonical
+//! (flow-independent) and uniform capacity scaling preserves them, the
+//! reuse path is bit-identical to rebuilding from scratch — pinned by
+//! the `flow_reuse` equivalence suites.
 
 use lhcds_clique::CliqueSet;
-use lhcds_flow::rational::{lcm, lcm_up_to};
-use lhcds_flow::{Dinic, Ratio};
+use lhcds_flow::rational::lcm_up_to;
+use lhcds_flow::{ParametricNetwork, Ratio};
 use lhcds_graph::VertexId;
 
 /// A clique of the parent graph that straddles the local universe:
@@ -140,216 +157,367 @@ pub fn local_instance(cliques: &CliqueSet, set: &[VertexId]) -> (LocalInstance, 
     )
 }
 
-/// Builds the scaled-integer flow network for threshold `rho` and runs
-/// max-flow. Returns the solver plus the `(s, t)` node ids.
+/// A [`LocalInstance`] bundled with its lazily built, reusable flow
+/// network.
 ///
-/// Node layout: `0 = s`, `1..=n` local vertices, then interior clique
-/// nodes, then boundary clique nodes, `t` last.
-fn solve_network(inst: &LocalInstance, rho: Ratio) -> (Dinic, u32, u32) {
-    solve_network_forced(inst, rho, None)
-}
-
-/// Like [`solve_network`] but pins every vertex in `forced` to the
-/// source side (marginal-density decomposition): forced vertices get an
-/// effectively infinite `s -> v` capacity, so any finite min-cut keeps
-/// them with `s` and the cut optimizes only over supersets of the
-/// forced set.
-fn solve_network_forced(
-    inst: &LocalInstance,
-    rho: Ratio,
-    forced: Option<&[bool]>,
-) -> (Dinic, u32, u32) {
-    let n = inst.n;
-    let h = inst.h as i128;
-    let fc = inst.clique_count();
-    let bc = inst.boundary.len();
-    let t = (1 + n + fc + bc) as u32;
-    let mut net = Dinic::new(t as usize + 1);
-
-    let scale = lcm(rho.den(), lcm_up_to(inst.h as u32));
-    debug_assert!(scale > 0);
-
-    // scaled per-vertex degree = D per interior clique + h·D/cnt per
-    // boundary clique
-    let mut deg = vec![0i128; n];
-
-    for (i, members) in inst.full.chunks_exact(inst.h).enumerate() {
-        let cnode = (1 + n + i) as u32;
-        for &v in members {
-            net.add_edge(v + 1, cnode, scale);
-            net.add_edge(cnode, v + 1, (h - 1) * scale);
-            deg[v as usize] += scale;
-        }
-    }
-    for (j, b) in inst.boundary.iter().enumerate() {
-        let cnt = b.inside.len() as i128;
-        debug_assert!(cnt >= 1 && cnt < h, "boundary clique must straddle");
-        let cnode = (1 + n + fc + j) as u32;
-        let incap = h * scale / cnt; // exact: cnt | lcm(1..=h) | scale
-        for &v in &b.inside {
-            net.add_edge(v + 1, cnode, incap);
-            net.add_edge(cnode, v + 1, (h - 1) * scale);
-            deg[v as usize] += incap;
-        }
-    }
-    let vt_cap = (rho * Ratio::from_int(h)).scale_to_int(scale);
-    assert!(vt_cap >= 0, "threshold must be non-negative");
-    // "infinite" = more than any finite cut can carry
-    let inf = (h * scale)
-        .saturating_mul((inst.clique_count() + inst.boundary.len() + 1) as i128)
-        .saturating_add(vt_cap.saturating_mul(n as i128 + 1))
-        .saturating_add(1);
-    for (v, &dv) in deg.iter().enumerate() {
-        let is_forced = forced.is_some_and(|f| f[v]);
-        if is_forced {
-            net.add_edge(0, v as u32 + 1, inf);
-        } else if dv > 0 {
-            net.add_edge(0, v as u32 + 1, dv);
-        }
-        net.add_edge(v as u32 + 1, t, vt_cap);
-    }
-    let flow = net.max_flow(0, t);
-    debug_assert!(flow >= 0);
-    (net, 0, t)
-}
-
-/// Minimal maximizer of `|Ψ(A)| − ρ|A|` over vertex subsets: the
-/// minimal min-cut source side. Empty iff the maximum is 0, i.e. no
-/// subgraph has h-clique density exceeding `rho`.
-pub fn max_excess_set(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
-    if inst.n == 0 {
-        return Vec::new();
-    }
-    let (net, s, _) = solve_network(inst, rho);
-    let side = net.min_cut_source_side(s);
-    (0..inst.n).map(|v| side[v + 1]).collect()
-}
-
-/// `IsDensest`: whether no subgraph of the local universe has h-clique
-/// density strictly greater than `rho`. With `rho` equal to the
-/// universe's own density this is exactly "the universe is h-clique
-/// `ρ`-compact" (connectivity checked separately by callers).
-pub fn is_densest(inst: &LocalInstance, rho: Ratio) -> bool {
-    max_excess_set(inst, rho).iter().all(|&b| !b)
-}
-
-/// `DeriveCompact(G, ρ − 1/n², P)`: membership of the union of all
-/// maximal h-clique `ρ`-compact subgraphs of the local universe
-/// (Theorem 5) — the maximal min-cut source side at the perturbed
-/// threshold.
-pub fn derive_compact(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
-    if inst.n == 0 {
-        return Vec::new();
-    }
-    let eps = Ratio::new(1, (inst.n as i128) * (inst.n as i128));
-    let thr = rho - eps;
-    let thr = if thr < Ratio::zero() {
-        Ratio::zero()
-    } else {
-        thr
-    };
-    let (net, _, t) = solve_network(inst, thr);
-    let side = net.max_cut_source_side(t);
-    (0..inst.n).map(|v| side[v + 1]).collect()
-}
-
-/// Exact densest-subgraph decomposition of the local universe by
-/// Goldberg-style iteration: returns `(ρ*, U)` where `ρ*` is the maximum
-/// h-clique density over all subsets and `U` the union of all maximal
-/// `ρ*`-compact subgraphs. `None` when the universe holds no clique.
+/// Node layout (identical to the historical per-call builder): `0 = s`,
+/// `1..=n` local vertices, then interior clique nodes, then boundary
+/// clique nodes, `t` last. Gadget arcs (`v → ψ`, `ψ → v`) are *static*
+/// — expressed once at base scale `lcm(1..=h)`; the ρ-dependent
+/// terminal arcs (`s → v`, `v → t`) and the boundary in-arcs are
+/// *parametric* and re-tuned per probe. Every probe of every method
+/// reuses the same [`ParametricNetwork`], warm-starting when the
+/// capacity change is monotone.
 ///
-/// The minimal maximizers are nested as `ρ` increases, so the iteration
-/// performs at most `n` max-flows (2–5 in practice).
-pub fn densest_decomposition(inst: &LocalInstance) -> Option<(Ratio, Vec<bool>)> {
-    if inst.n == 0 || inst.clique_count() == 0 {
-        return None;
+/// With `reuse` disabled ([`InstanceSolver::with_reuse`]) the network
+/// is rebuilt from scratch before every solve — the historical cost
+/// model, kept for the equivalence suites and the `flowreuse` bench
+/// A/B. Results are bit-identical either way.
+///
+/// The instance parameter is generic over ownership: long-lived holders
+/// (the IPPV driver's [`crate::verify::BasicVerifier`], the
+/// dense-decomposition ladder) own their `LocalInstance`, while
+/// one-shot callers (the free wrapper functions below) borrow it —
+/// neither pays a copy of the clique slab.
+#[derive(Debug, Clone)]
+pub struct InstanceSolver<I: std::borrow::Borrow<LocalInstance> = LocalInstance> {
+    inst: I,
+    reuse: bool,
+    boundary_enabled: bool,
+    net: Option<ParametricNetwork>,
+    /// Per-vertex base-scale degree from interior cliques.
+    deg_interior: Vec<i128>,
+    /// Per-vertex base-scale degree from boundary cliques.
+    deg_boundary: Vec<i128>,
+    /// Base-scale capacity of each boundary in-arc, in network order.
+    boundary_in_base: Vec<i128>,
+}
+
+impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
+    /// Wraps `inst` (owned or borrowed) with network reuse enabled
+    /// (the default).
+    pub fn new(inst: I) -> InstanceSolver<I> {
+        InstanceSolver::with_reuse(inst, true)
     }
-    let mut rho = inst.density().expect("non-empty");
-    let mut guard = 0usize;
-    loop {
-        let set = max_excess_set(inst, rho);
-        let size = set.iter().filter(|&&b| b).count();
-        if size == 0 {
-            break;
+
+    /// Wraps `inst`; with `reuse = false` every probe rebuilds the
+    /// network from scratch (the pre-parametric cost model).
+    pub fn with_reuse(inst: I, reuse: bool) -> InstanceSolver<I> {
+        let instance = inst.borrow();
+        let n = instance.n;
+        let h = instance.h as i128;
+        let base = lcm_up_to(instance.h as u32);
+        let mut deg_interior = vec![0i128; n];
+        let mut deg_boundary = vec![0i128; n];
+        let mut boundary_in_base = Vec::new();
+        for members in instance.full.chunks_exact(instance.h) {
+            for &v in members {
+                deg_interior[v as usize] += base;
+            }
         }
-        let inside = count_inside(inst, &set);
-        let denser = Ratio::new(inside as i128, size as i128);
-        debug_assert!(denser > rho, "density must strictly increase");
-        rho = denser;
-        guard += 1;
+        for b in &instance.boundary {
+            let cnt = b.inside.len() as i128;
+            debug_assert!(cnt >= 1 && cnt < h, "boundary clique must straddle");
+            let incap = h * base / cnt; // exact: cnt | lcm(1..=h)
+            for &v in &b.inside {
+                deg_boundary[v as usize] += incap;
+                boundary_in_base.push(incap);
+            }
+        }
+        InstanceSolver {
+            inst,
+            reuse,
+            boundary_enabled: true,
+            net: None,
+            deg_interior,
+            deg_boundary,
+            boundary_in_base,
+        }
+    }
+
+    /// The wrapped instance.
+    pub fn instance(&self) -> &LocalInstance {
+        self.inst.borrow()
+    }
+
+    /// Enables/disables the boundary cliques *in the shared network*
+    /// (their in-arcs drop to capacity 0 and their degree contribution
+    /// vanishes): the Figure 6 vs Figure 7 ablation on one network
+    /// instead of two — the hook behind the ISSUE's "share the instance
+    /// network across boundary-clique variants" (exercised by the
+    /// ablation-oriented tests; production pipelines keep the default).
+    /// Affects [`InstanceSolver::derive_compact`]-style probes; the
+    /// decomposition methods require the default (enabled) state so
+    /// clique counting and the network agree.
+    pub fn set_boundary_enabled(&mut self, on: bool) {
+        self.boundary_enabled = on;
+    }
+
+    /// Builds the arc structure once; capacities are installed per
+    /// solve.
+    fn build_network(inst: &LocalInstance) -> ParametricNetwork {
+        let n = inst.n;
+        let h = inst.h as i128;
+        let fc = inst.clique_count();
+        let bc = inst.boundary.len();
+        let t = (1 + n + fc + bc) as u32;
+        let base = lcm_up_to(inst.h as u32);
+        let mut pn = ParametricNetwork::new(t as usize + 1, 0, t, base);
+        // parametric arc layout: [0, n) = s→v; [n, 2n) = v→t; then the
+        // boundary in-arcs in boundary/member order
+        for v in 0..n as u32 {
+            pn.add_parametric(0, v + 1);
+        }
+        for v in 0..n as u32 {
+            pn.add_parametric(v + 1, t);
+        }
+        for (i, members) in inst.full.chunks_exact(inst.h).enumerate() {
+            let cnode = (1 + n + i) as u32;
+            for &v in members {
+                pn.add_static(v + 1, cnode, base);
+                pn.add_static(cnode, v + 1, (h - 1) * base);
+            }
+        }
+        for (j, b) in inst.boundary.iter().enumerate() {
+            let cnode = (1 + n + fc + j) as u32;
+            for &v in &b.inside {
+                pn.add_parametric(v + 1, cnode);
+                pn.add_static(cnode, v + 1, (h - 1) * base);
+            }
+        }
+        pn
+    }
+
+    /// Re-tunes the network to threshold `rho` (optionally pinning
+    /// `forced` vertices to the source side with an effectively
+    /// infinite `s → v` capacity) and solves it.
+    fn solve(&mut self, rho: Ratio, forced: Option<&[bool]>) {
+        if !self.reuse {
+            self.net = None;
+        }
+        if self.net.is_none() {
+            self.net = Some(Self::build_network(self.inst.borrow()));
+        }
+        let (n, h, gadget_nodes) = {
+            let inst = self.inst.borrow();
+            (
+                inst.n,
+                inst.h as i128,
+                (inst.clique_count() + inst.boundary.len() + 1) as i128,
+            )
+        };
+        let pn = self.net.as_mut().expect("just built");
+        let scale = pn.scale_for(rho.den());
+        let factor = scale / pn.base_scale();
+        let vt_cap = (rho * Ratio::from_int(h)).scale_to_int(scale);
+        assert!(vt_cap >= 0, "threshold must be non-negative");
+        // "infinite" = more than any finite cut can carry
+        let inf = (h * scale)
+            .saturating_mul(gadget_nodes)
+            .saturating_add(vt_cap.saturating_mul(n as i128 + 1))
+            .saturating_add(1);
+        let mut caps = Vec::with_capacity(pn.param_count());
+        for v in 0..n {
+            let dv = self.deg_interior[v]
+                + if self.boundary_enabled {
+                    self.deg_boundary[v]
+                } else {
+                    0
+                };
+            caps.push(if forced.is_some_and(|f| f[v]) {
+                inf
+            } else {
+                dv * factor
+            });
+        }
+        caps.resize(2 * n, vt_cap);
+        for &incap in &self.boundary_in_base {
+            caps.push(if self.boundary_enabled {
+                incap * factor
+            } else {
+                0
+            });
+        }
+        pn.solve(scale, &caps);
+    }
+
+    fn vertex_side(&self, side: &[bool]) -> Vec<bool> {
+        (0..self.instance().n).map(|v| side[v + 1]).collect()
+    }
+
+    /// Minimal maximizer of `|Ψ(A)| − ρ|A|` over vertex subsets: the
+    /// minimal min-cut source side. Empty iff the maximum is 0, i.e. no
+    /// subgraph has h-clique density exceeding `rho`.
+    pub fn max_excess_set(&mut self, rho: Ratio) -> Vec<bool> {
+        if self.instance().n == 0 {
+            return Vec::new();
+        }
+        self.solve(rho, None);
+        let side = self.net.as_ref().expect("solved").min_cut_source_side();
+        self.vertex_side(&side)
+    }
+
+    /// `IsDensest`: whether no subgraph of the local universe has
+    /// h-clique density strictly greater than `rho`.
+    pub fn is_densest(&mut self, rho: Ratio) -> bool {
+        self.max_excess_set(rho).iter().all(|&b| !b)
+    }
+
+    /// `DeriveCompact(G, ρ − 1/n², P)`: membership of the union of all
+    /// maximal h-clique `ρ`-compact subgraphs (Theorem 5) — the maximal
+    /// min-cut source side at the perturbed threshold.
+    pub fn derive_compact(&mut self, rho: Ratio) -> Vec<bool> {
+        let n = self.instance().n;
+        if n == 0 {
+            return Vec::new();
+        }
+        let eps = Ratio::new(1, (n as i128) * (n as i128));
+        let thr = (rho - eps).max(Ratio::zero());
+        self.solve(thr, None);
+        let side = self.net.as_ref().expect("solved").max_cut_source_side();
+        self.vertex_side(&side)
+    }
+
+    /// Exact densest-subgraph decomposition of the local universe by
+    /// Goldberg-style iteration: returns `(ρ*, U)` where `ρ*` is the
+    /// maximum h-clique density over all subsets and `U` the union of
+    /// all maximal `ρ*`-compact subgraphs. `None` when the universe
+    /// holds no clique.
+    ///
+    /// The minimal maximizers are nested as `ρ` increases, so the
+    /// iteration performs at most `n` max-flows (2–5 in practice) — all
+    /// on the one retained network, warm-started while ρ climbs.
+    pub fn densest_decomposition(&mut self) -> Option<(Ratio, Vec<bool>)> {
         assert!(
-            guard <= inst.n + 2,
-            "densest-subgraph iteration failed to converge"
+            self.boundary_enabled || self.instance().boundary.is_empty(),
+            "decomposition needs the boundary cliques enabled"
         );
+        if self.instance().n == 0 || self.instance().clique_count() == 0 {
+            return None;
+        }
+        let mut rho = self.instance().density().expect("non-empty");
+        let mut guard = 0usize;
+        loop {
+            let set = self.max_excess_set(rho);
+            let size = set.iter().filter(|&&b| b).count();
+            if size == 0 {
+                break;
+            }
+            let inside = count_inside(self.instance(), &set);
+            let denser = Ratio::new(inside as i128, size as i128);
+            debug_assert!(denser > rho, "density must strictly increase");
+            rho = denser;
+            guard += 1;
+            assert!(
+                guard <= self.instance().n + 2,
+                "densest-subgraph iteration failed to converge"
+            );
+        }
+        Some((rho, self.derive_compact(rho)))
     }
-    Some((rho, derive_compact(inst, rho)))
+
+    /// Marginal-density step of the dense decomposition: given the
+    /// union `forced` of all higher levels, finds the next level — the
+    /// maximal set `A ⊇ forced` maximizing the marginal density
+    /// `(|Ψ(A)| − |Ψ(forced)|) / (|A| − |forced|)` — by Goldberg
+    /// iteration with the forced vertices pinned to the source side.
+    /// Returns the marginal density and the *new* vertices (level
+    /// members), or `None` when no vertex outside `forced` participates
+    /// in any clique gain. One retained network serves the whole ladder
+    /// across calls with growing `forced` sets.
+    pub fn next_density_level(&mut self, forced: &[bool]) -> Option<(Ratio, Vec<bool>)> {
+        assert!(
+            self.boundary_enabled || self.instance().boundary.is_empty(),
+            "decomposition needs the boundary cliques enabled"
+        );
+        let n = self.instance().n;
+        let forced_count = forced.iter().filter(|&&f| f).count();
+        if n == 0 || forced_count == n {
+            return None;
+        }
+        let base_inside = count_inside(self.instance(), forced) as i128;
+
+        // Marginal gain of the full universe; if zero, no further level.
+        let full = vec![true; n];
+        let total = count_inside(self.instance(), &full) as i128;
+        if total == base_inside {
+            return None;
+        }
+        let mut rho = Ratio::new(total - base_inside, (n - forced_count) as i128);
+
+        // Goldberg iteration on the marginal density: the minimal
+        // maximizer of |Ψ(A)| − ρ|A| over A ⊇ forced shrinks as ρ grows.
+        let mut guard = 0usize;
+        let mut best = rho;
+        loop {
+            self.solve(rho, Some(forced));
+            let side = self.net.as_ref().expect("solved").min_cut_source_side();
+            let set = self.vertex_side(&side);
+            let new_count = set
+                .iter()
+                .zip(forced)
+                .filter(|&(&inside, &f)| inside && !f)
+                .count();
+            if new_count == 0 {
+                break;
+            }
+            let inside = count_inside(self.instance(), &set) as i128;
+            let marginal = Ratio::new(inside - base_inside, new_count as i128);
+            debug_assert!(marginal >= rho);
+            if marginal == best && marginal == rho {
+                best = marginal;
+                break;
+            }
+            best = marginal;
+            rho = marginal;
+            guard += 1;
+            assert!(guard <= n + 2, "marginal-density iteration diverged");
+        }
+
+        // Largest maximizer at the final level (ε-perturbed threshold).
+        let eps = Ratio::new(1, (n as i128) * (n as i128));
+        let thr = (best - eps).max(Ratio::zero());
+        self.solve(thr, Some(forced));
+        let side = self.net.as_ref().expect("solved").max_cut_source_side();
+        let level: Vec<bool> = (0..n).map(|v| side[v + 1] && !forced[v]).collect();
+        debug_assert!(level.iter().any(|&b| b), "level must be non-empty");
+        Some((best, level))
+    }
 }
 
-/// Marginal-density step of the dense decomposition: given the union
-/// `forced` of all higher levels, finds the next level — the maximal
-/// set `A ⊇ forced` maximizing the marginal density
-/// `(|Ψ(A)| − |Ψ(forced)|) / (|A| − |forced|)` — by Goldberg iteration
-/// with the forced vertices pinned to the source side. Returns the
-/// marginal density and the *new* vertices (level members), or `None`
-/// when no vertex outside `forced` participates in any clique gain.
+/// Minimal maximizer of `|Ψ(A)| − ρ|A|` over vertex subsets (see
+/// [`InstanceSolver::max_excess_set`]). Compatibility wrapper over a
+/// throwaway borrowing solver; probe-heavy callers should hold an
+/// [`InstanceSolver`].
+pub fn max_excess_set(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
+    InstanceSolver::new(inst).max_excess_set(rho)
+}
+
+/// `IsDensest` (see [`InstanceSolver::is_densest`]). Compatibility
+/// wrapper over a throwaway solver.
+pub fn is_densest(inst: &LocalInstance, rho: Ratio) -> bool {
+    InstanceSolver::new(inst).is_densest(rho)
+}
+
+/// `DeriveCompact(G, ρ − 1/n², P)` (see
+/// [`InstanceSolver::derive_compact`]). Compatibility wrapper over a
+/// throwaway solver.
+pub fn derive_compact(inst: &LocalInstance, rho: Ratio) -> Vec<bool> {
+    InstanceSolver::new(inst).derive_compact(rho)
+}
+
+/// Exact densest-subgraph decomposition (see
+/// [`InstanceSolver::densest_decomposition`]). The wrapper still reuses
+/// one network across the whole Goldberg ladder of this call.
+pub fn densest_decomposition(inst: &LocalInstance) -> Option<(Ratio, Vec<bool>)> {
+    InstanceSolver::new(inst).densest_decomposition()
+}
+
+/// Marginal-density step (see
+/// [`InstanceSolver::next_density_level`]). Ladder-walking callers
+/// should hold an [`InstanceSolver`] so all levels share one network.
 pub fn next_density_level(inst: &LocalInstance, forced: &[bool]) -> Option<(Ratio, Vec<bool>)> {
-    let n = inst.n;
-    let forced_count = forced.iter().filter(|&&f| f).count();
-    if n == 0 || forced_count == n {
-        return None;
-    }
-    let base_inside = count_inside(inst, forced) as i128;
-
-    // Marginal gain of the full universe; if zero, no further level.
-    let full = vec![true; n];
-    let total = count_inside(inst, &full) as i128;
-    if total == base_inside {
-        return None;
-    }
-    let mut rho = Ratio::new(total - base_inside, (n - forced_count) as i128);
-
-    // Goldberg iteration on the marginal density: the minimal maximizer
-    // of |Ψ(A)| − ρ|A| over A ⊇ forced shrinks as ρ grows.
-    let mut guard = 0usize;
-    let mut best = rho;
-    loop {
-        let (net, s, _) = solve_network_forced(inst, rho, Some(forced));
-        let side = net.min_cut_source_side(s);
-        let set: Vec<bool> = (0..n).map(|v| side[v + 1]).collect();
-        let new_count = set
-            .iter()
-            .zip(forced)
-            .filter(|&(&inside, &f)| inside && !f)
-            .count();
-        if new_count == 0 {
-            break;
-        }
-        let inside = count_inside(inst, &set) as i128;
-        let marginal = Ratio::new(inside - base_inside, new_count as i128);
-        debug_assert!(marginal >= rho);
-        if marginal == best && marginal == rho {
-            best = marginal;
-            break;
-        }
-        best = marginal;
-        rho = marginal;
-        guard += 1;
-        assert!(guard <= n + 2, "marginal-density iteration diverged");
-    }
-
-    // Largest maximizer at the final level (ε-perturbed threshold).
-    let eps = Ratio::new(1, (n as i128) * (n as i128));
-    let thr = best - eps;
-    let thr = if thr < Ratio::zero() {
-        Ratio::zero()
-    } else {
-        thr
-    };
-    let (net, _, t) = solve_network_forced(inst, thr, Some(forced));
-    let side = net.max_cut_source_side(t);
-    let level: Vec<bool> = (0..n).map(|v| side[v + 1] && !forced[v]).collect();
-    debug_assert!(level.iter().any(|&b| b), "level must be non-empty");
-    Some((best, level))
+    InstanceSolver::new(inst).next_density_level(forced)
 }
 
 /// Number of interior cliques fully inside `set` plus boundary cliques
@@ -535,6 +703,75 @@ mod tests {
         let inst = instance_of(&b.build(), 3);
         let kept = derive_compact(&inst, Ratio::from_int(2));
         assert_eq!(kept, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn solver_reuse_matches_scratch_on_a_ladder() {
+        // K5 + pendant + tail: the decomposition ladder runs several
+        // probes; a single reused network must answer each identically
+        // to the rebuild-per-probe mode, and to the free wrappers.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5).add_edge(5, 6);
+        let g = b.build();
+        let cs = CliqueSet::enumerate(&g, 3);
+        let all: Vec<VertexId> = g.vertices().collect();
+        let (inst, _) = local_instance(&cs, &all);
+
+        let mut reused = InstanceSolver::new(inst.clone());
+        let a = reused.densest_decomposition().unwrap();
+        let mut scratch = InstanceSolver::with_reuse(inst.clone(), false);
+        let b2 = scratch.densest_decomposition().unwrap();
+        assert_eq!(a, b2);
+        assert_eq!(a, densest_decomposition(&inst).unwrap());
+        // (the work-counter contracts — one network per ladder, warm
+        // hits along it — live in tests/flow_reuse.rs, which owns its
+        // process so the global counters are quiet)
+
+        // per-threshold probes agree too, on yet another shared network
+        let mut probe = InstanceSolver::new(inst.clone());
+        for rho in [
+            Ratio::zero(),
+            Ratio::new(1, 3),
+            Ratio::new(10, 6),
+            Ratio::from_int(2),
+            Ratio::new(5, 2),
+        ] {
+            assert_eq!(probe.max_excess_set(rho), max_excess_set(&inst, rho));
+            assert_eq!(probe.derive_compact(rho), derive_compact(&inst, rho));
+            assert_eq!(probe.is_densest(rho), is_densest(&inst, rho));
+        }
+    }
+
+    #[test]
+    fn boundary_toggle_shares_one_network_across_variants() {
+        // An edge with one boundary triangle: with the boundary clique
+        // enabled the pair is 1/2-compact; disabled, the instance holds
+        // no clique at all and DeriveCompact keeps nothing.
+        let inst = LocalInstance {
+            n: 2,
+            h: 3,
+            full: Vec::new(),
+            boundary: vec![BoundaryClique { inside: vec![0, 1] }],
+        };
+        let mut solver = InstanceSolver::new(inst.clone());
+        assert_eq!(solver.derive_compact(Ratio::new(1, 2)), vec![true, true]);
+        solver.set_boundary_enabled(false);
+        assert_eq!(solver.derive_compact(Ratio::new(1, 2)), vec![false, false]);
+        solver.set_boundary_enabled(true);
+        assert_eq!(solver.derive_compact(Ratio::new(1, 2)), vec![true, true]);
+        // the disabled variant equals a boundary-free instance
+        let bare = LocalInstance {
+            n: 2,
+            h: 3,
+            full: Vec::new(),
+            boundary: Vec::new(),
+        };
+        assert_eq!(derive_compact(&bare, Ratio::new(1, 2)), vec![false, false]);
     }
 
     #[test]

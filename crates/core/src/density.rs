@@ -20,7 +20,7 @@
 //! independent golden values for the pipeline's tests (every LhCDS
 //! member's compact number equals the subgraph density, Theorem 1).
 
-use crate::compact::{local_instance, next_density_level};
+use crate::compact::{local_instance, InstanceSolver};
 use lhcds_clique::CliqueSet;
 use lhcds_flow::Ratio;
 use lhcds_graph::{CsrGraph, VertexId};
@@ -57,6 +57,20 @@ pub fn dense_decomposition(g: &CsrGraph, h: usize) -> DenseDecomposition {
 /// Same as [`dense_decomposition`] with a pre-built instance store
 /// (also used for general pattern decompositions).
 pub fn dense_decomposition_with(g: &CsrGraph, cliques: &CliqueSet) -> DenseDecomposition {
+    dense_decomposition_opts(g, cliques, true)
+}
+
+/// [`dense_decomposition_with`] with the flow-network reuse policy
+/// explicit: the whole principal-partition ladder — every marginal-
+/// density probe of every level — runs on **one** retained
+/// [`InstanceSolver`] network when `flow_reuse` is on, or rebuilds per
+/// probe when off (the historical cost model; the `flowreuse` bench
+/// A/Bs the two). Output is bit-identical either way.
+pub fn dense_decomposition_opts(
+    g: &CsrGraph,
+    cliques: &CliqueSet,
+    flow_reuse: bool,
+) -> DenseDecomposition {
     let n = g.n();
     let mut phi = vec![Ratio::zero(); n];
     let mut levels = Vec::new();
@@ -65,10 +79,11 @@ pub fn dense_decomposition_with(g: &CsrGraph, cliques: &CliqueSet) -> DenseDecom
     }
     let all: Vec<VertexId> = g.vertices().collect();
     let (inst, map) = local_instance(cliques, &all);
+    let mut solver = InstanceSolver::with_reuse(inst, flow_reuse);
 
-    let mut forced = vec![false; inst.n];
+    let mut forced = vec![false; solver.instance().n];
     let mut last: Option<Ratio> = None;
-    while let Some((density, level_mask)) = next_density_level(&inst, &forced) {
+    while let Some((density, level_mask)) = solver.next_density_level(&forced) {
         if let Some(prev) = last {
             debug_assert!(density < prev, "levels must strictly decrease");
         }
@@ -201,6 +216,24 @@ mod tests {
         assert_eq!(d.levels.len(), 1);
         assert_eq!(d.levels[0].density, Ratio::new(4, 5));
         assert_eq!(d.levels[0].vertices.len(), 5);
+    }
+
+    #[test]
+    fn ladder_shares_one_network_and_matches_scratch() {
+        // K5, K4, triangle at distinct levels: a multi-level ladder.
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        b.add_edge(9, 10).add_edge(10, 11).add_edge(11, 9);
+        let g = b.build();
+        let cliques = CliqueSet::enumerate(&g, 3);
+        let reused = dense_decomposition_opts(&g, &cliques, true);
+        let scratch = dense_decomposition_opts(&g, &cliques, false);
+        assert_eq!(reused.levels, scratch.levels);
+        assert_eq!(reused.phi, scratch.phi);
+        assert_eq!(reused.levels.len(), 3);
+        // (the one-network-per-ladder counter contract lives in
+        // tests/flow_reuse.rs, whose process owns the global counters)
     }
 
     #[test]

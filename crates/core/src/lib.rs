@@ -65,9 +65,12 @@ pub mod stable;
 pub mod verify;
 
 pub use bounds::{initialize_bounds, Bounds};
+pub use compact::InstanceSolver;
 pub use index::{DecompositionIndex, IndexConfig, QueryError, SubgraphView};
 pub use pipeline::{top_k_lhcds, IppvConfig, IppvResult, IppvStats, Lhcds};
-// The exact-rational density currency of the whole pipeline. Re-exported so
-// higher layers (patterns, baselines, the facade's consumers) never need a
-// direct dependency on the flow substrate.
-pub use lhcds_flow::Ratio;
+// The exact-rational density currency of the whole pipeline, plus the
+// flow-layer work counters (networks/arcs built, flow invocations, warm
+// vs cold parametric solves). Re-exported so higher layers (patterns,
+// baselines, service, the facade's consumers) never need a direct
+// dependency on the flow substrate.
+pub use lhcds_flow::{flow_stats, FlowStats, Ratio};

@@ -38,12 +38,12 @@
 use std::time::Instant;
 
 use crate::bounds::{initialize_bounds, Bounds, DEFAULT_SLACK};
-use crate::compact::{densest_decomposition, local_instance};
+use crate::compact::{local_instance, InstanceSolver};
 use crate::cp::seq_kclist_pp;
 use crate::decompose::tentative_gd;
 use crate::prune::prune;
 use crate::stable::derive_stable_groups;
-use crate::verify::{verify_basic, verify_fast, FastConfig, Verdict};
+use crate::verify::{verify_fast, BasicVerifier, FastConfig, Verdict};
 use lhcds_clique::{CliqueSet, Parallelism};
 use lhcds_flow::Ratio;
 use lhcds_graph::traversal::components_within;
@@ -75,6 +75,14 @@ pub struct IppvConfig {
     /// [`CliqueSet::enumerate_with`]), so this setting affects wall
     /// time only, never results.
     pub parallelism: Parallelism,
+    /// Reuse flow networks across density probes (one
+    /// [`InstanceSolver`] network per candidate region / per basic-
+    /// verifier run, warm-started where the capacity change is
+    /// monotone) instead of rebuilding per probe. Affects wall time and
+    /// the flow work counters only — every output is bit-identical
+    /// (pinned by the `flow_reuse` equivalence suites). Off exists for
+    /// the `flowreuse` bench A/B.
+    pub flow_reuse: bool,
 }
 
 impl Default for IppvConfig {
@@ -87,6 +95,7 @@ impl Default for IppvConfig {
             use_cp: true,
             use_prune: true,
             parallelism: Parallelism::serial(),
+            flow_reuse: true,
         }
     }
 }
@@ -244,6 +253,7 @@ pub fn top_k_with_instances(
         failed_memo: std::collections::HashSet::new(),
         buffer: Vec::new(),
         results: Vec::new(),
+        basic: None,
         stats: &mut stats,
     };
     // highest-r group on top of the stack
@@ -297,6 +307,10 @@ struct Driver<'a> {
     /// blocking superset weaves through already-output regions); it is
     /// deferred and later resolved exactly in escalated mode.
     failed_memo: std::collections::HashSet<(Vec<VertexId>, Ratio)>,
+    /// Whole-graph basic verifier, built lazily on first use so its
+    /// Figure 6 network (the same arcs for every candidate — only ρ
+    /// differs) is constructed once per run, not once per verification.
+    basic: Option<BasicVerifier>,
     stats: &'a mut IppvStats,
 }
 
@@ -429,7 +443,10 @@ impl<'a> Driver<'a> {
         }
         let (inst, map) = local_instance(self.cliques, &comp);
         self.stats.local_decompositions += 1;
-        let Some((rho_star, members)) = densest_decomposition(&inst) else {
+        // One reusable network serves the component's whole Goldberg
+        // ladder (every ρ-probe of the local densest decomposition).
+        let mut solver = InstanceSolver::with_reuse(inst, self.cfg.flow_reuse);
+        let Some((rho_star, members)) = solver.densest_decomposition() else {
             // No h-clique inside this component.
             if escalated {
                 self.kill(&comp);
@@ -519,7 +536,10 @@ impl<'a> Driver<'a> {
             verdict
         } else {
             self.stats.flow_verifications += 1;
-            verify_basic(self.g, self.cliques, &m, rho)
+            let (g, cliques, reuse) = (self.g, self.cliques, self.cfg.flow_reuse);
+            self.basic
+                .get_or_insert_with(|| BasicVerifier::new(g, cliques, reuse))
+                .verify(g, &m, rho)
         };
         if std::env::var_os("LHCDS_TRACE").is_some() {
             eprintln!("verify m={m:?} rho={rho} -> {verdict:?}");
@@ -782,6 +802,30 @@ mod tests {
             let par = top_k_lhcds(&g, 3, 10, &cfg);
             assert_eq!(par.subgraphs, serial.subgraphs, "threads={t}");
             assert_eq!(par.stats.clique_count, serial.stats.clique_count);
+        }
+    }
+
+    /// Reuse on vs off is invisible in the outputs, for both verifier
+    /// families. (The work-counter side of the contract — fewer
+    /// networks than ρ-probes — lives in tests/flow_reuse.rs, whose
+    /// process owns the global flow counters.)
+    #[test]
+    fn flow_reuse_is_invisible_in_outputs() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[4, 5, 6, 7]);
+        complete_on(&mut b, &[8, 9, 10]);
+        b.add_edge(7, 8).add_edge(10, 11);
+        let g = b.build();
+        for fast in [true, false] {
+            let mk = |flow_reuse: bool| IppvConfig {
+                fast_verify: fast,
+                flow_reuse,
+                ..IppvConfig::default()
+            };
+            let reused = top_k_lhcds(&g, 3, 10, &mk(true));
+            let scratch = top_k_lhcds(&g, 3, 10, &mk(false));
+            assert_eq!(reused.subgraphs, scratch.subgraphs, "fast={fast}");
         }
     }
 

@@ -13,33 +13,10 @@
 //! the union of all maximal `ρ`-compact subgraphs is the *largest*
 //! maximizer of `|Ψh(S)| − ρ|S|`.
 
+use crate::stats;
+
 /// Arc identifier returned by [`Dinic::add_edge`].
 pub type ArcId = usize;
-
-/// Process-wide count of [`Dinic::max_flow`] invocations.
-///
-/// This is observability, not control flow: callers that promise a
-/// *flow-free* path (the query side of `lhcds-core`'s decomposition
-/// index, served by `lhcds-service`) prove the promise in tests by
-/// snapshotting this counter around the queried region and asserting it
-/// never moved. Relaxed ordering is enough — tests only compare values
-/// taken on the asserting thread before and after fully-joined work.
-static MAX_FLOW_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-
-/// Total number of max-flow solves this process has run so far.
-///
-/// ```
-/// use lhcds_flow::{max_flow_invocations, Dinic};
-///
-/// let before = max_flow_invocations();
-/// let mut net = Dinic::new(2);
-/// net.add_edge(0, 1, 3);
-/// net.max_flow(0, 1);
-/// assert!(max_flow_invocations() > before);
-/// ```
-pub fn max_flow_invocations() -> u64 {
-    MAX_FLOW_CALLS.load(std::sync::atomic::Ordering::Relaxed)
-}
 
 #[derive(Debug, Clone)]
 struct Arc {
@@ -49,22 +26,35 @@ struct Arc {
 
 /// Max-flow solver. Build the network with [`Dinic::add_edge`], then call
 /// [`Dinic::max_flow`]; cut queries are valid afterwards.
+///
+/// The solver is *restartable*: capacities can be re-tuned between
+/// solves with [`Dinic::set_capacity`], the accumulated flow can be
+/// discarded with [`Dinic::reset_flow`], and [`Dinic::max_flow`] always
+/// continues from whatever feasible flow the network currently holds.
+/// [`crate::ParametricNetwork`] builds the monotone warm-start policy on
+/// top of these primitives. BFS/DFS scratch state (`level`, `iter`, the
+/// BFS queue) lives in the struct and is reused across solves — a
+/// network that is solved at many thresholds allocates its scratch
+/// once.
 #[derive(Debug, Clone)]
 pub struct Dinic {
     arcs: Vec<Arc>,
     adj: Vec<Vec<u32>>,
     level: Vec<u32>,
     iter: Vec<usize>,
+    queue: std::collections::VecDeque<u32>,
 }
 
 impl Dinic {
     /// Creates a network with `n` nodes (ids `0..n`).
     pub fn new(n: usize) -> Self {
+        stats::NETWORKS_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Dinic {
             arcs: Vec::new(),
             adj: vec![Vec::new(); n],
             level: vec![0; n],
             iter: vec![0; n],
+            queue: std::collections::VecDeque::new(),
         }
     }
 
@@ -82,6 +72,7 @@ impl Dinic {
     pub fn add_edge(&mut self, from: u32, to: u32, cap: i128) -> ArcId {
         assert!(cap >= 0, "negative capacity");
         assert!((from as usize) < self.adj.len() && (to as usize) < self.adj.len());
+        stats::ARCS_BUILT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let id = self.arcs.len();
         self.arcs.push(Arc { to, cap });
         self.arcs.push(Arc { to: from, cap: 0 });
@@ -95,21 +86,93 @@ impl Dinic {
         self.arcs[id].cap
     }
 
+    /// Flow currently carried by forward arc `id` (an even id returned
+    /// by [`Dinic::add_edge`]): the residual of its paired reverse arc,
+    /// whose initial capacity is always 0.
+    pub fn current_flow(&self, id: ArcId) -> i128 {
+        debug_assert!(id.is_multiple_of(2), "flow is tracked on forward arcs");
+        self.arcs[id ^ 1].cap
+    }
+
+    /// Total capacity of forward arc `id` (flow + remaining residual).
+    pub fn total_capacity(&self, id: ArcId) -> i128 {
+        debug_assert!(id.is_multiple_of(2), "capacity is tracked on forward arcs");
+        self.arcs[id].cap + self.arcs[id ^ 1].cap
+    }
+
+    /// Re-tunes the *total* capacity of forward arc `id`, preserving the
+    /// flow it currently carries. Returns the amount of flow that had to
+    /// be cancelled: 0 when `cap` still covers the current flow;
+    /// otherwise the excess is *saturatingly cancelled* — the arc's flow
+    /// is clamped down to `cap`, which leaves flow conservation violated
+    /// at its endpoints until the caller runs [`Dinic::reset_flow`].
+    /// A warm restart is therefore only sound when every `set_capacity`
+    /// in the batch returned 0 (the monotone case);
+    /// [`crate::ParametricNetwork`] checks exactly this before deciding
+    /// warm vs cold.
+    ///
+    /// # Panics
+    /// Panics on negative capacity or a non-forward arc id.
+    pub fn set_capacity(&mut self, id: ArcId, cap: i128) -> i128 {
+        assert!(cap >= 0, "negative capacity");
+        assert!(
+            id.is_multiple_of(2) && id < self.arcs.len(),
+            "not a forward arc id"
+        );
+        let flow = self.arcs[id ^ 1].cap;
+        if flow <= cap {
+            self.arcs[id].cap = cap - flow;
+            0
+        } else {
+            self.arcs[id].cap = 0;
+            self.arcs[id ^ 1].cap = cap;
+            flow - cap
+        }
+    }
+
+    /// Discards all flow, restoring every arc to its current total
+    /// capacity at zero flow. After this the network is exactly what a
+    /// freshly built copy with the same capacities would be.
+    pub fn reset_flow(&mut self) {
+        for pair in self.arcs.chunks_exact_mut(2) {
+            pair[0].cap += pair[1].cap;
+            pair[1].cap = 0;
+        }
+    }
+
+    /// Sets forward arc `id` to total capacity `cap` carrying exactly
+    /// `flow` (`0 ≤ flow ≤ cap`). Used by the parametric warm start to
+    /// install a rescaled retained flow; callers must keep the overall
+    /// assignment a conserving s–t flow.
+    pub(crate) fn set_state(&mut self, id: ArcId, cap: i128, flow: i128) {
+        debug_assert!(id.is_multiple_of(2));
+        debug_assert!(flow >= 0 && flow <= cap);
+        self.arcs[id].cap = cap - flow;
+        self.arcs[id ^ 1].cap = flow;
+    }
+
     fn bfs(&mut self, s: u32, t: u32) -> bool {
-        self.level.iter_mut().for_each(|l| *l = u32::MAX);
-        let mut queue = std::collections::VecDeque::new();
-        self.level[s as usize] = 0;
+        let Dinic {
+            arcs,
+            adj,
+            level,
+            queue,
+            ..
+        } = self;
+        level.iter_mut().for_each(|l| *l = u32::MAX);
+        queue.clear();
+        level[s as usize] = 0;
         queue.push_back(s);
         while let Some(v) = queue.pop_front() {
-            for &eid in &self.adj[v as usize] {
-                let arc = &self.arcs[eid as usize];
-                if arc.cap > 0 && self.level[arc.to as usize] == u32::MAX {
-                    self.level[arc.to as usize] = self.level[v as usize] + 1;
+            for &eid in &adj[v as usize] {
+                let arc = &arcs[eid as usize];
+                if arc.cap > 0 && level[arc.to as usize] == u32::MAX {
+                    level[arc.to as usize] = level[v as usize] + 1;
                     queue.push_back(arc.to);
                 }
             }
         }
-        self.level[t as usize] != u32::MAX
+        level[t as usize] != u32::MAX
     }
 
     fn dfs(&mut self, v: u32, t: u32, pushed: i128) -> i128 {
@@ -132,10 +195,13 @@ impl Dinic {
         0
     }
 
-    /// Computes the maximum `s`–`t` flow. May be called once per network.
+    /// Computes the maximum `s`–`t` flow, continuing from whatever
+    /// feasible flow the network currently holds (zero on a fresh
+    /// network). Returns the flow *added by this invocation*; the cut
+    /// queries below always describe the resulting maximum flow.
     pub fn max_flow(&mut self, s: u32, t: u32) -> i128 {
         assert_ne!(s, t, "source equals sink");
-        MAX_FLOW_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats::MAX_FLOW_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut flow = 0i128;
         while self.bfs(s, t) {
             self.iter.iter_mut().for_each(|i| *i = 0);
@@ -307,6 +373,87 @@ mod tests {
         let e = d.add_edge(0, 1, 5);
         let _ = d.max_flow(0, 1);
         assert_eq!(d.residual(e), 0);
+    }
+
+    /// Satellite contract: repeated `max_flow` + `reset_flow` rounds on
+    /// one network agree with fresh networks, across capacity re-tunes
+    /// and for both min-cut sides.
+    #[test]
+    fn reset_flow_rounds_agree_with_fresh_networks() {
+        // s=0 → {1,2} → t=3 diamond with a cross arc; re-tune the two
+        // sink arcs through several schedules.
+        let arcs = [(0u32, 1u32), (0, 2), (1, 2), (1, 3), (2, 3)];
+        let schedules: [[i128; 5]; 4] = [
+            [10, 4, 2, 8, 10],
+            [1, 1, 1, 1, 1],
+            [5, 0, 3, 7, 2],
+            [10, 4, 2, 8, 10], // back to the first: must reproduce it
+        ];
+        let mut reused = Dinic::new(4);
+        let ids: Vec<ArcId> = arcs
+            .iter()
+            .map(|&(u, v)| reused.add_edge(u, v, 0))
+            .collect();
+        for caps in schedules {
+            reused.reset_flow();
+            for (&id, &c) in ids.iter().zip(&caps) {
+                assert_eq!(reused.set_capacity(id, c), 0, "no flow after reset");
+            }
+            let mut fresh = Dinic::new(4);
+            for (&(u, v), &c) in arcs.iter().zip(&caps) {
+                fresh.add_edge(u, v, c);
+            }
+            assert_eq!(reused.max_flow(0, 3), fresh.max_flow(0, 3), "{caps:?}");
+            assert_eq!(
+                reused.min_cut_source_side(0),
+                fresh.min_cut_source_side(0),
+                "{caps:?}"
+            );
+            assert_eq!(
+                reused.max_cut_source_side(3),
+                fresh.max_cut_source_side(3),
+                "{caps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn set_capacity_preserves_flow_and_reports_excess() {
+        let mut d = Dinic::new(2);
+        let e = d.add_edge(0, 1, 5);
+        assert_eq!(d.max_flow(0, 1), 5);
+        assert_eq!(d.current_flow(e), 5);
+        // raising capacity keeps the flow and exposes new residual
+        assert_eq!(d.set_capacity(e, 8), 0);
+        assert_eq!(d.current_flow(e), 5);
+        assert_eq!(d.residual(e), 3);
+        assert_eq!(d.total_capacity(e), 8);
+        // a follow-up solve only pushes the difference
+        assert_eq!(d.max_flow(0, 1), 3);
+        // lowering below the carried flow saturates and reports excess
+        assert_eq!(d.set_capacity(e, 2), 6);
+        assert_eq!(d.current_flow(e), 2);
+        assert_eq!(d.residual(e), 0);
+        // reset restores a clean zero-flow network at the new capacity
+        d.reset_flow();
+        assert_eq!(d.current_flow(e), 0);
+        assert_eq!(d.total_capacity(e), 2);
+        assert_eq!(d.max_flow(0, 1), 2);
+    }
+
+    #[test]
+    fn warm_continuation_reaches_the_same_maximum() {
+        // solve at small sink capacity, enlarge, re-solve: total flow
+        // equals a single fresh solve at the final capacities
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 10);
+        let vt = d.add_edge(1, 2, 4);
+        let first = d.max_flow(0, 2);
+        assert_eq!(first, 4);
+        assert_eq!(d.set_capacity(vt, 9), 0);
+        let added = d.max_flow(0, 2);
+        assert_eq!(first + added, 9);
+        assert_eq!(d.min_cut_source_side(0), vec![true, true, false]);
     }
 
     /// Randomized check: flow conservation at inner nodes.

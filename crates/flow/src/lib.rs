@@ -18,6 +18,16 @@
 //! `DeriveCompact` needs the largest subgraph attaining the optimum
 //! (Theorem 5), which is the maximal source side of a minimum cut.
 //!
+//! Because the verification stack re-solves the *same* network at a
+//! ladder of thresholds (only the ρ-dependent capacities change),
+//! [`parametric::ParametricNetwork`] retains the built network across
+//! solves and warm-starts from the previous residual flow whenever the
+//! capacity change is monotone (GGT-style), falling back to
+//! [`Dinic::reset_flow`] otherwise. [`stats::flow_stats`] exposes the
+//! process-wide work counters (networks/arcs built, flow invocations,
+//! warm vs cold solves) that pin the reuse contracts in tests and
+//! benchmarks.
+//!
 //! In the workspace DAG this crate sits directly above `lhcds-graph`
 //! (as `lhcds-clique`'s sibling) and below `lhcds-core`, which builds
 //! its verification networks on it and re-exports [`Ratio`] so higher
@@ -45,7 +55,11 @@
 #![warn(missing_docs)]
 
 pub mod dinic;
+pub mod parametric;
 pub mod rational;
+pub mod stats;
 
-pub use dinic::{max_flow_invocations, Dinic};
+pub use dinic::Dinic;
+pub use parametric::{ParametricNetwork, SolveMode};
 pub use rational::Ratio;
+pub use stats::{flow_stats, max_flow_invocations, FlowStats};

@@ -1,0 +1,354 @@
+//! Reusable parametric flow networks: build the arcs once, re-solve at
+//! many capacity settings, warm-starting from the retained flow.
+//!
+//! The LhCDS verification stack solves the *same* Figure-6 network at a
+//! ladder of density thresholds ρ: between consecutive `IsDensest` /
+//! `DeriveCompact` / marginal-density probes only the ρ-dependent
+//! vertex↔terminal capacities change, while the clique/membership
+//! gadget arcs — the overwhelming majority — are static. Rebuilding the
+//! whole network per probe (nodes, arc pairs, adjacency lists) is pure
+//! overhead; this module retains it.
+//!
+//! ## Model
+//!
+//! A [`ParametricNetwork`] owns a [`Dinic`] plus an arc classification:
+//!
+//! * **static arcs** ([`ParametricNetwork::add_static`]) carry a
+//!   capacity expressed at a fixed *base scale* `B`; at solve scale `D`
+//!   (a multiple of `B`) their capacity is `base_cap · D/B`;
+//! * **parametric arcs** ([`ParametricNetwork::add_parametric`]) get an
+//!   explicit capacity (already expressed at scale `D`) on every solve.
+//!
+//! Exactness forces the scale dance: capacities are rationals (`ρ·h`,
+//! `h/cnt`) and each threshold `ρ = a/b` needs `b | D` for integer
+//! capacities. Because scaling *all* capacities by a common factor
+//! permutes neither the set of minimum cuts nor their canonical minimal
+//! / maximal source sides, any valid `D` yields identical cut-side
+//! answers — which is what makes the reuse path bit-identical to the
+//! rebuild-from-scratch path.
+//!
+//! ## Warm starts (GGT-style)
+//!
+//! [`ParametricNetwork::solve`] keeps the previous residual flow when it
+//! remains feasible under the new capacities: the retained flow at
+//! scale `D₁` is rescaled by the integer `q = D₂/D₁` (conservation is
+//! linear, so `q·f` is again a valid s–t flow) and kept iff every
+//! parametric arc still covers its rescaled flow (static arcs scale
+//! with `D` and can never under-run). This is precisely the monotone
+//! regime of Gallo–Grigoriadis–Tarjan: in the Goldberg ladder ρ only
+//! grows, sink capacities only grow, and each probe re-solves in time
+//! proportional to the *increment*. Non-monotone re-tunes (the final
+//! ε-perturbed `DeriveCompact` probe, a new forced set that shrinks
+//! capacities) fall back to [`Dinic::reset_flow`] — still zero
+//! construction work. [`crate::flow_stats`] counts both outcomes.
+
+use crate::dinic::{ArcId, Dinic};
+use crate::stats;
+
+/// Largest solve scale the warm-start chain may compound to. A chained
+/// scale is `lcm` of the previous scale and the new denominator, so it
+/// can grow along a ladder; past this bound the solver falls back to a
+/// fresh minimal scale (cold solve) to keep every capacity product
+/// comfortably inside `i128`.
+const SCALE_LIMIT: i128 = 1 << 80;
+
+/// `lcm(a, b)` for positive operands, `None` on overflow.
+fn checked_lcm(a: i128, b: i128) -> Option<i128> {
+    debug_assert!(a > 0 && b > 0);
+    (a / crate::rational::gcd(a, b)).checked_mul(b)
+}
+
+/// How a [`ParametricNetwork::solve`] call treated the retained flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMode {
+    /// The previous residual flow was rescaled and kept; max-flow only
+    /// pushed the increment.
+    Warm,
+    /// The previous flow was discarded (first solve, incompatible
+    /// scale, or a capacity decrease below carried flow) and max-flow
+    /// ran from zero — but on the already-built network.
+    Cold,
+}
+
+/// A flow network whose arcs are built once and re-solved at many
+/// capacity settings. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct ParametricNetwork {
+    net: Dinic,
+    s: u32,
+    t: u32,
+    base_scale: i128,
+    /// `(arc, capacity at base scale)` for every static arc.
+    static_arcs: Vec<(ArcId, i128)>,
+    /// Parametric arcs, in `add_parametric` order.
+    param_arcs: Vec<ArcId>,
+    /// Scale of the currently retained flow/capacities; 0 until the
+    /// first solve.
+    cur_scale: i128,
+}
+
+impl ParametricNetwork {
+    /// Creates a network with `nodes` nodes, terminals `s != t`, and
+    /// the given positive base scale.
+    pub fn new(nodes: usize, s: u32, t: u32, base_scale: i128) -> Self {
+        assert!(base_scale > 0, "base scale must be positive");
+        assert!(s != t && (s as usize) < nodes && (t as usize) < nodes);
+        ParametricNetwork {
+            net: Dinic::new(nodes),
+            s,
+            t,
+            base_scale,
+            static_arcs: Vec::new(),
+            param_arcs: Vec::new(),
+            cur_scale: 0,
+        }
+    }
+
+    /// Adds a static arc whose capacity at solve scale `D` is
+    /// `base_cap · D / base_scale`.
+    pub fn add_static(&mut self, from: u32, to: u32, base_cap: i128) -> ArcId {
+        assert!(self.cur_scale == 0, "arcs must be added before solving");
+        assert!(base_cap >= 0, "negative capacity");
+        let arc = self.net.add_edge(from, to, 0);
+        self.static_arcs.push((arc, base_cap));
+        arc
+    }
+
+    /// Adds a parametric arc; its capacity is supplied to every
+    /// [`ParametricNetwork::solve`] call at the entry with the returned
+    /// index.
+    pub fn add_parametric(&mut self, from: u32, to: u32) -> usize {
+        assert!(self.cur_scale == 0, "arcs must be added before solving");
+        let arc = self.net.add_edge(from, to, 0);
+        self.param_arcs.push(arc);
+        self.param_arcs.len() - 1
+    }
+
+    /// Number of parametric arcs (the length `solve` expects of its
+    /// capacity slice).
+    pub fn param_count(&self) -> usize {
+        self.param_arcs.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.net.node_count()
+    }
+
+    /// The base scale static capacities are expressed at.
+    pub fn base_scale(&self) -> i128 {
+        self.base_scale
+    }
+
+    /// Chooses the solve scale for a threshold with denominator `den`:
+    /// a multiple of both `den` and the base scale, preferring one that
+    /// is also a multiple of the retained flow's scale (so the next
+    /// solve *can* warm-start) as long as that stays under the overflow
+    /// guard.
+    pub fn scale_for(&self, den: i128) -> i128 {
+        assert!(den > 0, "denominator must be positive");
+        if self.cur_scale > 0 {
+            if let Some(chained) = checked_lcm(den, self.cur_scale) {
+                if chained <= SCALE_LIMIT {
+                    return chained;
+                }
+            }
+        }
+        checked_lcm(den, self.base_scale).expect("minimal solve scale overflows i128")
+    }
+
+    /// Re-tunes every capacity to scale `scale` (a positive multiple of
+    /// the base scale; use [`ParametricNetwork::scale_for`]), installs
+    /// `param_caps` on the parametric arcs, warm-starts from the
+    /// retained flow when it remains feasible, and runs max-flow.
+    pub fn solve(&mut self, scale: i128, param_caps: &[i128]) -> SolveMode {
+        assert!(scale > 0 && scale % self.base_scale == 0, "invalid scale");
+        assert_eq!(param_caps.len(), self.param_arcs.len(), "capacity slice");
+        let factor = scale / self.base_scale;
+
+        // Warm iff the retained flow, rescaled by the integer scale
+        // ratio, fits under every new capacity without overflow.
+        // Mathematically static arcs scale with the network and can
+        // never under-run, but both arc classes still get the checked-
+        // multiply guard: a caller with extreme base capacities must
+        // fall back to a cold solve, never install a wrapped flow.
+        let q = if self.cur_scale > 0 && scale % self.cur_scale == 0 {
+            scale / self.cur_scale
+        } else {
+            0
+        };
+        let warm = q > 0
+            && self.param_arcs.iter().zip(param_caps).all(|(&arc, &cap)| {
+                match self.net.current_flow(arc).checked_mul(q) {
+                    Some(f) => f <= cap,
+                    None => false,
+                }
+            })
+            && self.static_arcs.iter().all(|&(arc, base_cap)| {
+                match self.net.current_flow(arc).checked_mul(q) {
+                    Some(f) => base_cap.checked_mul(factor).is_some_and(|cap| f <= cap),
+                    None => false,
+                }
+            });
+
+        if warm {
+            for &(arc, base_cap) in &self.static_arcs {
+                let flow = self.net.current_flow(arc) * q;
+                self.net.set_state(arc, base_cap * factor, flow);
+            }
+            for (&arc, &cap) in self.param_arcs.iter().zip(param_caps) {
+                let flow = self.net.current_flow(arc) * q;
+                self.net.set_state(arc, cap, flow);
+            }
+            stats::WARM_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            for &(arc, base_cap) in &self.static_arcs {
+                self.net.set_state(arc, base_cap * factor, 0);
+            }
+            for (&arc, &cap) in self.param_arcs.iter().zip(param_caps) {
+                self.net.set_state(arc, cap, 0);
+            }
+            stats::COLD_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.net.max_flow(self.s, self.t);
+        self.cur_scale = scale;
+        if warm {
+            SolveMode::Warm
+        } else {
+            SolveMode::Cold
+        }
+    }
+
+    /// Minimal source side of a minimum cut of the last solve.
+    pub fn min_cut_source_side(&self) -> Vec<bool> {
+        debug_assert!(self.cur_scale > 0, "no solve yet");
+        self.net.min_cut_source_side(self.s)
+    }
+
+    /// Maximal source side of a minimum cut of the last solve.
+    pub fn max_cut_source_side(&self) -> Vec<bool> {
+        debug_assert!(self.cur_scale > 0, "no solve yet");
+        self.net.max_cut_source_side(self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-6 shape in miniature: s=0, two "vertices" 1 and 2, a
+    /// gadget node 3, t=4. Static gadget arcs at base scale 2;
+    /// parametric s→v and v→t arcs.
+    fn tiny() -> (ParametricNetwork, [usize; 4]) {
+        let mut pn = ParametricNetwork::new(5, 0, 4, 2);
+        pn.add_static(1, 3, 2);
+        pn.add_static(3, 2, 4);
+        let s1 = pn.add_parametric(0, 1);
+        let s2 = pn.add_parametric(0, 2);
+        let t1 = pn.add_parametric(1, 4);
+        let t2 = pn.add_parametric(2, 4);
+        (pn, [s1, s2, t1, t2])
+    }
+
+    /// A fresh plain Dinic with the same topology at the given scale and
+    /// parametric caps, for ground truth.
+    fn fresh(scale: i128, caps: &[i128; 4]) -> Dinic {
+        let f = scale / 2;
+        let mut d = Dinic::new(5);
+        d.add_edge(1, 3, 2 * f);
+        d.add_edge(3, 2, 4 * f);
+        d.add_edge(0, 1, caps[0]);
+        d.add_edge(0, 2, caps[1]);
+        d.add_edge(1, 4, caps[2]);
+        d.add_edge(2, 4, caps[3]);
+        d
+    }
+
+    #[test]
+    fn warm_chain_matches_fresh_solves() {
+        let (mut pn, _) = tiny();
+        // monotone sink ladder at a fixed scale: first solve cold, the
+        // rest warm; every cut side must equal a fresh network's
+        let schedule: [[i128; 4]; 4] = [[6, 6, 1, 1], [6, 6, 2, 2], [6, 6, 4, 3], [6, 6, 9, 9]];
+        for (i, caps) in schedule.iter().enumerate() {
+            let scale = pn.scale_for(1);
+            assert_eq!(scale % 2, 0);
+            let mode = pn.solve(scale, caps);
+            assert_eq!(
+                mode,
+                if i == 0 {
+                    SolveMode::Cold
+                } else {
+                    SolveMode::Warm
+                },
+                "step {i}"
+            );
+            let mut d = fresh(scale, caps);
+            d.max_flow(0, 4);
+            assert_eq!(pn.min_cut_source_side(), d.min_cut_source_side(0));
+            assert_eq!(pn.max_cut_source_side(), d.max_cut_source_side(4));
+        }
+    }
+
+    #[test]
+    fn capacity_decrease_falls_back_to_cold() {
+        let (mut pn, _) = tiny();
+        let scale = pn.scale_for(1);
+        pn.solve(scale, &[6, 6, 5, 5]);
+        // shrinking a sink arc below its carried flow cannot keep the
+        // retained residual
+        let mode = pn.solve(scale, &[6, 6, 1, 1]);
+        assert_eq!(mode, SolveMode::Cold);
+        let mut d = fresh(scale, &[6, 6, 1, 1]);
+        d.max_flow(0, 4);
+        assert_eq!(pn.min_cut_source_side(), d.min_cut_source_side(0));
+    }
+
+    #[test]
+    fn scale_changes_rescale_the_retained_flow() {
+        let (mut pn, _) = tiny();
+        // denominator 3 → scale 6; then denominator 1 keeps 6 (warm
+        // compatible); then denominator 5 → lcm 30, q = 5
+        let s1 = pn.scale_for(3);
+        assert_eq!(s1, 6);
+        pn.solve(s1, &[9, 9, 2, 2]);
+        let s2 = pn.scale_for(1);
+        assert_eq!(s2, 6, "retained scale already covers den 1");
+        assert_eq!(pn.solve(s2, &[9, 9, 3, 3]), SolveMode::Warm);
+        let s3 = pn.scale_for(5);
+        assert_eq!(s3, 30);
+        let mode = pn.solve(s3, &[45, 45, 20, 20]);
+        assert_eq!(mode, SolveMode::Warm);
+        let mut d = fresh(30, &[45, 45, 20, 20]);
+        d.max_flow(0, 4);
+        assert_eq!(pn.min_cut_source_side(), d.min_cut_source_side(0));
+        assert_eq!(pn.max_cut_source_side(), d.max_cut_source_side(4));
+    }
+
+    #[test]
+    fn solve_modes_follow_monotonicity() {
+        // (exact work-counter assertions live in tests/telemetry.rs,
+        // which owns its process so the global counters are quiet)
+        let (mut pn, _) = tiny();
+        let scale = pn.scale_for(1);
+        assert_eq!(pn.solve(scale, &[6, 6, 1, 1]), SolveMode::Cold);
+        assert_eq!(pn.solve(scale, &[6, 6, 2, 2]), SolveMode::Warm);
+        assert_eq!(pn.solve(scale, &[6, 6, 0, 0]), SolveMode::Cold); // decrease
+    }
+
+    #[test]
+    fn scale_limit_forces_a_fresh_minimal_scale() {
+        let (mut pn, _) = tiny();
+        pn.cur_scale = SCALE_LIMIT / 2; // pretend a huge retained chain
+                                        // a coprime denominator would chain past the limit → minimal
+        let s = pn.scale_for(3);
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn non_multiple_scale_is_rejected() {
+        let (mut pn, _) = tiny();
+        pn.solve(3, &[1, 1, 1, 1]);
+    }
+}

@@ -1,7 +1,8 @@
-//! Property-based tests: max-flow/min-cut duality on random networks
-//! and exactness of the rational arithmetic.
+//! Property-based tests: max-flow/min-cut duality on random networks,
+//! parametric-reuse equivalence, and exactness of the rational
+//! arithmetic.
 
-use lhcds_flow::{rational, Dinic, Ratio};
+use lhcds_flow::{rational, Dinic, ParametricNetwork, Ratio};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -72,6 +73,55 @@ proptest! {
         prop_assert_eq!(net_out[t as usize], -flow);
         for &x in &net_out[1..net.n - 1] {
             prop_assert_eq!(x, 0);
+        }
+    }
+
+    /// A reused ParametricNetwork, driven through an arbitrary schedule
+    /// of parametric capacities (monotone or not) and scale
+    /// denominators, answers every solve with exactly the cut sides of
+    /// a freshly built Dinic at the same capacities.
+    #[test]
+    fn parametric_reuse_equals_fresh_networks(
+        net in arb_net(),
+        schedule in prop::collection::vec(
+            (prop::collection::vec(0i128..40, 8), 1i128..7),
+            1..6,
+        ),
+    ) {
+        let (s, t) = (0u32, (net.n - 1) as u32);
+        const BASE: i128 = 2;
+        let mut pn = ParametricNetwork::new(net.n, s, t, BASE);
+        // static arcs: the random net's arcs at base scale
+        for &(u, v, c) in &net.arcs {
+            pn.add_static(u, v, c);
+        }
+        // parametric arcs: s→v and v→t for every interior node
+        let mut param_ends: Vec<(u32, u32)> = Vec::new();
+        for v in 1..(net.n as u32 - 1) {
+            pn.add_parametric(s, v);
+            param_ends.push((s, v));
+            pn.add_parametric(v, t);
+            param_ends.push((v, t));
+        }
+        for (caps_raw, den) in schedule {
+            let scale = pn.scale_for(den);
+            prop_assert_eq!(scale % BASE, 0);
+            prop_assert_eq!(scale % den, 0);
+            let caps: Vec<i128> = (0..pn.param_count())
+                .map(|i| caps_raw[i % caps_raw.len()] * (scale / BASE))
+                .collect();
+            pn.solve(scale, &caps);
+
+            let mut d = Dinic::new(net.n);
+            for &(u, v, c) in &net.arcs {
+                d.add_edge(u, v, c * (scale / BASE));
+            }
+            for (i, &(u, v)) in param_ends.iter().enumerate() {
+                d.add_edge(u, v, caps[i]);
+            }
+            d.max_flow(s, t);
+            prop_assert_eq!(pn.min_cut_source_side(), d.min_cut_source_side(s));
+            prop_assert_eq!(pn.max_cut_source_side(), d.max_cut_source_side(t));
         }
     }
 

@@ -1,0 +1,55 @@
+//! Exact work-counter contracts of the flow layer.
+//!
+//! The counters in [`lhcds_flow::stats`] are process-wide, so tests
+//! asserting exact deltas must own their process: this file is a
+//! dedicated integration-test binary, and its tests additionally
+//! serialize through one mutex so the counters are quiet during every
+//! measured region.
+
+use std::sync::Mutex;
+
+use lhcds_flow::{flow_stats, Dinic, ParametricNetwork, SolveMode};
+
+static COUNTERS: Mutex<()> = Mutex::new(());
+
+#[test]
+fn dinic_counts_networks_arcs_and_invocations() {
+    let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    let before = flow_stats();
+    let mut d = Dinic::new(3);
+    d.add_edge(0, 1, 4);
+    d.add_edge(1, 2, 4);
+    d.max_flow(0, 2);
+    d.reset_flow();
+    d.max_flow(0, 2);
+    let delta = flow_stats().since(&before);
+    assert_eq!(delta.networks_built, 1);
+    assert_eq!(delta.arcs_built, 2);
+    assert_eq!(delta.max_flow_invocations, 2);
+    assert_eq!(delta.warm_solves, 0, "plain Dinic is not parametric");
+    assert_eq!(delta.cold_solves, 0);
+}
+
+#[test]
+fn parametric_counts_builds_and_solve_modes() {
+    let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    let before = flow_stats();
+    // s=0, vertices {1, 2}, gadget node 3, t=4 — the Figure 6 shape in
+    // miniature
+    let mut pn = ParametricNetwork::new(5, 0, 4, 2);
+    pn.add_static(1, 3, 2);
+    pn.add_static(3, 2, 4);
+    for (from, to) in [(0u32, 1u32), (0, 2), (1, 4), (2, 4)] {
+        pn.add_parametric(from, to);
+    }
+    let scale = pn.scale_for(1);
+    assert_eq!(pn.solve(scale, &[6, 6, 1, 1]), SolveMode::Cold);
+    assert_eq!(pn.solve(scale, &[6, 6, 2, 2]), SolveMode::Warm);
+    assert_eq!(pn.solve(scale, &[6, 6, 0, 0]), SolveMode::Cold); // decrease
+    let d = flow_stats().since(&before);
+    assert_eq!(d.networks_built, 1, "one Dinic for three solves");
+    assert_eq!(d.arcs_built, 6);
+    assert_eq!(d.max_flow_invocations, 3);
+    assert_eq!(d.warm_solves, 1);
+    assert_eq!(d.cold_solves, 2);
+}

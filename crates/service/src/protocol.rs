@@ -30,7 +30,7 @@
 
 use crate::json::Json;
 use lhcds_core::index::{QueryError, SubgraphView};
-use lhcds_core::Ratio;
+use lhcds_core::{FlowStats, Ratio};
 use lhcds_graph::VertexId;
 
 /// A parsed protocol request.
@@ -247,6 +247,28 @@ pub fn topk_result<'a>(
     ])
 }
 
+/// Serializes the flow-layer work counters — **the** shared shape
+/// between `lhcds stats --json` and the daemon's `stats` op, so batch
+/// and served telemetry stay string-identical. Counts only; the
+/// warm-start hit rate is derived by consumers (this protocol carries
+/// no floats).
+///
+/// On the serving read path these are the process totals since start:
+/// a healthy daemon shows `max_flow_invocations` frozen at its
+/// index-build value — queries run zero flow.
+pub fn flow_stats_json(stats: &FlowStats) -> Json {
+    Json::object([
+        ("networks_built", Json::Int(stats.networks_built as i128)),
+        ("arcs_built", Json::Int(stats.arcs_built as i128)),
+        (
+            "max_flow_invocations",
+            Json::Int(stats.max_flow_invocations as i128),
+        ),
+        ("warm_solves", Json::Int(stats.warm_solves as i128)),
+        ("cold_solves", Json::Int(stats.cold_solves as i128)),
+    ])
+}
+
 /// Serializes a `density_of` answer (`null` density: vertex in no
 /// LhCDS).
 pub fn density_result(h: usize, vertex: u64, density: Option<Ratio>) -> Json {
@@ -365,6 +387,21 @@ mod tests {
         assert!(out.contains(r#""subgraph":null"#), "{out}");
         let out = density_result(3, 9, Some(Ratio::new(1, 3))).render();
         assert!(out.contains(r#""density":"1/3""#), "{out}");
+    }
+
+    #[test]
+    fn flow_stats_json_shape_is_stable() {
+        let stats = FlowStats {
+            networks_built: 3,
+            arcs_built: 120,
+            max_flow_invocations: 9,
+            warm_solves: 4,
+            cold_solves: 5,
+        };
+        assert_eq!(
+            flow_stats_json(&stats).render(),
+            r#"{"networks_built":3,"arcs_built":120,"max_flow_invocations":9,"warm_solves":4,"cold_solves":5}"#
+        );
     }
 
     #[test]

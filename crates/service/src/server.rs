@@ -34,8 +34,8 @@ use std::time::Duration;
 use crate::json::Json;
 use crate::lru::Lru;
 use crate::protocol::{
-    density_result, err_response, membership_result, ok_response, parse_request, topk_result,
-    AnswerRow, ProtocolError, Request,
+    density_result, err_response, flow_stats_json, membership_result, ok_response, parse_request,
+    topk_result, AnswerRow, ProtocolError, Request,
 };
 use lhcds_core::index::DecompositionIndex;
 use lhcds_graph::VertexId;
@@ -258,6 +258,10 @@ impl Shared {
                     ("capacity", Json::Int(lru.capacity() as i128)),
                 ]),
             ),
+            // Process totals since start (shared serializer with `lhcds
+            // stats --json`). On a healthy daemon max_flow_invocations
+            // freezes after index build: the read path runs zero flow.
+            ("flow", flow_stats_json(&lhcds_core::flow_stats())),
         ])
     }
 }
@@ -529,11 +533,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                         false,
                     ),
                 };
+                // Flip the stop flag *before* acknowledging: once the
+                // client reads the response, `is_shutting_down()` must
+                // already be true (clients assert exactly that).
+                if is_shutdown {
+                    shared.stop.store(true, Ordering::SeqCst);
+                }
                 if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
                     return; // client went away mid-response
                 }
                 if is_shutdown {
-                    shared.stop.store(true, Ordering::SeqCst);
                     return;
                 }
             }

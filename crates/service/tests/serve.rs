@@ -381,6 +381,20 @@ fn stats_op_reports_shape_and_counters() {
     assert_eq!(lru.get("hits").unwrap().as_u64(), Some(1));
     assert_eq!(lru.get("misses").unwrap().as_u64(), Some(1));
     assert!(stats.get("requests").unwrap().as_u64().unwrap() >= 3);
+    // flow-layer telemetry rides along (shared serializer with the CLI)
+    let flow = stats.get("flow").unwrap();
+    for key in [
+        "networks_built",
+        "arcs_built",
+        "max_flow_invocations",
+        "warm_solves",
+        "cold_solves",
+    ] {
+        assert!(flow.get(key).unwrap().as_u64().is_some(), "missing {key}");
+    }
+    // index construction ran flow; serving these queries must not have
+    // — pinned precisely by the flow-free test below, sanity here:
+    assert!(flow.get("networks_built").unwrap().as_u64().unwrap() >= 1);
     server.shutdown_handle().shutdown();
     server.join();
 }

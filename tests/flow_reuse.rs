@@ -1,0 +1,73 @@
+//! Workspace-level flow-reuse equivalence: the served artifacts
+//! (`DecompositionIndex` contents, full decompositions, compact
+//! numbers) are byte-identical whether the verification stack reuses
+//! warm-started parametric networks (default) or rebuilds one network
+//! per density probe — on the paper's Figure 2 worked example and on
+//! generated community graphs.
+
+use lhcds::core::density::dense_decomposition_opts;
+use lhcds::core::index::{DecompositionIndex, IndexConfig};
+use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::data::figure2_graph;
+use lhcds::data::gen::planted_communities;
+use lhcds::graph::CsrGraph;
+
+fn cfg(flow_reuse: bool) -> IppvConfig {
+    IppvConfig {
+        flow_reuse,
+        ..IppvConfig::default()
+    }
+}
+
+fn check_graph(g: &CsrGraph, h: usize) {
+    // full decomposition, both verifier families
+    for fast in [true, false] {
+        let mk = |reuse: bool| IppvConfig {
+            fast_verify: fast,
+            ..cfg(reuse)
+        };
+        let reused = top_k_lhcds(g, h, usize::MAX, &mk(true));
+        let scratch = top_k_lhcds(g, h, usize::MAX, &mk(false));
+        assert_eq!(reused.subgraphs, scratch.subgraphs, "h={h} fast={fast}");
+    }
+    // the frozen index: byte-identity of every serialized part
+    let mk_index = |reuse: bool| {
+        DecompositionIndex::build(
+            g,
+            h,
+            &IndexConfig {
+                ippv: cfg(reuse),
+                ..IndexConfig::default()
+            },
+        )
+    };
+    assert_eq!(
+        mk_index(true).as_parts(),
+        mk_index(false).as_parts(),
+        "h={h}: index parts diverged"
+    );
+    // the dense-decomposition ladder (exact compact numbers)
+    let cliques = lhcds::clique::CliqueSet::enumerate(g, h);
+    let a = dense_decomposition_opts(g, &cliques, true);
+    let b = dense_decomposition_opts(g, &cliques, false);
+    assert_eq!(a.levels, b.levels, "h={h}");
+    assert_eq!(a.phi, b.phi, "h={h}");
+}
+
+#[test]
+fn figure2_is_reuse_invariant_across_h() {
+    let g = figure2_graph();
+    for h in [2usize, 3, 4] {
+        check_graph(&g, h);
+    }
+    // and the reuse default still reproduces the paper's top-1
+    let res = top_k_lhcds(&g, 3, 1, &IppvConfig::default());
+    assert_eq!(res.subgraphs[0].vertices, vec![11, 12, 13, 14, 15, 16]);
+    assert_eq!(res.subgraphs[0].density.to_string(), "13/6");
+}
+
+#[test]
+fn planted_communities_are_reuse_invariant() {
+    let g = planted_communities(250, 3, &[(12, 0.9), (9, 0.95)], 0xACE);
+    check_graph(&g, 3);
+}
