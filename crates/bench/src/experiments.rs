@@ -935,18 +935,22 @@ fn serve_qps_on(
     )
 }
 
-/// Parametric flow-network reuse A/B: the decomposition ladder (exact
+/// Flow-network reuse tier A/B/C: the decomposition ladder (exact
 /// dense decomposition — every marginal-density probe) and a full IPPV
-/// run, with `flow_reuse` off (historical rebuild-per-probe) vs on
-/// (one warm-started network per instance). Records wall time and the
-/// flow work counters (networks/arcs built, max-flow invocations, warm
-/// vs cold solves) to `BENCH_flow.json` with the standard provenance
-/// stamp — the committed before/after anchor for flow-layer perf work.
+/// run, at all three [`lhcds::core::FlowReuse`] tiers — `scratch` (historical
+/// rebuild-per-probe), `warm` (one warm-started network per instance,
+/// reset on decreases), and `ggt` (never-reset GGT divide-and-conquer
+/// plus the shared fast-verifier network). Records wall time and the
+/// flow work counters (networks/arcs built, max-flow invocations,
+/// warm/retract/cold solves, GGT recursions) to `BENCH_flow.json` with
+/// the standard provenance stamp — the committed before/after anchor
+/// for flow-layer perf work.
 ///
-/// Exactness is asserted, not hoped for: both modes must produce
-/// bit-identical decompositions and pipeline outputs, and the reuse
-/// path must build strictly fewer networks than it runs max-flows
-/// (the CI smoke contract).
+/// Exactness is asserted, not hoped for: all tiers must produce
+/// bit-identical decompositions and pipeline outputs, the reuse tiers
+/// must build strictly fewer networks than they run max-flows, and
+/// `ggt` must build no more networks than `warm` on every row (the CI
+/// smoke contract).
 pub fn flowreuse(_opts: &ExpOptions) -> String {
     let dir = std::env::var("LHCDS_BENCH_DIR").unwrap_or_else(|_| ".".into());
     let workloads: Vec<(&str, CsrGraph, usize)> = vec![
@@ -973,7 +977,7 @@ pub fn flowreuse(_opts: &ExpOptions) -> String {
 /// tests.
 pub fn flowreuse_on(workloads: Vec<(&str, CsrGraph, usize)>, out_dir: &std::path::Path) -> String {
     use lhcds::core::density::dense_decomposition_opts;
-    use lhcds::core::flow_stats;
+    use lhcds::core::{flow_stats, FlowReuse};
 
     let mut t = MdTable::new([
         "graph",
@@ -984,38 +988,44 @@ pub fn flowreuse_on(workloads: Vec<(&str, CsrGraph, usize)>, out_dir: &std::path
         "max-flows",
         "networks",
         "arcs",
-        "warm/cold",
+        "warm/retract/cold",
     ]);
     let mut json_rows: Vec<String> = Vec::new();
     for (name, g, h) in &workloads {
         let cliques = lhcds::clique::CliqueSet::enumerate(g, *h);
         let mut outputs: Vec<(lhcds::core::density::DenseDecomposition, IppvResult)> = Vec::new();
-        for (mode, reuse) in [("scratch", false), ("reuse", true)] {
+        let mut networks_by_mode: Vec<u64> = Vec::new();
+        for mode in [FlowReuse::Scratch, FlowReuse::Warm, FlowReuse::Ggt] {
             let cfg = IppvConfig {
-                flow_reuse: reuse,
+                flow_reuse: mode,
                 ..IppvConfig::default()
             };
             let before = flow_stats();
-            let (decomp, ladder_ms) = time_ms(|| dense_decomposition_opts(g, &cliques, reuse));
+            let (decomp, ladder_ms) = time_ms(|| dense_decomposition_opts(g, &cliques, mode));
             let (res, pipeline_ms) = time_ms(|| {
                 lhcds::core::pipeline::top_k_with_instances(g, &cliques, usize::MAX, &cfg)
             });
             let d = flow_stats().since(&before);
 
-            if reuse {
-                // the tentpole contract, enforced on every run (CI
-                // smoke included): asymptotically fewer networks than
-                // ρ-probes on the reuse path
-                assert!(
-                    d.max_flow_invocations <= 1 || d.networks_built < d.max_flow_invocations,
-                    "{name}: reuse built {} networks for {} max-flows",
-                    d.networks_built,
-                    d.max_flow_invocations
-                );
-            } else {
+            if mode == FlowReuse::Scratch {
                 assert_eq!(
                     d.networks_built, d.max_flow_invocations,
                     "{name}: scratch mode must rebuild per probe"
+                );
+            } else {
+                // the reuse contract, enforced on every run (CI smoke
+                // included): asymptotically fewer networks than ρ-probes
+                assert!(
+                    d.max_flow_invocations <= 1 || d.networks_built < d.max_flow_invocations,
+                    "{name}: {mode} built {} networks for {} max-flows",
+                    d.networks_built,
+                    d.max_flow_invocations
+                );
+            }
+            if mode == FlowReuse::Ggt {
+                assert_eq!(
+                    d.infeasible_reset, 0,
+                    "{name}: the ggt tier must never reset a flow"
                 );
             }
 
@@ -1028,14 +1038,15 @@ pub fn flowreuse_on(workloads: Vec<(&str, CsrGraph, usize)>, out_dir: &std::path
                 d.max_flow_invocations.to_string(),
                 d.networks_built.to_string(),
                 d.arcs_built.to_string(),
-                format!("{}/{}", d.warm_solves, d.cold_solves),
+                format!("{}/{}/{}", d.warm_solves, d.retract_solves, d.cold_solves()),
             ]);
             json_rows.push(format!(
                 "    {{\"graph\": \"{name}\", \"n\": {}, \"m\": {}, \"h\": {h}, \
                  \"mode\": \"{mode}\", \"ladder_wall_ms\": {ladder_ms:.3}, \
                  \"pipeline_wall_ms\": {pipeline_ms:.3}, \
                  \"max_flow_invocations\": {}, \"networks_built\": {}, \
-                 \"arcs_built\": {}, \"warm_solves\": {}, \"cold_solves\": {}, \
+                 \"arcs_built\": {}, \"warm_solves\": {}, \"retract_solves\": {}, \
+                 \"cold_solves\": {}, \"ggt_recursions\": {}, \
                  \"warm_hit_rate\": {:.4}}}",
                 g.n(),
                 g.m(),
@@ -1043,18 +1054,35 @@ pub fn flowreuse_on(workloads: Vec<(&str, CsrGraph, usize)>, out_dir: &std::path
                 d.networks_built,
                 d.arcs_built,
                 d.warm_solves,
-                d.cold_solves,
+                d.retract_solves,
+                d.cold_solves(),
+                d.ggt_recursions,
                 d.warm_hit_rate(),
             ));
             outputs.push((decomp, res));
+            networks_by_mode.push(d.networks_built);
         }
-        // bit-identity across modes: levels, compact numbers, pipeline
-        let (scratch, reuse) = (&outputs[0], &outputs[1]);
-        assert_eq!(scratch.0.levels, reuse.0.levels, "{name}: ladder diverged");
-        assert_eq!(scratch.0.phi, reuse.0.phi, "{name}: φ diverged");
-        assert_eq!(
-            scratch.1.subgraphs, reuse.1.subgraphs,
-            "{name}: pipeline diverged"
+        // bit-identity across all tiers: levels, compact numbers,
+        // pipeline outputs
+        let scratch = &outputs[0];
+        for (tier, out) in outputs.iter().enumerate().skip(1) {
+            assert_eq!(
+                scratch.0.levels, out.0.levels,
+                "{name}/{tier}: ladder diverged"
+            );
+            assert_eq!(scratch.0.phi, out.0.phi, "{name}/{tier}: φ diverged");
+            assert_eq!(
+                scratch.1.subgraphs, out.1.subgraphs,
+                "{name}/{tier}: pipeline diverged"
+            );
+        }
+        // the tentpole contract: GGT never builds more networks than
+        // the warm tier, on every row
+        assert!(
+            networks_by_mode[2] <= networks_by_mode[1],
+            "{name}: ggt built {} networks vs warm's {}",
+            networks_by_mode[2],
+            networks_by_mode[1]
         );
     }
 

@@ -20,8 +20,9 @@ fn flowreuse_records_a_json_baseline_and_enforces_identity() {
     let out = flowreuse_on(tiny, &dir);
     assert!(out.contains("baseline recorded"), "{out}");
     assert!(out.contains("| figure2_tiny "), "{out}");
-    assert!(out.contains("| reuse "), "{out}");
     assert!(out.contains("| scratch "), "{out}");
+    assert!(out.contains("| warm "), "{out}");
+    assert!(out.contains("| ggt "), "{out}");
     let json = std::fs::read_to_string(dir.join("BENCH_flow.json")).unwrap();
     for key in [
         "\"experiment\": \"flowreuse\"",
@@ -29,7 +30,8 @@ fn flowreuse_records_a_json_baseline_and_enforces_identity() {
         "\"recorded_on_single_cpu\"",
         "\"graph\": \"figure2_tiny\"",
         "\"mode\": \"scratch\"",
-        "\"mode\": \"reuse\"",
+        "\"mode\": \"warm\"",
+        "\"mode\": \"ggt\"",
         "\"h\": 4",
         "\"ladder_wall_ms\"",
         "\"pipeline_wall_ms\"",
@@ -37,7 +39,9 @@ fn flowreuse_records_a_json_baseline_and_enforces_identity() {
         "\"networks_built\"",
         "\"arcs_built\"",
         "\"warm_solves\"",
+        "\"retract_solves\"",
         "\"cold_solves\"",
+        "\"ggt_recursions\"",
         "\"warm_hit_rate\"",
     ] {
         assert!(json.contains(key), "missing {key} in {json}");

@@ -1,7 +1,7 @@
 //! `lhcds` — command-line locally h-clique densest subgraph discovery.
 //!
 //! ```text
-//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--json]
+//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--flow-reuse ggt] [--json]
 //! lhcds topk --input web-Stanford.txt [--format snap|csv|auto] [--no-cache] --h 3 --k 5
 //! lhcds stats --graph edges.txt [--h 3] [--threads 4] [--json]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
@@ -45,6 +45,7 @@ use std::time::Duration;
 
 use lhcds::core::index::{DecompositionIndex, IndexConfig};
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::core::FlowReuse;
 use lhcds::data::cache::{cache_path_for, load_or_build, CacheStatus};
 use lhcds::data::index_cache::{build_or_load_index_for, IndexBuildOptions};
 use lhcds::data::ingest::{read_graph_file, EdgeListFormat};
@@ -106,7 +107,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
-         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--quiet] [--json]\n  \
+         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--flow-reuse T] [--quiet] [--json]\n  \
          lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N] [--json]\n  \
          lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
          lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n  \
@@ -120,6 +121,7 @@ fn print_help() {
          PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
          PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)\n\
          THREADS:  enumeration worker threads (0 = auto); results never depend on it\n\
+         REUSE:    --flow-reuse scratch|warm|ggt (default ggt); results never depend on it\n\
          SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx) and\n          \
          binary-loaded on restart; answers match `lhcds topk --json` exactly"
     );
@@ -256,6 +258,10 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
     let quiet = args.flag("quiet");
     let json = args.flag("json");
     let pattern = args.get("pattern");
+    let flow_reuse = match args.get("flow-reuse") {
+        Some(spec) => spec.parse::<FlowReuse>()?,
+        None => FlowReuse::default(),
+    };
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
@@ -268,6 +274,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
     let cfg = IppvConfig {
         fast_verify: !basic,
         parallelism,
+        flow_reuse,
         ..IppvConfig::default()
     };
 
@@ -325,14 +332,24 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         );
         let flow = lhcds::core::flow_stats().since(&flow_before);
         eprintln!(
-            "flow: {} networks built | {} max-flow solves ({} warm / {} cold, {:.0}% warm) | {} arcs",
+            "flow: {} networks built | {} max-flow solves ({} warm / {} retract / {} cold, {:.0}% warm) | {} arcs",
             flow.networks_built,
             flow.max_flow_invocations,
             flow.warm_solves,
-            flow.cold_solves,
+            flow.retract_solves,
+            flow.cold_solves(),
             flow.warm_hit_rate() * 100.0,
             flow.arcs_built,
         );
+        if flow.ggt_recursions > 0 {
+            eprintln!(
+                "ggt:  {} recursions (depth {}) | {} nodes contracted | {} arcs saved",
+                flow.ggt_recursions,
+                flow.ggt_max_depth,
+                flow.ggt_contracted_nodes,
+                flow.ggt_arcs_saved,
+            );
+        }
     }
     Ok(())
 }
@@ -397,8 +414,13 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
         println!("|Psi_{hh}|:     {c}");
     }
     println!(
-        "flow:        {} networks, {} solves ({} warm / {} cold)",
-        flow.networks_built, flow.max_flow_invocations, flow.warm_solves, flow.cold_solves
+        "flow:        {} networks, {} solves ({} warm / {} retract / {} cold), {} ggt recursions",
+        flow.networks_built,
+        flow.max_flow_invocations,
+        flow.warm_solves,
+        flow.retract_solves,
+        flow.cold_solves(),
+        flow.ggt_recursions,
     );
     Ok(())
 }
@@ -851,6 +873,32 @@ mod tests {
         .is_err());
         assert!(run(vec!["topk".into(), "--quiet".into()]).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flow_reuse_flag_parses_all_tiers() {
+        for tier in ["scratch", "warm", "ggt"] {
+            run(vec![
+                "topk".into(),
+                "--graph".into(),
+                fixture(),
+                "--k".into(),
+                "2".into(),
+                "--flow-reuse".into(),
+                tier.into(),
+                "--quiet".into(),
+            ])
+            .unwrap();
+        }
+        assert!(run(vec![
+            "topk".into(),
+            "--graph".into(),
+            fixture(),
+            "--flow-reuse".into(),
+            "eager".into(),
+            "--quiet".into(),
+        ])
+        .is_err());
     }
 
     #[test]

@@ -43,8 +43,9 @@
 //! the `flow_reuse` equivalence suites.
 
 use lhcds_clique::CliqueSet;
+use lhcds_flow::parametric::ReusePolicy;
 use lhcds_flow::rational::lcm_up_to;
-use lhcds_flow::{ParametricNetwork, Ratio};
+use lhcds_flow::{FlowReuse, GgtSolver, ParametricNetwork, Ratio};
 use lhcds_graph::VertexId;
 
 /// A clique of the parent graph that straddles the local universe:
@@ -169,10 +170,14 @@ pub fn local_instance(cliques: &CliqueSet, set: &[VertexId]) -> (LocalInstance, 
 /// reuses the same [`ParametricNetwork`], warm-starting when the
 /// capacity change is monotone.
 ///
-/// With `reuse` disabled ([`InstanceSolver::with_reuse`]) the network
-/// is rebuilt from scratch before every solve — the historical cost
-/// model, kept for the equivalence suites and the `flowreuse` bench
-/// A/B. Results are bit-identical either way.
+/// The [`FlowReuse`] tier ([`InstanceSolver::with_reuse`]) picks the
+/// cost model: [`FlowReuse::Scratch`] rebuilds the network before every
+/// solve (the pre-parametric model), [`FlowReuse::Warm`] keeps it but
+/// resets the flow on capacity decreases (PR 5), and the default
+/// [`FlowReuse::Ggt`] never resets — decreases retract the flow along
+/// its own paths, and the full-ladder entry point
+/// [`InstanceSolver::ggt_ladder`] replaces the probe schedule by GGT
+/// divide-and-conquer. Results are bit-identical across all tiers.
 ///
 /// The instance parameter is generic over ownership: long-lived holders
 /// (the IPPV driver's [`crate::verify::BasicVerifier`], the
@@ -182,7 +187,7 @@ pub fn local_instance(cliques: &CliqueSet, set: &[VertexId]) -> (LocalInstance, 
 #[derive(Debug, Clone)]
 pub struct InstanceSolver<I: std::borrow::Borrow<LocalInstance> = LocalInstance> {
     inst: I,
-    reuse: bool,
+    reuse: FlowReuse,
     boundary_enabled: bool,
     net: Option<ParametricNetwork>,
     /// Per-vertex base-scale degree from interior cliques.
@@ -194,15 +199,14 @@ pub struct InstanceSolver<I: std::borrow::Borrow<LocalInstance> = LocalInstance>
 }
 
 impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
-    /// Wraps `inst` (owned or borrowed) with network reuse enabled
-    /// (the default).
+    /// Wraps `inst` (owned or borrowed) at the default reuse tier
+    /// ([`FlowReuse::Ggt`]).
     pub fn new(inst: I) -> InstanceSolver<I> {
-        InstanceSolver::with_reuse(inst, true)
+        InstanceSolver::with_reuse(inst, FlowReuse::default())
     }
 
-    /// Wraps `inst`; with `reuse = false` every probe rebuilds the
-    /// network from scratch (the pre-parametric cost model).
-    pub fn with_reuse(inst: I, reuse: bool) -> InstanceSolver<I> {
+    /// Wraps `inst` at an explicit [`FlowReuse`] tier.
+    pub fn with_reuse(inst: I, reuse: FlowReuse) -> InstanceSolver<I> {
         let instance = inst.borrow();
         let n = instance.n;
         let h = instance.h as i128;
@@ -292,7 +296,7 @@ impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
     /// `forced` vertices to the source side with an effectively
     /// infinite `s → v` capacity) and solves it.
     fn solve(&mut self, rho: Ratio, forced: Option<&[bool]>) {
-        if !self.reuse {
+        if self.reuse == FlowReuse::Scratch {
             self.net = None;
         }
         if self.net.is_none() {
@@ -338,7 +342,12 @@ impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
                 0
             });
         }
-        pn.solve(scale, &caps);
+        let policy = if self.reuse == FlowReuse::Ggt {
+            ReusePolicy::Retract
+        } else {
+            ReusePolicy::Reset
+        };
+        pn.solve_with(scale, &caps, policy);
     }
 
     fn vertex_side(&self, side: &[bool]) -> Vec<bool> {
@@ -482,6 +491,58 @@ impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
         let level: Vec<bool> = (0..n).map(|v| side[v + 1] && !forced[v]).collect();
         debug_assert!(level.iter().any(|&b| b), "level must be non-empty");
         Some((best, level))
+    }
+
+    /// The *entire* dense-decomposition ladder in one GGT
+    /// divide-and-conquer: marginal densities with their level
+    /// memberships, strictly descending, computed on a single shared
+    /// network whose flow is never reset (see [`GgtSolver`]).
+    ///
+    /// The instance network is exactly a GGT parametric family — the
+    /// `s → v` clique-degree arcs are constant and the `v → t` arcs grow
+    /// as `ρ·h` — and its principal-partition breakpoints are the
+    /// marginal densities, with the partition classes the levels. Levels
+    /// at density ≤ 0 (vertices in no clique) are part of the raw
+    /// partition; callers building a [`crate::density::DenseDecomposition`]
+    /// drop them, exactly like the probe-walk path does.
+    pub fn ggt_ladder(&mut self) -> Vec<(Ratio, Vec<bool>)> {
+        assert!(
+            self.boundary_enabled || self.instance().boundary.is_empty(),
+            "decomposition needs the boundary cliques enabled"
+        );
+        let inst = self.inst.borrow();
+        let n = inst.n;
+        if n == 0 {
+            return Vec::new();
+        }
+        let h = inst.h as i128;
+        let fc = inst.clique_count();
+        let bc = inst.boundary.len();
+        let t = (1 + n + fc + bc) as u32;
+        let base = lcm_up_to(inst.h as u32);
+        // Same node layout and capacities as `build_network`, with the
+        // terminal arcs as the λ-ladder: src = clique degree, slope = h.
+        let mut g = GgtSolver::new(t as usize + 1, 0, t, base);
+        for v in 0..n {
+            let dv = self.deg_interior[v] + self.deg_boundary[v];
+            g.ladder_node((v + 1) as u32, dv, h);
+        }
+        for (i, members) in inst.full.chunks_exact(inst.h).enumerate() {
+            let cnode = (1 + n + i) as u32;
+            for &v in members {
+                g.add_static(v + 1, cnode, base);
+                g.add_static(cnode, v + 1, (h - 1) * base);
+            }
+        }
+        for (j, b) in inst.boundary.iter().enumerate() {
+            let cnode = (1 + n + fc + j) as u32;
+            let cnt = b.inside.len() as i128;
+            for &v in &b.inside {
+                g.add_static(v + 1, cnode, h * base / cnt);
+                g.add_static(cnode, v + 1, (h - 1) * base);
+            }
+        }
+        g.principal_partition()
     }
 }
 
@@ -724,9 +785,10 @@ mod tests {
 
         let mut reused = InstanceSolver::new(inst.clone());
         let a = reused.densest_decomposition().unwrap();
-        let mut scratch = InstanceSolver::with_reuse(inst.clone(), false);
-        let b2 = scratch.densest_decomposition().unwrap();
-        assert_eq!(a, b2);
+        for tier in [FlowReuse::Scratch, FlowReuse::Warm, FlowReuse::Ggt] {
+            let mut s = InstanceSolver::with_reuse(inst.clone(), tier);
+            assert_eq!(a, s.densest_decomposition().unwrap(), "{tier}");
+        }
         assert_eq!(a, densest_decomposition(&inst).unwrap());
         // (the work-counter contracts — one network per ladder, warm
         // hits along it — live in tests/flow_reuse.rs, which owns its
@@ -745,6 +807,63 @@ mod tests {
             assert_eq!(probe.derive_compact(rho), derive_compact(&inst, rho));
             assert_eq!(probe.is_densest(rho), is_densest(&inst, rho));
         }
+    }
+
+    /// Walks the marginal-density ladder probe-by-probe (the Goldberg
+    /// path) and returns `(density, level-mask)` pairs, for comparing
+    /// against [`InstanceSolver::ggt_ladder`].
+    fn walk_ladder(inst: &LocalInstance) -> Vec<(Ratio, Vec<bool>)> {
+        let mut solver = InstanceSolver::with_reuse(inst, FlowReuse::Scratch);
+        let mut forced = vec![false; inst.n];
+        let mut out = Vec::new();
+        while let Some((rho, level)) = solver.next_density_level(&forced) {
+            for (f, &l) in forced.iter_mut().zip(&level) {
+                *f = *f || l;
+            }
+            out.push((rho, level));
+        }
+        out
+    }
+
+    #[test]
+    fn ggt_ladder_matches_the_probe_walk() {
+        // K5 + pendant + tail (three levels incl. density-0 fringe) and
+        // the Figure 2 S1 block (a single level: degenerate ladder)
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        b.add_edge(4, 5).add_edge(5, 6);
+        for inst in [instance_of(&b.build(), 3), instance_of(&complete(6), 3)] {
+            let ggt = InstanceSolver::new(inst.clone()).ggt_ladder();
+            let walk = walk_ladder(&inst);
+            // the walk stops before density-0 fringes; the raw GGT
+            // partition includes them as breakpoint-0 classes
+            let positive: Vec<_> = ggt
+                .iter()
+                .filter(|(rho, _)| *rho > Ratio::zero())
+                .cloned()
+                .collect();
+            let walk_pos: Vec<_> = walk
+                .into_iter()
+                .filter(|(rho, _)| *rho > Ratio::zero())
+                .collect();
+            assert_eq!(positive, walk_pos);
+        }
+    }
+
+    #[test]
+    fn ggt_ladder_covers_boundary_cliques() {
+        let inst = LocalInstance {
+            n: 2,
+            h: 3,
+            full: Vec::new(),
+            boundary: vec![BoundaryClique { inside: vec![0, 1] }],
+        };
+        let ladder = InstanceSolver::new(inst.clone()).ggt_ladder();
+        assert_eq!(ladder, vec![(Ratio::new(1, 2), vec![true, true])]);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 
 use crate::compact::{local_instance, InstanceSolver};
 use lhcds_clique::CliqueSet;
-use lhcds_flow::Ratio;
+use lhcds_flow::{FlowReuse, Ratio};
 use lhcds_graph::{CsrGraph, VertexId};
 
 /// One level of the dense decomposition.
@@ -57,19 +57,22 @@ pub fn dense_decomposition(g: &CsrGraph, h: usize) -> DenseDecomposition {
 /// Same as [`dense_decomposition`] with a pre-built instance store
 /// (also used for general pattern decompositions).
 pub fn dense_decomposition_with(g: &CsrGraph, cliques: &CliqueSet) -> DenseDecomposition {
-    dense_decomposition_opts(g, cliques, true)
+    dense_decomposition_opts(g, cliques, FlowReuse::default())
 }
 
-/// [`dense_decomposition_with`] with the flow-network reuse policy
-/// explicit: the whole principal-partition ladder — every marginal-
-/// density probe of every level — runs on **one** retained
-/// [`InstanceSolver`] network when `flow_reuse` is on, or rebuilds per
-/// probe when off (the historical cost model; the `flowreuse` bench
-/// A/Bs the two). Output is bit-identical either way.
+/// [`dense_decomposition_with`] with the flow-network reuse tier
+/// explicit. Under [`FlowReuse::Ggt`] (the default) the whole ladder is
+/// one GGT principal-partition divide-and-conquer on a single
+/// never-reset network ([`InstanceSolver::ggt_ladder`]); the other
+/// tiers walk the marginal-density probe schedule, with
+/// [`FlowReuse::Warm`] retaining one network across the walk and
+/// [`FlowReuse::Scratch`] rebuilding per probe (the historical cost
+/// model; the `flowreuse` bench A/Bs all three). Output is bit-identical
+/// across tiers.
 pub fn dense_decomposition_opts(
     g: &CsrGraph,
     cliques: &CliqueSet,
-    flow_reuse: bool,
+    flow_reuse: FlowReuse,
 ) -> DenseDecomposition {
     let n = g.n();
     let mut phi = vec![Ratio::zero(); n];
@@ -80,6 +83,28 @@ pub fn dense_decomposition_opts(
     let all: Vec<VertexId> = g.vertices().collect();
     let (inst, map) = local_instance(cliques, &all);
     let mut solver = InstanceSolver::with_reuse(inst, flow_reuse);
+
+    if flow_reuse == FlowReuse::Ggt {
+        // One divide-and-conquer recovers every level; the classes come
+        // back in strictly descending breakpoint order, exactly like
+        // the probe walk emits them.
+        for (density, level_mask) in solver.ggt_ladder() {
+            if density <= Ratio::zero() {
+                continue; // vertices in no clique: φ stays 0
+            }
+            let mut vertices = Vec::new();
+            for (local, &m) in level_mask.iter().enumerate() {
+                if m {
+                    let v = map[local];
+                    phi[v as usize] = density;
+                    vertices.push(v);
+                }
+            }
+            vertices.sort_unstable();
+            levels.push(DensityLevel { density, vertices });
+        }
+        return DenseDecomposition { levels, phi };
+    }
 
     let mut forced = vec![false; solver.instance().n];
     let mut last: Option<Ratio> = None;
@@ -227,11 +252,13 @@ mod tests {
         b.add_edge(9, 10).add_edge(10, 11).add_edge(11, 9);
         let g = b.build();
         let cliques = CliqueSet::enumerate(&g, 3);
-        let reused = dense_decomposition_opts(&g, &cliques, true);
-        let scratch = dense_decomposition_opts(&g, &cliques, false);
-        assert_eq!(reused.levels, scratch.levels);
-        assert_eq!(reused.phi, scratch.phi);
-        assert_eq!(reused.levels.len(), 3);
+        let scratch = dense_decomposition_opts(&g, &cliques, FlowReuse::Scratch);
+        assert_eq!(scratch.levels.len(), 3);
+        for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+            let d = dense_decomposition_opts(&g, &cliques, tier);
+            assert_eq!(d.levels, scratch.levels, "{tier} tier diverged");
+            assert_eq!(d.phi, scratch.phi, "{tier} tier diverged");
+        }
         // (the one-network-per-ladder counter contract lives in
         // tests/flow_reuse.rs, whose process owns the global counters)
     }

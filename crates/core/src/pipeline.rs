@@ -43,9 +43,11 @@ use crate::cp::seq_kclist_pp;
 use crate::decompose::tentative_gd;
 use crate::prune::prune;
 use crate::stable::derive_stable_groups;
-use crate::verify::{verify_fast, BasicVerifier, FastConfig, Verdict};
+use crate::verify::{
+    verify_fast_with, BasicVerifier, FastConfig, FastVerifier, SharedFastSlot, Verdict,
+};
 use lhcds_clique::{CliqueSet, Parallelism};
-use lhcds_flow::Ratio;
+use lhcds_flow::{FlowReuse, Ratio};
 use lhcds_graph::traversal::components_within;
 use lhcds_graph::{CsrGraph, VertexId};
 
@@ -75,14 +77,24 @@ pub struct IppvConfig {
     /// [`CliqueSet::enumerate_with`]), so this setting affects wall
     /// time only, never results.
     pub parallelism: Parallelism,
-    /// Reuse flow networks across density probes (one
-    /// [`InstanceSolver`] network per candidate region / per basic-
-    /// verifier run, warm-started where the capacity change is
-    /// monotone) instead of rebuilding per probe. Affects wall time and
-    /// the flow work counters only — every output is bit-identical
-    /// (pinned by the `flow_reuse` equivalence suites). Off exists for
-    /// the `flowreuse` bench A/B.
-    pub flow_reuse: bool,
+    /// Flow-network reuse tier. [`FlowReuse::Scratch`] rebuilds a
+    /// network per ρ-probe (the historical cost model),
+    /// [`FlowReuse::Warm`] retains one [`InstanceSolver`] network per
+    /// candidate region / basic-verifier run and warm-starts monotone
+    /// re-solves, and the default [`FlowReuse::Ggt`] never resets a
+    /// flow: decomposition ladders run as one GGT principal-partition
+    /// divide-and-conquer, and the fast verifier's flow-deciding calls
+    /// share one whole-graph network re-tuned per candidate. Affects
+    /// wall time and the flow work counters only — every output is
+    /// bit-identical (pinned by the `flow_reuse` equivalence suites).
+    pub flow_reuse: FlowReuse,
+    /// Build the whole-graph verifier networks on the `(h−1)`-core
+    /// instead of all of `G` (the Core-Exact trick: every h-clique
+    /// lives inside the `(h−1)`-core, so no verdict changes — pinned by
+    /// the `core_prune` equivalence suite). Off by default; vertices in
+    /// no h-clique are already excluded from candidate regions
+    /// regardless, so this flag only shrinks the shared networks.
+    pub core_prune: bool,
 }
 
 impl Default for IppvConfig {
@@ -95,7 +107,8 @@ impl Default for IppvConfig {
             use_cp: true,
             use_prune: true,
             parallelism: Parallelism::serial(),
-            flow_reuse: true,
+            flow_reuse: FlowReuse::default(),
+            core_prune: false,
         }
     }
 }
@@ -238,6 +251,15 @@ pub fn top_k_with_instances(
 
     // ---- Verify (candidate loop) ----------------------------------
     let t = Instant::now();
+    // Core-Exact restriction for the whole-graph verifier networks:
+    // the (h−1)-core hosts every h-clique.
+    let core_universe: Option<Vec<VertexId>> = cfg.core_prune.then(|| {
+        let deg = lhcds_graph::core_decomp::degeneracy_order(g);
+        let k = (cliques.h() as u32).saturating_sub(1);
+        (0..g.n() as VertexId)
+            .filter(|&v| deg.core[v as usize] >= k)
+            .collect()
+    });
     let mut driver = Driver {
         g,
         cliques,
@@ -254,6 +276,8 @@ pub fn top_k_with_instances(
         buffer: Vec::new(),
         results: Vec::new(),
         basic: None,
+        fast_shared: None,
+        core_universe,
         stats: &mut stats,
     };
     // highest-r group on top of the stack
@@ -311,6 +335,13 @@ struct Driver<'a> {
     /// Figure 6 network (the same arcs for every candidate — only ρ
     /// differs) is constructed once per run, not once per verification.
     basic: Option<BasicVerifier>,
+    /// Shared whole-graph network for the fast verifier's flow-deciding
+    /// calls, built lazily on first use. Engaged only at the
+    /// [`FlowReuse::Ggt`] tier without boundary-clique inflation; other
+    /// configurations keep the per-candidate reduced networks.
+    fast_shared: Option<FastVerifier>,
+    /// Verifier universe under `core_prune` (the `(h−1)`-core).
+    core_universe: Option<Vec<VertexId>>,
     stats: &'a mut IppvStats,
 }
 
@@ -512,7 +543,19 @@ impl<'a> Driver<'a> {
     ) {
         self.stats.verifications += 1;
         let verdict = if self.cfg.fast_verify {
-            let (verdict, info) = verify_fast(
+            // At the GGT tier all flow-deciding fast verifications share
+            // one whole-graph network — built lazily inside the flow
+            // tail, so shortcut-resolved candidates never build it;
+            // boundary-clique inflation keeps per-candidate networks.
+            let shared = if self.cfg.flow_reuse == FlowReuse::Ggt && !self.cfg.boundary_cliques {
+                Some(SharedFastSlot {
+                    slot: &mut self.fast_shared,
+                    universe: self.core_universe.as_deref(),
+                })
+            } else {
+                None
+            };
+            let (verdict, info) = verify_fast_with(
                 self.g,
                 self.cliques,
                 &m,
@@ -523,6 +566,7 @@ impl<'a> Driver<'a> {
                     boundary_cliques: self.cfg.boundary_cliques,
                     need_superset: true,
                 },
+                shared,
             );
             if info.shortcut_accept {
                 self.stats.shortcut_accepts += 1;
@@ -537,8 +581,12 @@ impl<'a> Driver<'a> {
         } else {
             self.stats.flow_verifications += 1;
             let (g, cliques, reuse) = (self.g, self.cliques, self.cfg.flow_reuse);
+            let core = &self.core_universe;
             self.basic
-                .get_or_insert_with(|| BasicVerifier::new(g, cliques, reuse))
+                .get_or_insert_with(|| match core {
+                    Some(u) => BasicVerifier::on_universe(cliques, u, reuse),
+                    None => BasicVerifier::new(g, cliques, reuse),
+                })
                 .verify(g, &m, rho)
         };
         if std::env::var_os("LHCDS_TRACE").is_some() {
@@ -805,7 +853,7 @@ mod tests {
         }
     }
 
-    /// Reuse on vs off is invisible in the outputs, for both verifier
+    /// The reuse tier is invisible in the outputs, for both verifier
     /// families. (The work-counter side of the contract — fewer
     /// networks than ρ-probes — lives in tests/flow_reuse.rs, whose
     /// process owns the global flow counters.)
@@ -818,14 +866,16 @@ mod tests {
         b.add_edge(7, 8).add_edge(10, 11);
         let g = b.build();
         for fast in [true, false] {
-            let mk = |flow_reuse: bool| IppvConfig {
+            let mk = |flow_reuse: FlowReuse| IppvConfig {
                 fast_verify: fast,
                 flow_reuse,
                 ..IppvConfig::default()
             };
-            let reused = top_k_lhcds(&g, 3, 10, &mk(true));
-            let scratch = top_k_lhcds(&g, 3, 10, &mk(false));
-            assert_eq!(reused.subgraphs, scratch.subgraphs, "fast={fast}");
+            let scratch = top_k_lhcds(&g, 3, 10, &mk(FlowReuse::Scratch));
+            for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+                let res = top_k_lhcds(&g, 3, 10, &mk(tier));
+                assert_eq!(res.subgraphs, scratch.subgraphs, "fast={fast} {tier}");
+            }
         }
     }
 

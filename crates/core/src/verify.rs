@@ -39,7 +39,9 @@
 use crate::bounds::Bounds;
 use crate::compact::{local_instance, BoundaryClique, InstanceSolver, LocalInstance};
 use lhcds_clique::CliqueSet;
-use lhcds_flow::Ratio;
+use lhcds_flow::parametric::ReusePolicy;
+use lhcds_flow::rational::lcm_up_to;
+use lhcds_flow::{FlowReuse, ParametricNetwork, Ratio};
 use lhcds_graph::traversal::components_within;
 use lhcds_graph::{CsrGraph, VertexId};
 
@@ -68,7 +70,9 @@ pub struct FastVerifyInfo {
     pub shortcut_accept: bool,
     /// Whether an early bound-based reject fired.
     pub early_reject: bool,
-    /// Interior cliques in the reduced network.
+    /// Interior cliques in the reduced network (0 when the shared
+    /// whole-graph network of a [`FastVerifier`] answered instead —
+    /// no reduced network is materialized there).
     pub local_cliques: usize,
     /// Boundary cliques added to the reduced network.
     pub boundary_cliques: usize,
@@ -116,11 +120,31 @@ pub struct BasicVerifier {
 }
 
 impl BasicVerifier {
-    /// Builds the whole-graph instance once. `reuse = false` restores
-    /// the rebuild-per-call cost model (bench A/B; results identical).
-    pub fn new(g: &CsrGraph, cliques: &CliqueSet, reuse: bool) -> BasicVerifier {
+    /// Builds the whole-graph instance once at the given [`FlowReuse`]
+    /// tier ([`FlowReuse::Scratch`] restores the rebuild-per-call cost
+    /// model for the bench A/B; results identical across tiers).
+    pub fn new(g: &CsrGraph, cliques: &CliqueSet, reuse: FlowReuse) -> BasicVerifier {
         let all: Vec<VertexId> = g.vertices().collect();
-        let (inst, map) = local_instance(cliques, &all);
+        BasicVerifier::on_universe(cliques, &all, reuse)
+    }
+
+    /// Builds the verifier on a restricted universe (Core-Exact style:
+    /// the `(h−1)`-core suffices, since every h-clique lives inside it
+    /// and `DeriveCompact` at the pipeline's strictly positive
+    /// thresholds never keeps a clique-free vertex). Verdicts are
+    /// identical to the whole-graph verifier as long as `universe`
+    /// covers every clique member.
+    pub fn on_universe(
+        cliques: &CliqueSet,
+        universe: &[VertexId],
+        reuse: FlowReuse,
+    ) -> BasicVerifier {
+        let (inst, map) = local_instance(cliques, universe);
+        debug_assert_eq!(
+            inst.clique_count(),
+            cliques.len(),
+            "universe must cover every clique"
+        );
         BasicVerifier {
             solver: InstanceSolver::with_reuse(inst, reuse),
             map,
@@ -132,9 +156,8 @@ impl BasicVerifier {
     /// `Superset(X)`.
     pub fn verify(&mut self, g: &CsrGraph, s_sorted: &[VertexId], rho: Ratio) -> Verdict {
         debug_assert!(s_sorted.windows(2).all(|w| w[0] < w[1]));
-        debug_assert_eq!(
-            g.n(),
-            self.map.len(),
+        debug_assert!(
+            self.map.len() <= g.n() && s_sorted.iter().all(|v| self.map.binary_search(v).is_ok()),
             "verify() must receive the graph this verifier was built from"
         );
         let membership = self.solver.derive_compact(rho);
@@ -158,12 +181,148 @@ pub fn verify_basic(
     s_sorted: &[VertexId],
     rho: Ratio,
 ) -> Verdict {
-    BasicVerifier::new(g, cliques, true).verify(g, s_sorted, rho)
+    BasicVerifier::new(g, cliques, FlowReuse::default()).verify(g, s_sorted, rho)
+}
+
+/// The fast verifier's flow step on **one** shared whole-graph network.
+///
+/// Historically every flow-deciding [`verify_fast`] call built a fresh
+/// reduced network over its own `T`. The candidates differ, but their
+/// networks are all fragments of the same Figure 6 shape; `FastVerifier`
+/// builds the whole-graph network once and *simulates* each candidate's
+/// reduced network with parametric terminal capacities alone:
+///
+/// * `v ∈ T` — `s → v` carries the whole-graph clique degree and
+///   `v → t` the threshold `(ρ − 1/|T|²)·h`, exactly like the reduced
+///   network;
+/// * `v ∉ T` — `s → v` drops to 0 and `v → t` becomes effectively
+///   infinite, pinning the vertex to the sink side of every min-cut.
+///
+/// With the outside pinned, a clique `c` straddling `T`'s boundary
+/// contributes `|A ∩ c|` (linear) to every cut with source side
+/// `A ⊆ T`, which cancels against the whole-graph `s → v` degrees — the
+/// cut function over `A` differs from the reduced network's by a
+/// constant. Min-cut source sides (the canonical maximal one included)
+/// therefore coincide with the reduced network's, bit-identically.
+///
+/// The per-candidate re-tunes run under [`ReusePolicy::Retract`], so
+/// the flow survives from candidate to candidate and is never reset —
+/// the same GGT discipline the decomposition ladder uses. Only valid
+/// for the default Figure 6 configuration (no boundary-clique
+/// inflation); [`verify_fast_with`] falls back to the per-candidate
+/// path when `FastConfig::boundary_cliques` is set.
+#[derive(Debug)]
+pub struct FastVerifier {
+    net: ParametricNetwork,
+    /// Whole-graph clique degree per local vertex, at the base scale.
+    deg: Vec<i128>,
+    /// local → parent ids (ascending).
+    map: Vec<VertexId>,
+    /// parent → local (`u32::MAX` outside the universe).
+    local: Vec<u32>,
+    h: i128,
+}
+
+impl FastVerifier {
+    /// Builds the shared whole-graph network once.
+    pub fn new(g: &CsrGraph, cliques: &CliqueSet) -> FastVerifier {
+        let all: Vec<VertexId> = g.vertices().collect();
+        FastVerifier::on_universe(cliques, &all)
+    }
+
+    /// Restricted-universe variant (Core-Exact: the `(h−1)`-core hosts
+    /// every h-clique, so building on it shrinks the network without
+    /// changing any verdict). `universe` must cover every clique member.
+    pub fn on_universe(cliques: &CliqueSet, universe: &[VertexId]) -> FastVerifier {
+        let (inst, map) = local_instance(cliques, universe);
+        debug_assert_eq!(
+            inst.clique_count(),
+            cliques.len(),
+            "universe must cover every clique"
+        );
+        let n = inst.n;
+        let h = inst.h as i128;
+        let base = lcm_up_to(inst.h as u32);
+        let fc = inst.clique_count();
+        let t = (1 + n + fc) as u32;
+        let mut net = ParametricNetwork::new(t as usize + 1, 0, t, base);
+        // parametric arc layout: [0, n) = s→v, [n, 2n) = v→t
+        for v in 0..n as u32 {
+            net.add_parametric(0, v + 1);
+        }
+        for v in 0..n as u32 {
+            net.add_parametric(v + 1, t);
+        }
+        let mut deg = vec![0i128; n];
+        for (i, members) in inst.full.chunks_exact(inst.h).enumerate() {
+            let cnode = (1 + n + i) as u32;
+            for &v in members {
+                net.add_static(v + 1, cnode, base);
+                net.add_static(cnode, v + 1, (h - 1) * base);
+                deg[v as usize] += base;
+            }
+        }
+        let mut local = vec![u32::MAX; cliques.n()];
+        for (i, &v) in map.iter().enumerate() {
+            local[v as usize] = i as u32;
+        }
+        FastVerifier {
+            net,
+            deg,
+            map,
+            local,
+            h,
+        }
+    }
+
+    /// `DeriveCompact(G[T], ρ − 1/|T|², ∅)` via the shared network:
+    /// returns the members (parent ids, ascending) of the union of all
+    /// maximal `ρ`-compact subgraphs of `G[T]`. Universe members of `T`
+    /// drive the cut; clique-free `T` members outside the universe are
+    /// provably never kept and only enter through `|T|` in the
+    /// perturbation term.
+    pub fn derive_compact_within(&mut self, t_sorted: &[VertexId], rho: Ratio) -> Vec<VertexId> {
+        let ts = t_sorted.len() as i128;
+        let eps = Ratio::new(1, ts * ts);
+        let thr = (rho - eps).max(Ratio::zero());
+        let scale = self.net.scale_for(thr.den());
+        let factor = scale / self.net.base_scale();
+        let vt_cap = (thr * Ratio::from_int(self.h)).scale_to_int(scale);
+        assert!(vt_cap >= 0, "threshold must be non-negative");
+        let n = self.map.len();
+        let mut in_t = vec![false; n];
+        // "infinite" = strictly above the all-sink cut Σ_{v∈T} deg(v),
+        // which bounds the min cut: no minimum cut can afford an
+        // out-of-T vertex on the source side.
+        let mut inf: i128 = 1;
+        for &v in t_sorted {
+            let l = self.local[v as usize];
+            if l != u32::MAX {
+                in_t[l as usize] = true;
+                inf = inf.saturating_add(self.deg[l as usize].saturating_mul(factor));
+            }
+        }
+        let mut caps = Vec::with_capacity(2 * n);
+        for (l, &inside) in in_t.iter().enumerate() {
+            caps.push(if inside { self.deg[l] * factor } else { 0 });
+        }
+        for &inside in &in_t {
+            caps.push(if inside { vt_cap } else { inf });
+        }
+        self.net.solve_with(scale, &caps, ReusePolicy::Retract);
+        let side = self.net.max_cut_source_side();
+        (0..n)
+            .filter(|&l| in_t[l] && side[l + 1])
+            .map(|l| self.map[l])
+            .collect()
+    }
 }
 
 /// Fast verification (Algorithm 5). `output_mask[v]` marks vertices of
 /// already-verified LhCDSes (used for the early reject — their compact
-/// numbers are pinned at densities `≥ ρ`).
+/// numbers are pinned at densities `≥ ρ`). Builds a reduced network per
+/// flow-deciding call; see [`verify_fast_with`] to share one network
+/// across candidates.
 pub fn verify_fast(
     g: &CsrGraph,
     cliques: &CliqueSet,
@@ -172,6 +331,37 @@ pub fn verify_fast(
     bounds: &Bounds,
     output_mask: &[bool],
     cfg: &FastConfig,
+) -> (Verdict, FastVerifyInfo) {
+    verify_fast_with(g, cliques, s_sorted, rho, bounds, output_mask, cfg, None)
+}
+
+/// A lazily-built shared [`FastVerifier`] slot for [`verify_fast_with`]:
+/// the whole-graph network is constructed on the first *flow-deciding*
+/// verification and reused ever after, so candidate streams that
+/// resolve entirely by shortcut/early-reject never pay for it.
+pub struct SharedFastSlot<'a> {
+    /// Where the verifier persists across candidates (the caller's
+    /// field; `None` until the first flow-deciding verification).
+    pub slot: &'a mut Option<FastVerifier>,
+    /// Restricted build universe (Core-Exact pruning), if any.
+    pub universe: Option<&'a [VertexId]>,
+}
+
+/// [`verify_fast`] with an optional shared [`FastVerifier`] slot: when
+/// given (and boundary-clique inflation is off), the flow step re-tunes
+/// the shared whole-graph network parametrically — building it on first
+/// use — instead of building a reduced network for this candidate.
+/// Verdicts are bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_fast_with(
+    g: &CsrGraph,
+    cliques: &CliqueSet,
+    s_sorted: &[VertexId],
+    rho: Ratio,
+    bounds: &Bounds,
+    output_mask: &[bool],
+    cfg: &FastConfig,
+    shared: Option<SharedFastSlot<'_>>,
 ) -> (Verdict, FastVerifyInfo) {
     debug_assert!(s_sorted.windows(2).all(|w| w[0] < w[1]));
     let mut info = FastVerifyInfo::default();
@@ -221,24 +411,38 @@ pub fn verify_fast(
         return (Verdict::Lhcds, info);
     }
 
-    // Reduced flow network over G[T], solved through the parametric
-    // layer (the boundary in-arcs stay individually tunable there, so
-    // the Figure 6/7 ablation can share one network per instance).
     t.sort_unstable();
-    let (mut inst, map) = local_instance(cliques, &t);
-    info.local_cliques = inst.clique_count();
-    if cfg.boundary_cliques {
-        collect_boundary_cliques(cliques, &t, &map, &mut inst);
-        info.boundary_cliques = inst.boundary.len();
-    }
     info.used_flow = true;
-    let membership = InstanceSolver::new(inst).derive_compact(rho);
-    let kept: Vec<VertexId> = map
-        .iter()
-        .zip(&membership)
-        .filter(|&(_, &m)| m)
-        .map(|(&v, _)| v)
-        .collect();
+    let kept: Vec<VertexId> = match shared {
+        // The shared whole-graph network simulates this candidate's
+        // reduced network with parametric terminal caps alone (only
+        // valid without boundary-clique inflation).
+        Some(sh) if !cfg.boundary_cliques => {
+            let fv = sh.slot.get_or_insert_with(|| match sh.universe {
+                Some(u) => FastVerifier::on_universe(cliques, u),
+                None => FastVerifier::new(g, cliques),
+            });
+            fv.derive_compact_within(&t, rho)
+        }
+        _ => {
+            // Reduced flow network over G[T], solved through the
+            // parametric layer (the boundary in-arcs stay individually
+            // tunable there, so the Figure 6/7 ablation can share one
+            // network per instance).
+            let (mut inst, map) = local_instance(cliques, &t);
+            info.local_cliques = inst.clique_count();
+            if cfg.boundary_cliques {
+                collect_boundary_cliques(cliques, &t, &map, &mut inst);
+                info.boundary_cliques = inst.boundary.len();
+            }
+            let membership = InstanceSolver::new(inst).derive_compact(rho);
+            map.iter()
+                .zip(&membership)
+                .filter(|&(_, &m)| m)
+                .map(|(&v, _)| v)
+                .collect()
+        }
+    };
     (component_verdict(g, s_sorted, &kept), info)
 }
 
@@ -572,7 +776,7 @@ mod tests {
             (&[5, 6, 7, 8, 9], Ratio::from_int(2)),
             (&[0, 1, 2], Ratio::from_int(1)),
         ];
-        let mut shared = BasicVerifier::new(&g, &cs, true);
+        let mut shared = BasicVerifier::new(&g, &cs, FlowReuse::default());
         let verdicts: Vec<Verdict> = candidates
             .iter()
             .map(|&(s, rho)| shared.verify(&g, s, rho))
@@ -585,6 +789,125 @@ mod tests {
         assert_eq!(verdicts[0], Verdict::Lhcds);
         assert_eq!(verdicts[1], Verdict::Lhcds);
         assert!(matches!(verdicts[2], Verdict::Superset(_)));
+    }
+
+    /// The shared whole-graph `FastVerifier` must answer exactly like
+    /// the per-candidate reduced-network path, across a sequence of
+    /// candidates on one retained network.
+    #[test]
+    fn shared_fast_verifier_matches_per_candidate_networks() {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        b.add_edge(4, 5); // bridge
+        b.add_edge(9, 10).add_edge(10, 11).add_edge(11, 9); // triangle
+        let g = b.build();
+        let (cs, bounds) = setup(&g, 3);
+        let outputs = vec![false; g.n()];
+        let mut fv = Some(FastVerifier::new(&g, &cs));
+        let candidates: [(&[VertexId], Ratio); 3] = [
+            (&[0, 1, 2, 3, 4], Ratio::from_int(2)),
+            (&[5, 6, 7, 8], Ratio::from_int(1)),
+            (&[9, 10, 11], Ratio::new(1, 3)),
+        ];
+        for &(s, rho) in &candidates {
+            let (legacy, li) = verify_fast_with(
+                &g,
+                &cs,
+                s,
+                rho,
+                &bounds,
+                &outputs,
+                &FastConfig::default(),
+                None,
+            );
+            let (shared, si) = verify_fast_with(
+                &g,
+                &cs,
+                s,
+                rho,
+                &bounds,
+                &outputs,
+                &FastConfig::default(),
+                Some(SharedFastSlot {
+                    slot: &mut fv,
+                    universe: None,
+                }),
+            );
+            assert_eq!(legacy, shared, "candidate {s:?} at {rho}");
+            assert_eq!(li.used_flow, si.used_flow);
+            assert_eq!(li.t_size, si.t_size);
+        }
+    }
+
+    /// Core-Exact restriction: the `(h−1)`-core universe changes no
+    /// verdict for either verifier family.
+    #[test]
+    fn core_universe_changes_no_verdict() {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    b.add_edge(base + i, base + j);
+                }
+            }
+        }
+        b.add_edge(4, 5);
+        b.add_edge(9, 10).add_edge(10, 11); // path: outside the 2-core
+        let g = b.build();
+        let (cs, bounds) = setup(&g, 3);
+        let deg = lhcds_graph::core_decomp::degeneracy_order(&g);
+        let core: Vec<VertexId> = (0..g.n() as u32)
+            .filter(|&v| deg.core[v as usize] >= 2)
+            .collect();
+        assert!(core.len() < g.n(), "restriction must be proper");
+        let outputs = vec![false; g.n()];
+        let rho = Ratio::from_int(2);
+        let s: Vec<VertexId> = (0..5).collect();
+        let mut whole_b = BasicVerifier::new(&g, &cs, FlowReuse::default());
+        let mut core_b = BasicVerifier::on_universe(&cs, &core, FlowReuse::default());
+        assert_eq!(
+            whole_b.verify(&g, &s, rho),
+            core_b.verify(&g, &s, rho),
+            "basic verifier"
+        );
+        // the whole-graph slot builds lazily; the core slot is seeded
+        // with an explicit restricted-universe construction
+        let mut whole_f: Option<FastVerifier> = None;
+        let mut core_f = Some(FastVerifier::on_universe(&cs, &core));
+        let (vw, _) = verify_fast_with(
+            &g,
+            &cs,
+            &s,
+            rho,
+            &bounds,
+            &outputs,
+            &FastConfig::default(),
+            Some(SharedFastSlot {
+                slot: &mut whole_f,
+                universe: None,
+            }),
+        );
+        assert!(whole_f.is_some(), "flow-deciding call must build the net");
+        let (vc, _) = verify_fast_with(
+            &g,
+            &cs,
+            &s,
+            rho,
+            &bounds,
+            &outputs,
+            &FastConfig::default(),
+            Some(SharedFastSlot {
+                slot: &mut core_f,
+                universe: Some(&core),
+            }),
+        );
+        assert_eq!(vw, vc, "fast verifier");
     }
 
     /// Randomized equivalence: fast ≡ basic on small random graphs.
@@ -627,6 +950,7 @@ mod tests {
                 .collect();
             let comps = components_within(&g, &kept);
             let outputs = vec![false; g.n()];
+            let mut fv: Option<FastVerifier> = None;
             for comp in comps {
                 let basic = verify_basic(&g, &cs, &comp, rho);
                 let (fast, _) = verify_fast(
@@ -639,6 +963,20 @@ mod tests {
                     &FastConfig::default(),
                 );
                 assert_eq!(basic, fast, "trial {trial}: candidate {comp:?}");
+                let (shared, _) = verify_fast_with(
+                    &g,
+                    &cs,
+                    &comp,
+                    rho,
+                    &bounds,
+                    &outputs,
+                    &FastConfig::default(),
+                    Some(SharedFastSlot {
+                        slot: &mut fv,
+                        universe: None,
+                    }),
+                );
+                assert_eq!(fast, shared, "trial {trial}: shared {comp:?}");
             }
         }
     }

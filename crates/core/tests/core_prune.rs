@@ -1,0 +1,82 @@
+//! Property-level guarantee for `IppvConfig::core_prune`: restricting
+//! verifier universes to the (h−1)-core never changes any pipeline
+//! output, on random graphs at h ∈ {2, 3, 4} and under both verifier
+//! families. (The Figure 2 and community-graph pins live in the
+//! workspace-level `core_prune` suite; this one hammers the space of
+//! small adversarial graphs, where fringe trees and isolated vertices
+//! fall out of the core.)
+
+use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+fn graph_from_bits(n: usize, bits: &[bool]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.ensure_vertex((n - 1) as VertexId);
+    let mut idx = 0;
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            if bits[idx] {
+                b.add_edge(u, v);
+            }
+            idx += 1;
+        }
+    }
+    b.build()
+}
+
+fn check_graph(g: &CsrGraph, h: usize) {
+    for fast in [true, false] {
+        let mk = |core_prune: bool| IppvConfig {
+            fast_verify: fast,
+            core_prune,
+            ..IppvConfig::default()
+        };
+        let plain = top_k_lhcds(g, h, usize::MAX, &mk(false));
+        let pruned = top_k_lhcds(g, h, usize::MAX, &mk(true));
+        assert_eq!(
+            plain.subgraphs, pruned.subgraphs,
+            "h={h} fast={fast}: core pruning changed the output"
+        );
+    }
+}
+
+#[test]
+fn fringe_trees_fall_out_of_the_core() {
+    // K5 with a long pendant path and an isolated vertex: at h = 3 the
+    // 2-core is exactly the K5, so the prune removes the entire fringe
+    let mut b = GraphBuilder::new();
+    for u in 0..5u32 {
+        for v in u + 1..5 {
+            b.add_edge(u, v);
+        }
+    }
+    b.add_edge(4, 5).add_edge(5, 6).add_edge(6, 7);
+    b.ensure_vertex(8);
+    let g = b.build();
+    for h in [2usize, 3, 4] {
+        check_graph(&g, h);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sparse random graphs, h = 3 — most vertices miss the 2-core.
+    #[test]
+    fn core_prune_invisible_h3(bits in prop::collection::vec(prop::bool::weighted(0.35), 45)) {
+        check_graph(&graph_from_bits(10, &bits), 3);
+    }
+
+    /// h = 2: the (h−1)-core is the 1-core, i.e. non-isolated vertices.
+    #[test]
+    fn core_prune_invisible_h2(bits in prop::collection::vec(prop::bool::weighted(0.3), 45)) {
+        check_graph(&graph_from_bits(10, &bits), 2);
+    }
+
+    /// Dense random graphs, h = 4 against the 3-core.
+    #[test]
+    fn core_prune_invisible_h4(bits in prop::collection::vec(prop::bool::weighted(0.5), 45)) {
+        check_graph(&graph_from_bits(10, &bits), 4);
+    }
+}

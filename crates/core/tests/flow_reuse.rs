@@ -1,11 +1,13 @@
-//! Parametric flow-network reuse must be *invisible*: every output of
-//! the verification stack — full decompositions, compact numbers,
-//! per-threshold cut sides — is bit-identical whether networks are
-//! retained and warm-started across ρ-probes (`flow_reuse: true`, the
-//! default) or rebuilt from scratch per probe (the historical cost
-//! model). These suites pin that equivalence on fixtures and random
+//! Flow-network reuse must be *invisible*: every output of the
+//! verification stack — full decompositions, compact numbers,
+//! per-threshold cut sides — is bit-identical across all three
+//! `flow_reuse` tiers: `scratch` (one network per probe, the
+//! historical cost model), `warm` (networks retained and warm-started
+//! across monotone ρ-probes), and `ggt` (one never-reset flow with
+//! retraction on decreases and principal-partition recursion, the
+//! default). These suites pin that equivalence on fixtures and random
 //! graphs at h ∈ {2, 3, 4}, alongside the work-counter contracts that
-//! make the reuse path worth having.
+//! make the reuse tiers worth having.
 
 use std::sync::Mutex;
 
@@ -13,6 +15,7 @@ use lhcds_core::compact::{local_instance, InstanceSolver};
 use lhcds_core::density::dense_decomposition_opts;
 use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
 use lhcds_core::verify::{verify_basic, BasicVerifier, Verdict};
+use lhcds_core::FlowReuse;
 use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
 use proptest::prelude::*;
 
@@ -40,7 +43,7 @@ fn graph_from_bits(n: usize, bits: &[bool]) -> CsrGraph {
     b.build()
 }
 
-fn cfg(fast_verify: bool, flow_reuse: bool) -> IppvConfig {
+fn cfg(fast_verify: bool, flow_reuse: FlowReuse) -> IppvConfig {
     IppvConfig {
         fast_verify,
         flow_reuse,
@@ -49,32 +52,52 @@ fn cfg(fast_verify: bool, flow_reuse: bool) -> IppvConfig {
 }
 
 /// Full-decomposition + ladder identity for one (graph, h), under both
-/// verifier families, plus the network-count contract.
+/// verifier families and all three tiers, plus the network-count and
+/// counter-accounting contracts.
 fn check_reuse_invisible(g: &CsrGraph, h: usize) {
     for fast in [true, false] {
         let before = lhcds_flow::flow_stats();
-        let reused = top_k_lhcds(g, h, usize::MAX, &cfg(fast, true));
-        let rd = lhcds_flow::flow_stats().since(&before);
-        let scratch = top_k_lhcds(g, h, usize::MAX, &cfg(fast, false));
+        let scratch = top_k_lhcds(g, h, usize::MAX, &cfg(fast, FlowReuse::Scratch));
+        let sd = lhcds_flow::flow_stats().since(&before);
         assert_eq!(
-            reused.subgraphs, scratch.subgraphs,
-            "h={h} fast={fast}: decomposition diverged"
+            sd.networks_built, sd.max_flow_invocations,
+            "h={h} fast={fast}: scratch rebuilds one network per solve"
         );
-        assert_eq!(
-            rd.max_flow_invocations,
-            rd.warm_solves + rd.cold_solves,
-            "h={h} fast={fast}: every max-flow goes through the parametric layer"
-        );
-        assert!(
-            rd.max_flow_invocations <= 1 || rd.networks_built < rd.max_flow_invocations,
-            "h={h} fast={fast}: {rd:?}"
-        );
+        for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+            let before = lhcds_flow::flow_stats();
+            let reused = top_k_lhcds(g, h, usize::MAX, &cfg(fast, tier));
+            let rd = lhcds_flow::flow_stats().since(&before);
+            assert_eq!(
+                reused.subgraphs, scratch.subgraphs,
+                "h={h} fast={fast} tier={tier}: decomposition diverged"
+            );
+            assert_eq!(
+                rd.max_flow_invocations,
+                rd.warm_solves + rd.retract_solves + rd.cold_solves(),
+                "h={h} fast={fast} tier={tier}: every max-flow goes through the parametric layer"
+            );
+            assert!(
+                rd.networks_built <= sd.networks_built,
+                "h={h} fast={fast} tier={tier}: reuse built more networks than scratch — {rd:?} vs {sd:?}"
+            );
+            if tier == FlowReuse::Ggt {
+                assert_eq!(
+                    rd.infeasible_reset, 0,
+                    "h={h} fast={fast}: ggt never resets a flow — {rd:?}"
+                );
+            }
+        }
     }
     let cliques = lhcds_clique::CliqueSet::enumerate(g, h);
-    let a = dense_decomposition_opts(g, &cliques, true);
-    let b = dense_decomposition_opts(g, &cliques, false);
-    assert_eq!(a.levels, b.levels, "h={h}: ladder levels diverged");
-    assert_eq!(a.phi, b.phi, "h={h}: compact numbers diverged");
+    let a = dense_decomposition_opts(g, &cliques, FlowReuse::Scratch);
+    for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+        let b = dense_decomposition_opts(g, &cliques, tier);
+        assert_eq!(
+            a.levels, b.levels,
+            "h={h} tier={tier}: ladder levels diverged"
+        );
+        assert_eq!(a.phi, b.phi, "h={h} tier={tier}: compact numbers diverged");
+    }
 }
 
 /// One network per decomposition ladder, one per basic-verifier run:
@@ -96,20 +119,40 @@ fn ladders_and_basic_verifier_build_one_network_each() {
     let (inst, _) = local_instance(&cliques, &all);
 
     let before = lhcds_flow::flow_stats();
-    let reused = InstanceSolver::new(inst.clone()).densest_decomposition();
-    let rd = lhcds_flow::flow_stats().since(&before);
+    let warm = InstanceSolver::with_reuse(inst.clone(), FlowReuse::Warm).densest_decomposition();
+    let wd = lhcds_flow::flow_stats().since(&before);
     let before = lhcds_flow::flow_stats();
-    let scratch = InstanceSolver::with_reuse(inst.clone(), false).densest_decomposition();
+    let ggt = InstanceSolver::new(inst.clone()).densest_decomposition();
+    let gd = lhcds_flow::flow_stats().since(&before);
+    let before = lhcds_flow::flow_stats();
+    let scratch =
+        InstanceSolver::with_reuse(inst.clone(), FlowReuse::Scratch).densest_decomposition();
     let sd = lhcds_flow::flow_stats().since(&before);
-    assert_eq!(reused, scratch);
-    assert_eq!(rd.networks_built, 1, "one network for the whole ladder");
-    assert!(rd.max_flow_invocations > 1);
-    assert!(rd.warm_solves >= 1, "{rd:?}");
+    assert_eq!(warm, scratch);
+    assert_eq!(ggt, scratch);
+    assert_eq!(
+        wd.networks_built, 1,
+        "one network for the whole warm ladder"
+    );
+    assert!(wd.max_flow_invocations > 1);
+    assert!(wd.warm_solves >= 1, "{wd:?}");
+    assert_eq!(gd.networks_built, 1, "one network for the whole ggt walk");
+    assert_eq!(gd.infeasible_reset, 0, "ggt never resets a flow: {gd:?}");
     assert_eq!(sd.networks_built, sd.max_flow_invocations);
     assert_eq!(
-        rd.max_flow_invocations, sd.max_flow_invocations,
+        wd.max_flow_invocations, sd.max_flow_invocations,
         "reuse changes construction work, never the probe schedule"
     );
+
+    // the principal-partition recursion: still one network, and the
+    // GGT-specific telemetry moves
+    let before = lhcds_flow::flow_stats();
+    let ladder = InstanceSolver::new(inst.clone()).ggt_ladder();
+    let ld = lhcds_flow::flow_stats().since(&before);
+    assert!(!ladder.is_empty());
+    assert_eq!(ld.networks_built, 1, "one network for the whole recursion");
+    assert!(ld.ggt_recursions >= 1, "{ld:?}");
+    assert_eq!(ld.infeasible_reset, 0, "{ld:?}");
 
     // one BasicVerifier across candidates at several ρ: one network
     let candidates: [(&[VertexId], lhcds_core::Ratio); 3] = [
@@ -117,17 +160,26 @@ fn ladders_and_basic_verifier_build_one_network_each() {
         (&[5, 6], lhcds_core::Ratio::zero()),
         (&[0, 1, 2], lhcds_core::Ratio::from_int(1)),
     ];
-    let before = lhcds_flow::flow_stats();
-    let mut shared = BasicVerifier::new(&g, &cliques, true);
-    let verdicts: Vec<Verdict> = candidates
-        .iter()
-        .map(|&(s, rho)| shared.verify(&g, s, rho))
-        .collect();
-    let delta = lhcds_flow::flow_stats().since(&before);
-    assert_eq!(delta.networks_built, 1, "one network for all candidates");
-    assert_eq!(delta.max_flow_invocations, candidates.len() as u64);
-    for (&(s, rho), verdict) in candidates.iter().zip(&verdicts) {
-        assert_eq!(*verdict, verify_basic(&g, &cliques, s, rho), "{s:?}@{rho}");
+    for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+        let before = lhcds_flow::flow_stats();
+        let mut shared = BasicVerifier::new(&g, &cliques, tier);
+        let verdicts: Vec<Verdict> = candidates
+            .iter()
+            .map(|&(s, rho)| shared.verify(&g, s, rho))
+            .collect();
+        let delta = lhcds_flow::flow_stats().since(&before);
+        assert_eq!(
+            delta.networks_built, 1,
+            "tier={tier}: one network for all candidates"
+        );
+        assert_eq!(delta.max_flow_invocations, candidates.len() as u64);
+        for (&(s, rho), verdict) in candidates.iter().zip(&verdicts) {
+            assert_eq!(
+                *verdict,
+                verify_basic(&g, &cliques, s, rho),
+                "tier={tier} {s:?}@{rho}"
+            );
+        }
     }
 }
 
@@ -157,7 +209,8 @@ fn two_k5_fixtures_are_reuse_invariant() {
 
 /// Per-threshold probes on a shared solver equal fresh solvers at every
 /// rho of a mixed (non-monotone) schedule — the raw cut-side identity
-/// underlying all higher-level equivalences.
+/// underlying all higher-level equivalences. Both reuse tiers share one
+/// solver: `warm` resets on the decreases, `ggt` retracts through them.
 #[test]
 fn mixed_threshold_schedule_matches_fresh_solvers() {
     let _quiet = quiet_counters();
@@ -174,28 +227,30 @@ fn mixed_threshold_schedule_matches_fresh_solvers() {
     let cliques = lhcds_clique::CliqueSet::enumerate(&g, 3);
     let all: Vec<VertexId> = g.vertices().collect();
     let (inst, _) = local_instance(&cliques, &all);
-    let mut shared = InstanceSolver::new(inst.clone());
     let schedule = [
         lhcds_core::Ratio::new(1, 3),
         lhcds_core::Ratio::from_int(2),
         lhcds_core::Ratio::new(13, 6), // up
-        lhcds_core::Ratio::new(1, 2),  // down (forces a cold solve)
+        lhcds_core::Ratio::new(1, 2),  // down (reset under warm, retract under ggt)
         lhcds_core::Ratio::new(7, 4),  // up again
         lhcds_core::Ratio::zero(),
     ];
-    for rho in schedule {
-        let mut fresh = InstanceSolver::new(inst.clone());
-        assert_eq!(
-            shared.max_excess_set(rho),
-            fresh.max_excess_set(rho),
-            "max_excess_set at {rho}"
-        );
-        let mut fresh = InstanceSolver::new(inst.clone());
-        assert_eq!(
-            shared.derive_compact(rho),
-            fresh.derive_compact(rho),
-            "derive_compact at {rho}"
-        );
+    for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+        let mut shared = InstanceSolver::with_reuse(inst.clone(), tier);
+        for rho in schedule {
+            let mut fresh = InstanceSolver::new(inst.clone());
+            assert_eq!(
+                shared.max_excess_set(rho),
+                fresh.max_excess_set(rho),
+                "tier={tier}: max_excess_set at {rho}"
+            );
+            let mut fresh = InstanceSolver::new(inst.clone());
+            assert_eq!(
+                shared.derive_compact(rho),
+                fresh.derive_compact(rho),
+                "tier={tier}: derive_compact at {rho}"
+            );
+        }
     }
 }
 

@@ -43,6 +43,11 @@ pub struct Dinic {
     level: Vec<u32>,
     iter: Vec<usize>,
     queue: std::collections::VecDeque<u32>,
+    // Generation-stamped scratch for retraction walks: node v is on the
+    // current walk iff walk_gen[v] == gen, at path position walk_pos[v].
+    walk_gen: Vec<u64>,
+    walk_pos: Vec<usize>,
+    gen: u64,
 }
 
 impl Dinic {
@@ -55,6 +60,9 @@ impl Dinic {
             level: vec![0; n],
             iter: vec![0; n],
             queue: std::collections::VecDeque::new(),
+            walk_gen: vec![0; n],
+            walk_pos: vec![0; n],
+            gen: 0,
         }
     }
 
@@ -149,6 +157,165 @@ impl Dinic {
         debug_assert!(flow >= 0 && flow <= cap);
         self.arcs[id].cap = cap - flow;
         self.arcs[id ^ 1].cap = flow;
+    }
+
+    /// Net flow currently entering node `v` (inflow minus outflow over
+    /// all incident arcs). Zero at every inner node of a conserving
+    /// flow; at the sink it equals the total flow value.
+    pub fn net_flow_into(&self, v: u32) -> i128 {
+        let mut net = 0i128;
+        for &eid in &self.adj[v as usize] {
+            let eid = eid as usize;
+            if eid & 1 == 1 {
+                // reverse of an arc into v: its residual is that arc's flow
+                net += self.arcs[eid].cap;
+            } else {
+                // forward arc out of v: its flow is the pair's residual
+                net -= self.arcs[eid ^ 1].cap;
+            }
+        }
+        net
+    }
+
+    /// Lowers the *total* capacity of forward arc `id` to `cap` while
+    /// keeping the network a valid conserving `s`–`t` flow: any excess
+    /// the arc carried beyond `cap` is cancelled along the retained
+    /// flow's own support paths — backwards from the arc's tail towards
+    /// `s`, forwards from its head towards `t`, or around flow cycles —
+    /// so [`Dinic::max_flow`] can continue warm from the result. This is
+    /// the GGT never-reset primitive: unlike [`Dinic::set_capacity`],
+    /// conservation is restored here, and the work is proportional to
+    /// the flow cancelled rather than the network size.
+    pub(crate) fn retract_arc(&mut self, id: ArcId, cap: i128, s: u32, t: u32) {
+        debug_assert!(id.is_multiple_of(2) && cap >= 0);
+        let flow = self.current_flow(id);
+        if flow <= cap {
+            self.set_state(id, cap, flow);
+            return;
+        }
+        let excess = flow - cap;
+        let head = self.arcs[id].to;
+        let tail = self.arcs[id ^ 1].to;
+        self.set_state(id, cap, cap);
+        // `tail` now has `excess` more inflow than outflow, `head` the
+        // reverse (the source/sink absorb imbalance by definition).
+        let mut surplus = if tail == s { 0 } else { excess };
+        let mut deficit = if head == t { 0 } else { excess };
+        // Backward walks from the tail terminate at s, at the deficit
+        // head (cancelling a head ⇝ tail sub-path fixes both ends), or
+        // on a flow cycle. A pseudoflow-decomposition argument shows no
+        // other stopping point exists while the imbalance persists.
+        while surplus > 0 {
+            let (m, ended_at_head) = self.cancel_walk(
+                tail,
+                s,
+                (deficit > 0).then_some(head),
+                surplus,
+                deficit,
+                true,
+            );
+            surplus -= m;
+            if ended_at_head {
+                deficit -= m;
+            }
+        }
+        // Once the surplus is gone the only imbalanced node is `head`,
+        // so forward walks can only terminate at t or on a cycle.
+        while deficit > 0 {
+            let (m, _) = self.cancel_walk(head, t, None, deficit, 0, false);
+            deficit -= m;
+        }
+        // A walk may itself route through the retracted arc (it is an
+        // in-arc of `head`) and cancel below `cap`; that is still a
+        // feasible conserving flow, which is all retraction promises.
+        debug_assert!(self.current_flow(id) <= cap);
+    }
+
+    /// One retraction walk from `start` along the positive-flow support
+    /// (`backward`: against the flow direction via in-arcs; otherwise
+    /// with it via out-arcs), cancelling flow on what it finds:
+    ///
+    /// * reaching `stop` (or `alt`, when set) cancels the walked path by
+    ///   `min(path flows, limit[, alt_limit])` and returns that amount
+    ///   plus whether `alt` ended the walk;
+    /// * closing a flow cycle cancels the cycle by its own bottleneck
+    ///   (zeroing at least one arc, which guarantees progress) and
+    ///   returns `(0, false)` so the caller retries.
+    fn cancel_walk(
+        &mut self,
+        start: u32,
+        stop: u32,
+        alt: Option<u32>,
+        limit: i128,
+        alt_limit: i128,
+        backward: bool,
+    ) -> (i128, bool) {
+        self.gen += 1;
+        self.walk_gen[start as usize] = self.gen;
+        self.walk_pos[start as usize] = 0;
+        // path[k] is the forward arc between walk nodes k and k+1
+        // (carrying flow towards node k when walking backward, away
+        // from it when walking forward).
+        let mut path: Vec<ArcId> = Vec::new();
+        let mut v = start;
+        loop {
+            if v == stop || alt == Some(v) {
+                let ended_at_alt = v != stop;
+                let mut m = if ended_at_alt {
+                    limit.min(alt_limit)
+                } else {
+                    limit
+                };
+                for &a in &path {
+                    m = m.min(self.current_flow(a));
+                }
+                debug_assert!(m > 0, "retraction walk cancelled nothing");
+                for &a in &path {
+                    self.cancel_flow(a, m);
+                }
+                return (m, ended_at_alt);
+            }
+            let mut next_arc = None;
+            for &eid in &self.adj[v as usize] {
+                let eid = eid as usize;
+                let is_in_arc = (eid & 1) == 1;
+                if is_in_arc == backward && self.arcs[if backward { eid } else { eid ^ 1 }].cap > 0
+                {
+                    next_arc = Some(if backward { eid ^ 1 } else { eid });
+                    break;
+                }
+            }
+            let fwd = next_arc.expect("conservation guarantees a support arc");
+            let w = if backward {
+                self.arcs[fwd ^ 1].to // the forward arc's tail
+            } else {
+                self.arcs[fwd].to
+            };
+            if self.walk_gen[w as usize] == self.gen {
+                // flow cycle: path[pos(w)..] plus fwd closes it
+                let i = self.walk_pos[w as usize];
+                let mut m = self.current_flow(fwd);
+                for &a in &path[i..] {
+                    m = m.min(self.current_flow(a));
+                }
+                self.cancel_flow(fwd, m);
+                for &a in &path[i..] {
+                    self.cancel_flow(a, m);
+                }
+                return (0, false);
+            }
+            path.push(fwd);
+            self.walk_gen[w as usize] = self.gen;
+            self.walk_pos[w as usize] = path.len();
+            v = w;
+        }
+    }
+
+    /// Removes `m` units of flow from forward arc `id`.
+    fn cancel_flow(&mut self, id: ArcId, m: i128) {
+        self.arcs[id].cap += m;
+        self.arcs[id ^ 1].cap -= m;
+        debug_assert!(self.arcs[id ^ 1].cap >= 0, "cancelled more than carried");
     }
 
     fn bfs(&mut self, s: u32, t: u32) -> bool {
@@ -454,6 +621,103 @@ mod tests {
         let added = d.max_flow(0, 2);
         assert_eq!(first + added, 9);
         assert_eq!(d.min_cut_source_side(0), vec![true, true, false]);
+    }
+
+    #[test]
+    fn retract_arc_keeps_a_feasible_conserving_flow() {
+        // diamond with a cross arc; saturate, then retract one sink arc
+        let mut d = Dinic::new(4);
+        let _s1 = d.add_edge(0, 1, 10);
+        let _s2 = d.add_edge(0, 2, 4);
+        d.add_edge(1, 2, 2);
+        let e13 = d.add_edge(1, 3, 8);
+        let e23 = d.add_edge(2, 3, 10);
+        assert_eq!(d.max_flow(0, 3), 14);
+        d.retract_arc(e13, 3, 0, 3);
+        // conservation restored at the inner nodes, flow within caps
+        assert_eq!(d.net_flow_into(1), 0);
+        assert_eq!(d.net_flow_into(2), 0);
+        assert!(d.current_flow(e13) <= 3);
+        assert!(d.current_flow(e23) <= 10);
+        // warm continuation reaches the fresh optimum at the new caps
+        let warm_total = -d.net_flow_into(0) + d.max_flow(0, 3);
+        let mut fresh = Dinic::new(4);
+        fresh.add_edge(0, 1, 10);
+        fresh.add_edge(0, 2, 4);
+        fresh.add_edge(1, 2, 2);
+        fresh.add_edge(1, 3, 3);
+        fresh.add_edge(2, 3, 10);
+        assert_eq!(warm_total, fresh.max_flow(0, 3));
+        assert_eq!(d.net_flow_into(3), warm_total);
+        assert_eq!(d.min_cut_source_side(0), fresh.min_cut_source_side(0));
+        assert_eq!(d.max_cut_source_side(3), fresh.max_cut_source_side(3));
+    }
+
+    /// Randomized retraction: after lowering a batch of arcs on a solved
+    /// network, conservation holds everywhere, every arc is within its
+    /// new capacity, and a warm re-solve matches a fresh network — for
+    /// both canonical cut sides.
+    #[test]
+    fn random_retractions_match_fresh_networks() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..30 {
+            let n = 9;
+            let (s, t) = (0u32, (n - 1) as u32);
+            let mut d = Dinic::new(n);
+            let mut arcs = Vec::new();
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    // keep s source-only and t sink-only, like the
+                    // instance networks retraction is built for
+                    if u != v && v != s && u != t && rng() % 3 == 0 {
+                        let c = (rng() % 20) as i128;
+                        let id = d.add_edge(u, v, c);
+                        arcs.push((u, v, c, id));
+                    }
+                }
+            }
+            let _ = d.max_flow(s, t);
+            // lower a random subset of caps, retracting each in turn
+            let mut caps: Vec<i128> = arcs.iter().map(|&(_, _, c, _)| c).collect();
+            for (k, &(_, _, c, id)) in arcs.iter().enumerate() {
+                if rng() % 2 == 0 {
+                    let nc = (rng() as i128).rem_euclid(c + 1);
+                    d.retract_arc(id, nc, s, t);
+                    caps[k] = nc;
+                }
+            }
+            // conservation + feasibility before re-solving
+            for v in 1..(n - 1) as u32 {
+                assert_eq!(d.net_flow_into(v), 0, "round {round}");
+            }
+            for (k, &(_, _, _, id)) in arcs.iter().enumerate() {
+                assert!(d.current_flow(id) >= 0 && d.current_flow(id) <= caps[k]);
+            }
+            // warm re-solve matches a fresh network at the new caps
+            let mut fresh = Dinic::new(n);
+            for (k, &(u, v, _, _)) in arcs.iter().enumerate() {
+                fresh.add_edge(u, v, caps[k]);
+            }
+            let ff = fresh.max_flow(s, t);
+            let _ = d.max_flow(s, t);
+            assert_eq!(d.net_flow_into(t), ff, "round {round}");
+            assert_eq!(
+                d.min_cut_source_side(s),
+                fresh.min_cut_source_side(s),
+                "round {round}"
+            );
+            assert_eq!(
+                d.max_cut_source_side(t),
+                fresh.max_cut_source_side(t),
+                "round {round}"
+            );
+        }
     }
 
     /// Randomized check: flow conservation at inner nodes.

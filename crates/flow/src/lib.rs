@@ -21,11 +21,18 @@
 //! Because the verification stack re-solves the *same* network at a
 //! ladder of thresholds (only the ρ-dependent capacities change),
 //! [`parametric::ParametricNetwork`] retains the built network across
-//! solves and warm-starts from the previous residual flow whenever the
-//! capacity change is monotone (GGT-style), falling back to
-//! [`Dinic::reset_flow`] otherwise. [`stats::flow_stats`] exposes the
-//! process-wide work counters (networks/arcs built, flow invocations,
-//! warm vs cold solves) that pin the reuse contracts in tests and
+//! solves: monotone capacity changes warm-start from the previous
+//! residual flow, and under [`parametric::ReusePolicy::Retract`] even
+//! capacity *decreases* keep it, cancelling only the infeasible excess
+//! along the flow's own paths (`Dinic::retract_arc`) — the
+//! Gallo–Grigoriadis–Tarjan never-reset discipline. On top of that,
+//! [`ggt::GgtSolver`] recovers the entire principal partition (the
+//! LhCDS dense-decomposition ladder) by divide-and-conquer on one
+//! shared network, and [`ggt::FlowReuse`] names the three reuse tiers
+//! (`scratch | warm | ggt`) the verification stack exposes for A/B.
+//! [`stats::flow_stats`] exposes the process-wide work counters
+//! (networks/arcs built, flow invocations, warm/retract/cold solves,
+//! GGT recursion telemetry) that pin the reuse contracts in tests and
 //! benchmarks.
 //!
 //! In the workspace DAG this crate sits directly above `lhcds-graph`
@@ -55,11 +62,13 @@
 #![warn(missing_docs)]
 
 pub mod dinic;
+pub mod ggt;
 pub mod parametric;
 pub mod rational;
 pub mod stats;
 
 pub use dinic::Dinic;
-pub use parametric::{ParametricNetwork, SolveMode};
+pub use ggt::{FlowReuse, GgtSolver};
+pub use parametric::{ParametricNetwork, ReusePolicy, SolveMode};
 pub use rational::Ratio;
 pub use stats::{flow_stats, max_flow_invocations, FlowStats};

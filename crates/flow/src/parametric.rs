@@ -27,7 +27,7 @@
 //! answers — which is what makes the reuse path bit-identical to the
 //! rebuild-from-scratch path.
 //!
-//! ## Warm starts (GGT-style)
+//! ## Warm starts and retraction (GGT)
 //!
 //! [`ParametricNetwork::solve`] keeps the previous residual flow when it
 //! remains feasible under the new capacities: the retained flow at
@@ -37,10 +37,24 @@
 //! with `D` and can never under-run). This is precisely the monotone
 //! regime of Gallo–Grigoriadis–Tarjan: in the Goldberg ladder ρ only
 //! grows, sink capacities only grow, and each probe re-solves in time
-//! proportional to the *increment*. Non-monotone re-tunes (the final
-//! ε-perturbed `DeriveCompact` probe, a new forced set that shrinks
-//! capacities) fall back to [`Dinic::reset_flow`] — still zero
-//! construction work. [`crate::flow_stats`] counts both outcomes.
+//! proportional to the *increment*.
+//!
+//! Capacity *decreases* have two treatments, chosen by [`ReusePolicy`]:
+//!
+//! * [`ReusePolicy::Reset`] (the PR 5 behavior, and what plain
+//!   [`ParametricNetwork::solve`] does) discards the flow via
+//!   [`Dinic::reset_flow`] — zero construction work, but the next
+//!   max-flow starts from nothing;
+//! * [`ReusePolicy::Retract`] — the true GGT never-reset path — keeps
+//!   the rescaled flow and *cancels only the infeasible excess* of each
+//!   shrunk arc along the flow's own support paths
+//!   (`Dinic::retract_arc`), so the follow-up max-flow starts from a
+//!   feasible flow that is near-maximal whenever the schedule is
+//!   near-monotone. Work is proportional to the flow cancelled, not the
+//!   network size.
+//!
+//! [`crate::flow_stats`] counts all outcomes, splitting cold solves
+//! into the unavoidable first build per network vs genuine resets.
 
 use crate::dinic::{ArcId, Dinic};
 use crate::stats;
@@ -64,10 +78,27 @@ pub enum SolveMode {
     /// The previous residual flow was rescaled and kept; max-flow only
     /// pushed the increment.
     Warm,
+    /// A capacity decrease made the rescaled flow infeasible, but under
+    /// [`ReusePolicy::Retract`] only the excess was cancelled along its
+    /// own flow paths; max-flow continued from the retracted flow.
+    Retract,
     /// The previous flow was discarded (first solve, incompatible
-    /// scale, or a capacity decrease below carried flow) and max-flow
-    /// ran from zero — but on the already-built network.
+    /// scale, or — under [`ReusePolicy::Reset`] — a capacity decrease
+    /// below carried flow) and max-flow ran from zero, but on the
+    /// already-built network.
     Cold,
+}
+
+/// What [`ParametricNetwork::solve_with`] may do when a capacity
+/// decrease makes the retained flow infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReusePolicy {
+    /// Discard the retained flow and re-solve from zero (PR 5 warm-only
+    /// behavior; what [`ParametricNetwork::solve`] uses).
+    Reset,
+    /// Cancel only the infeasible excess along the flow's own support
+    /// paths and continue — the GGT never-reset discipline.
+    Retract,
 }
 
 /// A flow network whose arcs are built once and re-solved at many
@@ -140,6 +171,11 @@ impl ParametricNetwork {
         self.base_scale
     }
 
+    /// The `(s, t)` terminals.
+    pub fn terminals(&self) -> (u32, u32) {
+        (self.s, self.t)
+    }
+
     /// Chooses the solve scale for a threshold with denominator `den`:
     /// a multiple of both `den` and the base scale, preferring one that
     /// is also a multiple of the retained flow's scale (so the next
@@ -153,6 +189,10 @@ impl ParametricNetwork {
                     return chained;
                 }
             }
+            // The chain would overflow: restart from the minimal scale,
+            // forfeiting the retained flow. Previously silent; counted
+            // so warm-hit regressions are diagnosable from stats alone.
+            stats::SCALE_FALLBACKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         checked_lcm(den, self.base_scale).expect("minimal solve scale overflows i128")
     }
@@ -161,13 +201,26 @@ impl ParametricNetwork {
     /// the base scale; use [`ParametricNetwork::scale_for`]), installs
     /// `param_caps` on the parametric arcs, warm-starts from the
     /// retained flow when it remains feasible, and runs max-flow.
+    /// Capacity decreases discard the flow ([`ReusePolicy::Reset`]);
+    /// use [`ParametricNetwork::solve_with`] for the GGT retract path.
     pub fn solve(&mut self, scale: i128, param_caps: &[i128]) -> SolveMode {
+        self.solve_with(scale, param_caps, ReusePolicy::Reset)
+    }
+
+    /// [`ParametricNetwork::solve`] with an explicit capacity-decrease
+    /// policy.
+    pub fn solve_with(
+        &mut self,
+        scale: i128,
+        param_caps: &[i128],
+        policy: ReusePolicy,
+    ) -> SolveMode {
         assert!(scale > 0 && scale % self.base_scale == 0, "invalid scale");
         assert_eq!(param_caps.len(), self.param_arcs.len(), "capacity slice");
         let factor = scale / self.base_scale;
 
-        // Warm iff the retained flow, rescaled by the integer scale
-        // ratio, fits under every new capacity without overflow.
+        // The retained flow is reusable iff the scale ratio q is a
+        // positive integer and the rescale overflows nowhere.
         // Mathematically static arcs scale with the network and can
         // never under-run, but both arc classes still get the checked-
         // multiply guard: a caller with extreme base capacities must
@@ -177,46 +230,78 @@ impl ParametricNetwork {
         } else {
             0
         };
-        let warm = q > 0
-            && self.param_arcs.iter().zip(param_caps).all(|(&arc, &cap)| {
-                match self.net.current_flow(arc).checked_mul(q) {
-                    Some(f) => f <= cap,
-                    None => false,
+        // (arc, new total capacity, rescaled flow) for every arc, or
+        // None when q = 0 / any product overflows.
+        let rescaled: Option<Vec<(ArcId, i128, i128)>> = if q > 0 {
+            (|| {
+                let mut v = Vec::with_capacity(self.static_arcs.len() + self.param_arcs.len());
+                for &(arc, base_cap) in &self.static_arcs {
+                    let cap = base_cap.checked_mul(factor)?;
+                    let flow = self.net.current_flow(arc).checked_mul(q)?;
+                    v.push((arc, cap, flow));
                 }
-            })
-            && self.static_arcs.iter().all(|&(arc, base_cap)| {
-                match self.net.current_flow(arc).checked_mul(q) {
-                    Some(f) => base_cap.checked_mul(factor).is_some_and(|cap| f <= cap),
-                    None => false,
+                for (&arc, &cap) in self.param_arcs.iter().zip(param_caps) {
+                    let flow = self.net.current_flow(arc).checked_mul(q)?;
+                    v.push((arc, cap, flow));
                 }
-            });
-
-        if warm {
-            for &(arc, base_cap) in &self.static_arcs {
-                let flow = self.net.current_flow(arc) * q;
-                self.net.set_state(arc, base_cap * factor, flow);
-            }
-            for (&arc, &cap) in self.param_arcs.iter().zip(param_caps) {
-                let flow = self.net.current_flow(arc) * q;
-                self.net.set_state(arc, cap, flow);
-            }
-            stats::WARM_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(v)
+            })()
         } else {
-            for &(arc, base_cap) in &self.static_arcs {
-                self.net.set_state(arc, base_cap * factor, 0);
+            None
+        };
+
+        let mode = match rescaled {
+            Some(arcs) if arcs.iter().all(|&(_, cap, flow)| flow <= cap) => {
+                // Fully feasible: install the rescaled flow as-is.
+                for &(arc, cap, flow) in &arcs {
+                    self.net.set_state(arc, cap, flow);
+                }
+                stats::WARM_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                SolveMode::Warm
             }
-            for (&arc, &cap) in self.param_arcs.iter().zip(param_caps) {
-                self.net.set_state(arc, cap, 0);
+            Some(arcs) if policy == ReusePolicy::Retract => {
+                // Keep the rescaled flow under temporarily inflated
+                // capacities (still a conserving flow), then retract
+                // each oversubscribed arc: the retraction cancels its
+                // excess along the flow's own support paths and snaps
+                // the inflated capacity down.
+                for &(arc, cap, flow) in &arcs {
+                    self.net.set_state(arc, cap.max(flow), flow);
+                }
+                for &(arc, cap, flow) in &arcs {
+                    if flow > cap {
+                        self.net.retract_arc(arc, cap, self.s, self.t);
+                    }
+                }
+                stats::RETRACT_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                SolveMode::Retract
             }
-            stats::COLD_SOLVES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
+            _ => {
+                for &(arc, base_cap) in &self.static_arcs {
+                    self.net.set_state(arc, base_cap * factor, 0);
+                }
+                for (&arc, &cap) in self.param_arcs.iter().zip(param_caps) {
+                    self.net.set_state(arc, cap, 0);
+                }
+                let counter = if self.cur_scale == 0 {
+                    &stats::FIRST_BUILD
+                } else {
+                    &stats::INFEASIBLE_RESET
+                };
+                counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                SolveMode::Cold
+            }
+        };
         self.net.max_flow(self.s, self.t);
         self.cur_scale = scale;
-        if warm {
-            SolveMode::Warm
-        } else {
-            SolveMode::Cold
-        }
+        mode
+    }
+
+    /// Value of the flow found by the last solve, in units of that
+    /// solve's scale.
+    pub fn flow_value(&self) -> i128 {
+        debug_assert!(self.cur_scale > 0, "no solve yet");
+        self.net.net_flow_into(self.t)
     }
 
     /// Minimal source side of a minimum cut of the last solve.
@@ -334,6 +419,72 @@ mod tests {
         assert_eq!(pn.solve(scale, &[6, 6, 1, 1]), SolveMode::Cold);
         assert_eq!(pn.solve(scale, &[6, 6, 2, 2]), SolveMode::Warm);
         assert_eq!(pn.solve(scale, &[6, 6, 0, 0]), SolveMode::Cold); // decrease
+    }
+
+    #[test]
+    fn retract_policy_survives_capacity_decreases() {
+        let (mut pn, _) = tiny();
+        let scale = pn.scale_for(1);
+        pn.solve(scale, &[6, 6, 5, 5]);
+        // shrinking the sink arcs below their carried flow retracts
+        // instead of resetting — and still matches a fresh solve
+        let mode = pn.solve_with(scale, &[6, 6, 1, 1], ReusePolicy::Retract);
+        assert_eq!(mode, SolveMode::Retract);
+        let mut d = fresh(scale, &[6, 6, 1, 1]);
+        let f = d.max_flow(0, 4);
+        assert_eq!(pn.flow_value(), f);
+        assert_eq!(pn.min_cut_source_side(), d.min_cut_source_side(0));
+        assert_eq!(pn.max_cut_source_side(), d.max_cut_source_side(4));
+    }
+
+    #[test]
+    fn retract_policy_matches_fresh_on_non_monotone_schedules() {
+        // zig-zag thresholds with scale changes: every step must agree
+        // with a fresh network, whatever mode the solver picked
+        let (mut pn, _) = tiny();
+        let schedule: [(i128, [i128; 4]); 6] = [
+            (1, [6, 6, 2, 2]),
+            (3, [18, 18, 12, 12]), // scale 6, growth: warm
+            (3, [18, 18, 3, 3]),   // shrink: retract
+            (1, [18, 18, 0, 0]),   // shrink to zero
+            (5, [90, 90, 60, 45]), // scale 30, growth again
+            (2, [90, 90, 10, 80]), // mixed shrink/growth
+        ];
+        for (i, (den, caps)) in schedule.iter().enumerate() {
+            let scale = pn.scale_for(*den);
+            pn.solve_with(scale, caps, ReusePolicy::Retract);
+            let mut d = fresh(scale, caps);
+            let f = d.max_flow(0, 4);
+            assert_eq!(pn.flow_value(), f, "step {i}");
+            assert_eq!(
+                pn.min_cut_source_side(),
+                d.min_cut_source_side(0),
+                "step {i}"
+            );
+            assert_eq!(
+                pn.max_cut_source_side(),
+                d.max_cut_source_side(4),
+                "step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_solve_is_cold_even_under_retract() {
+        let (mut pn, _) = tiny();
+        let scale = pn.scale_for(1);
+        assert_eq!(
+            pn.solve_with(scale, &[6, 6, 2, 2], ReusePolicy::Retract),
+            SolveMode::Cold
+        );
+        assert_eq!(
+            pn.solve_with(scale, &[6, 6, 1, 1], ReusePolicy::Retract),
+            SolveMode::Retract
+        );
+        assert_eq!(
+            pn.solve_with(scale, &[6, 6, 3, 3], ReusePolicy::Retract),
+            SolveMode::Warm
+        );
     }
 
     #[test]

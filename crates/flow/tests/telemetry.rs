@@ -8,7 +8,8 @@
 
 use std::sync::Mutex;
 
-use lhcds_flow::{flow_stats, Dinic, ParametricNetwork, SolveMode};
+use lhcds_flow::parametric::ReusePolicy;
+use lhcds_flow::{flow_stats, Dinic, GgtSolver, ParametricNetwork, SolveMode};
 
 static COUNTERS: Mutex<()> = Mutex::new(());
 
@@ -27,7 +28,8 @@ fn dinic_counts_networks_arcs_and_invocations() {
     assert_eq!(delta.arcs_built, 2);
     assert_eq!(delta.max_flow_invocations, 2);
     assert_eq!(delta.warm_solves, 0, "plain Dinic is not parametric");
-    assert_eq!(delta.cold_solves, 0);
+    assert_eq!(delta.retract_solves, 0);
+    assert_eq!(delta.cold_solves(), 0);
 }
 
 #[test]
@@ -51,5 +53,62 @@ fn parametric_counts_builds_and_solve_modes() {
     assert_eq!(d.arcs_built, 6);
     assert_eq!(d.max_flow_invocations, 3);
     assert_eq!(d.warm_solves, 1);
-    assert_eq!(d.cold_solves, 2);
+    assert_eq!(d.cold_solves(), 2);
+    // the satellite split: the first discard is the unavoidable build,
+    // the decrease under Reset policy is a genuine reset
+    assert_eq!(d.first_build, 1);
+    assert_eq!(d.infeasible_reset, 1);
+    assert_eq!(d.retract_solves, 0);
+}
+
+#[test]
+fn retract_policy_turns_resets_into_retractions() {
+    let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    let before = flow_stats();
+    let mut pn = ParametricNetwork::new(5, 0, 4, 2);
+    pn.add_static(1, 3, 2);
+    pn.add_static(3, 2, 4);
+    for (from, to) in [(0u32, 1u32), (0, 2), (1, 4), (2, 4)] {
+        pn.add_parametric(from, to);
+    }
+    let scale = pn.scale_for(1);
+    let p = ReusePolicy::Retract;
+    assert_eq!(pn.solve_with(scale, &[6, 6, 1, 1], p), SolveMode::Cold);
+    assert_eq!(pn.solve_with(scale, &[6, 6, 2, 2], p), SolveMode::Warm);
+    assert_eq!(pn.solve_with(scale, &[6, 6, 0, 0], p), SolveMode::Retract);
+    let d = flow_stats().since(&before);
+    assert_eq!(d.networks_built, 1);
+    assert_eq!(d.max_flow_invocations, 3);
+    assert_eq!(d.warm_solves, 1);
+    assert_eq!(d.retract_solves, 1);
+    assert_eq!(d.first_build, 1);
+    assert_eq!(d.infeasible_reset, 0, "retract replaces every reset");
+    assert!((d.warm_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn ggt_partition_builds_one_network_and_counts_recursions() {
+    let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    let before = flow_stats();
+    // two independent levels → at least one interval split
+    let mut g = GgtSolver::new(4, 0, 3, 1);
+    g.ladder_node(1, 6, 2);
+    g.ladder_node(2, 2, 2);
+    let part = g.principal_partition();
+    assert_eq!(part.len(), 2);
+    let d = flow_stats().since(&before);
+    assert_eq!(d.networks_built, 1, "the whole ladder shares one network");
+    assert_eq!(d.first_build, 1);
+    assert_eq!(d.infeasible_reset, 0, "GGT never resets");
+    assert!(d.ggt_recursions >= 1);
+    assert!(d.ggt_max_depth >= 1);
+    assert!(
+        d.ggt_arcs_saved >= d.arcs_built,
+        "every re-solve after the first saves a rebuild"
+    );
+    assert_eq!(
+        d.max_flow_invocations,
+        d.warm_solves + d.retract_solves + d.cold_solves(),
+        "every parametric solve is classified"
+    );
 }

@@ -251,7 +251,9 @@ pub fn topk_result<'a>(
 /// between `lhcds stats --json` and the daemon's `stats` op, so batch
 /// and served telemetry stay string-identical. Counts only; the
 /// warm-start hit rate is derived by consumers (this protocol carries
-/// no floats).
+/// no floats). `cold_solves` is carried explicitly (the sum of
+/// `first_build` and `infeasible_reset`) so pre-split consumers keep
+/// working.
 ///
 /// On the serving read path these are the process totals since start:
 /// a healthy daemon shows `max_flow_invocations` frozen at its
@@ -265,7 +267,21 @@ pub fn flow_stats_json(stats: &FlowStats) -> Json {
             Json::Int(stats.max_flow_invocations as i128),
         ),
         ("warm_solves", Json::Int(stats.warm_solves as i128)),
-        ("cold_solves", Json::Int(stats.cold_solves as i128)),
+        ("retract_solves", Json::Int(stats.retract_solves as i128)),
+        ("cold_solves", Json::Int(stats.cold_solves() as i128)),
+        ("first_build", Json::Int(stats.first_build as i128)),
+        (
+            "infeasible_reset",
+            Json::Int(stats.infeasible_reset as i128),
+        ),
+        ("scale_fallbacks", Json::Int(stats.scale_fallbacks as i128)),
+        ("ggt_recursions", Json::Int(stats.ggt_recursions as i128)),
+        ("ggt_max_depth", Json::Int(stats.ggt_max_depth as i128)),
+        (
+            "ggt_contracted_nodes",
+            Json::Int(stats.ggt_contracted_nodes as i128),
+        ),
+        ("ggt_arcs_saved", Json::Int(stats.ggt_arcs_saved as i128)),
     ])
 }
 
@@ -396,11 +412,24 @@ mod tests {
             arcs_built: 120,
             max_flow_invocations: 9,
             warm_solves: 4,
-            cold_solves: 5,
+            retract_solves: 2,
+            first_build: 3,
+            infeasible_reset: 2,
+            scale_fallbacks: 0,
+            ggt_recursions: 6,
+            ggt_max_depth: 2,
+            ggt_contracted_nodes: 17,
+            ggt_arcs_saved: 240,
         };
         assert_eq!(
             flow_stats_json(&stats).render(),
-            r#"{"networks_built":3,"arcs_built":120,"max_flow_invocations":9,"warm_solves":4,"cold_solves":5}"#
+            concat!(
+                r#"{"networks_built":3,"arcs_built":120,"max_flow_invocations":9,"#,
+                r#""warm_solves":4,"retract_solves":2,"cold_solves":5,"#,
+                r#""first_build":3,"infeasible_reset":2,"scale_fallbacks":0,"#,
+                r#""ggt_recursions":6,"ggt_max_depth":2,"ggt_contracted_nodes":17,"#,
+                r#""ggt_arcs_saved":240}"#
+            )
         );
     }
 

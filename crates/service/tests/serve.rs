@@ -388,7 +388,15 @@ fn stats_op_reports_shape_and_counters() {
         "arcs_built",
         "max_flow_invocations",
         "warm_solves",
+        "retract_solves",
         "cold_solves",
+        "first_build",
+        "infeasible_reset",
+        "scale_fallbacks",
+        "ggt_recursions",
+        "ggt_max_depth",
+        "ggt_contracted_nodes",
+        "ggt_arcs_saved",
     ] {
         assert!(flow.get(key).unwrap().as_u64().is_some(), "missing {key}");
     }

@@ -1,18 +1,22 @@
 //! Workspace-level flow-reuse equivalence: the served artifacts
 //! (`DecompositionIndex` contents, full decompositions, compact
-//! numbers) are byte-identical whether the verification stack reuses
-//! warm-started parametric networks (default) or rebuilds one network
-//! per density probe — on the paper's Figure 2 worked example and on
-//! generated community graphs.
+//! numbers) are byte-identical across all three `flow_reuse` tiers —
+//! `scratch` (one network per probe), `warm` (warm-started parametric
+//! re-solves), and `ggt` (one never-reset flow driving the whole
+//! ladder by principal-partition recursion, the default) — on the
+//! paper's Figure 2 worked example and on generated community graphs.
 
 use lhcds::core::density::dense_decomposition_opts;
 use lhcds::core::index::{DecompositionIndex, IndexConfig};
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
+use lhcds::core::FlowReuse;
 use lhcds::data::figure2_graph;
 use lhcds::data::gen::planted_communities;
 use lhcds::graph::CsrGraph;
 
-fn cfg(flow_reuse: bool) -> IppvConfig {
+const TIERS: [FlowReuse; 3] = [FlowReuse::Scratch, FlowReuse::Warm, FlowReuse::Ggt];
+
+fn cfg(flow_reuse: FlowReuse) -> IppvConfig {
     IppvConfig {
         flow_reuse,
         ..IppvConfig::default()
@@ -20,18 +24,23 @@ fn cfg(flow_reuse: bool) -> IppvConfig {
 }
 
 fn check_graph(g: &CsrGraph, h: usize) {
-    // full decomposition, both verifier families
+    // full decomposition, both verifier families, scratch as baseline
     for fast in [true, false] {
-        let mk = |reuse: bool| IppvConfig {
+        let mk = |reuse: FlowReuse| IppvConfig {
             fast_verify: fast,
             ..cfg(reuse)
         };
-        let reused = top_k_lhcds(g, h, usize::MAX, &mk(true));
-        let scratch = top_k_lhcds(g, h, usize::MAX, &mk(false));
-        assert_eq!(reused.subgraphs, scratch.subgraphs, "h={h} fast={fast}");
+        let scratch = top_k_lhcds(g, h, usize::MAX, &mk(FlowReuse::Scratch));
+        for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+            let reused = top_k_lhcds(g, h, usize::MAX, &mk(tier));
+            assert_eq!(
+                reused.subgraphs, scratch.subgraphs,
+                "h={h} fast={fast} tier={tier}"
+            );
+        }
     }
     // the frozen index: byte-identity of every serialized part
-    let mk_index = |reuse: bool| {
+    let mk_index = |reuse: FlowReuse| {
         DecompositionIndex::build(
             g,
             h,
@@ -41,17 +50,22 @@ fn check_graph(g: &CsrGraph, h: usize) {
             },
         )
     };
-    assert_eq!(
-        mk_index(true).as_parts(),
-        mk_index(false).as_parts(),
-        "h={h}: index parts diverged"
-    );
+    let baseline = mk_index(FlowReuse::Scratch);
+    for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+        assert_eq!(
+            mk_index(tier).as_parts(),
+            baseline.as_parts(),
+            "h={h} tier={tier}: index parts diverged"
+        );
+    }
     // the dense-decomposition ladder (exact compact numbers)
     let cliques = lhcds::clique::CliqueSet::enumerate(g, h);
-    let a = dense_decomposition_opts(g, &cliques, true);
-    let b = dense_decomposition_opts(g, &cliques, false);
-    assert_eq!(a.levels, b.levels, "h={h}");
-    assert_eq!(a.phi, b.phi, "h={h}");
+    let a = dense_decomposition_opts(g, &cliques, FlowReuse::Scratch);
+    for tier in [FlowReuse::Warm, FlowReuse::Ggt] {
+        let b = dense_decomposition_opts(g, &cliques, tier);
+        assert_eq!(a.levels, b.levels, "h={h} tier={tier}");
+        assert_eq!(a.phi, b.phi, "h={h} tier={tier}");
+    }
 }
 
 #[test]
@@ -70,4 +84,13 @@ fn figure2_is_reuse_invariant_across_h() {
 fn planted_communities_are_reuse_invariant() {
     let g = planted_communities(250, 3, &[(12, 0.9), (9, 0.95)], 0xACE);
     check_graph(&g, 3);
+}
+
+#[test]
+fn all_tiers_parse_and_roundtrip_display() {
+    for tier in TIERS {
+        let parsed: FlowReuse = tier.to_string().parse().unwrap();
+        assert_eq!(parsed, tier);
+    }
+    assert!("eager".parse::<FlowReuse>().is_err());
 }
