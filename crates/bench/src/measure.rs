@@ -83,6 +83,25 @@ impl BenchProvenance {
             self.host_parallelism, self.recorded_on_single_cpu
         )
     }
+
+    /// The speedup honesty stamp for experiments whose rows carry
+    /// speedup columns: `false` on a single-CPU recording host, where
+    /// every wall-clock ratio is ~1.0x by construction and must not be
+    /// read as a real parallel gain.
+    pub fn speedup_fields(&self) -> String {
+        format!("\"speedup_meaningful\": {}", !self.recorded_on_single_cpu)
+    }
+
+    /// The matching human-readable caveat for the markdown report;
+    /// empty on genuinely multi-core hosts.
+    pub fn speedup_caveat(&self) -> &'static str {
+        if self.recorded_on_single_cpu {
+            "\n**caveat:** recorded with `host_parallelism == 1` — the speedup \
+             columns in this section cannot show real parallel gains.\n"
+        } else {
+            ""
+        }
+    }
 }
 
 /// Times a closure, returning its result and elapsed milliseconds.
@@ -207,6 +226,13 @@ mod tests {
             json.contains("\"recorded_on_single_cpu\": true")
                 || json.contains("\"recorded_on_single_cpu\": false")
         );
+        // the honesty stamp is the exact negation of the single-CPU flag
+        let speedup = p.speedup_fields();
+        assert_eq!(
+            speedup.contains("\"speedup_meaningful\": false"),
+            p.recorded_on_single_cpu
+        );
+        assert_eq!(p.speedup_caveat().is_empty(), !p.recorded_on_single_cpu);
     }
 
     #[test]

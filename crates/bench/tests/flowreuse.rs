@@ -6,7 +6,7 @@
 //! max-flow — which only hold when no sibling test runs flow work in
 //! the same process.
 
-use lhcds_bench::experiments::flowreuse_on;
+use lhcds_bench::experiments::{flowreuse_on, ExpOptions};
 
 #[test]
 fn flowreuse_records_a_json_baseline_and_enforces_identity() {
@@ -17,7 +17,16 @@ fn flowreuse_records_a_json_baseline_and_enforces_identity() {
         ("figure2_tiny", lhcds::data::figure2_graph(), 3usize),
         ("gnp_tiny_h4", lhcds::data::gen::gnp(24, 0.4, 7), 4usize),
     ];
-    let out = flowreuse_on(tiny, &dir);
+    // 3 appears in neither the default threads axis (1/4) nor either h,
+    // so its rows can only come from the --threads plumbing
+    let out = flowreuse_on(
+        &ExpOptions {
+            threads: 3,
+            ..ExpOptions::default()
+        },
+        tiny,
+        &dir,
+    );
     assert!(out.contains("baseline recorded"), "{out}");
     assert!(out.contains("| figure2_tiny "), "{out}");
     assert!(out.contains("| scratch "), "{out}");
@@ -28,13 +37,18 @@ fn flowreuse_records_a_json_baseline_and_enforces_identity() {
         "\"experiment\": \"flowreuse\"",
         "\"host_parallelism\"",
         "\"recorded_on_single_cpu\"",
+        "\"speedup_meaningful\"",
         "\"graph\": \"figure2_tiny\"",
         "\"mode\": \"scratch\"",
         "\"mode\": \"warm\"",
         "\"mode\": \"ggt\"",
         "\"h\": 4",
+        "\"threads\": 1",
+        "\"threads\": 4",
+        "\"threads\": 3",
         "\"ladder_wall_ms\"",
         "\"pipeline_wall_ms\"",
+        "\"pipeline_speedup_vs_serial\"",
         "\"max_flow_invocations\"",
         "\"networks_built\"",
         "\"arcs_built\"",
@@ -46,5 +60,13 @@ fn flowreuse_records_a_json_baseline_and_enforces_identity() {
     ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
+    // the honesty stamp: speedup columns recorded on a 1-CPU host are
+    // machine-readably flagged as not meaningful
+    let single = json.contains("\"recorded_on_single_cpu\": true");
+    assert_eq!(
+        json.contains("\"speedup_meaningful\": false"),
+        single,
+        "speedup_meaningful must negate recorded_on_single_cpu: {json}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,9 +1,9 @@
 //! `lhcds` — command-line locally h-clique densest subgraph discovery.
 //!
 //! ```text
-//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--flow-reuse ggt] [--json]
+//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--flow-reuse ggt] [--core-prune] [--json]
 //! lhcds topk --input web-Stanford.txt [--format snap|csv|auto] [--no-cache] --h 3 --k 5
-//! lhcds stats --graph edges.txt [--h 3] [--threads 4] [--json]
+//! lhcds stats --graph edges.txt [--h 3] [--threads 4] [--core-prune] [--json]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
 //! lhcds datasets list | fetch-instructions | cache | verify [--manifest datasets.toml] [--name X]
 //! lhcds serve --input FILE --h 3 --port 4321 [--k-max 32] [--workers 4]
@@ -36,8 +36,12 @@
 //! one-shot client. A served `top_k` answer is string-identical to
 //! `lhcds topk --json` on the same graph — the serializer is shared.
 //!
-//! `--threads N` runs h-clique enumeration on `N` worker threads
-//! (`0` = auto-detect); output is identical to the serial default.
+//! `--threads N` runs h-clique enumeration *and* the post-enumeration
+//! pipeline — CP round scaling, the speculative candidate-verification
+//! stream, and the GGT principal-partition recursion — on `N` worker
+//! threads (`0` = auto-detect); output is byte-identical to the serial
+//! default at every `N`. `--core-prune` builds the whole-graph verifier
+//! networks on the `(h−1)`-core (Core-Exact); verdicts never change.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -107,12 +111,12 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
-         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--flow-reuse T] [--quiet] [--json]\n  \
-         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N] [--json]\n  \
+         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--flow-reuse T] [--core-prune] [--quiet] [--json]\n  \
+         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N] [--core-prune] [--json]\n  \
          lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
          lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n  \
          lhcds serve (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H[,H...]] [--k-max K]\n              \
-         [--host ADDR] [--port N] [--workers N] [--threads N] [--port-file FILE] [--quiet]\n  \
+         [--host ADDR] [--port N] [--workers N] [--threads N] [--core-prune] [--port-file FILE] [--quiet]\n  \
          lhcds query (top-k | density-of | membership | stats | ping | shutdown)\n              \
          [--host ADDR] --port N [--h H] [--k K] [--vertex V] [--timeout SECS]\n\n\
          INPUT:    --graph = strict compact edge list; --input = tolerant SNAP ingest with a\n          \
@@ -120,8 +124,11 @@ fn print_help() {
          FORMATS:  auto (default), snap (whitespace), csv\n\
          PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
          PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)\n\
-         THREADS:  enumeration worker threads (0 = auto); results never depend on it\n\
+         THREADS:  worker threads for enumeration AND verification/GGT (0 = auto);\n          \
+         results never depend on it\n\
          REUSE:    --flow-reuse scratch|warm|ggt (default ggt); results never depend on it\n\
+         CORE:     --core-prune builds verifier networks on the (h-1)-core (Core-Exact);\n          \
+         results never depend on it\n\
          SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx) and\n          \
          binary-loaded on restart; answers match `lhcds topk --json` exactly"
     );
@@ -262,6 +269,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         Some(spec) => spec.parse::<FlowReuse>()?,
         None => FlowReuse::default(),
     };
+    let core_prune = args.flag("core-prune");
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
@@ -275,6 +283,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         fast_verify: !basic,
         parallelism,
         flow_reuse,
+        core_prune,
         ..IppvConfig::default()
     };
 
@@ -357,6 +366,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
 fn cmd_stats(args: &mut Args) -> Result<(), String> {
     let h = args.get_parsed("h")?.unwrap_or(3usize);
     let json = args.flag("json");
+    let core_prune = args.flag("core-prune");
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
@@ -365,6 +375,11 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     if !json {
         eprintln!("{}", loaded.note);
     }
+    // `--core-prune` preview: the verifier universe that flag buys on
+    // `topk`/`serve` — the `(h−1)`-core (every h-clique lives inside it,
+    // so shrinking the shared networks to it changes no verdict).
+    let core_universe = core_prune
+        .then(|| lhcds::graph::core_decomp::k_core_vertices(g, h.saturating_sub(1) as u32).len());
     let deg = lhcds::graph::core_decomp::degeneracy_order(g);
     let clique_no = lhcds::clique::clique_number(g);
     let mut psi: Vec<(usize, u64)> = Vec::new();
@@ -381,7 +396,7 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     // one-shot CLI invocation): the flow-free contract, visible.
     let flow = lhcds::core::flow_stats();
     if json {
-        let result = Json::object([
+        let mut pairs = vec![
             ("vertices", Json::Int(g.n() as i128)),
             ("edges", Json::Int(g.m() as i128)),
             ("max_degree", Json::Int(g.max_degree() as i128)),
@@ -400,8 +415,12 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
                         .collect(),
                 ),
             ),
-            ("flow", flow_stats_json(&flow)),
-        ]);
+        ];
+        if let Some(c) = core_universe {
+            pairs.push(("core_prune_universe", Json::Int(c as i128)));
+        }
+        pairs.push(("flow", flow_stats_json(&flow)));
+        let result = Json::object(pairs);
         println!("{}", result.render());
         return Ok(());
     }
@@ -410,6 +429,12 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     println!("max degree:  {}", g.max_degree());
     println!("degeneracy:  {}", deg.degeneracy);
     println!("clique no.:  {}", clique_no);
+    if let Some(c) = core_universe {
+        println!(
+            "core-prune:  {c} vertices in the {}-core verifier universe",
+            h.saturating_sub(1)
+        );
+    }
     for (hh, c) in psi {
         println!("|Psi_{hh}|:     {c}");
     }
@@ -456,6 +481,7 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
     let workers: usize = args.get_parsed("workers")?.unwrap_or(4);
     let port_file = args.get("port-file").map(PathBuf::from);
     let quiet = args.flag("quiet");
+    let core_prune = args.flag("core-prune");
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
@@ -464,6 +490,7 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
         k_max,
         ippv: IppvConfig {
             parallelism,
+            core_prune,
             ..IppvConfig::default()
         },
     };
@@ -902,6 +929,42 @@ mod tests {
     }
 
     #[test]
+    fn core_prune_flag_reaches_all_pipeline_commands() {
+        // topk and stats accept --core-prune (the Core-Exact wiring);
+        // results are pinned equal to the un-pruned run by the
+        // workspace `core_prune` equivalence suites, so here we assert
+        // the flag parses and the commands succeed end-to-end.
+        run(vec![
+            "topk".into(),
+            "--graph".into(),
+            fixture(),
+            "--k".into(),
+            "2".into(),
+            "--core-prune".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        run(vec![
+            "stats".into(),
+            "--graph".into(),
+            fixture(),
+            "--core-prune".into(),
+            "--json".into(),
+        ])
+        .unwrap();
+        // flags are strict: a command without the knob rejects it
+        assert!(run(vec![
+            "gen".into(),
+            "--out".into(),
+            "/tmp/never-written.txt".into(),
+            "--preset".into(),
+            "HA".into(),
+            "--core-prune".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
     fn datasets_subcommand_lifecycle() {
         let dir = std::env::temp_dir().join("lhcds_cli_datasets_test");
         std::fs::remove_dir_all(&dir).ok();
@@ -1104,6 +1167,10 @@ mod tests {
             "0".into(),
             "--port-file".into(),
             port_file.to_string_lossy().into_owned(),
+            // Core-Exact wiring: the daemon prunes verifier networks to
+            // the (h−1)-core; the served-vs-batch equality below then
+            // doubles as a core-prune invisibility check.
+            "--core-prune".into(),
             "--quiet".into(),
         ];
         let daemon = std::thread::spawn(move || run(serve_args));

@@ -189,6 +189,9 @@ pub struct InstanceSolver<I: std::borrow::Borrow<LocalInstance> = LocalInstance>
     inst: I,
     reuse: FlowReuse,
     boundary_enabled: bool,
+    /// Worker threads for [`InstanceSolver::ggt_ladder`]'s GGT
+    /// recursion (1 = serial; the result never depends on it).
+    threads: usize,
     net: Option<ParametricNetwork>,
     /// Per-vertex base-scale degree from interior cliques.
     deg_interior: Vec<i128>,
@@ -232,11 +235,19 @@ impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
             inst,
             reuse,
             boundary_enabled: true,
+            threads: 1,
             net: None,
             deg_interior,
             deg_boundary,
             boundary_in_base,
         }
+    }
+
+    /// Sets the worker-thread count for [`InstanceSolver::ggt_ladder`]'s
+    /// divide-and-conquer (clamped to at least 1). Ladder output is
+    /// byte-identical at every thread count; only wall time changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// The wrapped instance.
@@ -542,7 +553,7 @@ impl<I: std::borrow::Borrow<LocalInstance>> InstanceSolver<I> {
                 g.add_static(cnode, v + 1, (h - 1) * base);
             }
         }
-        g.principal_partition()
+        g.principal_partition_par(self.threads)
     }
 }
 

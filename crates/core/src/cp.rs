@@ -46,20 +46,76 @@ impl CpState {
 /// solution. With `iterations == 0` this is the uniform initialization
 /// (`α = 1/h`, `r(u) = deg(u, ψh)/h`).
 pub fn seq_kclist_pp(cliques: &CliqueSet, iterations: usize) -> CpState {
+    seq_kclist_pp_threaded(cliques, iterations, 1)
+}
+
+/// Minimum slice length per worker before the element-wise phases of a
+/// round are split across threads; below this the spawn cost dominates.
+const CP_MIN_CHUNK: usize = 1 << 14;
+
+/// Scales every element of `xs` by `keep`, splitting the slice across at
+/// most `threads` scoped workers. Each element sees exactly one multiply
+/// regardless of how the slice is chunked, so the result is bit-identical
+/// to the serial loop at any thread count.
+fn scale_chunked(xs: &mut [f64], keep: f64, threads: usize) {
+    let workers = threads.min(xs.len() / CP_MIN_CHUNK).max(1);
+    if workers == 1 {
+        xs.iter_mut().for_each(|x| *x *= keep);
+        return;
+    }
+    let chunk = xs.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for part in xs.chunks_mut(chunk) {
+            scope.spawn(move || part.iter_mut().for_each(|x| *x *= keep));
+        }
+    });
+}
+
+/// [`seq_kclist_pp`] with the *round-permitting* phases parallelized.
+///
+/// Only two pieces of a round are order-independent: the uniform
+/// initialization (`r(u) = deg(u)/h`, each vertex on its own) and the
+/// per-round shrink (`α *= 1−γ_t`, `r *= 1−γ_t`, element-wise). Those
+/// run chunked across scoped workers and stay bit-identical because
+/// every element's float operation sequence is unchanged. The donation
+/// loop does **not** permit parallelism: clique `i`'s argmin reads the
+/// `r` updates of every earlier clique in the same round — that strict
+/// chain is the "SEQ" in SEQ-kClist++ and the reason it converges faster
+/// than the batch variant — so it stays serial at every thread count.
+pub fn seq_kclist_pp_threaded(cliques: &CliqueSet, iterations: usize, threads: usize) -> CpState {
     let h = cliques.h();
     let n = cliques.n();
     let count = cliques.len();
+    let threads = threads.max(1);
 
     let mut alpha = vec![1.0 / h as f64; count * h];
-    let mut r: Vec<f64> = (0..n)
-        .map(|v| cliques.degree(v as u32) as f64 / h as f64)
-        .collect();
+    let mut r = vec![0.0f64; n];
+    {
+        let workers = threads.min(n / CP_MIN_CHUNK).max(1);
+        if workers == 1 {
+            for (v, x) in r.iter_mut().enumerate() {
+                *x = cliques.degree(v as u32) as f64 / h as f64;
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (ci, part) in r.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (j, x) in part.iter_mut().enumerate() {
+                            let v = (ci * chunk + j) as u32;
+                            *x = cliques.degree(v) as f64 / h as f64;
+                        }
+                    });
+                }
+            });
+        }
+    }
 
     for t in 1..=iterations {
         let gamma = 1.0 / (t as f64 + 1.0);
         let keep = 1.0 - gamma;
-        alpha.iter_mut().for_each(|a| *a *= keep);
-        r.iter_mut().for_each(|x| *x *= keep);
+        scale_chunked(&mut alpha, keep, threads);
+        scale_chunked(&mut r, keep, threads);
         for i in 0..count {
             let members = cliques.members(i);
             // argmin r over members (first minimum wins, deterministic)
@@ -205,6 +261,42 @@ mod tests {
             // float operation sequence
             assert_eq!(par.r, serial.r, "threads={t}");
             assert_eq!(par.alpha, serial.alpha, "threads={t}");
+        }
+    }
+
+    /// The threaded variant must be bit-identical to the serial solver:
+    /// only the element-wise phases are chunked, and chunking never
+    /// changes any individual element's float operation sequence. The
+    /// graph is sized so `alpha` is long enough to actually split across
+    /// workers (`count·h > CP_MIN_CHUNK`).
+    #[test]
+    fn threaded_rounds_are_bit_identical() {
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut b = GraphBuilder::new();
+        for u in 0..300u32 {
+            for v in u + 1..300 {
+                if rng() % 5 == 0 {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let cs = CliqueSet::enumerate(&b.build(), 3);
+        assert!(
+            cs.len() * 3 > CP_MIN_CHUNK,
+            "graph too small to exercise chunking: {} cliques",
+            cs.len()
+        );
+        let serial = seq_kclist_pp(&cs, 8);
+        for t in [2usize, 4, 8] {
+            let par = seq_kclist_pp_threaded(&cs, 8, t);
+            assert_eq!(par.alpha, serial.alpha, "threads={t}");
+            assert_eq!(par.r, serial.r, "threads={t}");
         }
     }
 

@@ -74,6 +74,19 @@ pub fn dense_decomposition_opts(
     cliques: &CliqueSet,
     flow_reuse: FlowReuse,
 ) -> DenseDecomposition {
+    dense_decomposition_threaded(g, cliques, flow_reuse, 1)
+}
+
+/// [`dense_decomposition_opts`] with an explicit worker-thread count
+/// for the GGT divide-and-conquer (ignored by the probe-walk tiers,
+/// which are inherently sequential — each probe's threshold depends on
+/// the previous cut). Output is byte-identical at every thread count.
+pub fn dense_decomposition_threaded(
+    g: &CsrGraph,
+    cliques: &CliqueSet,
+    flow_reuse: FlowReuse,
+    threads: usize,
+) -> DenseDecomposition {
     let n = g.n();
     let mut phi = vec![Ratio::zero(); n];
     let mut levels = Vec::new();
@@ -83,6 +96,7 @@ pub fn dense_decomposition_opts(
     let all: Vec<VertexId> = g.vertices().collect();
     let (inst, map) = local_instance(cliques, &all);
     let mut solver = InstanceSolver::with_reuse(inst, flow_reuse);
+    solver.set_threads(threads);
 
     if flow_reuse == FlowReuse::Ggt {
         // One divide-and-conquer recovers every level; the classes come
@@ -261,6 +275,22 @@ mod tests {
         }
         // (the one-network-per-ladder counter contract lives in
         // tests/flow_reuse.rs, whose process owns the global counters)
+    }
+
+    #[test]
+    fn threaded_ggt_ladder_is_byte_identical() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        b.add_edge(9, 10).add_edge(10, 11).add_edge(11, 9);
+        let g = b.build();
+        let cliques = CliqueSet::enumerate(&g, 3);
+        let serial = dense_decomposition_opts(&g, &cliques, FlowReuse::Ggt);
+        for threads in [2usize, 4, 8] {
+            let d = dense_decomposition_threaded(&g, &cliques, FlowReuse::Ggt, threads);
+            assert_eq!(d.levels, serial.levels, "{threads} threads diverged");
+            assert_eq!(d.phi, serial.phi, "{threads} threads diverged");
+        }
     }
 
     #[test]

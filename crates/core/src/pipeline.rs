@@ -34,12 +34,30 @@
 //! Zero-density regions (no h-clique) are never reported: a
 //! "locally densest" subgraph without a single h-clique is the trivial
 //! whole-component answer and carries no signal.
+//!
+//! ## Parallel verification
+//!
+//! The flow-heavy head of every candidate verification — the exact
+//! local densest decomposition — is a *pure* function of the component
+//! vertex list: it reads only the immutable clique store and builds a
+//! private [`InstanceSolver`]. When [`IppvConfig::parallelism`] grants
+//! more than one thread, the driver therefore runs these decompositions
+//! speculatively on a work-stealing worker pool over the pending
+//! candidate stream (each worker owns its flow scratch — one fresh
+//! solver per component, never a shared network), caches the results
+//! keyed by the exact component, and *commits* verdicts strictly in the
+//! serial processing order on the driver thread. A cache hit is always
+//! exact (purity), a changed candidate simply misses and recomputes, and
+//! the mutable verification state — bounds, output mask, the shared
+//! fast-verifier network — is only ever touched by the commit thread.
+//! Outputs are byte-identical at every thread count; only wall time and
+//! the speculative flow-work counters change.
 
 use std::time::Instant;
 
 use crate::bounds::{initialize_bounds, Bounds, DEFAULT_SLACK};
 use crate::compact::{local_instance, InstanceSolver};
-use crate::cp::seq_kclist_pp;
+use crate::cp::seq_kclist_pp_threaded;
 use crate::decompose::tentative_gd;
 use crate::prune::prune;
 use crate::stable::derive_stable_groups;
@@ -72,9 +90,10 @@ pub struct IppvConfig {
     pub use_cp: bool,
     /// Apply Proposition 5 pruning.
     pub use_prune: bool,
-    /// Thread policy for the h-clique enumeration stage. The enumerated
-    /// store is byte-identical for every policy (see
-    /// [`CliqueSet::enumerate_with`]), so this setting affects wall
+    /// Thread policy shared by the h-clique enumeration stage and the
+    /// post-enumeration verification stream (speculative parallel local
+    /// decompositions; see the module docs). Every stage is
+    /// byte-identical for every policy, so this setting affects wall
     /// time only, never results.
     pub parallelism: Parallelism,
     /// Flow-network reuse tier. [`FlowReuse::Scratch`] rebuilds a
@@ -147,6 +166,9 @@ pub struct IppvStats {
     pub initial_candidates: usize,
     /// Local densest decompositions run.
     pub local_decompositions: usize,
+    /// Local decompositions served from the speculative parallel wave
+    /// cache instead of being computed inline (0 on serial runs).
+    pub prefetched_decompositions: usize,
     /// Verification calls.
     pub verifications: usize,
     /// Verifications decided by the reduced/basic flow network.
@@ -216,7 +238,11 @@ pub fn top_k_with_instances(
 
     let groups: Vec<Vec<VertexId>> = if cfg.use_cp {
         let t = Instant::now();
-        let mut state = seq_kclist_pp(cliques, cfg.cp_iterations);
+        let mut state = seq_kclist_pp_threaded(
+            cliques,
+            cfg.cp_iterations,
+            cfg.parallelism.effective_threads(g.n()),
+        );
         stats.cp_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let t = Instant::now();
@@ -278,6 +304,8 @@ pub fn top_k_with_instances(
         basic: None,
         fast_shared: None,
         core_universe,
+        threads: cfg.parallelism.effective_threads(g.n()),
+        decomp_cache: std::collections::HashMap::new(),
         stats: &mut stats,
     };
     // highest-r group on top of the stack
@@ -342,6 +370,12 @@ struct Driver<'a> {
     fast_shared: Option<FastVerifier>,
     /// Verifier universe under `core_prune` (the `(h−1)`-core).
     core_universe: Option<Vec<VertexId>>,
+    /// Worker threads for the verification stream (1 = serial driver).
+    threads: usize,
+    /// Pure local-decomposition results computed speculatively by the
+    /// wave workers, keyed by the exact component vertex list. A hit is
+    /// always exact; a component whose live set changed simply misses.
+    decomp_cache: std::collections::HashMap<Vec<VertexId>, Option<(Ratio, Vec<bool>)>>,
     stats: &'a mut IppvStats,
 }
 
@@ -468,16 +502,97 @@ impl<'a> Driver<'a> {
         self.flush_buffer(k, self.stack.is_empty() && self.stuck.is_empty());
     }
 
+    /// Pure flow-heavy head of a component's verification: builds a
+    /// private solver over the component and runs its exact local
+    /// densest decomposition. No driver state is read or written, which
+    /// is what lets the wave workers run this concurrently.
+    fn decompose_component(
+        cliques: &CliqueSet,
+        reuse: FlowReuse,
+        comp: &[VertexId],
+    ) -> Option<(Ratio, Vec<bool>)> {
+        // One reusable network serves the component's whole Goldberg
+        // ladder (every ρ-probe of the local densest decomposition).
+        let (inst, map) = local_instance(cliques, comp);
+        debug_assert_eq!(map, comp, "components are sorted and unique");
+        InstanceSolver::with_reuse(inst, reuse).densest_decomposition()
+    }
+
+    /// Speculative verification wave: the component about to be
+    /// processed missed the cache, so its decomposition must run now —
+    /// run it together with the pending stack candidates' components on
+    /// a work-stealing pool (a shared claim counter over the target
+    /// list; idle workers steal the next unclaimed component). Each
+    /// worker builds its own [`InstanceSolver`] per component — the
+    /// per-worker flow-scratch rule — and the driver thread commits the
+    /// results in its unchanged serial order, so outputs stay
+    /// byte-identical.
+    fn prefetch_decompositions(&mut self, first: &[VertexId]) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut targets: Vec<Vec<VertexId>> = vec![first.to_vec()];
+        let mut seen: std::collections::HashSet<Vec<VertexId>> = targets.iter().cloned().collect();
+        for cand in self.stack.iter().rev() {
+            let verts = self.live_verts(cand);
+            if verts.is_empty() {
+                continue;
+            }
+            for comp in components_within(self.g, &verts) {
+                if !self.decomp_cache.contains_key(&comp) && seen.insert(comp.clone()) {
+                    targets.push(comp);
+                }
+            }
+        }
+        let workers = self.threads.min(targets.len());
+        let (cliques, reuse) = (self.cliques, self.cfg.flow_reuse);
+        let next = AtomicUsize::new(0);
+        let targets_ref = &targets;
+        type WaveBatch = Vec<(usize, Option<(Ratio, Vec<bool>)>)>;
+        let collected: Vec<WaveBatch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut acc = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= targets_ref.len() {
+                                break;
+                            }
+                            acc.push((
+                                i,
+                                Self::decompose_component(cliques, reuse, &targets_ref[i]),
+                            ));
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verification wave worker panicked"))
+                .collect()
+        });
+        for (i, res) in collected.into_iter().flatten() {
+            self.decomp_cache
+                .insert(std::mem::take(&mut targets[i]), res);
+        }
+    }
+
     fn process_component(&mut self, comp: Vec<VertexId>, escalated: bool) {
         if std::env::var_os("LHCDS_TRACE").is_some() {
             eprintln!("process_component comp={comp:?} escalated={escalated}");
         }
-        let (inst, map) = local_instance(self.cliques, &comp);
         self.stats.local_decompositions += 1;
-        // One reusable network serves the component's whole Goldberg
-        // ladder (every ρ-probe of the local densest decomposition).
-        let mut solver = InstanceSolver::with_reuse(inst, self.cfg.flow_reuse);
-        let Some((rho_star, members)) = solver.densest_decomposition() else {
+        if self.threads > 1 && !self.stack.is_empty() && !self.decomp_cache.contains_key(&comp) {
+            self.prefetch_decompositions(&comp);
+        }
+        let decomp = match self.decomp_cache.remove(&comp) {
+            Some(d) => {
+                self.stats.prefetched_decompositions += 1;
+                d
+            }
+            None => Self::decompose_component(self.cliques, self.cfg.flow_reuse, &comp),
+        };
+        let Some((rho_star, members)) = decomp else {
             // No h-clique inside this component.
             if escalated {
                 self.kill(&comp);
@@ -486,7 +601,7 @@ impl<'a> Driver<'a> {
             }
             return;
         };
-        let u: Vec<VertexId> = map
+        let u: Vec<VertexId> = comp
             .iter()
             .zip(&members)
             .filter(|&(_, &m)| m)

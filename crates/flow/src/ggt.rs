@@ -55,8 +55,27 @@
 //! changes no pin-respecting cut value and `S_max` respects the pins),
 //! and the interval endpoints' cut lines are exact rationals, so the
 //! emitted ladder is bit-identical to the rebuild-per-probe one.
+//!
+//! ## Parallel recursion
+//!
+//! After a strict split at λ* the `[λ*, hi]` and `[lo, λ*]` halves are
+//! independent subproblems: each solves only inside its own undecided
+//! strip (everything else is pinned) and neither reads the other's
+//! results. [`GgtSolver::principal_partition_par`] therefore forks the
+//! lower half onto a [`std::thread::scope`] worker with a *clone* of
+//! the solver — clone-on-fork of the shared never-reset flow, so the
+//! spawned branch starts from the exact residual state the serial
+//! recursion would have mutated in place — while the current thread
+//! continues into the upper half. A shared fork budget caps live
+//! workers at the requested thread count and splits whose strips fall
+//! below [`GgtSolver::set_fork_threshold`] stay serial. Because every
+//! solve returns the canonical maximal side regardless of the retained
+//! flow it starts from, and the lower half's breakpoints are appended
+//! after the upper half's exactly as in the serial walk, the emitted
+//! ladder is byte-identical at every thread count.
 
 use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::parametric::{ParametricNetwork, ReusePolicy};
 use crate::rational::Ratio;
@@ -119,6 +138,11 @@ struct LadderNode {
     slope: i128,
 }
 
+/// Smallest undecided strip (on both sides of a split) worth forking a
+/// worker for: below this, cloning the network costs more than the
+/// remaining solves.
+const DEFAULT_FORK_MIN_STRIP: usize = 32;
+
 /// GGT principal-partition solver. Build the network with
 /// [`GgtSolver::ladder_node`] / [`GgtSolver::add_static`], then call
 /// [`GgtSolver::principal_partition`]. See the module docs.
@@ -131,6 +155,8 @@ pub struct GgtSolver {
     /// Arcs in the shared network (ladder + static), for telemetry.
     arcs_total: u64,
     solves: u64,
+    /// Minimum strip size for a parallel fork (see module docs).
+    fork_min_strip: usize,
 }
 
 impl GgtSolver {
@@ -144,7 +170,16 @@ impl GgtSolver {
             static_base_total: 0,
             arcs_total: 0,
             solves: 0,
+            fork_min_strip: DEFAULT_FORK_MIN_STRIP,
         }
+    }
+
+    /// Overrides the minimum undecided-strip size below which
+    /// [`GgtSolver::principal_partition_par`] keeps a split serial
+    /// instead of forking a worker. Mostly for tests and tuning; the
+    /// result never depends on it.
+    pub fn set_fork_threshold(&mut self, min_strip: usize) {
+        self.fork_min_strip = min_strip.max(1);
     }
 
     /// Registers network node `node` as a ladder node with the given
@@ -226,9 +261,9 @@ impl GgtSolver {
         self.solves += 1;
         if self.solves > 1 {
             // what a rebuild-per-probe ladder would have constructed
-            stats::GGT_ARCS_SAVED.fetch_add(self.arcs_total, std::sync::atomic::Ordering::Relaxed);
+            stats::GGT_ARCS_SAVED.fetch_add(self.arcs_total, Ordering::Relaxed);
         }
-        stats::GGT_CONTRACTED_NODES.fetch_add(pinned, std::sync::atomic::Ordering::Relaxed);
+        stats::GGT_CONTRACTED_NODES.fetch_add(pinned, Ordering::Relaxed);
         let full = self.pn.max_cut_source_side();
         let mask = self.nodes.iter().map(|ln| full[ln.node as usize]).collect();
         (Ratio::new(self.pn.flow_value(), scale), mask)
@@ -240,6 +275,16 @@ impl GgtSolver {
     /// classes are disjoint and their union is `S_max(0)`'s ladder part
     /// (a node outside it — reachable to `t` at λ = 0 — never appears).
     pub fn principal_partition(&mut self) -> Vec<(Ratio, Vec<bool>)> {
+        self.principal_partition_par(1)
+    }
+
+    /// [`GgtSolver::principal_partition`] with up to `threads` workers
+    /// for the divide-and-conquer: after each strict split the lower
+    /// λ-interval runs on a scoped worker holding a clone of the solver
+    /// (retained flow included) while the current thread descends into
+    /// the upper interval. Output is byte-identical at every thread
+    /// count; see the module docs for why.
+    pub fn principal_partition_par(&mut self, threads: usize) -> Vec<(Ratio, Vec<bool>)> {
         let n = self.nodes.len();
         if n == 0 {
             return Vec::new();
@@ -261,11 +306,16 @@ impl GgtSolver {
         let c0 = val0; // line value at λ = 0
         let c_hi = val_hi - hi * Ratio::from_int(w_hi);
         let mut out = Vec::new();
+        // Fork budget: how many *additional* workers may be live at
+        // once. Claimed before each spawn, released after its join, so
+        // nested forks across both halves share the same cap.
+        let budget = AtomicUsize::new(threads.max(1) - 1);
         self.recurse(
             (Ratio::zero(), mask0, c0, w0),
             (hi, mask_hi, c_hi, w_hi),
             1,
             &mut out,
+            &budget,
         );
         out
     }
@@ -280,14 +330,15 @@ impl GgtSolver {
         hi: (Ratio, Vec<bool>, Ratio, i128),
         depth: u64,
         out: &mut Vec<(Ratio, Vec<bool>)>,
+        budget: &AtomicUsize,
     ) {
         let (lo_l, mask_lo, c_lo, w_lo) = lo;
         let (hi_l, mask_hi, c_hi, w_hi) = hi;
         if mask_lo == mask_hi {
             return;
         }
-        stats::GGT_RECURSIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        stats::GGT_MAX_DEPTH.fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+        stats::GGT_RECURSIONS.fetch_add(1, Ordering::Relaxed);
+        stats::GGT_MAX_DEPTH.fetch_max(depth, Ordering::Relaxed);
         let diff: Vec<bool> = mask_lo
             .iter()
             .zip(&mask_hi)
@@ -320,6 +371,43 @@ impl GgtSolver {
         );
         let w = self.weight(&mask);
         let c = val - lam * Ratio::from_int(w);
+        // Fork only when both halves' undecided strips are worth a
+        // network clone and a worker slot is free.
+        let upper_strip = mask.iter().zip(&mask_hi).filter(|&(&a, &b)| a && !b);
+        let lower_strip = mask_lo.iter().zip(&mask).filter(|&(&a, &b)| a && !b);
+        let fork = upper_strip.count() >= self.fork_min_strip
+            && lower_strip.count() >= self.fork_min_strip
+            && claim_fork_slot(budget);
+        if fork {
+            // Lower half on a worker with a clone of the solver — the
+            // clone carries the post-λ* retained flow, exactly the
+            // state the serial walk would hand to its lower recursion.
+            let mut lower_solver = self.clone();
+            let lower_lo = (lo_l, mask_lo, c_lo, w_lo);
+            let lower_hi = (lam, mask.clone(), c, w);
+            let lower_out = std::thread::scope(|scope| {
+                let handle = scope.spawn(move || {
+                    let mut acc = Vec::new();
+                    lower_solver.recurse(lower_lo, lower_hi, depth + 1, &mut acc, budget);
+                    acc
+                });
+                // Upper half on the current thread: λ keeps growing, so
+                // those solves warm-start.
+                self.recurse(
+                    (lam, mask, c, w),
+                    (hi_l, mask_hi, c_hi, w_hi),
+                    depth + 1,
+                    out,
+                    budget,
+                );
+                handle.join().expect("GGT lower-branch worker panicked")
+            });
+            budget.fetch_add(1, Ordering::Relaxed);
+            // Serial emission order: all upper breakpoints (larger λ)
+            // first, then the lower half's.
+            out.extend(lower_out);
+            return;
+        }
         // Upper half first: λ keeps growing, so those solves warm-start;
         // the later drop back below λ* retracts instead of resetting.
         self.recurse(
@@ -327,14 +415,24 @@ impl GgtSolver {
             (hi_l, mask_hi, c_hi, w_hi),
             depth + 1,
             out,
+            budget,
         );
         self.recurse(
             (lo_l, mask_lo, c_lo, w_lo),
             (lam, mask, c, w),
             depth + 1,
             out,
+            budget,
         );
     }
+}
+
+/// Decrements the fork budget if a slot is free; the caller must
+/// `fetch_add(1)` it back after joining the spawned worker.
+fn claim_fork_slot(budget: &AtomicUsize) -> bool {
+    budget
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+        .is_ok()
 }
 
 #[cfg(test)]
@@ -542,5 +640,62 @@ mod tests {
             let part = spec.solver().principal_partition();
             spec.check(&part);
         }
+    }
+
+    #[test]
+    fn parallel_partition_is_byte_identical_to_serial() {
+        // Force forking even on tiny strips so the scoped-worker path
+        // actually runs: threshold 1 means every strict split with a
+        // free slot forks.
+        let mut state = 0x5EEDBEEF0DDC0DEu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..10 {
+            let n = 4 + (rng() % 6) as usize;
+            let src: Vec<i128> = (0..n).map(|_| (rng() % 20) as i128).collect();
+            let slope: Vec<i128> = (0..n).map(|_| 1 + (rng() % 3) as i128).collect();
+            let mut statics = Vec::new();
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b && rng() % 4 == 0 {
+                        statics.push((a, b, (rng() % 7) as i128));
+                    }
+                }
+            }
+            let spec = Spec {
+                src,
+                slope,
+                statics,
+            };
+            let serial = spec.solver().principal_partition();
+            spec.check(&serial);
+            for threads in [2usize, 4, 8] {
+                let mut solver = spec.solver();
+                solver.set_fork_threshold(1);
+                let par = solver.principal_partition_par(threads);
+                assert_eq!(
+                    par, serial,
+                    "round {round}: {threads}-thread partition diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fork_threshold_keeps_small_strips_serial() {
+        // With the default threshold, a tiny ladder never forks, and a
+        // 1-thread "parallel" call is the serial walk by construction.
+        let spec = Spec {
+            src: vec![6, 2, 9, 1],
+            slope: vec![2, 2, 3, 1],
+            statics: vec![(0, 1, 3), (2, 3, 1)],
+        };
+        let serial = spec.solver().principal_partition();
+        assert_eq!(spec.solver().principal_partition_par(1), serial);
+        assert_eq!(spec.solver().principal_partition_par(8), serial);
     }
 }

@@ -86,6 +86,88 @@ fn retract_policy_turns_resets_into_retractions() {
     assert!((d.warm_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
 }
 
+/// `ggt_max_depth` is a high-water gauge, not a monotone counter:
+/// `since()` must carry the current mark through instead of subtracting
+/// the snapshot (a delta of a deep pre-snapshot run minus itself would
+/// report garbage — typically 0 — for any warm process).
+#[test]
+fn since_reports_ggt_depth_as_gauge_not_delta() {
+    let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    // deep run first: four distinct levels force nested interval splits
+    let mut deep = GgtSolver::new(6, 0, 5, 1);
+    deep.ladder_node(1, 24, 2);
+    deep.ladder_node(2, 12, 2);
+    deep.ladder_node(3, 6, 2);
+    deep.ladder_node(4, 2, 2);
+    assert_eq!(deep.principal_partition().len(), 4);
+    let high_water = flow_stats().ggt_max_depth;
+    assert!(high_water >= 2, "deep ladder should recurse: {high_water}");
+
+    // snapshot, then strictly shallower work
+    let before = flow_stats();
+    let mut shallow = GgtSolver::new(4, 0, 3, 1);
+    shallow.ladder_node(1, 4, 2);
+    shallow.ladder_node(2, 4, 2); // same level → no split at all
+    assert_eq!(shallow.principal_partition().len(), 1);
+
+    let d = flow_stats().since(&before);
+    assert_eq!(
+        d.ggt_max_depth, high_water,
+        "since() must report the process high-water mark, not a subtraction"
+    );
+    // while genuine counters in the same interval still delta normally
+    assert_eq!(d.networks_built, 1);
+    assert_eq!(
+        d.max_flow_invocations,
+        d.warm_solves + d.retract_solves + d.cold_solves()
+    );
+}
+
+/// Satellite contract: every `FlowStats` update site is a `fetch_*`
+/// atomic RMW, so the accounting invariant `invocations = warm +
+/// retract + cold` holds exactly even with solvers racing on the
+/// process-wide counters — no lost updates.
+#[test]
+fn counters_hold_under_four_concurrent_ladders() {
+    let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
+    let before = flow_stats();
+    std::thread::scope(|scope| {
+        for w in 0..4u32 {
+            scope.spawn(move || {
+                // each worker owns a solver; only the global counters
+                // are shared
+                let mut g = GgtSolver::new(5, 0, 4, 1);
+                g.ladder_node(1, 12 + i128::from(w), 2);
+                g.ladder_node(2, 6, 2);
+                g.ladder_node(3, 2, 2);
+                let part = g.principal_partition();
+                assert!(!part.is_empty());
+
+                let mut pn = ParametricNetwork::new(4, 0, 3, 2);
+                pn.add_static(1, 2, 3);
+                for (from, to) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
+                    pn.add_parametric(from, to);
+                }
+                let scale = pn.scale_for(1);
+                pn.solve(scale, &[4, 4, 1, 1]);
+                pn.solve(scale, &[4, 4, 2, 2]);
+                pn.solve_with(scale, &[4, 4, 1, 1], ReusePolicy::Retract);
+            });
+        }
+    });
+    let d = flow_stats().since(&before);
+    assert_eq!(d.networks_built, 8, "one GGT + one parametric per worker");
+    assert_eq!(d.first_build, 8);
+    assert!(d.max_flow_invocations >= 8 + 4 * 3);
+    assert!(d.warm_solves >= 4, "each worker warm-solves at least once");
+    assert!(d.retract_solves >= 4);
+    assert_eq!(
+        d.max_flow_invocations,
+        d.warm_solves + d.retract_solves + d.cold_solves(),
+        "the accounting invariant must survive 4 concurrent solvers"
+    );
+}
+
 #[test]
 fn ggt_partition_builds_one_network_and_counts_recursions() {
     let _quiet = COUNTERS.lock().unwrap_or_else(|e| e.into_inner());
