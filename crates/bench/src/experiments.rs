@@ -15,7 +15,7 @@ use lhcds::data::manifest::DatasetRegistry;
 use lhcds::data::{polbooks_like, registry, Dataset, LabeledGraph};
 use lhcds::graph::properties::{average_clustering, diameter, edge_density};
 use lhcds::graph::{CsrGraph, InducedSubgraph};
-use lhcds::patterns::{top_k_lhxpds, Pattern};
+use lhcds::patterns::{enumerate_pattern_with, top_k_lhxpds, Pattern};
 
 /// Experiment options.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +75,7 @@ pub fn all_experiments() -> &'static [&'static str] {
         "fig17",
         "ablation",
         "kclist",
+        "patterns",
         "serve_qps",
         "flowreuse",
     ]
@@ -99,6 +100,7 @@ pub fn run_experiment(name: &str, opts: &ExpOptions) -> Option<String> {
         "fig17" => fig17(opts),
         "ablation" => ablation(opts),
         "kclist" => kclist(opts),
+        "patterns" => patterns(opts),
         "serve_qps" => serve_qps(opts),
         "flowreuse" => flowreuse(opts),
         _ => return None,
@@ -755,6 +757,126 @@ fn kclist_on(
     )
 }
 
+/// Pattern enumeration, serial vs the sharded block-collect path: every
+/// Figure 8 non-clique enumerator (3-star, 4-path, c3-star, 4-loop,
+/// 2-triangle) plus the kClist-backed 4-clique, at 1/2/4 threads (and
+/// `--threads`, when extra). Each parallel store is asserted
+/// byte-identical to the serial one before its time is recorded — a
+/// speedup that changed the answer would be worthless. Rows land in
+/// `BENCH_patterns.json` with the standard provenance stamp
+/// (`speedup_meaningful` etc.).
+pub fn patterns(opts: &ExpOptions) -> String {
+    let workloads: Vec<(&str, CsrGraph)> = vec![
+        (
+            "planted_communities_4000",
+            lhcds::data::gen::planted_communities(
+                4000,
+                3,
+                &[(22, 0.9), (16, 0.9), (12, 0.95)],
+                0xBEEF,
+            ),
+        ),
+        ("gnp_1200_p04", lhcds::data::gen::gnp(1200, 0.04, 0xBEEF)),
+    ];
+    let dir = std::env::var("LHCDS_BENCH_DIR").unwrap_or_else(|_| ".".into());
+    patterns_on(opts, workloads, std::path::Path::new(&dir))
+}
+
+/// [`patterns`] with explicit workloads and output directory (unit
+/// tests swap in tiny graphs and a temp dir).
+fn patterns_on(
+    opts: &ExpOptions,
+    workloads: Vec<(&str, CsrGraph)>,
+    out_dir: &std::path::Path,
+) -> String {
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    if opts.threads > 0 && !threads.contains(&opts.threads) {
+        threads.push(opts.threads);
+    }
+    let sweep = [
+        Pattern::Star3,
+        Pattern::Path4,
+        Pattern::TailedTriangle,
+        Pattern::Cycle4,
+        Pattern::Diamond,
+        Pattern::Clique4,
+    ];
+
+    let mut t = MdTable::new([
+        "graph",
+        "pattern",
+        "threads",
+        "time (ms)",
+        "instances",
+        "speedup",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for (name, g) in &workloads {
+        for p in sweep {
+            let mut serial_ms = 0.0f64;
+            let mut serial_store = None;
+            for &tc in &threads {
+                let par = Parallelism::threads(tc);
+                let (store, ms) = time_ms(|| enumerate_pattern_with(g, p, &par));
+                match &serial_store {
+                    None => {
+                        serial_ms = ms;
+                        serial_store = Some(store.clone());
+                    }
+                    Some(serial) => {
+                        // byte-identity is the acceptance contract
+                        assert_eq!(serial.len(), store.len(), "{name} {p} threads={tc}");
+                        for i in 0..serial.len() {
+                            assert_eq!(
+                                serial.members(i),
+                                store.members(i),
+                                "{name} {p} threads={tc} instance {i} diverged"
+                            );
+                        }
+                    }
+                }
+                let count = store.len();
+                let speedup = serial_ms / ms.max(1e-9);
+                t.row([
+                    name.to_string(),
+                    p.key(),
+                    tc.to_string(),
+                    format!("{ms:.1}"),
+                    count.to_string(),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_rows.push(format!(
+                    "    {{\"graph\": \"{name}\", \"n\": {}, \"m\": {}, \"pattern\": \"{}\", \
+                     \"threads\": {tc}, \"wall_ms\": {ms:.3}, \"instances\": {count}, \
+                     \"speedup_vs_serial\": {speedup:.3}}}",
+                    g.n(),
+                    g.m(),
+                    p.key(),
+                ));
+            }
+        }
+    }
+
+    let provenance = BenchProvenance::detect();
+    let host = provenance.host_parallelism;
+    let json = format!(
+        "{{\n  \"experiment\": \"patterns\",\n  {},\n  {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        provenance.json_fields(),
+        provenance.speedup_fields(),
+        json_rows.join(",\n")
+    );
+    let path = out_dir.join("BENCH_patterns.json");
+    let note = match std::fs::write(&path, &json) {
+        Ok(()) => format!("baseline recorded to `{}`", path.display()),
+        Err(e) => format!("could not write `{}`: {e}", path.display()),
+    };
+    format!(
+        "## Patterns — serial vs sharded motif enumeration (host parallelism: {host})\n{}\n{}\n{note}\n",
+        provenance.speedup_caveat(),
+        t.render()
+    )
+}
+
 /// Serving throughput of the `lhcds-service` daemon: spawn a server
 /// in-process, hammer it from concurrent persistent connections with a
 /// mixed query workload (`top_k` across the k range, `density_of`,
@@ -809,25 +931,21 @@ fn serve_qps_on(
     let mut json_rows: Vec<String> = Vec::new();
 
     for (name, g) in &workloads {
-        let mut indexes = std::collections::BTreeMap::new();
-        indexes.insert(
-            3usize,
-            DecompositionIndex::build(
-                g,
-                3,
-                &IndexConfig {
-                    k_max: K_MAX,
-                    ..IndexConfig::default()
-                },
-            ),
-        );
-        let served = ServedIndexes {
+        let mut served = ServedIndexes {
             name: (*name).into(),
             n: g.n(),
             m: g.m(),
             original_ids: None,
-            indexes,
+            indexes: std::collections::BTreeMap::new(),
         };
+        served.insert(DecompositionIndex::build(
+            g,
+            3,
+            &IndexConfig {
+                k_max: K_MAX,
+                ..IndexConfig::default()
+            },
+        ));
         let server = Server::bind(
             "127.0.0.1:0",
             served,
@@ -1247,6 +1365,7 @@ mod tests {
                 "fig17",
                 "ablation",
                 "kclist",
+                "patterns",
                 "serve_qps",
                 "flowreuse"
             ]
@@ -1316,6 +1435,44 @@ mod tests {
             "\"threads\": 1",
             "\"wall_ms\"",
             "\"cliques\"",
+            "\"speedup_vs_serial\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn patterns_records_a_json_baseline() {
+        let dir = std::env::temp_dir().join("lhcds_bench_patterns_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let tiny = vec![("figure2_tiny", lhcds::data::figure2_graph())];
+        // 7 appears nowhere in the default 1/2/4 sweep, so it can only
+        // come from the --threads plumbing
+        let out = patterns_on(
+            &ExpOptions {
+                threads: 7,
+                ..ExpOptions::default()
+            },
+            tiny,
+            &dir,
+        );
+        assert!(out.contains("baseline recorded"), "{out}");
+        assert!(out.contains("| 7 "), "extra --threads row missing");
+        let json = std::fs::read_to_string(dir.join("BENCH_patterns.json")).unwrap();
+        for key in [
+            "\"experiment\": \"patterns\"",
+            "\"host_parallelism\"",
+            "\"recorded_on_single_cpu\"",
+            "\"speedup_meaningful\"",
+            "\"pattern\": \"4-loop\"",
+            "\"pattern\": \"2-triangle\"",
+            "\"pattern\": \"clique.h4\"",
+            "\"threads\": 1",
+            "\"threads\": 7",
+            "\"wall_ms\"",
+            "\"instances\"",
             "\"speedup_vs_serial\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");

@@ -3,11 +3,11 @@
 //! ```text
 //! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--flow-reuse ggt] [--core-prune] [--json]
 //! lhcds topk --input web-Stanford.txt [--format snap|csv|auto] [--no-cache] --h 3 --k 5
-//! lhcds stats --graph edges.txt [--h 3] [--threads 4] [--core-prune] [--json]
+//! lhcds stats --graph edges.txt [--h 3] [--pattern 4-loop] [--threads 4] [--core-prune] [--json]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
 //! lhcds datasets list | fetch-instructions | cache | verify [--manifest datasets.toml] [--name X]
-//! lhcds serve --input FILE --h 3 --port 4321 [--k-max 32] [--workers 4]
-//! lhcds query top-k --port 4321 --h 3 --k 5
+//! lhcds serve --input FILE --h 3 [--pattern 4-loop,3-star] --port 4321 [--k-max 32] [--workers 4]
+//! lhcds query top-k --port 4321 (--h 3 | --pattern 4-loop) --k 5
 //! lhcds help
 //! ```
 //!
@@ -30,10 +30,12 @@
 //! mismatch or load failure makes the process exit non-zero.
 //!
 //! The `serve` subcommand builds (or binary-loads, via the `LHCDSIDX`
-//! cache) a decomposition index per requested `h` and serves the
-//! newline-delimited JSON query protocol on a TCP port until SIGTERM /
-//! ctrl-c / a protocol `shutdown` request; `query` is the matching
-//! one-shot client. A served `top_k` answer is string-identical to
+//! cache) a decomposition index per requested `h` / `--pattern` name
+//! (one daemon hosts one graph under several patterns side by side) and
+//! serves the newline-delimited JSON query protocol on a TCP port until
+//! SIGTERM / ctrl-c / a protocol `shutdown` request; `query` is the
+//! matching one-shot client, naming the index by `--h`, `--pattern`, or
+//! both. A served `top_k` answer is string-identical to
 //! `lhcds topk --json` on the same graph — the serializer is shared.
 //!
 //! `--threads N` runs h-clique enumeration *and* the post-enumeration
@@ -47,18 +49,18 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use lhcds::core::index::{DecompositionIndex, IndexConfig};
+use lhcds::core::index::IndexConfig;
 use lhcds::core::pipeline::{top_k_lhcds, IppvConfig};
 use lhcds::core::FlowReuse;
 use lhcds::data::cache::{cache_path_for, load_or_build, CacheStatus};
-use lhcds::data::index_cache::{build_or_load_index_for, IndexBuildOptions};
+use lhcds::data::index_cache::{build_or_load_pattern_index_for, IndexBuildOptions};
 use lhcds::data::ingest::{read_graph_file, EdgeListFormat};
 use lhcds::data::manifest::{table2_template, DatasetRegistry};
 use lhcds::graph::io::{read_edge_list_file, write_edge_list_file};
 use lhcds::graph::CsrGraph;
-use lhcds::patterns::{top_k_lhxpds, Pattern};
+use lhcds::patterns::{build_pattern_index, enumerate_pattern_with, top_k_lhxpds, Pattern};
 use lhcds::service::json::Json;
-use lhcds::service::protocol::{flow_stats_json, topk_result, AnswerRow, Request};
+use lhcds::service::protocol::{flow_stats_json, topk_result, AnswerRow, IndexRef, Request};
 use lhcds::service::server::{ServeOptions, ServedIndexes, Server};
 use lhcds::service::{client, signals};
 
@@ -112,25 +114,26 @@ fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
          USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--flow-reuse T] [--core-prune] [--quiet] [--json]\n  \
-         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--threads N] [--core-prune] [--json]\n  \
+         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--pattern NAME] [--threads N] [--core-prune] [--json]\n  \
          lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
          lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n  \
-         lhcds serve (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H[,H...]] [--k-max K]\n              \
+         lhcds serve (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H[,H...]] [--pattern NAME[,NAME...]] [--k-max K]\n              \
          [--host ADDR] [--port N] [--workers N] [--threads N] [--core-prune] [--port-file FILE] [--quiet]\n  \
          lhcds query (top-k | density-of | membership | stats | ping | shutdown)\n              \
-         [--host ADDR] --port N [--h H] [--k K] [--vertex V] [--timeout SECS]\n\n\
+         [--host ADDR] --port N [--h H] [--pattern NAME] [--k K] [--vertex V] [--timeout SECS]\n\n\
          INPUT:    --graph = strict compact edge list; --input = tolerant SNAP ingest with a\n          \
          binary on-disk cache (FILE.csrcache) and original-id reporting\n\
          FORMATS:  auto (default), snap (whitespace), csv\n\
-         PATTERNS: 3-star, 4-path, c3-star, 4-loop, 2-triangle, 4-clique\n\
+         PATTERNS: edge, triangle, 3-star, 4-path, c3-star, 4-loop, 2-triangle, {{h}}-clique\n\
          PRESETS:  Table 2 abbreviations (HA, GQ, PP, PC, WB, CM, EP, EN, GW, DB, AM, YT, LF, FX, WT)\n\
          THREADS:  worker threads for enumeration AND verification/GGT (0 = auto);\n          \
          results never depend on it\n\
          REUSE:    --flow-reuse scratch|warm|ggt (default ggt); results never depend on it\n\
          CORE:     --core-prune builds verifier networks on the (h-1)-core (Core-Exact);\n          \
          results never depend on it\n\
-         SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx) and\n          \
-         binary-loaded on restart; answers match `lhcds topk --json` exactly"
+         SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx for cliques,\n          \
+         FILE.<pattern>.lhcdsidx otherwise) and binary-loaded on restart; one daemon can host\n          \
+         several patterns at once; answers match `lhcds topk --json` exactly"
     );
 }
 
@@ -247,15 +250,25 @@ impl InputSpec {
 }
 
 fn parse_pattern(name: &str) -> Result<Pattern, String> {
-    Ok(match name {
-        "3-star" => Pattern::Star3,
-        "4-path" => Pattern::Path4,
-        "c3-star" => Pattern::TailedTriangle,
-        "4-loop" => Pattern::Cycle4,
-        "2-triangle" => Pattern::Diamond,
-        "4-clique" => Pattern::Clique4,
-        other => return Err(format!("unknown pattern '{other}'")),
+    Pattern::parse(name).ok_or_else(|| {
+        format!(
+            "unknown pattern '{name}' — try edge, triangle, 3-star, 4-path, c3-star, \
+             4-loop, 2-triangle, 4-clique, or {{h}}-clique"
+        )
     })
+}
+
+/// Parses the serve subcommand's `--pattern` list
+/// (`"4-loop"` or `"4-loop,2-triangle"`).
+fn parse_pattern_list(spec: &str) -> Result<Vec<Pattern>, String> {
+    let mut ps = Vec::new();
+    for part in spec.split(',') {
+        let p = parse_pattern(part.trim())?;
+        if !ps.contains(&p) {
+            ps.push(p);
+        }
+    }
+    Ok(ps)
 }
 
 fn cmd_topk(args: &mut Args) -> Result<(), String> {
@@ -367,11 +380,17 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     let h = args.get_parsed("h")?.unwrap_or(3usize);
     let json = args.flag("json");
     let core_prune = args.flag("core-prune");
+    let pattern = args.get("pattern").map(|n| parse_pattern(&n)).transpose()?;
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
     let loaded = input.load()?;
     let g = &loaded.graph;
+    // `--pattern` rides along: the instance count of the named pattern
+    // (the |Psi| the LhxPDS pipeline would mine), enumerated with the
+    // same `--threads` setting as everything else.
+    let pattern_instances =
+        pattern.map(|p| (p, enumerate_pattern_with(g, p, &parallelism).len() as u64));
     if !json {
         eprintln!("{}", loaded.note);
     }
@@ -419,6 +438,10 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
         if let Some(c) = core_universe {
             pairs.push(("core_prune_universe", Json::Int(c as i128)));
         }
+        if let Some((p, count)) = &pattern_instances {
+            pairs.push(("pattern", Json::Str(p.to_string())));
+            pairs.push(("pattern_instances", Json::Int(*count as i128)));
+        }
         pairs.push(("flow", flow_stats_json(&flow)));
         let result = Json::object(pairs);
         println!("{}", result.render());
@@ -437,6 +460,9 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     }
     for (hh, c) in psi {
         println!("|Psi_{hh}|:     {c}");
+    }
+    if let Some((p, count)) = &pattern_instances {
+        println!("pattern:     {p} ({count} instances)");
     }
     println!(
         "flow:        {} networks, {} solves ({} warm / {} retract / {} cold), {} ggt recursions",
@@ -468,10 +494,27 @@ fn parse_h_list(spec: &str) -> Result<Vec<usize>, String> {
     Ok(hs)
 }
 
-/// `lhcds serve` — build/load the decomposition index per requested h
-/// and answer protocol queries until shutdown.
+/// `lhcds serve` — build/load one decomposition index per requested h
+/// and/or pattern, and answer protocol queries until shutdown.
 fn cmd_serve(args: &mut Args) -> Result<(), String> {
-    let hs = parse_h_list(&args.get("h").unwrap_or_else(|| "3".into()))?;
+    let h_spec = args.get("h");
+    let pattern_spec = args.get("pattern");
+    // `--h 2,3` and `--pattern 4-loop,2-triangle` compose: the daemon
+    // hosts one index per entry. With only `--pattern`, no implicit
+    // h=3 index is added; with neither, h=3 is the default.
+    let hs = match &h_spec {
+        Some(spec) => parse_h_list(spec)?,
+        None if pattern_spec.is_some() => Vec::new(),
+        None => vec![3],
+    };
+    let mut patterns: Vec<Pattern> = hs.iter().map(|&h| Pattern::Clique(h)).collect();
+    if let Some(spec) = &pattern_spec {
+        for p in parse_pattern_list(spec)? {
+            if !patterns.iter().any(|q| q.key() == p.key()) {
+                patterns.push(p);
+            }
+        }
+    }
     let k_max: usize = args.get_parsed("k-max")?.unwrap_or(32);
     if k_max == 0 {
         return Err("--k-max must be at least 1".into());
@@ -500,9 +543,10 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
         }
     };
 
-    // Build or binary-load one index per h. Only the ingest-with-cache
-    // path persists (`FILE.hH.lhcdsidx`, keyed on the source stamp);
-    // strict/--no-cache inputs build in memory.
+    // Build or binary-load one index per h / pattern. Only the
+    // ingest-with-cache path persists (`FILE.<key>.lhcdsidx`, keyed on
+    // the source stamp + pattern key); strict/--no-cache inputs build
+    // in memory.
     let served = match input {
         InputSpec::Ingest {
             ref path,
@@ -516,7 +560,7 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
                 no_graph_cache: false,
             };
             // load the (possibly multi-gigabyte) graph exactly once;
-            // each h then only reads/builds its own index snapshot
+            // each pattern then only reads/builds its own index snapshot
             let (remapped, graph_status) =
                 load_or_build(&src, format, None).map_err(|e| e.to_string())?;
             note(&format!(
@@ -524,48 +568,50 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
                 remapped.graph.n(),
                 remapped.graph.m()
             ));
-            let mut indexes = std::collections::BTreeMap::new();
-            for &h in &hs {
-                let (idx, status) = build_or_load_index_for(&src, &remapped, h, &opts)
-                    .map_err(|e| e.to_string())?;
-                note(&format!(
-                    "index h={h}: {} subgraphs ({status:?})",
-                    idx.len()
-                ));
-                indexes.insert(h, idx);
-            }
-            let identity = remapped.is_identity();
-            ServedIndexes {
+            let mut served = ServedIndexes {
                 name: path.clone(),
                 n: remapped.graph.n(),
                 m: remapped.graph.m(),
-                original_ids: (!identity).then_some(remapped.original_ids),
-                indexes,
+                original_ids: (!remapped.is_identity()).then_some(remapped.original_ids.clone()),
+                indexes: std::collections::BTreeMap::new(),
+            };
+            for &p in &patterns {
+                let (idx, status) = build_or_load_pattern_index_for(&src, &remapped, p, &opts)
+                    .map_err(|e| e.to_string())?;
+                note(&format!(
+                    "index {}: {} subgraphs ({status:?})",
+                    p.key(),
+                    idx.len()
+                ));
+                served.insert(idx);
             }
+            served
         }
         other => {
             let name = match &other {
                 InputSpec::Strict(p) | InputSpec::Ingest { path: p, .. } => p.clone(),
             };
             let loaded = other.load()?;
-            let mut indexes = std::collections::BTreeMap::new();
-            for &h in &hs {
-                let idx = DecompositionIndex::build(&loaded.graph, h, &index_config);
-                note(&format!(
-                    "index h={h}: {} subgraphs (built in memory)",
-                    idx.len()
-                ));
-                indexes.insert(h, idx);
-            }
-            ServedIndexes {
+            let mut served = ServedIndexes {
                 name,
                 n: loaded.graph.n(),
                 m: loaded.graph.m(),
                 original_ids: loaded.original_ids,
-                indexes,
+                indexes: std::collections::BTreeMap::new(),
+            };
+            for &p in &patterns {
+                let idx = build_pattern_index(&loaded.graph, p, &index_config);
+                note(&format!(
+                    "index {}: {} subgraphs (built in memory)",
+                    p.key(),
+                    idx.len()
+                ));
+                served.insert(idx);
             }
+            served
         }
     };
+    let served_keys: Vec<String> = served.indexes.keys().cloned().collect();
 
     let opts = ServeOptions {
         workers,
@@ -576,7 +622,9 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
     let addr = server.local_addr();
     // stdout carries exactly one machine-parseable line; everything
     // else goes to stderr
-    println!("lhcds-serve listening on {addr} (h={hs:?}, k_max={k_max}, workers={workers})");
+    println!(
+        "lhcds-serve listening on {addr} (patterns={served_keys:?}, k_max={k_max}, workers={workers})"
+    );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     if let Some(pf) = &port_file {
@@ -609,20 +657,32 @@ fn cmd_query(args: &mut Args) -> Result<(), String> {
         .get_parsed("port")?
         .ok_or_else(|| "missing --port (the port `lhcds serve` printed)".to_string())?;
     let timeout: u64 = args.get_parsed("timeout")?.unwrap_or(10);
-    let h: usize = args.get_parsed("h")?.unwrap_or(3);
+    let h: Option<usize> = args.get_parsed("h")?;
+    let pattern = args.get("pattern");
     let k: usize = args.get_parsed("k")?.unwrap_or(5);
     let vertex: Option<u64> = args.get_parsed("vertex")?;
     args.finish()?;
 
+    // `--h`/`--pattern` compose into one IndexRef; the daemon resolves
+    // both to the same canonical pattern key. With neither flag the
+    // historical default (h = 3) applies.
+    let index = match (h, &pattern) {
+        (None, None) => IndexRef::clique(3),
+        (Some(h), None) => IndexRef::clique(h),
+        (h, Some(name)) => IndexRef {
+            h,
+            pattern: Some(name.clone()),
+        },
+    };
     let need_vertex = || vertex.ok_or_else(|| format!("'{action}' needs --vertex"));
     let request = match action.as_str() {
-        "top-k" => Request::TopK { h, k },
+        "top-k" => Request::TopK { index, k },
         "density-of" => Request::DensityOf {
-            h,
+            index,
             vertex: need_vertex()?,
         },
         "membership" => Request::Membership {
-            h,
+            index,
             vertex: need_vertex()?,
         },
         "stats" => Request::Stats,
@@ -1161,6 +1221,8 @@ mod tests {
             path_s.clone(),
             "--h".into(),
             "2,3".into(),
+            "--pattern".into(),
+            "4-loop".into(),
             "--k-max".into(),
             "8".into(),
             "--port".into(),
@@ -1212,12 +1274,23 @@ mod tests {
         let mut v = base("membership");
         v.extend(["--h".into(), "2".into(), "--vertex".into(), "0".into()]);
         run(v).unwrap();
+        let mut v = base("top-k");
+        v.extend([
+            "--pattern".into(),
+            "4-loop".into(),
+            "--k".into(),
+            "2".into(),
+        ]);
+        run(v).unwrap();
         run(base("stats")).unwrap();
 
         // served answer == batch answer (string-identical result JSON)
         let served = client::query(
             &addr,
-            &Request::TopK { h: 3, k: 2 },
+            &Request::TopK {
+                index: IndexRef::clique(3),
+                k: 2,
+            },
             Duration::from_secs(10),
         )
         .unwrap();
@@ -1226,6 +1299,30 @@ mod tests {
         let ids = |v: lhcds::graph::VertexId| u64::from(v);
         let batch = topk_result(
             3,
+            2,
+            fresh.subgraphs.iter().map(|s| AnswerRow {
+                vertices: &s.vertices,
+                density: s.density,
+                clique_count: s.clique_count,
+            }),
+            &ids,
+        );
+        assert_eq!(served.render(), batch.render());
+
+        // same for a non-clique pattern: the daemon's 4-loop answer is
+        // string-identical to a fresh LhxPDS run
+        let served = client::query(
+            &addr,
+            &Request::TopK {
+                index: IndexRef::pattern("4-loop"),
+                k: 2,
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        let fresh = top_k_lhxpds(&g, Pattern::Cycle4, 2, &IppvConfig::default());
+        let batch = topk_result(
+            4,
             2,
             fresh.subgraphs.iter().map(|s| AnswerRow {
                 vertices: &s.vertices,
@@ -1260,6 +1357,7 @@ mod tests {
         // in-memory check: the index cache file exists next to the input)
         assert!(dir.join("figure2.txt.h3.lhcdsidx").is_file());
         assert!(dir.join("figure2.txt.h2.lhcdsidx").is_file());
+        assert!(dir.join("figure2.txt.4-loop.lhcdsidx").is_file());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,5 +51,8 @@ pub mod store;
 pub use crate::core::{clique_core, CliqueCore};
 pub use kclist::{count_cliques, count_per_vertex, for_each_clique};
 pub use maximal::{clique_number, for_each_maximal_clique, maximal_cliques};
-pub use parallel::{par_count_cliques, par_count_per_vertex, par_for_each_clique, Parallelism};
+pub use parallel::{
+    par_collect_blocks, par_count_cliques, par_count_per_vertex, par_for_each_clique,
+    parallel_collect_invocations, Parallelism,
+};
 pub use store::CliqueSet;

@@ -38,7 +38,7 @@
 //! all workers busy without per-root contention.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::kclist::Scratch;
 use crate::kclist::{build_dag, count_cliques, count_per_vertex, for_each_clique, root_sweep};
@@ -270,6 +270,72 @@ pub fn par_count_per_vertex(g: &CsrGraph, h: usize, par: &Parallelism) -> Vec<u6
     total
 }
 
+/// Process-wide tally of threaded block-collect merges.
+static PAR_COLLECTS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of block-collect merges that actually took the multi-threaded
+/// path since process start ([`par_collect_blocks`] and the kClist
+/// member collect behind `CliqueSet::enumerate_with`).
+///
+/// Monotone telemetry in the spirit of
+/// `lhcds_flow::max_flow_invocations`: tests snapshot it around an
+/// enumeration to pin that a requested [`Parallelism`] policy was
+/// honored rather than silently dropped to serial.
+pub fn parallel_collect_invocations() -> u64 {
+    PAR_COLLECTS.load(Ordering::Relaxed)
+}
+
+/// Deterministic parallel collect over any indexable outer axis.
+///
+/// Splits `0..n_items` into contiguous self-scheduled blocks, runs
+/// `emit(range, buf)` for each block on up to `threads` scoped worker
+/// threads (every block filling its own fresh buffer), and concatenates
+/// the per-block buffers in ascending block order. Because the blocks
+/// tile `0..n_items` in order, the result is byte-identical to a single
+/// `emit(0..n_items, buf)` call whenever `emit` appends the same bytes
+/// for a sub-range that a full serial scan would append while passing
+/// through it — the same merge discipline `CliqueSet::enumerate_with`
+/// uses for rank-sharded kClist, exposed so other crates (the pattern
+/// enumerators of `lhcds-patterns`) can shard *their* outer loops
+/// (vertex / edge / anchor-clique index blocks) under the identical
+/// determinism contract.
+///
+/// With `threads <= 1` (or nothing to do) `emit` is called exactly once
+/// on the calling thread over the full range, so serial callers pay no
+/// thread or queue overhead.
+pub fn par_collect_blocks<F>(n_items: usize, threads: usize, emit: F) -> Vec<VertexId>
+where
+    F: Fn(Range<usize>, &mut Vec<VertexId>) + Sync,
+{
+    if threads <= 1 || n_items == 0 {
+        let mut out = Vec::new();
+        emit(0..n_items, &mut out);
+        return out;
+    }
+    PAR_COLLECTS.fetch_add(1, Ordering::Relaxed);
+    let queue = BlockQueue::new(n_items, threads);
+    let mut blocks: Vec<Option<Vec<VertexId>>> = (0..queue.blocks()).map(|_| None).collect();
+    let per_worker = run_workers(threads, |_| {
+        let mut mine: Vec<(usize, Vec<VertexId>)> = Vec::new();
+        while let Some((b, range)) = queue.claim() {
+            let mut buf: Vec<VertexId> = Vec::new();
+            emit(range, &mut buf);
+            mine.push((b, buf));
+        }
+        mine
+    });
+    for (b, buf) in per_worker.into_iter().flatten() {
+        debug_assert!(blocks[b].is_none(), "block {b} claimed twice");
+        blocks[b] = Some(buf);
+    }
+    let total: usize = blocks.iter().flatten().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for block in blocks.into_iter().flatten() {
+        out.extend_from_slice(&block);
+    }
+    out
+}
+
 /// Flat member array of every h-clique, in the *serial* enumeration
 /// order. Backs `CliqueSet::enumerate_with`.
 ///
@@ -288,6 +354,7 @@ pub(crate) fn collect_members(g: &CsrGraph, h: usize, par: &Parallelism) -> Vec<
         for_each_clique(g, h, |c| members.extend_from_slice(c));
         return members;
     }
+    PAR_COLLECTS.fetch_add(1, Ordering::Relaxed);
     let dag = build_dag(g);
     let queue = BlockQueue::new(dag.out.len(), threads);
     let mut blocks: Vec<Option<Vec<VertexId>>> = (0..queue.blocks()).map(|_| None).collect();
@@ -370,6 +437,29 @@ mod tests {
             assert!(seen.iter().all(|&s| s), "n={n} threads={threads}");
             assert!(q.claim().is_none(), "queue must stay exhausted");
         }
+    }
+
+    #[test]
+    fn par_collect_blocks_matches_serial_scan() {
+        // emit: each index contributes `index` copies of itself, so any
+        // block-boundary mistake shifts bytes visibly.
+        let emit = |r: Range<usize>, buf: &mut Vec<VertexId>| {
+            for i in r {
+                for _ in 0..i {
+                    buf.push(i as VertexId);
+                }
+            }
+        };
+        let mut serial = Vec::new();
+        emit(0..100, &mut serial);
+        for threads in [1usize, 2, 3, 4, 8, 64] {
+            assert_eq!(
+                par_collect_blocks(100, threads, emit),
+                serial,
+                "threads={threads}"
+            );
+        }
+        assert!(par_collect_blocks(0, 4, emit).is_empty());
     }
 
     #[test]

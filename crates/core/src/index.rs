@@ -147,6 +147,11 @@ impl std::error::Error for InvalidIndex {}
 pub struct IndexParts {
     /// Clique size the index answers for.
     pub h: usize,
+    /// Pattern key naming the decomposition this index froze
+    /// (`clique.h{h}` for the h-clique pipeline; a pattern name such as
+    /// `4-loop` or `custom.<fnv>` for an LhxPDS run). Must be non-empty
+    /// and filename-safe (ASCII alphanumerics plus `-`, `.`, `_`).
+    pub pattern: String,
     /// Configured serving cap.
     pub k_max: usize,
     /// Vertex count of the indexed graph.
@@ -168,6 +173,8 @@ pub struct IndexParts {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecompositionIndex {
     h: usize,
+    /// Pattern key of the frozen decomposition (see [`IndexParts`]).
+    pattern: String,
     k_max: usize,
     n: usize,
     /// CSR-style subgraph storage, density-rank order.
@@ -214,6 +221,7 @@ impl DecompositionIndex {
             .expect("pipeline output is a valid disjoint decomposition");
         DecompositionIndex {
             h,
+            pattern: default_pattern_key(h),
             k_max: k_max.max(1),
             n,
             offsets,
@@ -224,9 +232,35 @@ impl DecompositionIndex {
         }
     }
 
+    /// Relabels the index with an explicit pattern key (builder style).
+    ///
+    /// [`DecompositionIndex::build`] and
+    /// [`DecompositionIndex::from_subgraphs`] default to the h-clique
+    /// key `clique.h{h}`; an LhxPDS construction freezes
+    /// `top_k_lhxpds(g, p, usize::MAX, ..).subgraphs` via
+    /// `from_subgraphs` (with `h` = pattern arity) and then names the
+    /// result with the pattern's key.
+    ///
+    /// # Panics
+    /// Panics if `key` is empty or not filename-safe (construction is a
+    /// build-time activity; see [`DecompositionIndex::try_from_parts`]
+    /// for the error-returning path used on untrusted input).
+    pub fn with_pattern(mut self, key: impl Into<String>) -> Self {
+        let key = key.into();
+        assert!(valid_pattern_key(&key), "invalid pattern key {key:?}");
+        self.pattern = key;
+        self
+    }
+
     /// Clique size this index answers for.
     pub fn h(&self) -> usize {
         self.h
+    }
+
+    /// Pattern key of the frozen decomposition (`clique.h{h}` for the
+    /// h-clique pipeline).
+    pub fn pattern(&self) -> &str {
+        &self.pattern
     }
 
     /// Largest `k` the index serves.
@@ -322,6 +356,7 @@ impl DecompositionIndex {
     pub fn as_parts(&self) -> IndexParts {
         IndexParts {
             h: self.h,
+            pattern: self.pattern.clone(),
             k_max: self.k_max,
             n: self.n,
             offsets: self.offsets.clone(),
@@ -345,6 +380,7 @@ impl DecompositionIndex {
     pub fn try_from_parts(parts: IndexParts) -> Result<DecompositionIndex, InvalidIndex> {
         let IndexParts {
             h,
+            pattern,
             k_max,
             n,
             offsets,
@@ -355,6 +391,11 @@ impl DecompositionIndex {
         } = parts;
         if h < 2 {
             return Err(InvalidIndex(format!("h = {h} (must be at least 2)")));
+        }
+        if !valid_pattern_key(&pattern) {
+            return Err(InvalidIndex(format!(
+                "pattern key {pattern:?} is empty or not filename-safe"
+            )));
         }
         if k_max == 0 {
             return Err(InvalidIndex("k_max must be at least 1".into()));
@@ -426,6 +467,7 @@ impl DecompositionIndex {
             .ok_or_else(|| InvalidIndex("subgraphs overlap — LhCDSes are disjoint".into()))?;
         Ok(DecompositionIndex {
             h,
+            pattern,
             k_max,
             n,
             offsets,
@@ -435,6 +477,20 @@ impl DecompositionIndex {
             rank_of,
         })
     }
+}
+
+/// The h-clique pipeline's pattern key for clique size `h`.
+pub fn default_pattern_key(h: usize) -> String {
+    format!("clique.h{h}")
+}
+
+/// Whether `key` may name a persisted decomposition: non-empty ASCII
+/// from the filename-safe alphabet (alphanumerics plus `-`, `.`, `_`).
+pub fn valid_pattern_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "-._".contains(c))
 }
 
 /// Builds the vertex → rank table; `None` if two subgraphs overlap.
@@ -611,6 +667,26 @@ mod tests {
 
         let mut p = good;
         p.offsets.clear();
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+    }
+
+    #[test]
+    fn pattern_key_defaults_relabels_and_validates() {
+        let g = k5_k4_graph();
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
+        assert_eq!(idx.pattern(), "clique.h3");
+
+        let named = idx.clone().with_pattern("4-loop");
+        assert_eq!(named.pattern(), "4-loop");
+        let back = DecompositionIndex::try_from_parts(named.as_parts()).unwrap();
+        assert_eq!(back, named);
+        assert_ne!(back, idx, "the key is part of the index identity");
+
+        let mut p = named.as_parts();
+        p.pattern = "has space".into();
+        assert!(DecompositionIndex::try_from_parts(p).is_err());
+        let mut p = named.as_parts();
+        p.pattern.clear();
         assert!(DecompositionIndex::try_from_parts(p).is_err());
     }
 

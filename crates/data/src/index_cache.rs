@@ -9,26 +9,37 @@
 //! tmp-file + rename publication — so a daemon restart serves queries
 //! after one sequential binary read instead of a pipeline re-run.
 //!
-//! # File format (version 1, little-endian)
+//! # File format (version 2, little-endian)
 //!
 //! ```text
 //! magic            8 bytes   b"LHCDSIDX"
-//! version          u32       1
-//! h                u32       clique size the index answers for
+//! version          u32       2
+//! h                u32       pattern arity the index answers for
 //! k_max            u64       configured serving cap
 //! n                u64       vertex count of the indexed graph
 //! count            u64       number of subgraphs
 //! member_count     u64       total members across all subgraphs
 //! source_len       u64       byte length of the source text at build time
 //! source_mtime     u64       source mtime (ns since epoch, truncated)
+//! pattern_len      u64       byte length of the pattern key
 //! checksum         u64       FNV-1a 64 over the payload bytes
 //! payload:
+//!   pattern        pattern_len bytes (UTF-8 pattern key)
 //!   offsets        (count+1) × u64
 //!   members        member_count × u32
 //!   density_num    count × i128
 //!   density_den    count × i128
 //!   clique_counts  count × u64
 //! ```
+//!
+//! Version 2 added the *pattern key* (`clique.h3`, `4-loop`,
+//! `custom.<fnv>`, …) so an LhxPDS decomposition persists exactly like
+//! the h-clique one. The key rides in the payload, so it is covered by
+//! the checksum and re-validated structurally on load. Legacy version-1
+//! files (no `pattern_len` field, no key bytes) still load: they can
+//! only have been written by the h-clique pipeline, so the reader
+//! assigns them the `clique.h{h}` key; any *other* version is rejected
+//! with `UnsupportedVersion`. Writes always produce version 2.
 //!
 //! The per-vertex rank table is *not* stored — it is derived from the
 //! member slab on load (`DecompositionIndex::try_from_parts`), so a
@@ -64,16 +75,21 @@ use crate::cache::{
     load_or_build, read_u32, read_u64, unique_tmp_path, CacheError, CacheStatus, SourceStamp,
 };
 use crate::ingest::EdgeListFormat;
-use lhcds_core::index::{DecompositionIndex, IndexConfig, IndexParts};
+use lhcds_core::index::{default_pattern_key, DecompositionIndex, IndexConfig, IndexParts};
 use lhcds_graph::{GraphError, RemappedGraph};
+use lhcds_patterns::{build_pattern_index, Pattern};
 
 /// First 8 bytes of every index cache file.
 pub const INDEX_MAGIC: &[u8; 8] = b"LHCDSIDX";
-/// Current index cache format version.
-pub const INDEX_VERSION: u32 = 1;
+/// Current index cache format version (2: pattern-keyed).
+pub const INDEX_VERSION: u32 = 2;
+/// The pre-pattern format version the reader still accepts.
+pub const LEGACY_INDEX_VERSION: u32 = 1;
 
-/// Total header size: magic + two `u32` + six `u64` fields + checksum.
-const HEADER_LEN: u64 = 8 + 4 + 4 + 8 * 7;
+/// Total v2 header size: magic + two `u32` + seven `u64` + checksum.
+const HEADER_LEN: u64 = 8 + 4 + 4 + 8 * 8;
+/// Total v1 header size (no `pattern_len` field).
+const LEGACY_HEADER_LEN: u64 = 8 + 4 + 4 + 8 * 7;
 
 /// Construction options forwarded to [`DecompositionIndex::build`].
 #[derive(Debug, Clone, Default)]
@@ -95,26 +111,38 @@ pub struct IndexLoadStatus {
     pub index: CacheStatus,
 }
 
-/// Default index cache location for a source file and clique size:
-/// the source path with `.h{h}.lhcdsidx` appended
-/// (`web-Stanford.txt` → `web-Stanford.txt.h3.lhcdsidx`), one file per
-/// `(graph, h)` key.
-pub fn index_path_for(source: &Path, h: usize) -> PathBuf {
+/// Default index cache location for a source file and pattern key:
+/// the source path with `.<key>.lhcdsidx` appended
+/// (`web.txt` + `4-loop` → `web.txt.4-loop.lhcdsidx`), one file per
+/// `(graph, pattern)` pair. Clique keys drop their `clique.` prefix so
+/// the h-clique pipeline keeps its historical `FILE.h{h}.lhcdsidx`
+/// names (`web.txt` + `clique.h3` → `web.txt.h3.lhcdsidx`) — exactly
+/// where pre-pattern daemons left their version-1 snapshots.
+pub fn index_path_for_key(source: &Path, key: &str) -> PathBuf {
+    let short = key.strip_prefix("clique.").unwrap_or(key);
     let mut name = source
         .file_name()
         .map(|s| s.to_os_string())
         .unwrap_or_default();
-    name.push(format!(".h{h}.lhcdsidx"));
+    name.push(format!(".{short}.lhcdsidx"));
     source.with_file_name(name)
+}
+
+/// [`index_path_for_key`] for the h-clique pipeline's `clique.h{h}`
+/// key: `web-Stanford.txt` → `web-Stanford.txt.h3.lhcdsidx`.
+pub fn index_path_for(source: &Path, h: usize) -> PathBuf {
+    index_path_for_key(source, &default_pattern_key(h))
 }
 
 fn payload_bytes(parts: &IndexParts) -> Vec<u8> {
     let mut out = Vec::with_capacity(
-        parts.offsets.len() * 8
+        parts.pattern.len()
+            + parts.offsets.len() * 8
             + parts.members.len() * 4
             + parts.density_num.len() * 32
             + parts.clique_counts.len() * 8,
     );
+    out.extend_from_slice(parts.pattern.as_bytes());
     for &o in &parts.offsets {
         out.extend_from_slice(&(o as u64).to_le_bytes());
     }
@@ -157,6 +185,7 @@ pub fn write_index(
         w.write_all(&(parts.members.len() as u64).to_le_bytes())?;
         w.write_all(&source.len.to_le_bytes())?;
         w.write_all(&source.mtime_ns.to_le_bytes())?;
+        w.write_all(&(parts.pattern.len() as u64).to_le_bytes())?;
         w.write_all(&checksum.finish().to_le_bytes())?;
         w.write_all(&payload)?;
         w.flush()?;
@@ -180,6 +209,10 @@ pub struct CachedIndex {
 /// Loads an index snapshot, verifying magic, version, payload size
 /// (before any allocation), checksum, and every structural invariant
 /// (via `DecompositionIndex::try_from_parts`).
+///
+/// Accepts the current version-2 layout and the legacy version-1
+/// layout (which carried no pattern key and is therefore assigned
+/// `clique.h{h}`); any other version is [`CacheError::UnsupportedVersion`].
 pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
     let file = File::open(path)?;
     let file_len = file.metadata()?.len();
@@ -191,7 +224,7 @@ pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
         return Err(CacheError::BadMagic);
     }
     let version = read_u32(&mut r)?;
-    if version != INDEX_VERSION {
+    if version != INDEX_VERSION && version != LEGACY_INDEX_VERSION {
         return Err(CacheError::UnsupportedVersion(version));
     }
     let h = read_u32(&mut r)?;
@@ -201,15 +234,26 @@ pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
     let member_count64 = read_u64(&mut r)?;
     let source_len = read_u64(&mut r)?;
     let source_mtime = read_u64(&mut r)?;
+    let pattern_len64 = if version == INDEX_VERSION {
+        read_u64(&mut r)?
+    } else {
+        0 // v1 carries no key bytes
+    };
     let expected_checksum = read_u64(&mut r)?;
 
     // Header-implied payload size vs actual file size, in u128, BEFORE
     // any allocation — same anti-OOM discipline as the CSR cache.
-    let implied: u128 = (u128::from(count64) + 1) * 8
+    let implied: u128 = u128::from(pattern_len64)
+        + (u128::from(count64) + 1) * 8
         + u128::from(member_count64) * 4
         + u128::from(count64) * 32
         + u128::from(count64) * 8;
-    let available = file_len.saturating_sub(HEADER_LEN);
+    let header_len = if version == INDEX_VERSION {
+        HEADER_LEN
+    } else {
+        LEGACY_HEADER_LEN
+    };
+    let available = file_len.saturating_sub(header_len);
     if implied != u128::from(available) {
         return Err(CacheError::SizeMismatch {
             expected: implied,
@@ -236,6 +280,15 @@ pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
         at += len;
         s
     };
+    let pattern = if version == INDEX_VERSION {
+        String::from_utf8(take(pattern_len64 as usize).to_vec()).map_err(|_| {
+            CacheError::Graph(GraphError::InvalidCsr(
+                "pattern key is not valid UTF-8".into(),
+            ))
+        })?
+    } else {
+        default_pattern_key(h as usize)
+    };
     let offsets: Vec<usize> = take((count + 1) * 8)
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as usize)
@@ -259,6 +312,7 @@ pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
 
     let index = DecompositionIndex::try_from_parts(IndexParts {
         h: h as usize,
+        pattern,
         k_max: k_max as usize,
         n: n as usize,
         offsets,
@@ -298,17 +352,40 @@ pub fn build_or_load_index_for(
     h: usize,
     opts: &IndexBuildOptions,
 ) -> Result<(DecompositionIndex, CacheStatus), CacheError> {
+    build_or_load_pattern_index_for(source, remapped, Pattern::Clique(h), opts)
+}
+
+/// The pattern generalization of [`build_or_load_index_for`]: loads or
+/// builds the LhxPDS decomposition index of `remapped` under `pattern`,
+/// with the exact same Hit/Built/Rebuilt/Uncached lifecycle, staleness
+/// guard, and `k_max` clamping.
+///
+/// The snapshot lives at `FILE.<key>.lhcdsidx` (see
+/// [`index_path_for_key`]) and a hit additionally requires the stored
+/// pattern key to match — a `4-loop` snapshot never answers a `3-star`
+/// request even if someone renames the file. Clique-shaped patterns
+/// resolve to the `clique.h{h}` key, so they interoperate bidirectionally
+/// with indexes written by the h-clique entry point (including legacy
+/// version-1 files, which load as `clique.h{h}`).
+pub fn build_or_load_pattern_index_for(
+    source: &Path,
+    remapped: &RemappedGraph,
+    pattern: Pattern,
+    opts: &IndexBuildOptions,
+) -> Result<(DecompositionIndex, CacheStatus), CacheError> {
     let stamp = SourceStamp::of(source)?;
+    let key = pattern.key();
     let index_path = opts
         .cache_path
         .clone()
-        .unwrap_or_else(|| index_path_for(source, h));
+        .unwrap_or_else(|| index_path_for_key(source, &key));
     let mut index_status = CacheStatus::Built;
     if index_path.exists() {
         match read_index(&index_path) {
             Ok(cached)
                 if cached.source == stamp
-                    && cached.index.h() == h
+                    && cached.index.pattern() == key
+                    && cached.index.h() == pattern.arity()
                     && cached.index.n() == remapped.graph.n()
                     && cached.index.k_max() >= opts.config.k_max =>
             {
@@ -321,7 +398,7 @@ pub fn build_or_load_index_for(
         }
     }
 
-    let index = DecompositionIndex::build(&remapped.graph, h, &opts.config);
+    let index = build_pattern_index(&remapped.graph, pattern, &opts.config);
     if write_index(&index_path, &index, stamp).is_err() {
         index_status = CacheStatus::Uncached;
     }
@@ -479,7 +556,7 @@ mod tests {
         bytes.extend_from_slice(&8u64.to_le_bytes()); // k_max
         bytes.extend_from_slice(&10u64.to_le_bytes()); // n
         bytes.extend_from_slice(&(1u64 << 50).to_le_bytes()); // count
-        bytes.extend_from_slice(&[0u8; 32]); // rest of header
+        bytes.extend_from_slice(&[0u8; 40]); // rest of the v2 header
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             read_index(&path),
@@ -515,6 +592,7 @@ mod tests {
         bytes.extend_from_slice(&(parts.members.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&0u64.to_le_bytes());
         bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&(parts.pattern.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&checksum.finish().to_le_bytes());
         bytes.extend_from_slice(&payload);
         std::fs::write(&path, bytes).unwrap();
@@ -566,6 +644,184 @@ mod tests {
         assert_eq!(i2.h(), 2);
         let (_, _, s3b) = load_or_build_index(&src, EdgeListFormat::Auto, 3, &opts).unwrap();
         assert_eq!(s3b.index, CacheStatus::Hit);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// K5 bridged to K4: hosts every built-in 4-vertex pattern.
+    const K5_K4: &str = "0 1\n0 2\n0 3\n0 4\n1 2\n1 3\n1 4\n2 3\n2 4\n3 4\n\
+                         5 6\n5 7\n5 8\n6 7\n6 8\n7 8\n4 5\n";
+
+    #[test]
+    fn per_pattern_snapshots_round_trip_and_do_not_collide() {
+        let dir = tmp("per_pattern");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, K5_K4).unwrap();
+        let opts = IndexBuildOptions::default();
+        let (remapped, _) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+
+        let mut paths = std::collections::BTreeSet::new();
+        for p in [
+            Pattern::Cycle4,
+            Pattern::Star3,
+            Pattern::Diamond,
+            Pattern::Path4,
+            Pattern::TailedTriangle,
+        ] {
+            let (idx, st) = build_or_load_pattern_index_for(&src, &remapped, p, &opts).unwrap();
+            assert_eq!(st, CacheStatus::Built, "{p}");
+            assert_eq!(idx.pattern(), p.key(), "{p}");
+            let path = index_path_for_key(&src, &p.key());
+            assert!(path.exists(), "{p}");
+            assert!(paths.insert(path.clone()), "{p}: snapshot files collide");
+
+            // reload → identical index; re-persisting reproduces the
+            // file byte for byte
+            let cached = read_index(&path).unwrap();
+            assert_eq!(cached.index, idx, "{p}");
+            let again = dir.join("again.lhcdsidx");
+            write_index(&again, &cached.index, cached.source).unwrap();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                std::fs::read(&again).unwrap(),
+                "{p}: write→reload→write must be byte-identical"
+            );
+
+            let (idx2, st2) = build_or_load_pattern_index_for(&src, &remapped, p, &opts).unwrap();
+            assert_eq!(st2, CacheStatus::Hit, "{p}");
+            assert_eq!(idx2, idx, "{p}");
+        }
+
+        // clique-shaped patterns share the h-clique snapshot both ways
+        let (i3, s3) = build_or_load_index_for(&src, &remapped, 3, &opts).unwrap();
+        assert_eq!(s3, CacheStatus::Built);
+        let (tri, st) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+        assert_eq!(st, CacheStatus::Hit, "triangle pattern reuses the h3 file");
+        assert_eq!(tri, i3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Serializes `parts` in the legacy version-1 layout (no pattern).
+    fn v1_bytes(parts: &IndexParts, source: SourceStamp) -> Vec<u8> {
+        let mut payload = Vec::new();
+        for &o in &parts.offsets {
+            payload.extend_from_slice(&(o as u64).to_le_bytes());
+        }
+        for &v in &parts.members {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        for &x in &parts.density_num {
+            payload.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in &parts.density_den {
+            payload.extend_from_slice(&x.to_le_bytes());
+        }
+        for &c in &parts.clique_counts {
+            payload.extend_from_slice(&c.to_le_bytes());
+        }
+        let mut checksum = crate::cache::Fnv1a::new();
+        checksum.update(&payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(INDEX_MAGIC);
+        bytes.extend_from_slice(&LEGACY_INDEX_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(parts.h as u32).to_le_bytes());
+        bytes.extend_from_slice(&(parts.k_max as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.n as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.clique_counts.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.members.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&source.len.to_le_bytes());
+        bytes.extend_from_slice(&source.mtime_ns.to_le_bytes());
+        bytes.extend_from_slice(&checksum.finish().to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        bytes
+    }
+
+    #[test]
+    fn legacy_v1_snapshots_still_serve_the_clique_pipeline() {
+        let dir = tmp("legacy_v1");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions::default();
+        let (remapped, _) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+
+        // plant a version-1 file exactly where a pre-pattern daemon
+        // would have left it
+        let (fresh, _) = build_or_load_pattern_index_for(
+            &src,
+            &remapped,
+            Pattern::Triangle,
+            &IndexBuildOptions {
+                cache_path: Some(dir.join("scratch.lhcdsidx")),
+                ..IndexBuildOptions::default()
+            },
+        )
+        .unwrap();
+        let stamp = SourceStamp::of(&src).unwrap();
+        let legacy_path = index_path_for(&src, 3);
+        std::fs::write(&legacy_path, v1_bytes(&fresh.as_parts(), stamp)).unwrap();
+
+        // the reader maps it to the clique.h3 key…
+        let cached = read_index(&legacy_path).unwrap();
+        assert_eq!(cached.index.pattern(), "clique.h3");
+        assert_eq!(cached.index, fresh);
+        // …and both the h-clique and the triangle-pattern entry points
+        // hit it without a rebuild
+        let (i3, s3) = build_or_load_index_for(&src, &remapped, 3, &opts).unwrap();
+        assert_eq!(s3, CacheStatus::Hit, "legacy v1 file must be a hit");
+        assert_eq!(i3, fresh);
+        let (tri, st) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+        assert_eq!(st, CacheStatus::Hit);
+        assert_eq!(tri, fresh);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_pattern_keys_are_rejected() {
+        let dir = tmp("bad_key");
+        let src = dir.join("g.txt");
+        std::fs::write(&src, TWO_TRIANGLES).unwrap();
+        let opts = IndexBuildOptions::default();
+        let (remapped, _) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        let (idx, _) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+
+        // a checksummed v2 file whose key fails validation must be
+        // rejected (and the loader then rebuilds)
+        let mut parts = idx.as_parts();
+        parts.pattern = "evil key!".into(); // space and '!' are not filename-safe
+        let path = index_path_for_key(&src, &Pattern::Triangle.key());
+        let payload = payload_bytes(&parts);
+        let mut checksum = crate::cache::Fnv1a::new();
+        checksum.update(&payload);
+        let stamp = SourceStamp::of(&src).unwrap();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(INDEX_MAGIC);
+        bytes.extend_from_slice(&INDEX_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(parts.h as u32).to_le_bytes());
+        bytes.extend_from_slice(&(parts.k_max as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.n as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.clique_counts.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(parts.members.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&stamp.len.to_le_bytes());
+        bytes.extend_from_slice(&stamp.mtime_ns.to_le_bytes());
+        bytes.extend_from_slice(&(parts.pattern.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&checksum.finish().to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(read_index(&path), Err(CacheError::Graph(_))));
+        let (idx2, st) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+        assert_eq!(st, CacheStatus::Rebuilt);
+        assert_eq!(idx2, idx);
+
+        // a key that survives the alphabet check but names the wrong
+        // pattern is also not a hit
+        let wrong = idx.clone().with_pattern("4-loop");
+        write_index(&path, &wrong, stamp).unwrap();
+        let (_, st) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+        assert_eq!(st, CacheStatus::Rebuilt, "key mismatch must rebuild");
         std::fs::remove_dir_all(&dir).ok();
     }
 

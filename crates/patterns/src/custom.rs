@@ -15,7 +15,7 @@
 //! five-vertex "bowtie", a "house", or a 6-cycle work out of the box
 //! (see the tests).
 
-use lhcds_clique::CliqueSet;
+use lhcds_clique::{par_collect_blocks, CliqueSet, Parallelism};
 use lhcds_core::pipeline::{top_k_with_instances, IppvConfig, IppvResult};
 use lhcds_graph::{CsrGraph, VertexId};
 
@@ -114,10 +114,27 @@ impl CustomPattern {
 
     /// Enumerates every instance in `g` into an instance store.
     pub fn enumerate(&self, g: &CsrGraph) -> CliqueSet {
-        let mut flat: Vec<VertexId> = Vec::new();
-        let mut assignment = vec![0 as VertexId; self.k];
-        let mut used = vec![false; g.n()];
-        self.backtrack(g, 0, &mut assignment, &mut used, &mut flat);
+        self.enumerate_with(g, &Parallelism::serial())
+    }
+
+    /// Same as [`CustomPattern::enumerate`] with an explicit thread
+    /// policy.
+    ///
+    /// The depth-0 anchor scan (pattern vertex 0 has no earlier
+    /// neighbor, so the serial backtracker sweeps every host vertex in
+    /// ascending order) is sharded into contiguous vertex blocks over
+    /// scoped workers, each with private backtracking state; per-block
+    /// buffers merge in block order, so the store is byte-identical to
+    /// the serial enumeration for every policy.
+    pub fn enumerate_with(&self, g: &CsrGraph, par: &Parallelism) -> CliqueSet {
+        let threads = par.effective_threads(g.n());
+        let flat = par_collect_blocks(g.n(), threads, |roots, flat| {
+            let mut assignment = vec![0 as VertexId; self.k];
+            let mut used = vec![false; g.n()];
+            for w in roots {
+                self.try_assign(g, 0, w as VertexId, &mut assignment, &mut used, flat);
+            }
+        });
         CliqueSet::from_flat_members(g.n(), self.k, flat)
     }
 
@@ -206,6 +223,26 @@ impl CustomPattern {
     pub fn edges(&self) -> &[(usize, usize)] {
         &self.edges
     }
+
+    /// Stable persistence key: `custom.<fnv>` where `<fnv>` is the
+    /// FNV-1a-64 hash (hex) of the arity and the canonical ascending
+    /// edge list. Two structurally identical edge lists share a key
+    /// regardless of the display name.
+    pub fn key(&self) -> String {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u8| {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        };
+        eat(self.k as u8);
+        let mut canon = self.edges.clone();
+        canon.sort_unstable();
+        for (a, b) in canon {
+            eat(a as u8);
+            eat(b as u8);
+        }
+        format!("custom.{hash:016x}")
+    }
 }
 
 fn permute_all(perm: &mut [u8], k: usize, f: &mut impl FnMut(&[u8])) {
@@ -228,13 +265,17 @@ fn permute_all(perm: &mut [u8], k: usize, f: &mut impl FnMut(&[u8])) {
 
 /// Runs the IPPV pipeline on a custom pattern: the top-k locally
 /// `pattern`-densest subgraphs of `g`.
+///
+/// Instance enumeration honors `cfg.parallelism` (byte-identical store
+/// at every thread count); the pipeline itself scales with the same
+/// knob.
 pub fn top_k_custom(
     g: &CsrGraph,
     pattern: &CustomPattern,
     k: usize,
     cfg: &IppvConfig,
 ) -> IppvResult {
-    let store = pattern.enumerate(g);
+    let store = pattern.enumerate_with(g, &cfg.parallelism);
     top_k_with_instances(g, &store, k, cfg)
 }
 
@@ -329,6 +370,16 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn keys_ignore_name_and_edge_order() {
+        let a = CustomPattern::new("a", 4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let b = CustomPattern::new("b", 4, &[(2, 3), (1, 0), (1, 2)]).unwrap();
+        assert_eq!(a.key(), b.key(), "same structure must share a key");
+        assert!(a.key().starts_with("custom."));
+        let c = CustomPattern::new("c", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_ne!(a.key(), c.key(), "different structure, different key");
     }
 
     #[test]

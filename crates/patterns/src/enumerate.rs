@@ -13,9 +13,25 @@
 //! * **4-loop** — lowest vertex first, its two cycle-neighbors ordered;
 //! * **2-triangle** (diamond) — hinge edge ordered, apexes ascending;
 //! * cliques — ascending by construction (kClist).
+//!
+//! ## Parallel enumeration
+//!
+//! Every bespoke enumerator is written as a *block emitter* over its
+//! natural outer axis — vertices (3-star, 4-loop), the materialized
+//! edge list (4-path, 2-triangle), or a pre-enumerated triangle store
+//! (c3-star) — and sharded through
+//! [`lhcds_clique::par_collect_blocks`]: contiguous index blocks are
+//! claimed by scoped workers, each block fills its own flat buffer, and
+//! the buffers are concatenated in ascending block order. Since the
+//! serial path runs the *same* emitter over the single full-range
+//! block, the merged member slab — and hence the whole [`CliqueSet`]
+//! (instance ids, incidence index) — is byte-identical to serial at
+//! every thread count.
+
+use std::ops::Range;
 
 use crate::pattern::Pattern;
-use lhcds_clique::{for_each_clique, CliqueSet, Parallelism};
+use lhcds_clique::{par_collect_blocks, CliqueSet, Parallelism};
 use lhcds_graph::{CsrGraph, VertexId};
 
 /// Enumerates every instance of `pattern` in `g` into an instance
@@ -27,107 +43,152 @@ pub fn enumerate_pattern(g: &CsrGraph, pattern: Pattern) -> CliqueSet {
 /// Same as [`enumerate_pattern`] with an explicit thread policy.
 ///
 /// Clique-shaped patterns delegate to the (optionally node-parallel)
-/// kClist enumerator and produce a byte-identical store for every
-/// policy; the bespoke non-clique enumerators below are single-threaded
-/// and ignore `par`.
+/// kClist enumerator; the bespoke non-clique enumerators shard their
+/// outer loop into contiguous blocks merged in rank order. Either way
+/// the store is byte-identical to the serial enumeration for every
+/// policy — only wall time depends on `par`.
 pub fn enumerate_pattern_with(g: &CsrGraph, pattern: Pattern, par: &Parallelism) -> CliqueSet {
-    let mut flat: Vec<VertexId> = Vec::new();
-    match pattern {
+    let threads = par.effective_threads(g.n());
+    let flat = match pattern {
         Pattern::Edge => return CliqueSet::enumerate_with(g, 2, par),
         Pattern::Triangle => return CliqueSet::enumerate_with(g, 3, par),
         Pattern::Clique(h) => return CliqueSet::enumerate_with(g, h, par),
         Pattern::Clique4 => return CliqueSet::enumerate_with(g, 4, par),
-        Pattern::Star3 => {
-            for c in g.vertices() {
-                let ns = g.neighbors(c);
-                let d = ns.len();
-                for i in 0..d {
-                    for j in i + 1..d {
-                        for l in j + 1..d {
-                            flat.extend_from_slice(&[c, ns[i], ns[j], ns[l]]);
-                        }
-                    }
+        Pattern::Star3 => par_collect_blocks(g.n(), threads, |centers, flat| {
+            star3_block(g, centers, flat)
+        }),
+        Pattern::Path4 => {
+            let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+            par_collect_blocks(edges.len(), threads, |es, flat| {
+                path4_block(g, &edges[es], flat)
+            })
+        }
+        Pattern::TailedTriangle => {
+            // anchor-clique sharding: triangles come from the (itself
+            // deterministically parallel) kClist store, in emission order
+            let tris = CliqueSet::enumerate_with(g, 3, par);
+            par_collect_blocks(tris.len(), threads, |ts, flat| {
+                tailed_triangle_block(g, &tris, ts, flat)
+            })
+        }
+        Pattern::Cycle4 => {
+            par_collect_blocks(g.n(), threads, |mins, flat| cycle4_block(g, mins, flat))
+        }
+        Pattern::Diamond => {
+            let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+            par_collect_blocks(edges.len(), threads, |es, flat| {
+                diamond_block(g, &edges[es], flat)
+            })
+        }
+    };
+    CliqueSet::from_flat_members(g.n(), pattern.arity(), flat)
+}
+
+/// 3-stars centered on a contiguous block of vertices.
+fn star3_block(g: &CsrGraph, centers: Range<usize>, flat: &mut Vec<VertexId>) {
+    for c in centers {
+        let c = c as VertexId;
+        let ns = g.neighbors(c);
+        let d = ns.len();
+        for i in 0..d {
+            for j in i + 1..d {
+                for l in j + 1..d {
+                    flat.extend_from_slice(&[c, ns[i], ns[j], ns[l]]);
                 }
             }
         }
-        Pattern::Path4 => {
-            for (b, c) in g.edges() {
-                // b < c by `edges` convention
-                for &a in g.neighbors(b) {
-                    if a == c {
-                        continue;
-                    }
-                    for &d in g.neighbors(c) {
-                        if d == b || d == a {
-                            continue;
-                        }
+    }
+}
+
+/// 4-paths whose inner edge lies in a block of the edge list.
+fn path4_block(g: &CsrGraph, edges: &[(VertexId, VertexId)], flat: &mut Vec<VertexId>) {
+    for &(b, c) in edges {
+        // b < c by `edges` convention
+        for &a in g.neighbors(b) {
+            if a == c {
+                continue;
+            }
+            for &d in g.neighbors(c) {
+                if d == b || d == a {
+                    continue;
+                }
+                flat.extend_from_slice(&[a, b, c, d]);
+            }
+        }
+    }
+}
+
+/// Tailed triangles anchored on a contiguous block of store triangles.
+fn tailed_triangle_block(
+    g: &CsrGraph,
+    tris: &CliqueSet,
+    ts: Range<usize>,
+    flat: &mut Vec<VertexId>,
+) {
+    for t in ts {
+        let m = tris.members(t);
+        let mut tri = [m[0], m[1], m[2]];
+        tri.sort_unstable();
+        for &v in &tri {
+            for &w in g.neighbors(v) {
+                if !tri.contains(&w) {
+                    flat.extend_from_slice(&[tri[0], tri[1], tri[2], w]);
+                }
+            }
+        }
+    }
+}
+
+/// 4-loops whose minimum vertex lies in a contiguous vertex block.
+fn cycle4_block(g: &CsrGraph, mins: Range<usize>, flat: &mut Vec<VertexId>) {
+    for a in mins {
+        let a = a as VertexId;
+        let ns = g.neighbors(a);
+        for (i, &b) in ns.iter().enumerate() {
+            if b < a {
+                continue;
+            }
+            for &d in &ns[i + 1..] {
+                if d < a {
+                    continue;
+                }
+                // common neighbors of b and d, other than a and
+                // greater than a (a must be the cycle minimum)
+                for &c in g.neighbors(b) {
+                    if c > a && c != d && c != b && g.has_edge(c, d) {
                         flat.extend_from_slice(&[a, b, c, d]);
                     }
                 }
             }
         }
-        Pattern::TailedTriangle => {
-            for_each_clique(g, 3, |t| {
-                let mut tri = [t[0], t[1], t[2]];
-                tri.sort_unstable();
-                for &m in &tri {
-                    for &w in g.neighbors(m) {
-                        if !tri.contains(&w) {
-                            flat.extend_from_slice(&[tri[0], tri[1], tri[2], w]);
-                        }
-                    }
-                }
-            });
-        }
-        Pattern::Cycle4 => {
-            for a in g.vertices() {
-                let ns = g.neighbors(a);
-                for (i, &b) in ns.iter().enumerate() {
-                    if b < a {
-                        continue;
-                    }
-                    for &d in &ns[i + 1..] {
-                        if d < a {
-                            continue;
-                        }
-                        // common neighbors of b and d, other than a and
-                        // greater than a (a must be the cycle minimum)
-                        for &c in g.neighbors(b) {
-                            if c > a && c != d && c != b && g.has_edge(c, d) {
-                                flat.extend_from_slice(&[a, b, c, d]);
-                            }
-                        }
-                    }
+    }
+}
+
+/// Diamonds whose hinge edge lies in a block of the edge list.
+fn diamond_block(g: &CsrGraph, edges: &[(VertexId, VertexId)], flat: &mut Vec<VertexId>) {
+    for &(x, y) in edges {
+        let nx = g.neighbors(x);
+        let ny = g.neighbors(y);
+        // ascending common neighbors via sorted merge
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut common: Vec<VertexId> = Vec::new();
+        while i < nx.len() && j < ny.len() {
+            match nx[i].cmp(&ny[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    common.push(nx[i]);
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        Pattern::Diamond => {
-            for (x, y) in g.edges() {
-                let nx = g.neighbors(x);
-                let ny = g.neighbors(y);
-                // ascending common neighbors via sorted merge
-                let (mut i, mut j) = (0usize, 0usize);
-                let mut common: Vec<VertexId> = Vec::new();
-                while i < nx.len() && j < ny.len() {
-                    match nx[i].cmp(&ny[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            common.push(nx[i]);
-                            i += 1;
-                            j += 1;
-                        }
-                    }
-                }
-                for (i, &u) in common.iter().enumerate() {
-                    for &v in &common[i + 1..] {
-                        flat.extend_from_slice(&[x, y, u, v]);
-                    }
-                }
+        for (i, &u) in common.iter().enumerate() {
+            for &v in &common[i + 1..] {
+                flat.extend_from_slice(&[x, y, u, v]);
             }
         }
     }
-    CliqueSet::from_flat_members(g.n(), pattern.arity(), flat)
 }
 
 /// Total instance count (`|Ψhx(G)|`).

@@ -10,6 +10,7 @@
 
 use crate::enumerate::enumerate_pattern_with;
 use crate::pattern::Pattern;
+use lhcds_core::index::{DecompositionIndex, IndexConfig};
 use lhcds_core::pipeline::{top_k_with_instances, IppvConfig, IppvResult, Lhcds};
 use lhcds_graph::CsrGraph;
 
@@ -39,6 +40,34 @@ pub fn top_k_lhxpds(g: &CsrGraph, pattern: Pattern, k: usize, cfg: &IppvConfig) 
         pattern,
         subgraphs,
         stats,
+    }
+}
+
+/// Freezes the *complete* LhxPDS decomposition of `g` under `pattern`
+/// into a servable [`DecompositionIndex`], keyed by the pattern's
+/// stable [`Pattern::key`].
+///
+/// Clique-shaped patterns take the pinned h-clique construction path
+/// ([`DecompositionIndex::build`]) — they share the `clique.h{h}` key,
+/// so a `triangle` pattern index and an `--h 3` index are the same
+/// artifact. Everything else freezes
+/// `top_k_lhxpds(g, pattern, usize::MAX, ..)` with `h` = pattern arity,
+/// so the index persists, staleness-guards, and serves exactly like the
+/// h-clique one (zero flow work on the read path).
+pub fn build_pattern_index(
+    g: &CsrGraph,
+    pattern: Pattern,
+    cfg: &IndexConfig,
+) -> DecompositionIndex {
+    match pattern {
+        Pattern::Edge | Pattern::Triangle | Pattern::Clique(_) | Pattern::Clique4 => {
+            DecompositionIndex::build(g, pattern.arity(), cfg)
+        }
+        _ => {
+            let res = top_k_lhxpds(g, pattern, usize::MAX, &cfg.ippv);
+            DecompositionIndex::from_subgraphs(g.n(), pattern.arity(), cfg.k_max, &res.subgraphs)
+                .with_pattern(pattern.key())
+        }
     }
 }
 
@@ -129,6 +158,34 @@ mod tests {
         assert!(res.subgraphs.is_empty());
         let res = top_k_lhxpds(&g, Pattern::Cycle4, 3, &IppvConfig::default());
         assert!(res.subgraphs.is_empty());
+    }
+
+    #[test]
+    fn pattern_index_matches_fresh_runs_and_keys_correctly() {
+        let mut b = GraphBuilder::new();
+        complete_on(&mut b, &[0, 1, 2, 3, 4]);
+        complete_on(&mut b, &[5, 6, 7, 8]);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let cfg = IndexConfig::default();
+        for p in Pattern::all_builtin() {
+            let idx = build_pattern_index(&g, p, &cfg);
+            assert_eq!(idx.pattern(), p.key(), "{p}");
+            assert_eq!(idx.h(), p.arity(), "{p}");
+            let fresh = top_k_lhxpds(&g, p, 5, &IppvConfig::default());
+            let served = idx.top_k(5).unwrap();
+            assert_eq!(served.len(), fresh.subgraphs.len(), "{p}");
+            for (a, b) in served.iter().zip(&fresh.subgraphs) {
+                assert_eq!(a.vertices, &b.vertices[..], "{p}");
+                assert_eq!(a.density, b.density, "{p}");
+                assert_eq!(a.clique_count, b.clique_count, "{p}");
+            }
+        }
+        // clique-shaped pattern == the h-clique construction, key and all
+        let via_pattern = build_pattern_index(&g, Pattern::Triangle, &cfg);
+        let via_clique = DecompositionIndex::build(&g, 3, &cfg);
+        assert_eq!(via_pattern, via_clique);
+        assert_eq!(via_pattern.pattern(), "clique.h3");
     }
 
     #[test]

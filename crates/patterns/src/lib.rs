@@ -50,5 +50,6 @@ pub mod lhxpds;
 pub mod pattern;
 
 pub use custom::{top_k_custom, CustomPattern};
-pub use lhxpds::{top_k_lhxpds, LhxpdsResult};
+pub use enumerate::{count_pattern, enumerate_pattern, enumerate_pattern_with};
+pub use lhxpds::{build_pattern_index, top_k_lhxpds, LhxpdsResult};
 pub use pattern::Pattern;

@@ -91,6 +91,68 @@ impl Pattern {
             Pattern::Clique4,
         ]
     }
+
+    /// Every built-in named pattern: `edge`, `triangle`, then Figure 8
+    /// in paper order.
+    pub fn all_builtin() -> [Pattern; 8] {
+        [
+            Pattern::Edge,
+            Pattern::Triangle,
+            Pattern::Star3,
+            Pattern::Path4,
+            Pattern::TailedTriangle,
+            Pattern::Cycle4,
+            Pattern::Diamond,
+            Pattern::Clique4,
+        ]
+    }
+
+    /// Stable persistence key (the *PatternKey*): the string that names
+    /// this pattern's decomposition in `DecompositionIndex` metadata,
+    /// `LHCDSIDX` snapshots (`FILE.<key>.lhcdsidx`), and the serve
+    /// protocol.
+    ///
+    /// Clique-shaped patterns canonicalize to `clique.h{h}` — an edge,
+    /// a triangle, or the Figure 8 `4-clique` yield the *same*
+    /// decomposition as the h-clique pipeline at that arity, so they
+    /// share one key (and hence one persisted index). Non-clique
+    /// built-ins use their paper name (`3-star`, `4-loop`, …), which is
+    /// filename-safe by construction.
+    pub fn key(&self) -> String {
+        match self {
+            Pattern::Edge => "clique.h2".into(),
+            Pattern::Triangle => "clique.h3".into(),
+            Pattern::Clique4 => "clique.h4".into(),
+            Pattern::Clique(h) => format!("clique.h{h}"),
+            other => other.name().into(),
+        }
+    }
+
+    /// Parses a CLI/protocol pattern name.
+    ///
+    /// Accepts the Figure 8 names (`3-star`, `4-path`, `c3-star`,
+    /// `4-loop`, `2-triangle`, `4-clique`), `edge`, `triangle`, and the
+    /// generic `{h}-clique` form (`h >= 2`). Returns `None` for
+    /// anything else.
+    pub fn parse(name: &str) -> Option<Pattern> {
+        Some(match name {
+            "edge" => Pattern::Edge,
+            "triangle" => Pattern::Triangle,
+            "3-star" => Pattern::Star3,
+            "4-path" => Pattern::Path4,
+            "c3-star" => Pattern::TailedTriangle,
+            "4-loop" => Pattern::Cycle4,
+            "2-triangle" => Pattern::Diamond,
+            "4-clique" => Pattern::Clique4,
+            other => {
+                let h = other.strip_suffix("-clique")?.parse::<usize>().ok()?;
+                if h < 2 {
+                    return None;
+                }
+                Pattern::Clique(h)
+            }
+        })
+    }
 }
 
 impl fmt::Display for Pattern {
@@ -143,5 +205,37 @@ mod tests {
     fn display_formats() {
         assert_eq!(Pattern::Clique(7).to_string(), "7-clique");
         assert_eq!(Pattern::Diamond.to_string(), "2-triangle");
+    }
+
+    #[test]
+    fn keys_are_stable_and_clique_shaped_patterns_share_them() {
+        assert_eq!(Pattern::Edge.key(), "clique.h2");
+        assert_eq!(Pattern::Triangle.key(), "clique.h3");
+        assert_eq!(Pattern::Clique4.key(), "clique.h4");
+        assert_eq!(Pattern::Clique(4).key(), "clique.h4");
+        assert_eq!(Pattern::Clique(7).key(), "clique.h7");
+        assert_eq!(Pattern::Cycle4.key(), "4-loop");
+        assert_eq!(Pattern::Star3.key(), "3-star");
+        // keys are filename-safe: no separators or whitespace
+        for p in Pattern::all_builtin() {
+            let key = p.key();
+            assert!(
+                key.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-._".contains(c)),
+                "{key}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_every_builtin_name() {
+        for p in Pattern::all_builtin() {
+            assert_eq!(Pattern::parse(p.name()), Some(p), "{p}");
+        }
+        assert_eq!(Pattern::parse("5-clique"), Some(Pattern::Clique(5)));
+        assert_eq!(Pattern::parse("4-clique"), Some(Pattern::Clique4));
+        assert_eq!(Pattern::parse("1-clique"), None);
+        assert_eq!(Pattern::parse("banana"), None);
+        assert_eq!(Pattern::parse(""), None);
     }
 }

@@ -10,9 +10,12 @@
 //!   protocol (`top_k`, `density_of`, `membership`, `stats`, `ping`,
 //!   `shutdown`), plus the answer serializers shared with the CLI's
 //!   `--json` mode so batch and served answers are string-identical.
+//!   Query ops name the served index by clique size (`h`) or pattern
+//!   name (`pattern`) — see [`protocol::IndexRef`].
 //! * [`server`] — the daemon: `std::net::TcpListener`, a fixed worker
-//!   thread pool, an LRU of hot `(h, k)` answers, and graceful
-//!   shutdown that drains in-flight requests.
+//!   thread pool, an LRU of hot `(pattern, k)` answers, and graceful
+//!   shutdown that drains in-flight requests. One daemon can host the
+//!   same graph under several patterns concurrently.
 //! * [`client`] — one-shot round trips for `lhcds query`, scripts, and
 //!   tests.
 //! * [`json`] — the minimal JSON tree/parser/serializer everything
@@ -35,25 +38,24 @@
 //! use lhcds_core::index::{DecompositionIndex, IndexConfig};
 //! use lhcds_graph::CsrGraph;
 //! use lhcds_service::client;
-//! use lhcds_service::protocol::Request;
+//! use lhcds_service::protocol::{IndexRef, Request};
 //! use lhcds_service::server::{ServedIndexes, Server, ServeOptions};
 //!
 //! let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
-//! let mut indexes = BTreeMap::new();
-//! indexes.insert(3, DecompositionIndex::build(&g, 3, &IndexConfig::default()));
-//! let served = ServedIndexes {
+//! let mut served = ServedIndexes {
 //!     name: "triangle".into(),
 //!     n: g.n(),
 //!     m: g.m(),
 //!     original_ids: None,
-//!     indexes,
+//!     indexes: BTreeMap::new(),
 //! };
+//! served.insert(DecompositionIndex::build(&g, 3, &IndexConfig::default()));
 //! let server = Server::bind("127.0.0.1:0", served, &ServeOptions::default()).unwrap();
 //! let addr = server.local_addr().to_string();
 //!
 //! let result = client::query(
 //!     &addr,
-//!     &Request::TopK { h: 3, k: 1 },
+//!     &Request::TopK { index: IndexRef::clique(3), k: 1 },
 //!     Duration::from_secs(5),
 //! )
 //! .unwrap();
@@ -73,5 +75,5 @@ pub mod server;
 pub mod signals;
 
 pub use json::Json;
-pub use protocol::{AnswerRow, ProtocolError, Request};
+pub use protocol::{AnswerRow, IndexRef, ProtocolError, Request};
 pub use server::{ServeOptions, ServedIndexes, Server, ShutdownHandle};

@@ -6,12 +6,19 @@
 //!
 //! ```text
 //! {"op":"top_k","h":3,"k":5}
+//! {"op":"top_k","pattern":"4-loop","k":5}
 //! {"op":"density_of","h":3,"vertex":11}
-//! {"op":"membership","h":3,"vertex":11}
+//! {"op":"membership","pattern":"diamond","vertex":11}
 //! {"op":"stats"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! Query ops name the served index either by clique size (`"h"`) or by
+//! pattern name (`"pattern"`, see [`IndexRef`]); a daemon can host the
+//! same graph under several patterns concurrently. Naming an unserved
+//! or unknown pattern is the typed error `bad_pattern`. When both
+//! fields are present they must agree (`h` = pattern arity).
 //!
 //! Responses are `{"ok":true,"result":…}` or
 //! `{"ok":false,"error":{"code":…,"message":…}}`. Every malformed
@@ -33,27 +40,58 @@ use lhcds_core::index::{QueryError, SubgraphView};
 use lhcds_core::{FlowStats, Ratio};
 use lhcds_graph::VertexId;
 
+/// How a query op names the served index: by clique size (`h`), by
+/// pattern name (`pattern` — a built-in name like `4-loop` or a raw
+/// served key like `custom.1a2b…`), or both, which must then agree.
+/// A bare `h` is the pre-pattern wire form and means the h-clique
+/// index, so old clients keep working unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexRef {
+    /// Clique size / pattern arity, if given.
+    pub h: Option<usize>,
+    /// Pattern name, if given.
+    pub pattern: Option<String>,
+}
+
+impl IndexRef {
+    /// Refers to the h-clique index (the pre-pattern wire form).
+    pub fn clique(h: usize) -> IndexRef {
+        IndexRef {
+            h: Some(h),
+            pattern: None,
+        }
+    }
+
+    /// Refers to a served pattern by name.
+    pub fn pattern(name: impl Into<String>) -> IndexRef {
+        IndexRef {
+            h: None,
+            pattern: Some(name.into()),
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// The k densest LhCDSes at clique size h.
+    /// The k densest LhCDSes/LhxPDSes of a served index.
     TopK {
-        /// Clique size.
-        h: usize,
+        /// Which served index.
+        index: IndexRef,
         /// How many subgraphs.
         k: usize,
     },
-    /// Exact density of the LhCDS containing a vertex.
+    /// Exact density of the LhCDS/LhxPDS containing a vertex.
     DensityOf {
-        /// Clique size.
-        h: usize,
+        /// Which served index.
+        index: IndexRef,
         /// Vertex, in original file ids.
         vertex: u64,
     },
-    /// The LhCDS containing a vertex (rank + members).
+    /// The LhCDS/LhxPDS containing a vertex (rank + members).
     Membership {
-        /// Clique size.
-        h: usize,
+        /// Which served index.
+        index: IndexRef,
         /// Vertex, in original file ids.
         vertex: u64,
     },
@@ -69,7 +107,7 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
     /// Stable machine-readable code (`bad_request`, `unknown_op`,
-    /// `bad_h`, `bad_k`, `bad_vertex`, `shutting_down`).
+    /// `bad_h`, `bad_pattern`, `bad_k`, `bad_vertex`, `shutting_down`).
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
@@ -110,17 +148,50 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             )
         })
     };
+    // `h` and `pattern` are each optional, but at least one must name
+    // the index — and a present field must still have the right type.
+    let index = || -> Result<IndexRef, ProtocolError> {
+        let h = match v.get("h") {
+            None => None,
+            Some(j) => Some(j.as_u64().ok_or_else(|| {
+                ProtocolError::new(
+                    "bad_request",
+                    format!("op '{op}': field 'h' must be a non-negative integer"),
+                )
+            })? as usize),
+        };
+        let pattern = match v.get("pattern") {
+            None => None,
+            Some(j) => Some(
+                j.as_str()
+                    .ok_or_else(|| {
+                        ProtocolError::new(
+                            "bad_request",
+                            format!("op '{op}': field 'pattern' must be a string"),
+                        )
+                    })?
+                    .to_string(),
+            ),
+        };
+        if h.is_none() && pattern.is_none() {
+            return Err(ProtocolError::new(
+                "bad_request",
+                format!("op '{op}' needs an integer field 'h' or a string field 'pattern'"),
+            ));
+        }
+        Ok(IndexRef { h, pattern })
+    };
     match op {
         "top_k" => Ok(Request::TopK {
-            h: field("h")? as usize,
+            index: index()?,
             k: field("k")? as usize,
         }),
         "density_of" => Ok(Request::DensityOf {
-            h: field("h")? as usize,
+            index: index()?,
             vertex: field("vertex")?,
         }),
         "membership" => Ok(Request::Membership {
-            h: field("h")? as usize,
+            index: index()?,
             vertex: field("vertex")?,
         }),
         "stats" => Ok(Request::Stats),
@@ -135,22 +206,28 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
 
 /// Serializes a request (the client side of [`parse_request`]).
 pub fn request_json(req: &Request) -> Json {
+    // `op`, then the index fields that are present, then the op's own
+    // operands — a pattern-free request renders exactly as before the
+    // pattern field existed.
+    fn with_index(op: &'static str, index: &IndexRef, rest: (&'static str, Json)) -> Json {
+        let mut fields = vec![("op", Json::Str(op.into()))];
+        if let Some(h) = index.h {
+            fields.push(("h", Json::Int(h as i128)));
+        }
+        if let Some(p) = &index.pattern {
+            fields.push(("pattern", Json::Str(p.clone())));
+        }
+        fields.push(rest);
+        Json::object(fields)
+    }
     match req {
-        Request::TopK { h, k } => Json::object([
-            ("op", Json::Str("top_k".into())),
-            ("h", Json::Int(*h as i128)),
-            ("k", Json::Int(*k as i128)),
-        ]),
-        Request::DensityOf { h, vertex } => Json::object([
-            ("op", Json::Str("density_of".into())),
-            ("h", Json::Int(*h as i128)),
-            ("vertex", Json::Int(*vertex as i128)),
-        ]),
-        Request::Membership { h, vertex } => Json::object([
-            ("op", Json::Str("membership".into())),
-            ("h", Json::Int(*h as i128)),
-            ("vertex", Json::Int(*vertex as i128)),
-        ]),
+        Request::TopK { index, k } => with_index("top_k", index, ("k", Json::Int(*k as i128))),
+        Request::DensityOf { index, vertex } => {
+            with_index("density_of", index, ("vertex", Json::Int(*vertex as i128)))
+        }
+        Request::Membership { index, vertex } => {
+            with_index("membership", index, ("vertex", Json::Int(*vertex as i128)))
+        }
         Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
         Request::Ping => Json::object([("op", Json::Str("ping".into()))]),
         Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
@@ -331,9 +408,29 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let reqs = [
-            Request::TopK { h: 3, k: 5 },
-            Request::DensityOf { h: 4, vertex: 7 },
-            Request::Membership { h: 2, vertex: 0 },
+            Request::TopK {
+                index: IndexRef::clique(3),
+                k: 5,
+            },
+            Request::TopK {
+                index: IndexRef::pattern("4-loop"),
+                k: 5,
+            },
+            Request::TopK {
+                index: IndexRef {
+                    h: Some(4),
+                    pattern: Some("diamond".into()),
+                },
+                k: 1,
+            },
+            Request::DensityOf {
+                index: IndexRef::clique(4),
+                vertex: 7,
+            },
+            Request::Membership {
+                index: IndexRef::pattern("3-star"),
+                vertex: 0,
+            },
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
@@ -342,6 +439,24 @@ mod tests {
             let line = request_json(&r).render();
             assert_eq!(parse_request(&line).unwrap(), r, "{line}");
         }
+    }
+
+    #[test]
+    fn pattern_free_requests_render_the_pre_pattern_wire_form() {
+        // old clients and old traffic captures must stay valid byte for
+        // byte
+        let line = request_json(&Request::TopK {
+            index: IndexRef::clique(3),
+            k: 5,
+        })
+        .render();
+        assert_eq!(line, r#"{"op":"top_k","h":3,"k":5}"#);
+        let line = request_json(&Request::TopK {
+            index: IndexRef::pattern("4-loop"),
+            k: 5,
+        })
+        .render();
+        assert_eq!(line, r#"{"op":"top_k","pattern":"4-loop","k":5}"#);
     }
 
     #[test]
@@ -356,7 +471,10 @@ mod tests {
             (r#"{"op":"top_k","h":3}"#, "bad_request"),
             (r#"{"op":"top_k","h":3,"k":-1}"#, "bad_request"),
             (r#"{"op":"top_k","h":"three","k":1}"#, "bad_request"),
+            (r#"{"op":"top_k","pattern":42,"k":1}"#, "bad_request"),
+            (r#"{"op":"top_k","k":1}"#, "bad_request"),
             (r#"{"op":"density_of","h":3}"#, "bad_request"),
+            (r#"{"op":"membership","pattern":"4-loop"}"#, "bad_request"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code, code, "{line}");

@@ -35,10 +35,11 @@ use crate::json::Json;
 use crate::lru::Lru;
 use crate::protocol::{
     density_result, err_response, flow_stats_json, membership_result, ok_response, parse_request,
-    topk_result, AnswerRow, ProtocolError, Request,
+    topk_result, AnswerRow, IndexRef, ProtocolError, Request,
 };
-use lhcds_core::index::DecompositionIndex;
+use lhcds_core::index::{default_pattern_key, DecompositionIndex};
 use lhcds_graph::VertexId;
+use lhcds_patterns::Pattern;
 
 /// How often blocked loops re-check the stop flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -59,7 +60,7 @@ const MAX_LINE: usize = 1 << 20;
 pub struct ServeOptions {
     /// Fixed worker-thread count (= concurrently served connections).
     pub workers: usize,
-    /// Capacity of the hot `(h, k)` answer cache.
+    /// Capacity of the hot `(pattern key, k)` answer cache.
     pub lru_capacity: usize,
 }
 
@@ -72,8 +73,10 @@ impl Default for ServeOptions {
     }
 }
 
-/// The immutable data a server answers from: one graph, one index per
-/// configured clique size, and the rank ↔ original-id translation.
+/// The immutable data a server answers from: one graph, one finished
+/// index per served pattern key, and the rank ↔ original-id
+/// translation. The same graph can be hosted under several patterns
+/// (say `clique.h3`, `4-loop`, and `2-triangle`) concurrently.
 #[derive(Debug, Clone)]
 pub struct ServedIndexes {
     /// Display name of the graph (source path or "builtin").
@@ -84,11 +87,17 @@ pub struct ServedIndexes {
     pub m: usize,
     /// rank → original file id; `None` = identity (already compact).
     pub original_ids: Option<Vec<u64>>,
-    /// One finished index per served clique size.
-    pub indexes: BTreeMap<usize, DecompositionIndex>,
+    /// One finished index per served pattern key (h-clique indexes
+    /// under `clique.h{h}`, see `lhcds_core::index::default_pattern_key`).
+    pub indexes: BTreeMap<String, DecompositionIndex>,
 }
 
 impl ServedIndexes {
+    /// Inserts `idx` under its own pattern key.
+    pub fn insert(&mut self, idx: DecompositionIndex) {
+        self.indexes.insert(idx.pattern().to_string(), idx);
+    }
+
     fn display_id(&self, v: VertexId) -> u64 {
         match &self.original_ids {
             Some(ids) => ids[v as usize],
@@ -104,16 +113,71 @@ impl ServedIndexes {
         }
     }
 
-    fn index_for(&self, h: usize) -> Result<&DecompositionIndex, ProtocolError> {
-        self.indexes.get(&h).ok_or_else(|| {
-            ProtocolError::new(
+    fn served_keys(&self) -> Vec<&str> {
+        self.indexes.keys().map(String::as_str).collect()
+    }
+
+    /// Resolves a request's index reference to a served index and its
+    /// canonical pattern key (the LRU key). A bare `h` means the
+    /// h-clique index (`bad_h` when unserved, the pre-pattern error
+    /// contract); a pattern name resolves through [`Pattern::parse`]
+    /// with raw served keys (e.g. `custom.…`) as fallback, and any
+    /// unknown/unserved/contradictory pattern is `bad_pattern`.
+    fn index_for(&self, r: &IndexRef) -> Result<(String, &DecompositionIndex), ProtocolError> {
+        let (key, named) = match (&r.pattern, r.h) {
+            (None, None) => {
+                // unreachable through parse_request, which demands one
+                return Err(ProtocolError::new(
+                    "bad_request",
+                    "request names neither 'h' nor 'pattern'",
+                ));
+            }
+            (None, Some(h)) => (default_pattern_key(h), None),
+            (Some(name), _) => match Pattern::parse(name) {
+                Some(p) => (p.key(), Some(name.as_str())),
+                None if self.indexes.contains_key(name.as_str()) => {
+                    (name.clone(), Some(name.as_str()))
+                }
+                None => {
+                    return Err(ProtocolError::new(
+                        "bad_pattern",
+                        format!(
+                            "unknown pattern '{name}' (this daemon serves {:?})",
+                            self.served_keys()
+                        ),
+                    ));
+                }
+            },
+        };
+        let idx = self.indexes.get(&key).ok_or_else(|| match named {
+            Some(name) => ProtocolError::new(
+                "bad_pattern",
+                format!(
+                    "pattern '{name}' (key '{key}') is not served (this daemon serves {:?})",
+                    self.served_keys()
+                ),
+            ),
+            None => ProtocolError::new(
                 "bad_h",
                 format!(
-                    "h = {h} is not served (this daemon indexes h ∈ {:?})",
-                    self.indexes.keys().collect::<Vec<_>>()
+                    "h = {} is not served (this daemon serves {:?})",
+                    r.h.unwrap_or(0),
+                    self.served_keys()
                 ),
-            )
-        })
+            ),
+        })?;
+        if let (Some(name), Some(h)) = (&r.pattern, r.h) {
+            if idx.h() != h {
+                return Err(ProtocolError::new(
+                    "bad_pattern",
+                    format!(
+                        "pattern '{name}' has arity {}, but the request says h = {h}",
+                        idx.h()
+                    ),
+                ));
+            }
+        }
+        Ok((key, idx))
     }
 }
 
@@ -133,7 +197,7 @@ pub struct ServerStats {
 struct Shared {
     served: ServedIndexes,
     stats: ServerStats,
-    lru: Mutex<Lru<(usize, usize), Arc<String>>>,
+    lru: Mutex<Lru<(String, usize), Arc<String>>>,
     stop: AtomicBool,
 }
 
@@ -147,22 +211,34 @@ impl Shared {
             Ok(Request::Ping) => (Arc::new(ok_response(Json::Str("pong".into()))), false),
             Ok(Request::Shutdown) => (Arc::new(ok_response(Json::Str("stopping".into()))), true),
             Ok(Request::Stats) => (Arc::new(ok_response(self.stats_json())), false),
-            Ok(Request::TopK { h, k }) => (self.top_k(h, k), false),
-            Ok(Request::DensityOf { h, vertex }) => {
-                (Arc::new(self.vertex_query(h, vertex, false)), false)
+            Ok(Request::TopK { index, k }) => (self.top_k(&index, k), false),
+            Ok(Request::DensityOf { index, vertex }) => {
+                (Arc::new(self.vertex_query(&index, vertex, false)), false)
             }
-            Ok(Request::Membership { h, vertex }) => {
-                (Arc::new(self.vertex_query(h, vertex, true)), false)
+            Ok(Request::Membership { index, vertex }) => {
+                (Arc::new(self.vertex_query(&index, vertex, true)), false)
             }
         }
     }
 
-    fn top_k(&self, h: usize, k: usize) -> Arc<String> {
-        if let Some(hit) = self.lru.lock().expect("lru poisoned").get(&(h, k)) {
+    fn top_k(&self, r: &IndexRef, k: usize) -> Arc<String> {
+        // Resolve before the LRU probe: `{"h":3}` and
+        // `{"pattern":"triangle"}` canonicalize to the same key and
+        // must share one cache entry.
+        let (key, idx) = match self.served.index_for(r) {
+            Ok(resolved) => resolved,
+            Err(e) => return Arc::new(err_response(&e)),
+        };
+        if let Some(hit) = self
+            .lru
+            .lock()
+            .expect("lru poisoned")
+            .get(&(key.clone(), k))
+        {
             self.stats.lru_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
-        let line = match self.top_k_fresh(h, k) {
+        let line = match self.top_k_fresh(idx, k) {
             Ok(result) => ok_response(result),
             Err(e) => return Arc::new(err_response(&e)),
         };
@@ -171,25 +247,24 @@ impl Shared {
         self.lru
             .lock()
             .expect("lru poisoned")
-            .insert((h, k), Arc::clone(&line));
+            .insert((key, k), Arc::clone(&line));
         line
     }
 
-    fn top_k_fresh(&self, h: usize, k: usize) -> Result<Json, ProtocolError> {
-        let idx = self.served.index_for(h)?;
+    fn top_k_fresh(&self, idx: &DecompositionIndex, k: usize) -> Result<Json, ProtocolError> {
         let views = idx.top_k(k)?;
         let ids = |v: VertexId| self.served.display_id(v);
         Ok(topk_result(
-            h,
+            idx.h(),
             k,
             views.into_iter().map(AnswerRow::from),
             &ids,
         ))
     }
 
-    fn vertex_query(&self, h: usize, vertex: u64, membership: bool) -> String {
-        let idx = match self.served.index_for(h) {
-            Ok(idx) => idx,
+    fn vertex_query(&self, r: &IndexRef, vertex: u64, membership: bool) -> String {
+        let (_, idx) = match self.served.index_for(r) {
+            Ok(resolved) => resolved,
             Err(e) => return err_response(&e),
         };
         let Some(rank) = self.served.rank_of(vertex) else {
@@ -199,6 +274,7 @@ impl Shared {
             ));
         };
         let ids = |v: VertexId| self.served.display_id(v);
+        let h = idx.h();
         if membership {
             let found = idx
                 .membership(rank)
@@ -210,19 +286,29 @@ impl Shared {
     }
 
     fn stats_json(&self) -> Json {
+        // h_values lists only true h-clique indexes (the pre-pattern
+        // field contract); patterns lists every served key.
         let hs: Vec<Json> = self
             .served
             .indexes
+            .iter()
+            .filter(|(key, idx)| **key == default_pattern_key(idx.h()))
+            .map(|(_, idx)| Json::Int(idx.h() as i128))
+            .collect();
+        let patterns: Vec<Json> = self
+            .served
+            .indexes
             .keys()
-            .map(|&h| Json::Int(h as i128))
+            .map(|key| Json::Str(key.clone()))
             .collect();
         let decompositions: Vec<Json> = self
             .served
             .indexes
             .iter()
-            .map(|(&h, idx)| {
+            .map(|(key, idx)| {
                 Json::object([
-                    ("h", Json::Int(h as i128)),
+                    ("pattern", Json::Str(key.clone())),
+                    ("h", Json::Int(idx.h() as i128)),
                     ("k_max", Json::Int(idx.k_max() as i128)),
                     ("subgraphs", Json::Int(idx.len() as i128)),
                 ])
@@ -234,6 +320,7 @@ impl Shared {
             ("n", Json::Int(self.served.n as i128)),
             ("m", Json::Int(self.served.m as i128)),
             ("h_values", Json::Array(hs)),
+            ("patterns", Json::Array(patterns)),
             ("indexes", Json::Array(decompositions)),
             (
                 "requests",
@@ -571,15 +658,20 @@ mod tests {
                 (7, 5),
             ],
         );
-        let mut indexes = BTreeMap::new();
-        indexes.insert(3, DecompositionIndex::build(&g, 3, &IndexConfig::default()));
-        ServedIndexes {
+        let mut served = ServedIndexes {
             name: "unit".into(),
             n: g.n(),
             m: g.m(),
             original_ids: None,
-            indexes,
-        }
+            indexes: BTreeMap::new(),
+        };
+        served.insert(DecompositionIndex::build(&g, 3, &IndexConfig::default()));
+        served.insert(lhcds_patterns::build_pattern_index(
+            &g,
+            Pattern::Cycle4,
+            &IndexConfig::default(),
+        ));
+        served
     }
 
     fn shared() -> Shared {
@@ -598,10 +690,17 @@ mod tests {
             r#"{"op":"ping"}"#,
             r#"{"op":"stats"}"#,
             r#"{"op":"top_k","h":3,"k":2}"#,
+            r#"{"op":"top_k","pattern":"4-loop","k":2}"#,
+            r#"{"op":"top_k","pattern":"triangle","k":2}"#,
             r#"{"op":"density_of","h":3,"vertex":0}"#,
+            r#"{"op":"density_of","pattern":"4-loop","vertex":0}"#,
             r#"{"op":"membership","h":3,"vertex":4}"#,
+            r#"{"op":"membership","pattern":"4-loop","vertex":4}"#,
             "garbage",
             r#"{"op":"top_k","h":9,"k":2}"#,
+            r#"{"op":"top_k","pattern":"diamond","k":2}"#,
+            r#"{"op":"top_k","pattern":"no-such","k":2}"#,
+            r#"{"op":"top_k","pattern":"4-loop","h":3,"k":2}"#,
             r#"{"op":"top_k","h":3,"k":0}"#,
             r#"{"op":"top_k","h":3,"k":100000}"#,
             r#"{"op":"density_of","h":3,"vertex":99}"#,
@@ -626,13 +725,59 @@ mod tests {
         // errors are not cached
         let _ = s.respond(r#"{"op":"top_k","h":3,"k":0}"#);
         assert_eq!(s.stats.lru_misses.load(Ordering::Relaxed), 1);
+        // every spelling of the same index shares one cache entry
+        let (c, _) = s.respond(r#"{"op":"top_k","pattern":"triangle","k":2}"#);
+        let (d, _) = s.respond(r#"{"op":"top_k","pattern":"3-clique","k":2}"#);
+        assert_eq!(a, c);
+        assert_eq!(a, d);
+        assert_eq!(s.stats.lru_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(s.stats.lru_hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pattern_resolution_maps_to_stable_error_codes() {
+        let s = shared();
+        let code_of = |line: &str| -> String {
+            let (resp, _) = s.respond(line);
+            let v = Json::parse(resp.trim_end()).unwrap();
+            match v.get("error") {
+                Some(e) => e.get("code").unwrap().as_str().unwrap().to_string(),
+                None => "ok".into(),
+            }
+        };
+        // served under clique.h3 + 4-loop (see `served()`)
+        assert_eq!(code_of(r#"{"op":"top_k","h":3,"k":1}"#), "ok");
+        assert_eq!(code_of(r#"{"op":"top_k","pattern":"4-loop","k":1}"#), "ok");
+        // redundant-but-consistent h is accepted
+        assert_eq!(
+            code_of(r#"{"op":"top_k","pattern":"4-loop","h":4,"k":1}"#),
+            "ok"
+        );
+        // a bare h keeps the pre-pattern bad_h contract
+        assert_eq!(code_of(r#"{"op":"top_k","h":9,"k":1}"#), "bad_h");
+        // known pattern, not served here
+        assert_eq!(
+            code_of(r#"{"op":"top_k","pattern":"diamond","k":1}"#),
+            "bad_pattern"
+        );
+        // unknown pattern name
+        assert_eq!(
+            code_of(r#"{"op":"top_k","pattern":"frob","k":1}"#),
+            "bad_pattern"
+        );
+        // contradictory h + pattern
+        assert_eq!(
+            code_of(r#"{"op":"top_k","pattern":"4-loop","h":3,"k":1}"#),
+            "bad_pattern"
+        );
     }
 
     #[test]
     fn remapped_ids_translate_both_ways() {
         let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
         let mut indexes = BTreeMap::new();
-        indexes.insert(3, DecompositionIndex::build(&g, 3, &IndexConfig::default()));
+        indexes.insert(idx.pattern().to_string(), idx);
         let s = Shared {
             served: ServedIndexes {
                 name: "remap".into(),

@@ -20,7 +20,7 @@ use lhcds_core::pipeline::{top_k_lhcds, IppvConfig};
 use lhcds_graph::{CsrGraph, GraphBuilder, VertexId};
 use lhcds_service::client;
 use lhcds_service::json::Json;
-use lhcds_service::protocol::{topk_result, AnswerRow, Request};
+use lhcds_service::protocol::{topk_result, AnswerRow, IndexRef, Request};
 use lhcds_service::server::{ServeOptions, ServedIndexes, Server};
 use proptest::prelude::*;
 
@@ -37,7 +37,8 @@ fn served_for(g: &CsrGraph, hs: &[usize], k_max: usize) -> ServedIndexes {
     };
     let mut indexes = BTreeMap::new();
     for &h in hs {
-        indexes.insert(h, DecompositionIndex::build(g, h, &cfg));
+        let idx = DecompositionIndex::build(g, h, &cfg);
+        indexes.insert(idx.pattern().to_string(), idx);
     }
     ServedIndexes {
         name: "test".into(),
@@ -123,12 +124,36 @@ fn serving_is_flow_free_end_to_end() {
     let flow_before = lhcds_flow::max_flow_invocations();
     for h in [2usize, 3] {
         for k in 1..=8usize {
-            let r = client::query(&addr, &Request::TopK { h, k }, TIMEOUT).unwrap();
+            let r = client::query(
+                &addr,
+                &Request::TopK {
+                    index: IndexRef::clique(h),
+                    k,
+                },
+                TIMEOUT,
+            )
+            .unwrap();
             assert!(r.get("found").unwrap().as_u64().unwrap() <= k as u64);
         }
         for v in 0..g.n() as u64 {
-            client::query(&addr, &Request::DensityOf { h, vertex: v }, TIMEOUT).unwrap();
-            client::query(&addr, &Request::Membership { h, vertex: v }, TIMEOUT).unwrap();
+            client::query(
+                &addr,
+                &Request::DensityOf {
+                    index: IndexRef::clique(h),
+                    vertex: v,
+                },
+                TIMEOUT,
+            )
+            .unwrap();
+            client::query(
+                &addr,
+                &Request::Membership {
+                    index: IndexRef::clique(h),
+                    vertex: v,
+                },
+                TIMEOUT,
+            )
+            .unwrap();
         }
     }
     client::query(&addr, &Request::Stats, TIMEOUT).unwrap();
@@ -156,7 +181,15 @@ fn served_answers_match_batch_serializer_exactly() {
     let addr = server.local_addr().to_string();
 
     for k in [1usize, 2, 3, 8] {
-        let served = client::query(&addr, &Request::TopK { h: 3, k }, TIMEOUT).unwrap();
+        let served = client::query(
+            &addr,
+            &Request::TopK {
+                index: IndexRef::clique(3),
+                k,
+            },
+            TIMEOUT,
+        )
+        .unwrap();
         let fresh = top_k_lhcds(&g, 3, k, &IppvConfig::default());
         let ids = |v: VertexId| u64::from(v);
         let batch = topk_result(
@@ -185,9 +218,16 @@ fn four_concurrent_connections_are_served_correctly() {
     )
     .unwrap();
     let addr = server.local_addr().to_string();
-    let reference = client::query(&addr, &Request::TopK { h: 3, k: 2 }, TIMEOUT)
-        .unwrap()
-        .render();
+    let reference = client::query(
+        &addr,
+        &Request::TopK {
+            index: IndexRef::clique(3),
+            k: 2,
+        },
+        TIMEOUT,
+    )
+    .unwrap()
+    .render();
 
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 25;
@@ -201,7 +241,14 @@ fn four_concurrent_connections_are_served_correctly() {
                 // each client holds ONE persistent connection and
                 // pipelines sequential requests over it
                 for round in 0..ROUNDS {
-                    let got = client::query(addr, &Request::TopK { h: 3, k: 2 }, TIMEOUT);
+                    let got = client::query(
+                        addr,
+                        &Request::TopK {
+                            index: IndexRef::clique(3),
+                            k: 2,
+                        },
+                        TIMEOUT,
+                    );
                     match got {
                         Ok(v) if v.render() == *reference => {}
                         other => {
@@ -265,7 +312,15 @@ fn malformed_requests_never_kill_the_daemon() {
     drop(std::net::TcpStream::connect(&addr).unwrap());
 
     // after all that abuse, a good request still works
-    let v = client::query(&addr, &Request::TopK { h: 3, k: 1 }, TIMEOUT).unwrap();
+    let v = client::query(
+        &addr,
+        &Request::TopK {
+            index: IndexRef::clique(3),
+            k: 1,
+        },
+        TIMEOUT,
+    )
+    .unwrap();
     assert_eq!(v.get("found").unwrap().as_u64(), Some(1));
     server.shutdown_handle().shutdown();
     server.join();
@@ -371,12 +426,37 @@ fn stats_op_reports_shape_and_counters() {
     )
     .unwrap();
     let addr = server.local_addr().to_string();
-    client::query(&addr, &Request::TopK { h: 3, k: 2 }, TIMEOUT).unwrap();
-    client::query(&addr, &Request::TopK { h: 3, k: 2 }, TIMEOUT).unwrap();
+    client::query(
+        &addr,
+        &Request::TopK {
+            index: IndexRef::clique(3),
+            k: 2,
+        },
+        TIMEOUT,
+    )
+    .unwrap();
+    client::query(
+        &addr,
+        &Request::TopK {
+            index: IndexRef::clique(3),
+            k: 2,
+        },
+        TIMEOUT,
+    )
+    .unwrap();
     let stats = client::query(&addr, &Request::Stats, TIMEOUT).unwrap();
     assert_eq!(stats.get("n").unwrap().as_u64(), Some(20));
     assert_eq!(stats.get("m").unwrap().as_u64(), Some(39));
     assert_eq!(stats.get("h_values").unwrap().as_array().unwrap().len(), 2);
+    let patterns: Vec<&str> = stats
+        .get("patterns")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p.as_str().unwrap())
+        .collect();
+    assert_eq!(patterns, ["clique.h2", "clique.h3"]);
     let lru = stats.get("lru").unwrap();
     assert_eq!(lru.get("hits").unwrap().as_u64(), Some(1));
     assert_eq!(lru.get("misses").unwrap().as_u64(), Some(1));
@@ -403,6 +483,133 @@ fn stats_op_reports_shape_and_counters() {
     // index construction ran flow; serving these queries must not have
     // — pinned precisely by the flow-free test below, sanity here:
     assert!(flow.get("networks_built").unwrap().as_u64().unwrap() >= 1);
+    server.shutdown_handle().shutdown();
+    server.join();
+}
+
+/// PR 8 tentpole: one daemon, one graph, several patterns — every
+/// pattern's answers are identical to a fresh `top_k_lhxpds` run, and
+/// serving them is flow-free.
+#[test]
+fn daemon_hosts_one_graph_under_many_patterns() {
+    use lhcds_patterns::{build_pattern_index, top_k_lhxpds, Pattern};
+
+    let g = figure2();
+    let cfg = IndexConfig {
+        k_max: 8,
+        ..IndexConfig::default()
+    };
+    let patterns = [Pattern::Triangle, Pattern::Cycle4, Pattern::Star3];
+
+    // Build the served indexes AND the fresh reference answers first —
+    // both run flow; the serving phase afterwards must not.
+    let mut indexes = BTreeMap::new();
+    for p in patterns {
+        let idx = build_pattern_index(&g, p, &cfg);
+        indexes.insert(idx.pattern().to_string(), idx);
+    }
+    let mut fresh_topk = Vec::new(); // (pattern, k) -> rendered batch json
+    let mut fresh_full = Vec::new(); // pattern -> full decomposition
+    for p in patterns {
+        for k in 1..=8usize {
+            let fresh = top_k_lhxpds(&g, p, k, &IppvConfig::default());
+            let ids = |v: VertexId| u64::from(v);
+            let batch = topk_result(
+                p.arity(),
+                k,
+                fresh.subgraphs.iter().map(|s| AnswerRow {
+                    vertices: &s.vertices,
+                    density: s.density,
+                    clique_count: s.clique_count,
+                }),
+                &ids,
+            );
+            fresh_topk.push((p, k, batch.render()));
+        }
+        fresh_full.push((p, top_k_lhxpds(&g, p, usize::MAX, &IppvConfig::default())));
+    }
+
+    let served = ServedIndexes {
+        name: "multi".into(),
+        n: g.n(),
+        m: g.m(),
+        original_ids: None,
+        indexes,
+    };
+    let server = Server::bind("127.0.0.1:0", served, &ServeOptions::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let flow_before = lhcds_flow::max_flow_invocations();
+
+    for (p, k, expected) in &fresh_topk {
+        let got = client::query(
+            &addr,
+            &Request::TopK {
+                index: IndexRef::pattern(p.to_string()),
+                k: *k,
+            },
+            TIMEOUT,
+        )
+        .unwrap();
+        assert_eq!(got.render(), *expected, "{p} k={k}");
+    }
+    for (p, full) in &fresh_full {
+        let mut expected_rank: Vec<Option<usize>> = vec![None; g.n()];
+        let mut expected_density: Vec<Option<String>> = vec![None; g.n()];
+        for (rank, s) in full.subgraphs.iter().enumerate() {
+            for &v in &s.vertices {
+                expected_rank[v as usize] = Some(rank + 1);
+                expected_density[v as usize] = Some(s.density.to_string());
+            }
+        }
+        for v in 0..g.n() as u64 {
+            let memb = client::query(
+                &addr,
+                &Request::Membership {
+                    index: IndexRef::pattern(p.to_string()),
+                    vertex: v,
+                },
+                TIMEOUT,
+            )
+            .unwrap();
+            let got_rank = memb
+                .get("subgraph")
+                .and_then(|s| s.get("rank"))
+                .and_then(|r| r.as_u64())
+                .map(|r| r as usize);
+            assert_eq!(got_rank, expected_rank[v as usize], "{p} vertex={v}");
+            let dens = client::query(
+                &addr,
+                &Request::DensityOf {
+                    index: IndexRef::pattern(p.to_string()),
+                    vertex: v,
+                },
+                TIMEOUT,
+            )
+            .unwrap();
+            let got_density = dens
+                .get("density")
+                .and_then(|d| d.as_str())
+                .map(str::to_string);
+            assert_eq!(got_density, expected_density[v as usize], "{p} vertex={v}");
+        }
+    }
+    // the stats op lists every served pattern key
+    let stats = client::query(&addr, &Request::Stats, TIMEOUT).unwrap();
+    let keys: Vec<&str> = stats
+        .get("patterns")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p.as_str().unwrap())
+        .collect();
+    assert_eq!(keys, ["3-star", "4-loop", "clique.h3"]);
+
+    assert_eq!(
+        lhcds_flow::max_flow_invocations(),
+        flow_before,
+        "pattern serving must be flow-free"
+    );
     server.shutdown_handle().shutdown();
     server.join();
 }
