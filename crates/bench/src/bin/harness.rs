@@ -13,7 +13,7 @@
 //! `--threads N` adds `N` to the thread sweep of the `kclist`
 //! experiment.
 //!
-//! Four experiments record committed `BENCH_*.json` baselines
+//! Five experiments record committed `BENCH_*.json` baselines
 //! (directory override: `LHCDS_BENCH_DIR`), each stamped with the
 //! recording host's parallelism (`host_parallelism`,
 //! `recorded_on_single_cpu`):
@@ -23,8 +23,11 @@
 //! * `table2real` → `BENCH_table2.json` — statistics of any real SNAP
 //!   graphs present via the `datasets.toml` manifest (skips gracefully
 //!   when none are downloaded, so CI stays hermetic);
-//! * `serve_qps` → `BENCH_serve.json` — query-daemon throughput and
-//!   tail latency (`lhcds-service`);
+//! * `serve_qps` → `BENCH_serve.json` — query-daemon throughput plus
+//!   server-side histogram p50/p99/p999 tail latency (`lhcds-service`);
+//! * `obs` → `BENCH_obs.json` — `lhcds_obs` tracing cost, off vs on:
+//!   asserts traced and untraced pipelines agree byte-for-byte and
+//!   that disabled instrumentation stays under 1% of wall;
 //! * `flowreuse` → `BENCH_flow.json` — parametric flow-network reuse
 //!   vs rebuild-per-probe on the decomposition ladder and the full
 //!   pipeline (wall time + networks/arcs built, max-flow invocations,

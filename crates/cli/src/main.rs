@@ -1,13 +1,14 @@
 //! `lhcds` — command-line locally h-clique densest subgraph discovery.
 //!
 //! ```text
-//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--flow-reuse ggt] [--core-prune] [--json]
+//! lhcds topk --graph edges.txt --h 3 --k 5 [--threads 4] [--basic] [--pattern 4-loop] [--flow-reuse ggt] [--core-prune] [--trace] [--trace-out t.json] [--json]
 //! lhcds topk --input web-Stanford.txt [--format snap|csv|auto] [--no-cache] --h 3 --k 5
-//! lhcds stats --graph edges.txt [--h 3] [--pattern 4-loop] [--threads 4] [--core-prune] [--json]
+//! lhcds stats --graph edges.txt [--h 3] [--pattern 4-loop] [--threads 4] [--core-prune] [--trace] [--json]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
 //! lhcds datasets list | fetch-instructions | cache | verify [--manifest datasets.toml] [--name X]
-//! lhcds serve --input FILE --h 3 [--pattern 4-loop,3-star] --port 4321 [--k-max 32] [--workers 4]
+//! lhcds serve --input FILE --h 3 [--pattern 4-loop,3-star] --port 4321 [--k-max 32] [--workers 4] [--slow-query-ms 100]
 //! lhcds query top-k --port 4321 (--h 3 | --pattern 4-loop) --k 5
+//! lhcds query metrics --port 4321
 //! lhcds help
 //! ```
 //!
@@ -113,13 +114,13 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 fn print_help() {
     println!(
         "lhcds — exact locally h-clique densest subgraph discovery (IPPV)\n\n\
-         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--flow-reuse T] [--core-prune] [--quiet] [--json]\n  \
-         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--pattern NAME] [--threads N] [--core-prune] [--json]\n  \
+         USAGE:\n  lhcds topk  (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--k K] [--threads N] [--basic] [--pattern NAME] [--flow-reuse T] [--core-prune] [--trace] [--trace-out FILE] [--quiet] [--json]\n  \
+         lhcds stats (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H] [--pattern NAME] [--threads N] [--core-prune] [--trace] [--trace-out FILE] [--json]\n  \
          lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
          lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n  \
          lhcds serve (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H[,H...]] [--pattern NAME[,NAME...]] [--k-max K]\n              \
-         [--host ADDR] [--port N] [--workers N] [--threads N] [--core-prune] [--port-file FILE] [--quiet]\n  \
-         lhcds query (top-k | density-of | membership | stats | ping | shutdown)\n              \
+         [--host ADDR] [--port N] [--workers N] [--threads N] [--core-prune] [--slow-query-ms MS] [--port-file FILE] [--quiet]\n  \
+         lhcds query (top-k | density-of | membership | stats | metrics | ping | shutdown)\n              \
          [--host ADDR] --port N [--h H] [--pattern NAME] [--k K] [--vertex V] [--timeout SECS]\n\n\
          INPUT:    --graph = strict compact edge list; --input = tolerant SNAP ingest with a\n          \
          binary on-disk cache (FILE.csrcache) and original-id reporting\n\
@@ -131,6 +132,8 @@ fn print_help() {
          REUSE:    --flow-reuse scratch|warm|ggt (default ggt); results never depend on it\n\
          CORE:     --core-prune builds verifier networks on the (h-1)-core (Core-Exact);\n          \
          results never depend on it\n\
+         TRACE:    --trace renders a per-phase span tree on stderr; --trace-out FILE also\n          \
+         writes the deterministic JSON trace; results never depend on it\n\
          SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx for cliques,\n          \
          FILE.<pattern>.lhcdsidx otherwise) and binary-loaded on restart; one daemon can host\n          \
          several patterns at once; answers match `lhcds topk --json` exactly"
@@ -249,6 +252,35 @@ impl InputSpec {
     }
 }
 
+/// The `--trace` / `--trace-out FILE` rider flags shared by `topk` and
+/// `stats`: `--trace-out` implies `--trace`.
+fn take_trace_flags(args: &mut Args) -> (bool, Option<PathBuf>) {
+    let out = args.get("trace-out").map(PathBuf::from);
+    let on = args.flag("trace") || out.is_some();
+    (on, out)
+}
+
+/// Disables tracing, drains the trace, renders the span tree to stderr
+/// (unless `quiet`), and writes the deterministic JSON export to `out`
+/// when given. Never touches stdout: results stay byte-identical with
+/// tracing on or off.
+fn report_trace(quiet: bool, out: Option<&PathBuf>) -> Result<(), String> {
+    lhcds::obs::set_tracing(false);
+    let Some(trace) = lhcds::obs::take_trace() else {
+        return Ok(());
+    };
+    if !quiet {
+        eprint!("{}", trace.render());
+    }
+    if let Some(path) = out {
+        let mut json = trace.to_json();
+        json.push('\n');
+        std::fs::write(path, json)
+            .map_err(|e| format!("cannot write --trace-out {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
 fn parse_pattern(name: &str) -> Result<Pattern, String> {
     Pattern::parse(name).ok_or_else(|| {
         format!(
@@ -283,6 +315,7 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         None => FlowReuse::default(),
     };
     let core_prune = args.flag("core-prune");
+    let (trace, trace_out) = take_trace_flags(args);
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
@@ -300,7 +333,13 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         ..IppvConfig::default()
     };
 
+    if trace {
+        lhcds::obs::set_tracing(true);
+    }
     let flow_before = lhcds::core::flow_stats();
+    // the root span covers the solve only — load and output stay
+    // outside, so the phase children account for (almost) all of it
+    let root = lhcds::obs::span("topk");
     let (subgraphs, stats, eff_h) = if let Some(pname) = pattern {
         let p = parse_pattern(&pname)?;
         let res = top_k_lhxpds(g, p, k, &cfg);
@@ -314,6 +353,19 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
         let res = top_k_lhcds(g, h, k, &cfg);
         (res.subgraphs, res.stats, h)
     };
+    let flow = lhcds::core::flow_stats().since(&flow_before);
+    if trace {
+        // the flow-layer delta rides on the root span, folding the old
+        // stderr flow summary into the one rendered report
+        root.counter("networks_built", flow.networks_built);
+        root.counter("max_flow_solves", flow.max_flow_invocations);
+        root.counter("warm_solves", flow.warm_solves);
+        root.counter("retract_solves", flow.retract_solves);
+        root.counter("cold_solves", flow.cold_solves());
+        root.counter("arcs_built", flow.arcs_built);
+        root.counter("ggt_recursions", flow.ggt_recursions);
+    }
+    drop(root);
 
     if json {
         // Machine-readable output, in original file ids — the exact
@@ -343,7 +395,11 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
             );
         }
     }
-    if !quiet {
+    if trace {
+        // one report path: the span tree (with the flow counters on
+        // the root) replaces the ad-hoc summary lines below
+        report_trace(quiet, trace_out.as_ref())?;
+    } else if !quiet {
         eprintln!(
             "{} instances enumerated | {} verifications ({} flow, {} shortcut) | {} vertices pruned",
             stats.clique_count,
@@ -352,7 +408,6 @@ fn cmd_topk(args: &mut Args) -> Result<(), String> {
             stats.shortcut_accepts,
             stats.pruned_vertices,
         );
-        let flow = lhcds::core::flow_stats().since(&flow_before);
         eprintln!(
             "flow: {} networks built | {} max-flow solves ({} warm / {} retract / {} cold, {:.0}% warm) | {} arcs",
             flow.networks_built,
@@ -381,11 +436,16 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
     let json = args.flag("json");
     let core_prune = args.flag("core-prune");
     let pattern = args.get("pattern").map(|n| parse_pattern(&n)).transpose()?;
+    let (trace, trace_out) = take_trace_flags(args);
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
     let loaded = input.load()?;
     let g = &loaded.graph;
+    if trace {
+        lhcds::obs::set_tracing(true);
+    }
+    let root = lhcds::obs::span("stats");
     // `--pattern` rides along: the instance count of the named pattern
     // (the |Psi| the LhxPDS pipeline would mine), enumerated with the
     // same `--threads` setting as everything else.
@@ -407,6 +467,10 @@ fn cmd_stats(args: &mut Args) -> Result<(), String> {
         if hh == h.max(3) {
             break;
         }
+    }
+    drop(root);
+    if trace {
+        report_trace(false, trace_out.as_ref())?;
     }
     // Process-total flow counters, rendered by the same serializer the
     // daemon's `stats` op uses — batch and served telemetry are
@@ -522,6 +586,9 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
     let host = args.get("host").unwrap_or_else(|| "127.0.0.1".into());
     let port: u16 = args.get_parsed("port")?.unwrap_or(0);
     let workers: usize = args.get_parsed("workers")?.unwrap_or(4);
+    let slow_query_ms: u64 = args
+        .get_parsed("slow-query-ms")?
+        .unwrap_or(ServeOptions::default().slow_query_ms);
     let port_file = args.get("port-file").map(PathBuf::from);
     let quiet = args.flag("quiet");
     let core_prune = args.flag("core-prune");
@@ -615,6 +682,7 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
 
     let opts = ServeOptions {
         workers,
+        slow_query_ms,
         ..ServeOptions::default()
     };
     let server = Server::bind((host.as_str(), port), served, &opts)
@@ -686,22 +754,31 @@ fn cmd_query(args: &mut Args) -> Result<(), String> {
             vertex: need_vertex()?,
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         "" => return Err(
-            "missing query action: top-k | density-of | membership | stats | ping | shutdown"
+            "missing query action: top-k | density-of | membership | stats | metrics | ping | shutdown"
                 .into(),
         ),
         other => {
             return Err(format!(
-                "unknown query action '{other}' — try top-k | density-of | membership | stats | ping | shutdown"
+                "unknown query action '{other}' — try top-k | density-of | membership | stats | metrics | ping | shutdown"
             ))
         }
     };
     let addr = format!("{host}:{port}");
     let result = client::query(&addr, &request, Duration::from_secs(timeout.max(1)))
         .map_err(|e| e.to_string())?;
-    println!("{}", result.render());
+    // `metrics` carries a text exposition inside the JSON result —
+    // print it raw so the output can be scraped/curled directly
+    match request {
+        Request::Metrics => match result.get("exposition").and_then(Json::as_str) {
+            Some(text) => print!("{text}"),
+            None => println!("{}", result.render()),
+        },
+        _ => println!("{}", result.render()),
+    }
     Ok(())
 }
 
@@ -1203,6 +1280,45 @@ mod tests {
     }
 
     #[test]
+    fn trace_flags_write_deterministic_span_json() {
+        let dir = std::env::temp_dir().join("lhcds_cli_trace_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.json");
+        run(vec![
+            "topk".into(),
+            "--graph".into(),
+            fixture(),
+            "--k".into(),
+            "2".into(),
+            "--trace-out".into(),
+            out.to_string_lossy().into_owned(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("{\"spans\":["), "{text}");
+        for phase in [
+            "\"name\":\"topk\"",
+            "\"name\":\"enumerate\"",
+            "\"name\":\"verify\"",
+        ] {
+            assert!(text.contains(phase), "missing {phase} in {text}");
+        }
+        // the flow counters ride on the root span
+        assert!(text.contains("\"max_flow_solves\""), "{text}");
+        // --trace alone renders to stderr only; no file, still succeeds
+        run(vec![
+            "stats".into(),
+            "--graph".into(),
+            fixture(),
+            "--trace".into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_and_query_round_trip() {
         use lhcds::service::json::Json;
 
@@ -1233,6 +1349,9 @@ mod tests {
             // the (h−1)-core; the served-vs-batch equality below then
             // doubles as a core-prune invisibility check.
             "--core-prune".into(),
+            // retain every request in the slow-query ring (threshold 0)
+            "--slow-query-ms".into(),
+            "0".into(),
             "--quiet".into(),
         ];
         let daemon = std::thread::spawn(move || run(serve_args));
@@ -1283,6 +1402,19 @@ mod tests {
         ]);
         run(v).unwrap();
         run(base("stats")).unwrap();
+        run(base("metrics")).unwrap();
+
+        // the metrics op exposes Prometheus text with per-op counters
+        let metrics = client::query(&addr, &Request::Metrics, Duration::from_secs(10)).unwrap();
+        let text = metrics.get("exposition").unwrap().as_str().unwrap();
+        assert!(
+            text.contains("lhcds_requests_total{op=\"top_k\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lhcds_slow_query_threshold_milliseconds 0"),
+            "{text}"
+        );
 
         // served answer == batch answer (string-identical result JSON)
         let served = client::query(

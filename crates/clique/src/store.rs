@@ -32,7 +32,10 @@ impl CliqueSet {
     /// and the incidence index exactly.
     pub fn enumerate_with(g: &CsrGraph, h: usize, par: &Parallelism) -> Self {
         assert!(h >= 1, "h-cliques require h >= 1");
-        Self::from_flat_members(g.n(), h, collect_members(g, h, par))
+        let sp = lhcds_obs::span("kclist");
+        let set = Self::from_flat_members(g.n(), h, collect_members(g, h, par));
+        sp.counter("cliques", set.len() as u64);
+        set
     }
 
     /// Builds a store from pre-collected flat members (`h` consecutive

@@ -53,8 +53,6 @@
 //! Outputs are byte-identical at every thread count; only wall time and
 //! the speculative flow-work counters change.
 
-use std::time::Instant;
-
 use crate::bounds::{initialize_bounds, Bounds, DEFAULT_SLACK};
 use crate::compact::{local_instance, InstanceSolver};
 use crate::cp::seq_kclist_pp_threaded;
@@ -201,9 +199,11 @@ pub struct IppvResult {
 /// `k = usize::MAX` to list every LhCDS.
 pub fn top_k_lhcds(g: &CsrGraph, h: usize, k: usize, cfg: &IppvConfig) -> IppvResult {
     assert!(h >= 2, "LhCDS requires h >= 2 (h = 2 is the classic LDS)");
-    let t0 = Instant::now();
+    let sp = lhcds_obs::span("enumerate");
     let cliques = CliqueSet::enumerate_with(g, h, &cfg.parallelism);
-    let clique_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let clique_ms = sp.elapsed_ms();
+    sp.counter("cliques", cliques.len() as u64);
+    drop(sp);
     let mut res = top_k_with_instances(g, &cliques, k, cfg);
     res.stats.clique_ms = clique_ms;
     res
@@ -237,18 +237,22 @@ pub fn top_k_with_instances(
     let mut bounds = initialize_bounds(cliques, cfg.bound_slack);
 
     let groups: Vec<Vec<VertexId>> = if cfg.use_cp {
-        let t = Instant::now();
+        let sp = lhcds_obs::span("cp");
         let mut state = seq_kclist_pp_threaded(
             cliques,
             cfg.cp_iterations,
             cfg.parallelism.effective_threads(g.n()),
         );
-        stats.cp_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats.cp_ms = sp.elapsed_ms();
+        sp.counter("iterations", cfg.cp_iterations as u64);
+        drop(sp);
 
-        let t = Instant::now();
+        let sp = lhcds_obs::span("decompose");
         let decomp = tentative_gd(cliques, &mut state);
         let stable = derive_stable_groups(cliques, &state, &decomp, &mut bounds);
-        stats.decompose_ms = t.elapsed().as_secs_f64() * 1e3;
+        stats.decompose_ms = sp.elapsed_ms();
+        sp.counter("groups", stable.groups.len() as u64);
+        drop(sp);
         stable.groups
     } else {
         // flow-only baseline: one whole-graph candidate
@@ -257,7 +261,7 @@ pub fn top_k_with_instances(
     stats.initial_candidates = groups.len();
 
     // ---- Prune ---------------------------------------------------
-    let t = Instant::now();
+    let sp = lhcds_obs::span("prune");
     let mut eligible = vec![true; g.n()];
     // Vertices in no h-clique at all can never join an LhCDS (every
     // member of a positive-density compact subgraph loses at least one
@@ -273,10 +277,12 @@ pub fn top_k_with_instances(
         stats.pruned_vertices += prune(g, cliques, &bounds, &mut eligible);
     }
     let pruned: Vec<bool> = eligible.iter().map(|&e| !e).collect();
-    stats.prune_ms = t.elapsed().as_secs_f64() * 1e3;
+    stats.prune_ms = sp.elapsed_ms();
+    sp.counter("pruned_vertices", stats.pruned_vertices as u64);
+    drop(sp);
 
     // ---- Verify (candidate loop) ----------------------------------
-    let t = Instant::now();
+    let sp = lhcds_obs::span("verify");
     // Core-Exact restriction for the whole-graph verifier networks:
     // the (h−1)-core hosts every h-clique.
     let core_universe: Option<Vec<VertexId>> = cfg.core_prune.then(|| {
@@ -321,7 +327,12 @@ pub fn top_k_with_instances(
     }
     driver.run(k);
     let results = std::mem::take(&mut driver.results);
-    stats.verify_ms = t.elapsed().as_secs_f64() * 1e3;
+    stats.verify_ms = sp.elapsed_ms();
+    sp.counter("verifications", stats.verifications as u64);
+    sp.counter("flow_verifications", stats.flow_verifications as u64);
+    sp.counter("local_decompositions", stats.local_decompositions as u64);
+    sp.counter("prefetched", stats.prefetched_decompositions as u64);
+    drop(sp);
 
     IppvResult {
         subgraphs: results,
@@ -510,7 +521,13 @@ impl<'a> Driver<'a> {
         cliques: &CliqueSet,
         reuse: FlowReuse,
         comp: &[VertexId],
+        parent: lhcds_obs::SpanId,
     ) -> Option<(Ratio, Vec<bool>)> {
+        // Explicit parent id: wave workers run this on scoped threads,
+        // where the tracer's thread-local nesting would otherwise lose
+        // the verify-phase attribution.
+        let sp = lhcds_obs::span_under(parent, "local-decompose");
+        sp.counter("vertices", comp.len() as u64);
         // One reusable network serves the component's whole Goldberg
         // ladder (every ρ-probe of the local densest decomposition).
         let (inst, map) = local_instance(cliques, comp);
@@ -546,6 +563,7 @@ impl<'a> Driver<'a> {
         let (cliques, reuse) = (self.cliques, self.cfg.flow_reuse);
         let next = AtomicUsize::new(0);
         let targets_ref = &targets;
+        let wave_parent = lhcds_obs::current();
         type WaveBatch = Vec<(usize, Option<(Ratio, Vec<bool>)>)>;
         let collected: Vec<WaveBatch> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -559,7 +577,12 @@ impl<'a> Driver<'a> {
                             }
                             acc.push((
                                 i,
-                                Self::decompose_component(cliques, reuse, &targets_ref[i]),
+                                Self::decompose_component(
+                                    cliques,
+                                    reuse,
+                                    &targets_ref[i],
+                                    wave_parent,
+                                ),
                             ));
                         }
                         acc
@@ -590,7 +613,12 @@ impl<'a> Driver<'a> {
                 self.stats.prefetched_decompositions += 1;
                 d
             }
-            None => Self::decompose_component(self.cliques, self.cfg.flow_reuse, &comp),
+            None => Self::decompose_component(
+                self.cliques,
+                self.cfg.flow_reuse,
+                &comp,
+                lhcds_obs::current(),
+            ),
         };
         let Some((rho_star, members)) = decomp else {
             // No h-clique inside this component.

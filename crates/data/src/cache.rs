@@ -201,6 +201,19 @@ pub enum CacheStatus {
     Uncached,
 }
 
+impl CacheStatus {
+    /// Stable lowercase name (`hit` / `built` / `rebuilt` / `uncached`)
+    /// for event logs and machine-readable surfaces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Built => "built",
+            CacheStatus::Rebuilt => "rebuilt",
+            CacheStatus::Uncached => "uncached",
+        }
+    }
+}
+
 /// A loaded cache snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedGraph {
@@ -442,6 +455,7 @@ pub fn load_or_build(
     if cache_path.exists() {
         match read_cache(&cache_path) {
             Ok(cached) if cached.source == stamp => {
+                lhcds_obs::event("graph-cache", || format!("hit {}", cache_path.display()));
                 return Ok((cached.remapped, CacheStatus::Hit));
             }
             // stale (source replaced/edited) or damaged: reparse
@@ -453,6 +467,9 @@ pub fn load_or_build(
     if write_cache(&cache_path, &remapped, stamp).is_err() {
         status = CacheStatus::Uncached;
     }
+    lhcds_obs::event("graph-cache", || {
+        format!("{} {}", status.as_str(), cache_path.display())
+    });
     Ok((remapped, status))
 }
 

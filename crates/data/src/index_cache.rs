@@ -391,6 +391,9 @@ pub fn build_or_load_pattern_index_for(
             {
                 let mut index = cached.index;
                 index.clamp_k_max(opts.config.k_max);
+                lhcds_obs::event("index-cache", || {
+                    format!("hit {key} {}", index_path.display())
+                });
                 return Ok((index, CacheStatus::Hit));
             }
             // stale, damaged, or built for different parameters: rebuild
@@ -402,6 +405,9 @@ pub fn build_or_load_pattern_index_for(
     if write_index(&index_path, &index, stamp).is_err() {
         index_status = CacheStatus::Uncached;
     }
+    lhcds_obs::event("index-cache", || {
+        format!("{} {key} {}", index_status.as_str(), index_path.display())
+    });
     Ok((index, index_status))
 }
 

@@ -289,6 +289,7 @@ impl GgtSolver {
         if n == 0 {
             return Vec::new();
         }
+        let sp = lhcds_obs::span("flow-ladder");
         let no_pins = vec![false; n];
         // Base of the ladder: the λ = 0 maximal side.
         let (val0, mask0) = self.solve_at(Ratio::zero(), &no_pins, &no_pins);
@@ -317,6 +318,7 @@ impl GgtSolver {
             &mut out,
             &budget,
         );
+        sp.counter("breakpoints", out.len() as u64);
         out
     }
 

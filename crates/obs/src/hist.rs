@@ -1,0 +1,293 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a fixed array of atomic buckets over the full
+//! `u64` range, laid out log-linearly: values below 16 get exact
+//! single-value buckets, and every power-of-two octave above that is
+//! split into 16 sub-buckets. Recording is one relaxed `fetch_add` per
+//! sample (plus count/sum/min/max bookkeeping) — lock-free, safe from
+//! any number of threads, and never loses a sample. Percentile
+//! extraction walks the bucket array and returns the upper bound of the
+//! bucket holding the requested rank, so the reported quantile is exact
+//! to the bucket: relative error is at most `1/16` by construction.
+//!
+//! Units are the caller's business; the serve tier records microseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave (16 → ≤ 1/16 relative error).
+const SUB: usize = 16;
+/// Total buckets: 16 exact low buckets + 16 per octave for octaves
+/// `2^4..2^63`.
+const BUCKETS: usize = SUB + 60 * SUB;
+
+/// A concurrent log-bucketed histogram of `u64` samples.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let top = 63 - v.leading_zeros() as usize; // ≥ 4
+            let sub = ((v >> (top - 4)) & 15) as usize;
+            (top - 3) * SUB + sub
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `b`.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        assert!(b < BUCKETS, "bucket index out of range");
+        if b < SUB {
+            (b as u64, b as u64)
+        } else {
+            let t = b / SUB + 3;
+            let sub = (b % SUB) as u64;
+            let lo = (SUB as u64 + sub) << (t - 4);
+            let hi = lo + ((1u64 << (t - 4)) - 1);
+            (lo, hi)
+        }
+    }
+
+    /// Records one sample. Lock-free; relaxed atomics only.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping beyond `u64`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `num/den` quantile: the upper bound of the bucket holding
+    /// the sample of rank `ceil(count · num / den)` (1-based), clamped
+    /// to the observed maximum. Returns 0 for an empty histogram.
+    ///
+    /// The result lands in the same bucket as the exact order-statistic
+    /// a sorted vector of the samples would give — the proptest oracle
+    /// suite pins that contract.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(num <= den && den > 0, "quantile must be in [0, 1]");
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
+        let mut cum = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            if cum >= rank {
+                let (_, hi) = Self::bucket_bounds(b);
+                return hi.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median (`p50`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(50, 100)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(999, 1000)
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // every bucket's hi + 1 == next bucket's lo, starting at 0
+        let mut expect_lo = 0u64;
+        for b in 0..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            assert_eq!(lo, expect_lo, "bucket {b} lower bound");
+            assert!(hi >= lo);
+            assert_eq!(Histogram::bucket_of(lo), b);
+            assert_eq!(Histogram::bucket_of(hi), b);
+            if hi == u64::MAX {
+                assert_eq!(b, BUCKETS - 1);
+                return;
+            }
+            expect_lo = hi + 1;
+        }
+        panic!("layout must end at u64::MAX");
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for b in SUB..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(b);
+            // width/lo = 1/16 exactly in every octave bucket
+            assert!(hi - lo < lo / 8, "bucket {b}: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            // quantile walking 16 uniform samples hits each exact bucket
+            assert_eq!(Histogram::bucket_bounds(Histogram::bucket_of(v)), (v, v));
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), 120);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::new();
+        h.record(777);
+        for (n, d) in [(1, 100), (50, 100), (99, 100), (999, 1000), (1, 1)] {
+            let q = h.quantile(n, d);
+            assert_eq!(Histogram::bucket_of(q), Histogram::bucket_of(777));
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p999(), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_samples() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per {
+                        h.record(t * 1_000 + i % 997);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), threads * per);
+        let total: u64 = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, threads * per, "bucket mass must equal count");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The histogram quantile must land in the same bucket as the
+        /// exact order statistic computed from a sorted vector.
+        #[test]
+        fn quantile_matches_sorted_vec_oracle(
+            samples in prop::collection::vec(0u64..5_000_000, 1..400),
+            num in 1u64..1000,
+        ) {
+            let den = 1000u64;
+            let h = Histogram::new();
+            for &s in &samples {
+                h.record(s);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((sorted.len() as u128 * num as u128)
+                .div_ceil(den as u128) as usize).max(1);
+            let oracle = sorted[rank - 1];
+            let got = h.quantile(num, den);
+            prop_assert_eq!(
+                Histogram::bucket_of(got),
+                Histogram::bucket_of(oracle),
+                "q={}/{} got={} oracle={}", num, den, got, oracle
+            );
+            // and the reported value never exceeds the observed max
+            prop_assert!(got <= *sorted.last().unwrap());
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # lhcds-obs
+//!
+//! The observability substrate of the workspace: answers "where did this
+//! run spend its time?" and "what is p99 right now?" without re-running
+//! anything under the bench harness. Three primitives, std-only, at the
+//! very bottom of the crate DAG (everything may depend on this crate; it
+//! depends on nothing):
+//!
+//! * [`trace`] — hierarchical phase tracing. RAII [`trace::Span`] guards
+//!   over monotonic clocks, thread-safe child attribution (spans opened
+//!   on worker threads attach to an explicit parent [`trace::SpanId`]),
+//!   span-local counters, a rendered stderr tree, and deterministic JSON
+//!   export. Gated behind one process-wide enable flag: with tracing off
+//!   a span open/close touches no shared state beyond the single flag
+//!   load, so instrumented hot paths cost nothing measurable.
+//! * [`hist`] — log-bucketed latency [`hist::Histogram`]s: atomic
+//!   buckets, lock-free recording from any number of threads, and
+//!   p50/p99/p999 extraction exact to the bucket (≤ 1/16 relative
+//!   error by construction).
+//! * [`ring`] — a bounded [`ring::Ring`] buffer for discrete lifecycle
+//!   facts (cache hits, slow queries), plus the process-wide event log
+//!   that tracing drains into its JSON export.
+//!
+//! # Example
+//!
+//! ```
+//! lhcds_obs::set_tracing(true);
+//! {
+//!     let root = lhcds_obs::span("solve");
+//!     let _child = lhcds_obs::span("enumerate");
+//!     root.counter("cliques", 42);
+//! }
+//! let trace = lhcds_obs::take_trace().unwrap();
+//! assert_eq!(trace.roots[0].name, "solve");
+//! assert_eq!(trace.roots[0].children[0].name, "enumerate");
+//! lhcds_obs::set_tracing(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod ring;
+pub mod trace;
+
+pub use hist::Histogram;
+pub use ring::{Event, Ring};
+pub use trace::{
+    current, event, set_tracing, span, span_under, take_trace, tracing_enabled, Span, SpanId,
+    SpanNode, Trace,
+};

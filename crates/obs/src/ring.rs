@@ -1,0 +1,151 @@
+//! Bounded ring buffers for discrete lifecycle facts.
+//!
+//! A [`Ring`] keeps the most recent `capacity` items pushed into it and
+//! a monotone total of everything ever pushed, so a reader can tell
+//! "64 retained of 10 312 seen". The serve tier uses one for its
+//! slow-query log; the process-wide [`Event`] ring behind
+//! [`crate::trace::event`] uses another.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded FIFO retaining the most recent items pushed.
+#[derive(Debug)]
+pub struct Ring<T> {
+    capacity: usize,
+    inner: Mutex<Inner<T>>,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    total: u64,
+    buf: VecDeque<T>,
+}
+
+impl<T> Ring<T> {
+    /// An empty ring retaining at most `capacity` (≥ 1) items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ring capacity must be positive");
+        Ring {
+            capacity,
+            inner: Mutex::new(Inner {
+                total: 0,
+                buf: VecDeque::with_capacity(capacity),
+            }),
+        }
+    }
+
+    /// Appends an item, evicting the oldest when full. Returns the
+    /// item's sequence number (0-based over everything ever pushed).
+    pub fn push(&self, item: T) -> u64 {
+        let mut inner = self.inner.lock().expect("ring poisoned");
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(item);
+        let seq = inner.total;
+        inner.total += 1;
+        seq
+    }
+
+    /// Total items ever pushed (retained or evicted).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().expect("ring poisoned").total
+    }
+
+    /// Number of retained items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained items oldest-first, plus the total ever pushed.
+    pub fn snapshot(&self) -> (u64, Vec<T>)
+    where
+        T: Clone,
+    {
+        let inner = self.inner.lock().expect("ring poisoned");
+        (inner.total, inner.buf.iter().cloned().collect())
+    }
+
+    /// Drains and returns the retained items oldest-first; the total
+    /// keeps counting.
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("ring poisoned");
+        inner.buf.drain(..).collect()
+    }
+}
+
+/// One discrete lifecycle fact (cache hit, index rebuild, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// 0-based sequence number over the process lifetime of the trace.
+    pub seq: u64,
+    /// Which subsystem emitted it (`"graph-cache"`, `"index-cache"`…).
+    pub kind: &'static str,
+    /// Free-form detail, formatted only when tracing was enabled.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let r: Ring<u32> = Ring::new(4);
+        assert!(r.is_empty());
+        for i in 0..10 {
+            assert_eq!(r.push(i), i as u64);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        let (total, items) = r.snapshot();
+        assert_eq!(total, 10);
+        assert_eq!(items, vec![6, 7, 8, 9], "oldest-first, most recent kept");
+    }
+
+    #[test]
+    fn drain_empties_but_total_persists() {
+        let r: Ring<u8> = Ring::new(2);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.drain(), vec![1, 2]);
+        assert!(r.is_empty());
+        assert_eq!(r.total(), 2);
+        r.push(3);
+        assert_eq!(r.snapshot(), (3, vec![3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = Ring::<u8>::new(0);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_counted() {
+        let r = std::sync::Arc::new(Ring::new(8));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        r.push(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.total(), 400);
+        assert_eq!(r.len(), 8);
+    }
+}

@@ -28,9 +28,11 @@ pub struct LhxpdsResult {
 
 /// Discovers the top-k locally `pattern`-densest subgraphs of `g`.
 pub fn top_k_lhxpds(g: &CsrGraph, pattern: Pattern, k: usize, cfg: &IppvConfig) -> LhxpdsResult {
-    let t0 = std::time::Instant::now();
+    let sp = lhcds_obs::span("enumerate");
     let store = enumerate_pattern_with(g, pattern, &cfg.parallelism);
-    let enum_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let enum_ms = sp.elapsed_ms();
+    sp.counter("instances", store.len() as u64);
+    drop(sp);
     let IppvResult {
         subgraphs,
         mut stats,

@@ -10,6 +10,7 @@
 //! {"op":"density_of","h":3,"vertex":11}
 //! {"op":"membership","pattern":"diamond","vertex":11}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
@@ -97,6 +98,10 @@ pub enum Request {
     },
     /// Server and index statistics.
     Stats,
+    /// Prometheus-style text exposition of the server's counters and
+    /// latency histograms (the exposition travels as a JSON string
+    /// field; the protocol stays one JSON line per response).
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Ask the daemon to stop accepting and drain in-flight work.
@@ -195,11 +200,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             vertex: field("vertex")?,
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError::new(
             "unknown_op",
-            format!("unknown op '{other}' (try top_k | density_of | membership | stats | ping | shutdown)"),
+            format!("unknown op '{other}' (try top_k | density_of | membership | stats | metrics | ping | shutdown)"),
         )),
     }
 }
@@ -229,6 +235,7 @@ pub fn request_json(req: &Request) -> Json {
             with_index("membership", index, ("vertex", Json::Int(*vertex as i128)))
         }
         Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
+        Request::Metrics => Json::object([("op", Json::Str("metrics".into()))]),
         Request::Ping => Json::object([("op", Json::Str("ping".into()))]),
         Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
     }
@@ -359,6 +366,24 @@ pub fn flow_stats_json(stats: &FlowStats) -> Json {
             Json::Int(stats.ggt_contracted_nodes as i128),
         ),
         ("ggt_arcs_saved", Json::Int(stats.ggt_arcs_saved as i128)),
+    ])
+}
+
+/// Serializes a latency histogram summary — **the** shared shape
+/// between the daemon's `stats` op and `lhcds stats --json`. All
+/// figures are integer microseconds (this protocol carries no floats);
+/// percentiles are log-bucket upper bounds clamped to the observed
+/// maximum, so they are exact to within the histogram's ~6% bucket
+/// width.
+pub fn latency_summary_json(h: &lhcds_obs::Histogram) -> Json {
+    Json::object([
+        ("count", Json::Int(h.count() as i128)),
+        ("sum_us", Json::Int(h.sum() as i128)),
+        ("min_us", Json::Int(h.min() as i128)),
+        ("max_us", Json::Int(h.max() as i128)),
+        ("p50_us", Json::Int(h.p50() as i128)),
+        ("p99_us", Json::Int(h.p99() as i128)),
+        ("p999_us", Json::Int(h.p999() as i128)),
     ])
 }
 

@@ -29,16 +29,17 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::lru::Lru;
 use crate::protocol::{
-    density_result, err_response, flow_stats_json, membership_result, ok_response, parse_request,
-    topk_result, AnswerRow, IndexRef, ProtocolError, Request,
+    density_result, err_response, flow_stats_json, latency_summary_json, membership_result,
+    ok_response, parse_request, topk_result, AnswerRow, IndexRef, ProtocolError, Request,
 };
 use lhcds_core::index::{default_pattern_key, DecompositionIndex};
 use lhcds_graph::VertexId;
+use lhcds_obs::{Histogram, Ring};
 use lhcds_patterns::Pattern;
 
 /// How often blocked loops re-check the stop flag.
@@ -55,6 +56,11 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Longest accepted request line, in bytes.
 const MAX_LINE: usize = 1 << 20;
 
+/// How many over-threshold requests the slow-query ring retains.
+const SLOW_RING_CAP: usize = 64;
+/// Longest request-line snippet kept in a slow-query ring entry.
+const SLOW_QUERY_SNIPPET: usize = 256;
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -62,6 +68,9 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Capacity of the hot `(pattern key, k)` answer cache.
     pub lru_capacity: usize,
+    /// Requests at or above this wall time (milliseconds) are retained
+    /// in the slow-query ring (`0` retains everything).
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +78,7 @@ impl Default for ServeOptions {
         ServeOptions {
             workers: 4,
             lru_capacity: 64,
+            slow_query_ms: 100,
         }
     }
 }
@@ -181,8 +191,89 @@ impl ServedIndexes {
     }
 }
 
-/// Live counters, exposed by the `stats` op and by tests.
-#[derive(Debug, Default)]
+/// Request classification for the per-op counters and latency
+/// histograms. One variant per protocol op, plus [`OpKind::Invalid`]
+/// for lines that never parsed to an op (malformed JSON, unknown op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `top_k`.
+    TopK,
+    /// `density_of`.
+    DensityOf,
+    /// `membership`.
+    Membership,
+    /// `stats`.
+    Stats,
+    /// `metrics`.
+    Metrics,
+    /// `ping`.
+    Ping,
+    /// `shutdown`.
+    Shutdown,
+    /// Unparseable request line.
+    Invalid,
+}
+
+impl OpKind {
+    /// Every kind, in the fixed order `stats`/`metrics` report them.
+    pub const ALL: [OpKind; 8] = [
+        OpKind::TopK,
+        OpKind::DensityOf,
+        OpKind::Membership,
+        OpKind::Stats,
+        OpKind::Metrics,
+        OpKind::Ping,
+        OpKind::Shutdown,
+        OpKind::Invalid,
+    ];
+
+    /// Stable telemetry name (the protocol's `op` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::TopK => "top_k",
+            OpKind::DensityOf => "density_of",
+            OpKind::Membership => "membership",
+            OpKind::Stats => "stats",
+            OpKind::Metrics => "metrics",
+            OpKind::Ping => "ping",
+            OpKind::Shutdown => "shutdown",
+            OpKind::Invalid => "invalid",
+        }
+    }
+
+    fn of(req: &Request) -> OpKind {
+        match req {
+            Request::TopK { .. } => OpKind::TopK,
+            Request::DensityOf { .. } => OpKind::DensityOf,
+            Request::Membership { .. } => OpKind::Membership,
+            Request::Stats => OpKind::Stats,
+            Request::Metrics => OpKind::Metrics,
+            Request::Ping => OpKind::Ping,
+            Request::Shutdown => OpKind::Shutdown,
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One over-threshold request, as retained by the slow-query ring.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Telemetry name of the op ([`OpKind::name`]).
+    pub op: &'static str,
+    /// Wall time spent answering, microseconds.
+    pub duration_us: u64,
+    /// The request line (truncated to a snippet).
+    pub request: String,
+}
+
+/// Live counters, exposed by the `stats` and `metrics` ops and by
+/// tests. Recording is lock-free (relaxed atomics and
+/// [`Histogram::record`]); everything here is always on — these are
+/// product metrics, independent of the `lhcds_obs` tracing flag.
+#[derive(Debug)]
 pub struct ServerStats {
     /// Requests answered (ok or error), across all connections.
     pub requests: AtomicU64,
@@ -192,6 +283,54 @@ pub struct ServerStats {
     pub lru_misses: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Per-op request counts, indexed in [`OpKind::ALL`] order.
+    pub op_requests: [AtomicU64; OpKind::ALL.len()],
+    /// Per-op error-response counts, same order.
+    pub op_errors: [AtomicU64; OpKind::ALL.len()],
+    /// Per-op request latency histograms (microseconds), same order.
+    pub op_latency: [Histogram; OpKind::ALL.len()],
+    /// Overall request latency histogram (microseconds).
+    pub latency: Histogram,
+    /// When this stats block was created (= server start).
+    started: Instant,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters with the uptime clock starting now.
+    pub fn new() -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            lru_hits: AtomicU64::new(0),
+            lru_misses: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            op_requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            op_errors: std::array::from_fn(|_| AtomicU64::new(0)),
+            op_latency: std::array::from_fn(|_| Histogram::new()),
+            latency: Histogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    fn record(&self, op: OpKind, us: u64, is_error: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.op_requests[op.index()].fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.op_errors[op.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        self.op_latency[op.index()].record(us);
+        self.latency.record(us);
+    }
 }
 
 struct Shared {
@@ -199,26 +338,56 @@ struct Shared {
     stats: ServerStats,
     lru: Mutex<Lru<(String, usize), Arc<String>>>,
     stop: AtomicBool,
+    /// Slow-query threshold, milliseconds ([`ServeOptions::slow_query_ms`]).
+    slow_query_ms: u64,
+    /// The most recent over-threshold requests, oldest evicted first.
+    slow: Ring<SlowQuery>,
 }
 
 impl Shared {
     /// Answers one already-framed request line. Infallible by design:
-    /// every failure becomes an error response.
+    /// every failure becomes an error response. Every answer — ok or
+    /// error, including unparseable lines — is timed into the per-op
+    /// and overall latency histograms, and over-threshold requests land
+    /// in the slow-query ring.
     fn respond(&self, line: &str) -> (Arc<String>, bool) {
-        self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        match parse_request(line) {
-            Err(e) => (Arc::new(err_response(&e)), false),
-            Ok(Request::Ping) => (Arc::new(ok_response(Json::Str("pong".into()))), false),
-            Ok(Request::Shutdown) => (Arc::new(ok_response(Json::Str("stopping".into()))), true),
-            Ok(Request::Stats) => (Arc::new(ok_response(self.stats_json())), false),
-            Ok(Request::TopK { index, k }) => (self.top_k(&index, k), false),
-            Ok(Request::DensityOf { index, vertex }) => {
+        let start = Instant::now();
+        let (op, response, is_shutdown) = self.dispatch(line);
+        let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        // own serializer: an error envelope always renders with this
+        // exact prefix, so no response re-parse is needed on the hot path
+        let is_error = response.starts_with("{\"ok\":false");
+        self.stats.record(op, us, is_error);
+        if us >= self.slow_query_ms.saturating_mul(1_000) {
+            self.slow.push(SlowQuery {
+                op: op.name(),
+                duration_us: us,
+                request: line.chars().take(SLOW_QUERY_SNIPPET).collect(),
+            });
+        }
+        (response, is_shutdown)
+    }
+
+    fn dispatch(&self, line: &str) -> (OpKind, Arc<String>, bool) {
+        let req = match parse_request(line) {
+            Err(e) => return (OpKind::Invalid, Arc::new(err_response(&e)), false),
+            Ok(req) => req,
+        };
+        let op = OpKind::of(&req);
+        let (response, is_shutdown) = match req {
+            Request::Ping => (Arc::new(ok_response(Json::Str("pong".into()))), false),
+            Request::Shutdown => (Arc::new(ok_response(Json::Str("stopping".into()))), true),
+            Request::Stats => (Arc::new(ok_response(self.stats_json())), false),
+            Request::Metrics => (Arc::new(ok_response(self.metrics_json())), false),
+            Request::TopK { index, k } => (self.top_k(&index, k), false),
+            Request::DensityOf { index, vertex } => {
                 (Arc::new(self.vertex_query(&index, vertex, false)), false)
             }
-            Ok(Request::Membership { index, vertex }) => {
+            Request::Membership { index, vertex } => {
                 (Arc::new(self.vertex_query(&index, vertex, true)), false)
             }
-        }
+        };
+        (op, response, is_shutdown)
     }
 
     fn top_k(&self, r: &IndexRef, k: usize) -> Arc<String> {
@@ -314,6 +483,51 @@ impl Shared {
                 ])
             })
             .collect();
+        // Per-op telemetry rows, in the fixed OpKind::ALL order; the
+        // latency sub-objects render through the shared serializer
+        // (`latency_summary_json`), like `flow` below.
+        let ops: Vec<Json> = OpKind::ALL
+            .iter()
+            .map(|&op| {
+                Json::object([
+                    ("op", Json::Str(op.name().into())),
+                    (
+                        "requests",
+                        Json::Int(
+                            self.stats.op_requests[op.index()].load(Ordering::Relaxed) as i128
+                        ),
+                    ),
+                    (
+                        "errors",
+                        Json::Int(self.stats.op_errors[op.index()].load(Ordering::Relaxed) as i128),
+                    ),
+                    (
+                        "latency",
+                        latency_summary_json(&self.stats.op_latency[op.index()]),
+                    ),
+                ])
+            })
+            .collect();
+        let (slow_seen, slow_recent) = self.slow.snapshot();
+        let slow = Json::object([
+            ("threshold_ms", Json::Int(self.slow_query_ms as i128)),
+            ("seen", Json::Int(slow_seen as i128)),
+            (
+                "recent",
+                Json::Array(
+                    slow_recent
+                        .iter()
+                        .map(|q| {
+                            Json::object([
+                                ("op", Json::Str(q.op.into())),
+                                ("duration_us", Json::Int(q.duration_us as i128)),
+                                ("request", Json::Str(q.request.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
         let lru = self.lru.lock().expect("lru poisoned");
         Json::object([
             ("graph", Json::Str(self.served.name.clone())),
@@ -322,6 +536,7 @@ impl Shared {
             ("h_values", Json::Array(hs)),
             ("patterns", Json::Array(patterns)),
             ("indexes", Json::Array(decompositions)),
+            ("uptime_ms", Json::Int(self.stats.uptime_ms() as i128)),
             (
                 "requests",
                 Json::Int(self.stats.requests.load(Ordering::Relaxed) as i128),
@@ -330,6 +545,9 @@ impl Shared {
                 "connections",
                 Json::Int(self.stats.connections.load(Ordering::Relaxed) as i128),
             ),
+            ("ops", Json::Array(ops)),
+            ("latency", latency_summary_json(&self.stats.latency)),
+            ("slow_queries", slow),
             (
                 "lru",
                 Json::object([
@@ -350,6 +568,157 @@ impl Shared {
             // freezes after index build: the read path runs zero flow.
             ("flow", flow_stats_json(&lhcds_core::flow_stats())),
         ])
+    }
+
+    /// The `metrics` op: Prometheus text exposition, carried as a
+    /// string field of the JSON result (the protocol stays one JSON
+    /// line per response; `lhcds query metrics` prints it raw).
+    fn metrics_json(&self) -> Json {
+        Json::object([
+            (
+                "content_type",
+                Json::Str("text/plain; version=0.0.4".into()),
+            ),
+            ("exposition", Json::Str(self.metrics_text())),
+        ])
+    }
+
+    /// Renders the Prometheus-style text exposition. Every metric and
+    /// label is emitted unconditionally (zeros included), so the shape
+    /// is deterministic and CI can grep it.
+    fn metrics_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let s = &self.stats;
+        let uptime_ms = s.uptime_ms();
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_uptime_seconds Seconds since the daemon started.\n\
+             # TYPE lhcds_uptime_seconds gauge\n\
+             lhcds_uptime_seconds {}.{:03}",
+            uptime_ms / 1000,
+            uptime_ms % 1000
+        );
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_connections_total Connections accepted.\n\
+             # TYPE lhcds_connections_total counter\n\
+             lhcds_connections_total {}",
+            s.connections.load(Ordering::Relaxed)
+        );
+        out.push_str(
+            "# HELP lhcds_requests_total Requests answered, by op.\n\
+             # TYPE lhcds_requests_total counter\n",
+        );
+        for &op in &OpKind::ALL {
+            let _ = writeln!(
+                out,
+                "lhcds_requests_total{{op=\"{}\"}} {}",
+                op.name(),
+                s.op_requests[op.index()].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str(
+            "# HELP lhcds_errors_total Error responses, by op.\n\
+             # TYPE lhcds_errors_total counter\n",
+        );
+        for &op in &OpKind::ALL {
+            let _ = writeln!(
+                out,
+                "lhcds_errors_total{{op=\"{}\"}} {}",
+                op.name(),
+                s.op_errors[op.index()].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str(
+            "# HELP lhcds_request_duration_microseconds Request wall time, by op.\n\
+             # TYPE lhcds_request_duration_microseconds summary\n",
+        );
+        let mut summary = |op: Option<OpKind>, h: &Histogram| {
+            // op-labelled rows per op, plus unlabelled overall rows
+            let label = op.map(|o| format!("op=\"{}\",", o.name()));
+            let suffix = op.map(|o| format!("{{op=\"{}\"}}", o.name()));
+            for (q, v) in [("0.5", h.p50()), ("0.99", h.p99()), ("0.999", h.p999())] {
+                let _ = writeln!(
+                    out,
+                    "lhcds_request_duration_microseconds{{{}quantile=\"{q}\"}} {v}",
+                    label.as_deref().unwrap_or("")
+                );
+            }
+            let _ = writeln!(
+                out,
+                "lhcds_request_duration_microseconds_sum{} {}",
+                suffix.as_deref().unwrap_or(""),
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "lhcds_request_duration_microseconds_count{} {}",
+                suffix.as_deref().unwrap_or(""),
+                h.count()
+            );
+        };
+        for &op in &OpKind::ALL {
+            summary(Some(op), &s.op_latency[op.index()]);
+        }
+        summary(None, &s.latency);
+        let (slow_seen, _) = self.slow.snapshot();
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_slow_queries_total Requests at or over the slow-query threshold.\n\
+             # TYPE lhcds_slow_queries_total counter\n\
+             lhcds_slow_queries_total {slow_seen}\n\
+             # HELP lhcds_slow_query_threshold_milliseconds The slow-query threshold.\n\
+             # TYPE lhcds_slow_query_threshold_milliseconds gauge\n\
+             lhcds_slow_query_threshold_milliseconds {}",
+            self.slow_query_ms
+        );
+        let lru = self.lru.lock().expect("lru poisoned");
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_lru_hits_total Hot-answer cache hits.\n\
+             # TYPE lhcds_lru_hits_total counter\n\
+             lhcds_lru_hits_total {}\n\
+             # HELP lhcds_lru_misses_total Hot-answer cache misses.\n\
+             # TYPE lhcds_lru_misses_total counter\n\
+             lhcds_lru_misses_total {}\n\
+             # HELP lhcds_lru_entries Hot-answer cache entries.\n\
+             # TYPE lhcds_lru_entries gauge\n\
+             lhcds_lru_entries {}",
+            s.lru_hits.load(Ordering::Relaxed),
+            s.lru_misses.load(Ordering::Relaxed),
+            lru.len()
+        );
+        drop(lru);
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_index_subgraphs Frozen subgraphs per served index.\n\
+             # TYPE lhcds_index_subgraphs gauge"
+        );
+        for (key, idx) in &self.served.indexes {
+            let _ = writeln!(
+                out,
+                "lhcds_index_subgraphs{{pattern=\"{key}\"}} {}",
+                idx.len()
+            );
+        }
+        // a few flow-layer counters (process totals; frozen after index
+        // build on a healthy daemon — the read path runs zero flow)
+        let flow = lhcds_core::flow_stats();
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_flow_max_flow_invocations_total Max-flow solves since process start.\n\
+             # TYPE lhcds_flow_max_flow_invocations_total counter\n\
+             lhcds_flow_max_flow_invocations_total {}\n\
+             # HELP lhcds_flow_networks_built_total Flow networks built since process start.\n\
+             # TYPE lhcds_flow_networks_built_total counter\n\
+             lhcds_flow_networks_built_total {}\n\
+             # HELP lhcds_flow_warm_solves_total Warm-started max-flow solves.\n\
+             # TYPE lhcds_flow_warm_solves_total counter\n\
+             lhcds_flow_warm_solves_total {}",
+            flow.max_flow_invocations, flow.networks_built, flow.warm_solves
+        );
+        out
     }
 }
 
@@ -396,9 +765,11 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             served,
-            stats: ServerStats::default(),
+            stats: ServerStats::new(),
             lru: Mutex::new(Lru::new(opts.lru_capacity.max(1))),
             stop: AtomicBool::new(false),
+            slow_query_ms: opts.slow_query_ms,
+            slow: Ring::new(SLOW_RING_CAP),
         });
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -448,6 +819,13 @@ impl Server {
     /// Requests answered so far (ok or error).
     pub fn requests_served(&self) -> u64 {
         self.shared.stats.requests.load(Ordering::Relaxed)
+    }
+
+    /// Live telemetry: per-op counters and latency histograms. The
+    /// bench harness reads percentiles from here instead of sampling
+    /// client-side, so recorded numbers match what `stats` serves.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
     }
 
     /// LRU (hits, misses) so far.
@@ -675,11 +1053,17 @@ mod tests {
     }
 
     fn shared() -> Shared {
+        shared_with_slow_ring(100, SLOW_RING_CAP)
+    }
+
+    fn shared_with_slow_ring(slow_query_ms: u64, cap: usize) -> Shared {
         Shared {
             served: served(),
-            stats: ServerStats::default(),
+            stats: ServerStats::new(),
             lru: Mutex::new(Lru::new(4)),
             stop: AtomicBool::new(false),
+            slow_query_ms,
+            slow: Ring::new(cap),
         }
     }
 
@@ -689,6 +1073,7 @@ mod tests {
         for line in [
             r#"{"op":"ping"}"#,
             r#"{"op":"stats"}"#,
+            r#"{"op":"metrics"}"#,
             r#"{"op":"top_k","h":3,"k":2}"#,
             r#"{"op":"top_k","pattern":"4-loop","k":2}"#,
             r#"{"op":"top_k","pattern":"triangle","k":2}"#,
@@ -773,6 +1158,132 @@ mod tests {
     }
 
     #[test]
+    fn per_op_counters_classify_requests_and_errors() {
+        let s = shared();
+        let _ = s.respond(r#"{"op":"top_k","h":3,"k":2}"#);
+        let _ = s.respond(r#"{"op":"top_k","h":3,"k":0}"#); // bad_k error
+        let _ = s.respond(r#"{"op":"ping"}"#);
+        let _ = s.respond("garbage");
+        let load = |arr: &[AtomicU64; OpKind::ALL.len()], op: OpKind| {
+            arr[op.index()].load(Ordering::Relaxed)
+        };
+        assert_eq!(load(&s.stats.op_requests, OpKind::TopK), 2);
+        assert_eq!(load(&s.stats.op_errors, OpKind::TopK), 1);
+        assert_eq!(load(&s.stats.op_requests, OpKind::Ping), 1);
+        assert_eq!(load(&s.stats.op_errors, OpKind::Ping), 0);
+        assert_eq!(load(&s.stats.op_requests, OpKind::Invalid), 1);
+        assert_eq!(load(&s.stats.op_errors, OpKind::Invalid), 1);
+        assert_eq!(s.stats.requests.load(Ordering::Relaxed), 4);
+        // every answered request lands in both histograms
+        assert_eq!(s.stats.latency.count(), 4);
+        assert_eq!(s.stats.op_latency[OpKind::TopK.index()].count(), 2);
+    }
+
+    #[test]
+    fn slow_query_ring_respects_threshold_and_stays_bounded() {
+        // a huge threshold retains nothing
+        let s = shared_with_slow_ring(u64::MAX / 2_000, 4);
+        for _ in 0..8 {
+            let _ = s.respond(r#"{"op":"ping"}"#);
+        }
+        assert_eq!(s.slow.total(), 0);
+
+        // threshold 0 retains everything, bounded by the ring capacity,
+        // oldest evicted first
+        let s = shared_with_slow_ring(0, 4);
+        for k in 1..=8usize {
+            let _ = s.respond(&format!(r#"{{"op":"top_k","h":3,"k":{k}}}"#));
+        }
+        let (seen, recent) = s.slow.snapshot();
+        assert_eq!(seen, 8);
+        assert_eq!(recent.len(), 4, "ring is bounded");
+        // ordered: the survivors are the four most recent, oldest first
+        let ks: Vec<String> = recent
+            .iter()
+            .map(|q| {
+                q.request
+                    .rsplit(':')
+                    .next()
+                    .unwrap()
+                    .trim_end_matches('}')
+                    .into()
+            })
+            .collect();
+        assert_eq!(ks, ["5", "6", "7", "8"]);
+        for q in &recent {
+            assert_eq!(q.op, "top_k");
+        }
+    }
+
+    #[test]
+    fn stats_json_reports_ops_latency_and_slow_queries() {
+        let s = shared_with_slow_ring(0, 4);
+        let _ = s.respond(r#"{"op":"top_k","h":3,"k":2}"#);
+        let _ = s.respond(r#"{"op":"top_k","h":9,"k":2}"#); // bad_h
+        let v = Json::parse(&s.stats_json().render()).unwrap();
+        assert!(v.get("uptime_ms").unwrap().as_u64().is_some());
+        let ops = v.get("ops").unwrap().as_array().unwrap();
+        assert_eq!(ops.len(), OpKind::ALL.len());
+        let topk = ops
+            .iter()
+            .find(|o| o.get("op").unwrap().as_str() == Some("top_k"))
+            .unwrap();
+        assert_eq!(topk.get("requests").unwrap().as_u64(), Some(2));
+        assert_eq!(topk.get("errors").unwrap().as_u64(), Some(1));
+        let lat = topk.get("latency").unwrap();
+        assert_eq!(lat.get("count").unwrap().as_u64(), Some(2));
+        assert!(lat.get("p999_us").unwrap().as_u64().is_some());
+        let slow = v.get("slow_queries").unwrap();
+        assert_eq!(slow.get("threshold_ms").unwrap().as_u64(), Some(0));
+        assert_eq!(slow.get("seen").unwrap().as_u64(), Some(2));
+        assert_eq!(slow.get("recent").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn metrics_exposition_has_the_expected_shape() {
+        let s = shared();
+        let _ = s.respond(r#"{"op":"top_k","h":3,"k":2}"#);
+        let _ = s.respond(r#"{"op":"top_k","h":3,"k":0}"#);
+        let (resp, _) = s.respond(r#"{"op":"metrics"}"#);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        let text = v
+            .get("result")
+            .unwrap()
+            .get("exposition")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        for needle in [
+            "# TYPE lhcds_uptime_seconds gauge",
+            "lhcds_requests_total{op=\"top_k\"} 2",
+            "lhcds_errors_total{op=\"top_k\"} 1",
+            "lhcds_request_duration_microseconds{op=\"top_k\",quantile=\"0.99\"}",
+            "lhcds_request_duration_microseconds_count{op=\"top_k\"} 2",
+            "lhcds_request_duration_microseconds{quantile=\"0.5\"}",
+            // the metrics request itself is recorded only after its
+            // response renders, so the overall count here is 2
+            "lhcds_request_duration_microseconds_count 2",
+            "lhcds_slow_queries_total",
+            "lhcds_lru_misses_total 1",
+            "lhcds_index_subgraphs{pattern=\"clique.h3\"}",
+            "lhcds_flow_max_flow_invocations_total",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // every exposition line is comment or `name[{labels}] value`
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(name, val)| !name.is_empty() && !val.contains(' ')),
+                "malformed line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
     fn remapped_ids_translate_both_ways() {
         let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
         let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
@@ -786,9 +1297,11 @@ mod tests {
                 original_ids: Some(vec![100, 200, 300]),
                 indexes,
             },
-            stats: ServerStats::default(),
+            stats: ServerStats::new(),
             lru: Mutex::new(Lru::new(4)),
             stop: AtomicBool::new(false),
+            slow_query_ms: 100,
+            slow: Ring::new(SLOW_RING_CAP),
         };
         let (resp, _) = s.respond(r#"{"op":"membership","h":3,"vertex":200}"#);
         let v = Json::parse(resp.trim_end()).unwrap();

@@ -460,7 +460,45 @@ fn stats_op_reports_shape_and_counters() {
     let lru = stats.get("lru").unwrap();
     assert_eq!(lru.get("hits").unwrap().as_u64(), Some(1));
     assert_eq!(lru.get("misses").unwrap().as_u64(), Some(1));
-    assert!(stats.get("requests").unwrap().as_u64().unwrap() >= 3);
+    // counters cover *completed* requests: the two top_k answers are
+    // in, the stats request itself is still in flight while rendering
+    assert!(stats.get("requests").unwrap().as_u64().unwrap() >= 2);
+    assert!(stats.get("uptime_ms").unwrap().as_u64().is_some());
+    // per-op telemetry: one row per OpKind, top_k at 2 requests with
+    // a fully populated integer-µs latency summary
+    let ops = stats.get("ops").unwrap().as_array().unwrap();
+    let topk = ops
+        .iter()
+        .find(|o| o.get("op").unwrap().as_str() == Some("top_k"))
+        .unwrap();
+    assert_eq!(topk.get("requests").unwrap().as_u64(), Some(2));
+    assert_eq!(topk.get("errors").unwrap().as_u64(), Some(0));
+    for key in [
+        "count", "sum_us", "min_us", "max_us", "p50_us", "p99_us", "p999_us",
+    ] {
+        assert!(
+            topk.get("latency")
+                .unwrap()
+                .get(key)
+                .unwrap()
+                .as_u64()
+                .is_some(),
+            "missing latency key {key}"
+        );
+        assert!(
+            stats
+                .get("latency")
+                .unwrap()
+                .get(key)
+                .unwrap()
+                .as_u64()
+                .is_some(),
+            "missing overall latency key {key}"
+        );
+    }
+    let slow = stats.get("slow_queries").unwrap();
+    assert_eq!(slow.get("threshold_ms").unwrap().as_u64(), Some(100));
+    assert!(slow.get("recent").unwrap().as_array().is_some());
     // flow-layer telemetry rides along (shared serializer with the CLI)
     let flow = stats.get("flow").unwrap();
     for key in [

@@ -32,5 +32,6 @@ pub use lhcds_core as core;
 pub use lhcds_data as data;
 pub use lhcds_flow as flow;
 pub use lhcds_graph as graph;
+pub use lhcds_obs as obs;
 pub use lhcds_patterns as patterns;
 pub use lhcds_service as service;
