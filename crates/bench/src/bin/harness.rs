@@ -24,10 +24,13 @@
 //!   graphs present via the `datasets.toml` manifest (skips gracefully
 //!   when none are downloaded, so CI stays hermetic);
 //! * `serve_qps` → `BENCH_serve.json` — query-daemon throughput plus
-//!   server-side histogram p50/p99/p999 tail latency (`lhcds-service`);
+//!   server-side histogram p50/p99/p999 tail latency (`lhcds-service`),
+//!   and a 2× overload burst against a starved daemon recording the
+//!   shed rate and admitted-request p99;
 //! * `obs` → `BENCH_obs.json` — `lhcds_obs` tracing cost, off vs on:
 //!   asserts traced and untraced pipelines agree byte-for-byte and
-//!   that disabled instrumentation stays under 1% of wall;
+//!   that disabled instrumentation — span guards and disarmed
+//!   fault-injection checks alike — stays under 1% of wall;
 //! * `flowreuse` → `BENCH_flow.json` — parametric flow-network reuse
 //!   vs rebuild-per-probe on the decomposition ladder and the full
 //!   pipeline (wall time + networks/arcs built, max-flow invocations,

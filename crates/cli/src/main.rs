@@ -6,9 +6,10 @@
 //! lhcds stats --graph edges.txt [--h 3] [--pattern 4-loop] [--threads 4] [--core-prune] [--trace] [--json]
 //! lhcds gen --out edges.txt --preset HA [--scale 0.2]
 //! lhcds datasets list | fetch-instructions | cache | verify [--manifest datasets.toml] [--name X]
-//! lhcds serve --input FILE --h 3 [--pattern 4-loop,3-star] --port 4321 [--k-max 32] [--workers 4] [--slow-query-ms 100]
-//! lhcds query top-k --port 4321 (--h 3 | --pattern 4-loop) --k 5
+//! lhcds serve --input FILE --h 3 [--pattern 4-loop,3-star] --port 4321 [--k-max 32] [--workers 4] [--slow-query-ms 100] [--max-request-bytes N] [--deadline-ms MS] [--max-pending N] [--fault-schedule SPEC]
+//! lhcds query top-k --port 4321 (--h 3 | --pattern 4-loop) --k 5 [--retries N]
 //! lhcds query metrics --port 4321
+//! lhcds query health --port 4321
 //! lhcds help
 //! ```
 //!
@@ -38,6 +39,15 @@
 //! matching one-shot client, naming the index by `--h`, `--pattern`, or
 //! both. A served `top_k` answer is string-identical to
 //! `lhcds topk --json` on the same graph — the serializer is shared.
+//! The daemon's failure model is typed, never wrong: oversized request
+//! lines get `too_large`, late answers `deadline_exceeded`, shed
+//! connections `overloaded`, and caught request panics `internal`; a
+//! per-pattern index-load failure leaves the daemon serving the
+//! remaining patterns in a `degraded` state (visible via
+//! `query health`) rather than refusing to start. `--fault-schedule`
+//! arms the deterministic fault-injection registry (`lhcds-obs`) for
+//! chaos testing; `query … --retries N` retries idempotent read ops
+//! with capped exponential backoff and deterministic jitter.
 //!
 //! `--threads N` runs h-clique enumeration *and* the post-enumeration
 //! pipeline — CP round scaling, the speculative candidate-verification
@@ -119,9 +129,10 @@ fn print_help() {
          lhcds gen   --out FILE --preset ABBR [--scale F]\n  \
          lhcds datasets (list | fetch-instructions | cache | verify) [--manifest FILE] [--name NAME]\n  \
          lhcds serve (--graph FILE | --input FILE [--format F] [--no-cache]) [--h H[,H...]] [--pattern NAME[,NAME...]] [--k-max K]\n              \
-         [--host ADDR] [--port N] [--workers N] [--threads N] [--core-prune] [--slow-query-ms MS] [--port-file FILE] [--quiet]\n  \
-         lhcds query (top-k | density-of | membership | stats | metrics | ping | shutdown)\n              \
-         [--host ADDR] --port N [--h H] [--pattern NAME] [--k K] [--vertex V] [--timeout SECS]\n\n\
+         [--host ADDR] [--port N] [--workers N] [--threads N] [--core-prune] [--slow-query-ms MS] [--port-file FILE] [--quiet]\n              \
+         [--max-request-bytes N] [--deadline-ms MS] [--max-pending N] [--fault-schedule SPEC]\n  \
+         lhcds query (top-k | density-of | membership | stats | metrics | health | ping | shutdown)\n              \
+         [--host ADDR] --port N [--h H] [--pattern NAME] [--k K] [--vertex V] [--timeout SECS] [--retries N] [--retry-base-ms MS]\n\n\
          INPUT:    --graph = strict compact edge list; --input = tolerant SNAP ingest with a\n          \
          binary on-disk cache (FILE.csrcache) and original-id reporting\n\
          FORMATS:  auto (default), snap (whitespace), csv\n\
@@ -136,7 +147,12 @@ fn print_help() {
          writes the deterministic JSON trace; results never depend on it\n\
          SERVE:    indexes are persisted next to --input files (FILE.hH.lhcdsidx for cliques,\n          \
          FILE.<pattern>.lhcdsidx otherwise) and binary-loaded on restart; one daemon can host\n          \
-         several patterns at once; answers match `lhcds topk --json` exactly"
+         several patterns at once; answers match `lhcds topk --json` exactly\n\
+         FAULTS:   errors are typed (too_large | deadline_exceeded | overloaded | internal) and\n          \
+         the daemon survives all of them; an index that fails to load leaves the daemon\n          \
+         `degraded` (see `query health`); --fault-schedule arms deterministic injection,\n          \
+         e.g. seed=42,worker_panic=@1,socket_read=0.25; --retries N retries idempotent\n          \
+         read ops on connect/timeout/overloaded with capped backoff + deterministic jitter"
     );
 }
 
@@ -589,12 +605,32 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
     let slow_query_ms: u64 = args
         .get_parsed("slow-query-ms")?
         .unwrap_or(ServeOptions::default().slow_query_ms);
+    let max_request_bytes: usize = args
+        .get_parsed("max-request-bytes")?
+        .unwrap_or(ServeOptions::default().max_request_bytes);
+    let request_deadline_ms: u64 = args
+        .get_parsed("deadline-ms")?
+        .unwrap_or(ServeOptions::default().request_deadline_ms);
+    let max_pending: usize = args
+        .get_parsed("max-pending")?
+        .unwrap_or(ServeOptions::default().max_pending);
+    let fault_schedule = args.get("fault-schedule");
     let port_file = args.get("port-file").map(PathBuf::from);
     let quiet = args.flag("quiet");
     let core_prune = args.flag("core-prune");
     let parallelism = args.parallelism()?;
     let input = InputSpec::take(args)?;
     args.finish()?;
+
+    // Arm the deterministic fault-injection registry before any index
+    // is loaded, so `index_load` / `cache_corrupt` rules can fire
+    // during startup too — chaos tests depend on that ordering.
+    if let Some(spec) = &fault_schedule {
+        let schedule = lhcds::obs::fault::FaultSchedule::parse(spec)
+            .map_err(|e| format!("bad --fault-schedule: {e}"))?;
+        lhcds::obs::fault::arm(schedule);
+        eprintln!("fault injection armed: {spec}");
+    }
 
     let index_config = IndexConfig {
         k_max,
@@ -641,16 +677,29 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
                 m: remapped.graph.m(),
                 original_ids: (!remapped.is_identity()).then_some(remapped.original_ids.clone()),
                 indexes: std::collections::BTreeMap::new(),
+                failed: std::collections::BTreeMap::new(),
             };
+            // A pattern whose index fails to load/build does not kill
+            // the daemon: it is recorded as failed (the `health` op
+            // reports `degraded`) and the remaining patterns serve.
             for &p in &patterns {
-                let (idx, status) = build_or_load_pattern_index_for(&src, &remapped, p, &opts)
-                    .map_err(|e| e.to_string())?;
-                note(&format!(
-                    "index {}: {} subgraphs ({status:?})",
-                    p.key(),
-                    idx.len()
-                ));
-                served.insert(idx);
+                match build_or_load_pattern_index_for(&src, &remapped, p, &opts) {
+                    Ok((idx, status)) => {
+                        note(&format!(
+                            "index {}: {} subgraphs ({status:?})",
+                            p.key(),
+                            idx.len()
+                        ));
+                        served.insert(idx);
+                    }
+                    Err(e) => {
+                        eprintln!("index {}: load failed ({e}); serving degraded", p.key());
+                        served.failed.insert(p.key(), e.to_string());
+                    }
+                }
+            }
+            if served.indexes.is_empty() {
+                return Err("no index loaded successfully; refusing to serve".into());
             }
             served
         }
@@ -665,6 +714,7 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
                 m: loaded.graph.m(),
                 original_ids: loaded.original_ids,
                 indexes: std::collections::BTreeMap::new(),
+                failed: std::collections::BTreeMap::new(),
             };
             for &p in &patterns {
                 let idx = build_pattern_index(&loaded.graph, p, &index_config);
@@ -683,6 +733,9 @@ fn cmd_serve(args: &mut Args) -> Result<(), String> {
     let opts = ServeOptions {
         workers,
         slow_query_ms,
+        max_request_bytes,
+        request_deadline_ms,
+        max_pending,
         ..ServeOptions::default()
     };
     let server = Server::bind((host.as_str(), port), served, &opts)
@@ -729,6 +782,8 @@ fn cmd_query(args: &mut Args) -> Result<(), String> {
     let pattern = args.get("pattern");
     let k: usize = args.get_parsed("k")?.unwrap_or(5);
     let vertex: Option<u64> = args.get_parsed("vertex")?;
+    let retries: u32 = args.get_parsed("retries")?.unwrap_or(0);
+    let retry_base_ms: u64 = args.get_parsed("retry-base-ms")?.unwrap_or(10);
     args.finish()?;
 
     // `--h`/`--pattern` compose into one IndexRef; the daemon resolves
@@ -755,21 +810,35 @@ fn cmd_query(args: &mut Args) -> Result<(), String> {
         },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
+        "health" => Request::Health,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
         "" => return Err(
-            "missing query action: top-k | density-of | membership | stats | metrics | ping | shutdown"
+            "missing query action: top-k | density-of | membership | stats | metrics | health | ping | shutdown"
                 .into(),
         ),
         other => {
             return Err(format!(
-                "unknown query action '{other}' — try top-k | density-of | membership | stats | metrics | ping | shutdown"
+                "unknown query action '{other}' — try top-k | density-of | membership | stats | metrics | health | ping | shutdown"
             ))
         }
     };
     let addr = format!("{host}:{port}");
-    let result = client::query(&addr, &request, Duration::from_secs(timeout.max(1)))
-        .map_err(|e| e.to_string())?;
+    // `--retries N` wraps the round trip in the capped-backoff policy;
+    // only idempotent read ops are ever retried, and only on
+    // connect/timeout/`overloaded` — a shutdown is never resent.
+    let policy = lhcds::service::RetryPolicy {
+        max_attempts: retries.saturating_add(1),
+        base_delay: Duration::from_millis(retry_base_ms.max(1)),
+        ..lhcds::service::RetryPolicy::default()
+    };
+    let result = client::query_with_retry(
+        &addr,
+        &request,
+        Duration::from_secs(timeout.max(1)),
+        &policy,
+    )
+    .map_err(|e| e.to_string())?;
     // `metrics` carries a text exposition inside the JSON result —
     // print it raw so the output can be scraped/curled directly
     match request {
@@ -1403,6 +1472,18 @@ mod tests {
         run(v).unwrap();
         run(base("stats")).unwrap();
         run(base("metrics")).unwrap();
+        run(base("health")).unwrap();
+        // --retries composes with any idempotent action (no fault here;
+        // the first attempt simply succeeds)
+        let mut v = base("ping");
+        v.extend(["--retries".into(), "2".into()]);
+        run(v).unwrap();
+
+        // every index loaded, so health reports ok with three ready rows
+        let health = client::query(&addr, &Request::Health, Duration::from_secs(10)).unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.get("indexes_ready").unwrap().as_u64(), Some(3));
+        assert_eq!(health.get("indexes_failed").unwrap().as_u64(), Some(0));
 
         // the metrics op exposes Prometheus text with per-op counters
         let metrics = client::query(&addr, &Request::Metrics, Duration::from_secs(10)).unwrap();
@@ -1521,6 +1602,18 @@ mod tests {
             "0".into(),
         ])
         .is_err());
+        // a malformed --fault-schedule is rejected before anything is
+        // armed or loaded (the registry stays untouched for other tests)
+        let err = run(vec![
+            "serve".into(),
+            "--graph".into(),
+            "nope.txt".into(),
+            "--fault-schedule".into(),
+            "bogus_point=1".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad --fault-schedule"), "{err}");
+        assert!(!lhcds::obs::fault::armed());
     }
 
     #[test]

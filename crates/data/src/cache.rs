@@ -34,6 +34,13 @@
 //! [`load_or_build`] reparses when either no longer matches the source
 //! file.
 //!
+//! The cache is also **self-healing**: a snapshot that fails any of the
+//! checks above is quarantined to `FILE.corrupt-<i>` (bounded, see
+//! [`quarantine_corrupt`]) before the rebuild publishes a clean file,
+//! and every load first sweeps write-temporaries left behind by
+//! crashed writers of *other* processes ([`sweep_stale_tmp`]). Both
+//! paths emit events into the `lhcds-obs` ring.
+//!
 //! ```
 //! use lhcds_data::cache::{load_or_build, CacheStatus};
 //! use lhcds_data::ingest::EdgeListFormat;
@@ -259,6 +266,113 @@ impl Fnv1a {
     }
 }
 
+/// Bound on preserved corrupt snapshots per cache path: quarantine
+/// slots `FILE.corrupt-0` … `FILE.corrupt-3`. Past that the damaged
+/// file is deleted instead — a flapping disk must not grow an unbounded
+/// museum of corruption.
+pub const MAX_QUARANTINE: u32 = 4;
+
+/// Whether `e` means the cache *file itself* is damaged — as opposed to
+/// transient I/O trouble (don't touch the file, it may be fine) or
+/// version skew (a newer build may still read it).
+fn is_corruption(e: &CacheError) -> bool {
+    match e {
+        CacheError::BadMagic
+        | CacheError::SizeMismatch { .. }
+        | CacheError::ChecksumMismatch { .. }
+        | CacheError::Graph(_) => true,
+        // a short read means truncation — that is corruption too
+        CacheError::Io(io) => io.kind() == std::io::ErrorKind::UnexpectedEof,
+        CacheError::UnsupportedVersion(_) => false,
+    }
+}
+
+/// Moves a damaged cache file out of the way before a rebuild: renamed
+/// to `FILE.corrupt-<i>` for the first free `i` below
+/// [`MAX_QUARANTINE`], so the rebuild publishes a clean snapshot while
+/// the corrupt bytes stay on disk for diagnosis. With every slot
+/// taken, the file is deleted instead. Errors that are not corruption
+/// (see above) leave the file alone. Whenever the file is moved or
+/// removed, a `layer` event lands in the observability ring; returns
+/// the quarantine path when one was created.
+pub fn quarantine_corrupt(path: &Path, layer: &'static str, error: &CacheError) -> Option<PathBuf> {
+    if !is_corruption(error) {
+        return None;
+    }
+    let mut dest = None;
+    for i in 0..MAX_QUARANTINE {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(format!(".corrupt-{i}"));
+        let candidate = PathBuf::from(name);
+        if !candidate.exists() {
+            if std::fs::rename(path, &candidate).is_ok() {
+                dest = Some(candidate);
+            }
+            break;
+        }
+    }
+    if dest.is_none() {
+        // quarantine full (or the rename failed): plain removal still
+        // clears the way; the rebuild's atomic rename replaces the rest
+        std::fs::remove_file(path).ok();
+    }
+    lhcds_obs::event(layer, || match &dest {
+        Some(q) => format!(
+            "quarantined {} -> {} ({error})",
+            path.display(),
+            q.display()
+        ),
+        None => format!("quarantine full; removed {} ({error})", path.display()),
+    });
+    dest
+}
+
+/// Removes leftover write-temporaries (`FILE.tmp<pid>.<seq>`) from
+/// *other* processes next to `path` — debris from writers that crashed
+/// between `File::create` and the publishing rename. This process's
+/// own tmp files are left alone: another thread may be mid-write.
+/// Returns the number of files removed; each removal is an event in
+/// the observability ring.
+pub fn sweep_stale_tmp(path: &Path) -> usize {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Some(name) = path.file_name().and_then(|s| s.to_str()) else {
+        return 0;
+    };
+    let prefix = format!("{name}.tmp");
+    let me = std::process::id();
+    let Ok(entries) = std::fs::read_dir(&parent) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let fname = entry.file_name();
+        let Some(fname) = fname.to_str() else {
+            continue;
+        };
+        let Some(rest) = fname.strip_prefix(&prefix) else {
+            continue;
+        };
+        // rest is "<pid>.<seq>"; an unparseable pid means the file is
+        // not ours to judge — leave it
+        let Some(pid) = rest.split('.').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        if pid == me {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+            lhcds_obs::event("cache-sweep", || {
+                format!("removed stale tmp {}", parent.join(fname).display())
+            });
+        }
+    }
+    removed
+}
+
 /// Returns a tmp path next to `path` that no other writer — in this
 /// process or another — is using. The process id alone is not enough:
 /// two *threads* racing [`write_cache`] on the same target would share
@@ -380,6 +494,14 @@ pub fn read_cache(path: &Path) -> Result<CachedGraph, CacheError> {
         (n64 as usize, neighbor_count64 as usize, id_count64 as usize);
     let mut payload = vec![0u8; implied as usize];
     r.read_exact(&mut payload)?;
+    // deterministic fault injection: a flipped payload byte exercises
+    // the checksum → quarantine → rebuild path end to end
+    if lhcds_obs::fault::should_fire(lhcds_obs::fault::FaultPoint::CacheCorrupt) {
+        let mid = payload.len() / 2;
+        if let Some(b) = payload.get_mut(mid) {
+            *b ^= 0xFF;
+        }
+    }
 
     let mut checksum = Fnv1a::new();
     checksum.update(&payload);
@@ -452,14 +574,21 @@ pub fn load_or_build(
     let stamp = SourceStamp::of(source)?;
 
     let mut status = CacheStatus::Built;
+    sweep_stale_tmp(&cache_path);
     if cache_path.exists() {
         match read_cache(&cache_path) {
             Ok(cached) if cached.source == stamp => {
                 lhcds_obs::event("graph-cache", || format!("hit {}", cache_path.display()));
                 return Ok((cached.remapped, CacheStatus::Hit));
             }
-            // stale (source replaced/edited) or damaged: reparse
-            Ok(_) | Err(_) => status = CacheStatus::Rebuilt,
+            // stale (source replaced/edited): reparse and overwrite
+            Ok(_) => status = CacheStatus::Rebuilt,
+            // damaged: move the corrupt bytes out of the way (bounded
+            // quarantine, for diagnosis), then reparse
+            Err(e) => {
+                quarantine_corrupt(&cache_path, "graph-cache", &e);
+                status = CacheStatus::Rebuilt;
+            }
         }
     }
 

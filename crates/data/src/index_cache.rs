@@ -263,6 +263,14 @@ pub fn read_index(path: &Path) -> Result<CachedIndex, CacheError> {
     let (count, member_count) = (count64 as usize, member_count64 as usize);
     let mut payload = vec![0u8; implied as usize];
     r.read_exact(&mut payload)?;
+    // deterministic fault injection, mirroring the CSR reader: flip a
+    // payload byte so the checksum → quarantine → rebuild path runs
+    if lhcds_obs::fault::should_fire(lhcds_obs::fault::FaultPoint::CacheCorrupt) {
+        let mid = payload.len() / 2;
+        if let Some(b) = payload.get_mut(mid) {
+            *b ^= 0xFF;
+        }
+    }
 
     let mut checksum = crate::cache::Fnv1a::new();
     checksum.update(&payload);
@@ -373,6 +381,14 @@ pub fn build_or_load_pattern_index_for(
     pattern: Pattern,
     opts: &IndexBuildOptions,
 ) -> Result<(DecompositionIndex, CacheStatus), CacheError> {
+    // deterministic fault injection: a daemon hit by this serves its
+    // remaining patterns in a `degraded` state instead of rebuilding —
+    // the error propagates, it is not treated as cache damage
+    if lhcds_obs::fault::should_fire(lhcds_obs::fault::FaultPoint::IndexLoad) {
+        return Err(CacheError::Io(std::io::Error::other(
+            "injected index load failure",
+        )));
+    }
     let stamp = SourceStamp::of(source)?;
     let key = pattern.key();
     let index_path = opts
@@ -380,6 +396,7 @@ pub fn build_or_load_pattern_index_for(
         .clone()
         .unwrap_or_else(|| index_path_for_key(source, &key));
     let mut index_status = CacheStatus::Built;
+    crate::cache::sweep_stale_tmp(&index_path);
     if index_path.exists() {
         match read_index(&index_path) {
             Ok(cached)
@@ -396,8 +413,13 @@ pub fn build_or_load_pattern_index_for(
                 });
                 return Ok((index, CacheStatus::Hit));
             }
-            // stale, damaged, or built for different parameters: rebuild
-            Ok(_) | Err(_) => index_status = CacheStatus::Rebuilt,
+            // stale or built for different parameters: rebuild over it
+            Ok(_) => index_status = CacheStatus::Rebuilt,
+            // damaged: bounded quarantine of the corrupt bytes first
+            Err(e) => {
+                crate::cache::quarantine_corrupt(&index_path, "index-cache", &e);
+                index_status = CacheStatus::Rebuilt;
+            }
         }
     }
 

@@ -1,0 +1,400 @@
+//! Cache-corruption recovery suite.
+//!
+//! Pins the self-healing contract of the two binary cache formats:
+//! flipping bytes at header, payload, and checksum offsets of an
+//! `LHCDSCSR` or `LHCDSIDX` (v2 *and* legacy v1) file makes the next
+//! load quarantine the damaged file to `FILE.corrupt-<i>`, rebuild a
+//! clean snapshot, and return answers identical to the never-corrupted
+//! run — with an event in the observability ring for every quarantine
+//! and every stale-tmp sweep. The quarantine is bounded: past
+//! [`MAX_QUARANTINE`] slots the damaged file is deleted, not hoarded.
+//!
+//! Tracing and the fault registry are process-global, so every test
+//! here serializes on one mutex.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use lhcds_data::cache::{
+    cache_path_for, load_or_build, read_cache, sweep_stale_tmp, CacheStatus, SourceStamp,
+    MAX_QUARANTINE,
+};
+use lhcds_data::index_cache::{
+    build_or_load_pattern_index_for, index_path_for, read_index, IndexBuildOptions, INDEX_MAGIC,
+    LEGACY_INDEX_VERSION,
+};
+use lhcds_data::ingest::EdgeListFormat;
+use lhcds_obs::fault::{self, FaultPoint, FaultSchedule};
+use lhcds_patterns::Pattern;
+
+/// Serializes tests and clears the process-global tracing + fault
+/// state on entry.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = GATE
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    fault::disarm();
+    lhcds_obs::set_tracing(false);
+    lhcds_obs::take_trace();
+    guard
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lhcds_corruption").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Two triangles separated by a 2-vertex path (same fixture as the
+/// index-cache unit tests: two LhCDSes at density 1/3).
+const TWO_TRIANGLES: &str = "0 1\n1 2\n2 0\n2 3\n3 4\n4 5\n5 6\n6 7\n7 5\n";
+
+fn quarantine_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.file_name().into_string().ok())
+        .filter(|n| n.contains(".corrupt-"))
+        .collect();
+    names.sort();
+    names
+}
+
+/// Byte offsets to corrupt in an `LHCDSCSR` file, spanning every
+/// structural region: magic, a header count field, the recorded
+/// checksum, and early/mid/late payload bytes. (Offsets follow the
+/// format doc in `lhcds_data::cache`: header is magic 8 + version 4 +
+/// five `u64` fields + checksum at 52..60, payload from 60.)
+fn csr_flip_offsets(file_len: usize) -> Vec<(usize, &'static str)> {
+    vec![
+        (0, "magic"),
+        (13, "header vertex-count field"),
+        (55, "recorded checksum"),
+        (60, "first payload byte"),
+        (file_len / 2, "mid payload"),
+        (file_len - 1, "last payload byte"),
+    ]
+}
+
+/// The `LHCDSIDX` v2 counterpart (header is magic 8 + two `u32` +
+/// seven `u64` fields + checksum at 72..80, payload from 80). The
+/// source-stamp fields are deliberately *not* flipped: a changed stamp
+/// is staleness, not corruption, and rebuilds without quarantine.
+fn idx_flip_offsets(file_len: usize) -> Vec<(usize, &'static str)> {
+    vec![
+        (0, "magic"),
+        (33, "header subgraph-count field"),
+        (75, "recorded checksum"),
+        (file_len / 2, "mid payload"),
+        (file_len - 1, "last payload byte"),
+    ]
+}
+
+#[test]
+fn csr_cache_flips_quarantine_then_rebuild_answers_unchanged() {
+    let _g = serial();
+    let dir = tmp("csr_flips");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let cache = cache_path_for(&src);
+
+    let (pristine, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    assert_eq!(s, CacheStatus::Built);
+    let good_bytes = std::fs::read(&cache).unwrap();
+
+    let mut quarantined = 0;
+    for (offset, what) in csr_flip_offsets(good_bytes.len()) {
+        let mut bad = good_bytes.clone();
+        bad[offset] ^= 0xFF;
+        std::fs::write(&cache, &bad).unwrap();
+        assert!(read_cache(&cache).is_err(), "flip at {what} must not load");
+
+        let (healed, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s, CacheStatus::Rebuilt, "{what}");
+        assert_eq!(healed, pristine, "{what}: answers changed after healing");
+        quarantined += 1;
+        // the damaged bytes were preserved (bounded), newest slot last
+        let files = quarantine_files(&dir);
+        assert_eq!(
+            files.len(),
+            quarantined.min(MAX_QUARANTINE as usize),
+            "{what}: {files:?}"
+        );
+        // and the republished cache is clean: next load is a pure hit
+        let (again, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+        assert_eq!(s, CacheStatus::Hit, "{what}");
+        assert_eq!(again, pristine);
+    }
+    // 5 flips, 4 slots: the bound held and the 5th corpse was deleted
+    assert_eq!(quarantine_files(&dir).len(), MAX_QUARANTINE as usize);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_cache_v2_flips_quarantine_then_rebuild_answers_unchanged() {
+    let _g = serial();
+    let dir = tmp("idx_flips");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let opts = IndexBuildOptions::default();
+    let (remapped, _) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    let (pristine, s) =
+        build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+    assert_eq!(s, CacheStatus::Built);
+
+    let idx_path = index_path_for(&src, 3);
+    let good_bytes = std::fs::read(&idx_path).unwrap();
+    for (offset, what) in idx_flip_offsets(good_bytes.len()) {
+        let mut bad = good_bytes.clone();
+        bad[offset] ^= 0xFF;
+        std::fs::write(&idx_path, &bad).unwrap();
+        assert!(
+            read_index(&idx_path).is_err(),
+            "flip at {what} must not load"
+        );
+
+        let (healed, s) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+        assert_eq!(s, CacheStatus::Rebuilt, "{what}");
+        assert_eq!(healed, pristine, "{what}: index changed after healing");
+        let (_, s) =
+            build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+        assert_eq!(s, CacheStatus::Hit, "{what}");
+    }
+    assert!(
+        quarantine_files(&dir)
+            .iter()
+            .all(|n| n.starts_with("g.txt.h3.lhcdsidx.corrupt-")),
+        "{:?}",
+        quarantine_files(&dir)
+    );
+    assert!(!quarantine_files(&dir).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_v1_index_corruption_heals_to_a_v2_snapshot() {
+    let _g = serial();
+    let dir = tmp("idx_v1");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let opts = IndexBuildOptions::default();
+    let (remapped, _) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    let (pristine, _) =
+        build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+
+    // hand-serialize the index in the legacy v1 layout (no pattern key)
+    let parts = pristine.as_parts();
+    let mut payload = Vec::new();
+    for &o in &parts.offsets {
+        payload.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    for &v in &parts.members {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    for &x in &parts.density_num {
+        payload.extend_from_slice(&x.to_le_bytes());
+    }
+    for &x in &parts.density_den {
+        payload.extend_from_slice(&x.to_le_bytes());
+    }
+    for &c in &parts.clique_counts {
+        payload.extend_from_slice(&c.to_le_bytes());
+    }
+    // FNV-1a 64 (the cache module's checksum is crate-private)
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &payload {
+        checksum ^= u64::from(b);
+        checksum = checksum.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let stamp = SourceStamp::of(&src).unwrap();
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(INDEX_MAGIC);
+    v1.extend_from_slice(&LEGACY_INDEX_VERSION.to_le_bytes());
+    v1.extend_from_slice(&(parts.h as u32).to_le_bytes());
+    v1.extend_from_slice(&(parts.k_max as u64).to_le_bytes());
+    v1.extend_from_slice(&(parts.n as u64).to_le_bytes());
+    v1.extend_from_slice(&(parts.clique_counts.len() as u64).to_le_bytes());
+    v1.extend_from_slice(&(parts.members.len() as u64).to_le_bytes());
+    v1.extend_from_slice(&stamp.len.to_le_bytes());
+    v1.extend_from_slice(&stamp.mtime_ns.to_le_bytes());
+    v1.extend_from_slice(&checksum.to_le_bytes());
+    v1.extend_from_slice(&payload);
+
+    let idx_path = index_path_for(&src, 3);
+    // the intact v1 file is a hit (sanity check of the serialization)
+    std::fs::write(&idx_path, &v1).unwrap();
+    let (_, s) =
+        build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+    assert_eq!(s, CacheStatus::Hit, "intact v1 must hit");
+
+    // flip a payload byte: the corrupt v1 is quarantined and the
+    // rebuild publishes a clean (v2) snapshot with identical answers
+    let mut bad = v1.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    std::fs::write(&idx_path, &bad).unwrap();
+    let (healed, s) =
+        build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+    assert_eq!(s, CacheStatus::Rebuilt);
+    assert_eq!(healed, pristine);
+    assert_eq!(quarantine_files(&dir).len(), 1);
+    let cached = read_index(&idx_path).unwrap();
+    assert_eq!(cached.index, pristine, "republished snapshot is clean");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_emits_ring_events_and_preserves_the_damaged_bytes() {
+    let _g = serial();
+    let dir = tmp("events");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let cache = cache_path_for(&src);
+    let (_, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    assert_eq!(s, CacheStatus::Built);
+
+    let mut bad = std::fs::read(&cache).unwrap();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xFF;
+    std::fs::write(&cache, &bad).unwrap();
+
+    lhcds_obs::set_tracing(true);
+    let (_, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    lhcds_obs::set_tracing(false);
+    assert_eq!(s, CacheStatus::Rebuilt);
+
+    let trace = lhcds_obs::take_trace().expect("events recorded");
+    let quarantine = trace
+        .events
+        .iter()
+        .find(|e| e.kind == "graph-cache" && e.detail.starts_with("quarantined "))
+        .expect("quarantine event in the ring");
+    assert!(
+        quarantine.detail.contains("checksum mismatch"),
+        "{}",
+        quarantine.detail
+    );
+    assert!(
+        quarantine.detail.contains(".corrupt-0"),
+        "{}",
+        quarantine.detail
+    );
+
+    // the quarantined file holds exactly the damaged bytes
+    let mut q = cache.as_os_str().to_os_string();
+    q.push(".corrupt-0");
+    assert_eq!(std::fs::read(PathBuf::from(q)).unwrap(), bad);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_tmp_files_from_dead_writers_are_swept_with_events() {
+    let _g = serial();
+    let dir = tmp("sweep");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let cache = cache_path_for(&src);
+
+    // debris from a "crashed writer" of another process, plus a live
+    // tmp of this process that must be left alone
+    let foreign = dir.join(format!(
+        "{}.tmp{}.0",
+        cache.file_name().unwrap().to_str().unwrap(),
+        std::process::id().wrapping_add(1)
+    ));
+    let ours = dir.join(format!(
+        "{}.tmp{}.999",
+        cache.file_name().unwrap().to_str().unwrap(),
+        std::process::id()
+    ));
+    std::fs::write(&foreign, b"torn half-write").unwrap();
+    std::fs::write(&ours, b"live write in progress").unwrap();
+
+    lhcds_obs::set_tracing(true);
+    let (_, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    lhcds_obs::set_tracing(false);
+    assert_eq!(s, CacheStatus::Built);
+    assert!(!foreign.exists(), "foreign tmp debris must be swept");
+    assert!(ours.exists(), "this process's tmp must be left alone");
+
+    let trace = lhcds_obs::take_trace().expect("events recorded");
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| e.kind == "cache-sweep" && e.detail.contains(".tmp")),
+        "sweep event missing: {:?}",
+        trace.events
+    );
+
+    // direct call: nothing left to sweep now
+    assert_eq!(sweep_stale_tmp(&cache), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_corrupt_fault_injection_exercises_the_full_healing_path() {
+    let _g = serial();
+    let dir = tmp("fault_injected");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let cache = cache_path_for(&src);
+    let (pristine, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    assert_eq!(s, CacheStatus::Built);
+
+    // the injected flip corrupts the *read* bytes: the on-disk file is
+    // fine, but the loader cannot know that — it must quarantine and
+    // rebuild, and the rebuilt answers must be unchanged
+    fault::arm(FaultSchedule::new(21).at_hit(FaultPoint::CacheCorrupt, 1));
+    let (healed, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    let fired = fault::fired(FaultPoint::CacheCorrupt);
+    fault::disarm();
+    assert_eq!(s, CacheStatus::Rebuilt);
+    assert_eq!(healed, pristine);
+    assert_eq!(fired, 1, "counters are read before disarm clears them");
+    assert_eq!(quarantine_files(&dir).len(), 1);
+
+    // disarmed, the republished snapshot is a clean hit again
+    let (again, s) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    assert_eq!(s, CacheStatus::Hit);
+    assert_eq!(again, pristine);
+    assert!(cache.exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn index_load_fault_propagates_instead_of_rebuilding() {
+    let _g = serial();
+    let dir = tmp("index_load_fault");
+    let src = dir.join("g.txt");
+    std::fs::write(&src, TWO_TRIANGLES).unwrap();
+    let opts = IndexBuildOptions::default();
+    let (remapped, _) = load_or_build(&src, EdgeListFormat::Auto, None).unwrap();
+    let (pristine, _) =
+        build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+
+    // an injected load failure is an *error*, not cache damage: the
+    // snapshot on disk must survive untouched (a daemon maps this to a
+    // `degraded` health state rather than silently rebuilding)
+    fault::arm(FaultSchedule::new(33).at_hit(FaultPoint::IndexLoad, 1));
+    let err = build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts)
+        .expect_err("injected failure must propagate");
+    fault::disarm();
+    assert!(
+        err.to_string().contains("injected index load failure"),
+        "{err}"
+    );
+    assert!(
+        quarantine_files(&dir).is_empty(),
+        "no quarantine for I/O faults"
+    );
+
+    let (idx, s) =
+        build_or_load_pattern_index_for(&src, &remapped, Pattern::Triangle, &opts).unwrap();
+    assert_eq!(s, CacheStatus::Hit, "snapshot untouched by the fault");
+    assert_eq!(idx, pristine);
+    std::fs::remove_dir_all(&dir).ok();
+}

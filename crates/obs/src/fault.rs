@@ -1,0 +1,437 @@
+//! Deterministic fault injection: named failure points, armed by a seeded
+//! schedule, free when disarmed.
+//!
+//! Production code marks the places where the outside world can fail —
+//! socket reads, cache loads, worker threads — with a named
+//! [`FaultPoint`] and asks [`should_fire`] whether to simulate the
+//! failure *right here, right now*. The answer is driven entirely by an
+//! armed [`FaultSchedule`]:
+//!
+//! * **Disarmed** (the production state) every check compiles down to a
+//!   single relaxed atomic load — the same discipline as
+//!   [`tracing_enabled`](crate::trace::tracing_enabled), so leaving the
+//!   hooks in hot paths costs nothing measurable.
+//! * **Armed**, each point follows its scheduled rule: fire on exactly
+//!   the `n`-th hit ([`FaultSchedule::at_hit`]) or fire with probability
+//!   `p` per hit ([`FaultSchedule::probability`]). Probabilistic
+//!   decisions are a pure function of `(seed, point, hit index)` — a
+//!   fresh ChaCha8 stream per decision — so a rerun with the same seed
+//!   and the same per-point hit order reproduces the same faults, no
+//!   matter how threads interleave *between* points.
+//!
+//! Every fired injection bumps a per-point counter (see [`fired`]) and,
+//! when tracing is enabled, drops a `fault` event into the process-wide
+//! observability ring.
+//!
+//! # Example
+//!
+//! ```
+//! use lhcds_obs::fault::{self, FaultPoint, FaultSchedule};
+//!
+//! let schedule = FaultSchedule::parse("seed=42,worker_panic=@2,socket_read=0.5").unwrap();
+//! fault::arm(schedule);
+//! assert!(!fault::should_fire(FaultPoint::WorkerPanic)); // hit 1
+//! assert!(fault::should_fire(FaultPoint::WorkerPanic)); // hit 2 fires
+//! fault::disarm();
+//! assert!(!fault::should_fire(FaultPoint::WorkerPanic));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Named places where a fault can be injected.
+///
+/// The names are stable protocol: they appear in `--fault-schedule`
+/// specs, obs ring events, and the chaos test suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// A socket read fails mid-request; the connection is dropped.
+    SocketRead,
+    /// A socket write fails before any response byte leaves.
+    SocketWrite,
+    /// A response write delivers only a prefix, then the connection dies.
+    PartialWrite,
+    /// A request line arrives slowly (the read path stalls), pushing the
+    /// request toward its deadline.
+    SlowRead,
+    /// Request execution panics inside a worker thread.
+    WorkerPanic,
+    /// Bytes read back from a binary cache file are corrupted in memory,
+    /// forcing the checksum/validation path.
+    CacheCorrupt,
+    /// Loading a persisted index fails outright (as if the file were
+    /// unreadable), driving the server's `degraded` health state.
+    IndexLoad,
+}
+
+/// Number of registered injection points.
+const POINTS: usize = 7;
+
+impl FaultPoint {
+    /// Every registered injection point, in stable order.
+    pub const ALL: [FaultPoint; POINTS] = [
+        FaultPoint::SocketRead,
+        FaultPoint::SocketWrite,
+        FaultPoint::PartialWrite,
+        FaultPoint::SlowRead,
+        FaultPoint::WorkerPanic,
+        FaultPoint::CacheCorrupt,
+        FaultPoint::IndexLoad,
+    ];
+
+    /// Stable wire name, as used in schedule specs and ring events.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::SocketRead => "socket_read",
+            FaultPoint::SocketWrite => "socket_write",
+            FaultPoint::PartialWrite => "partial_write",
+            FaultPoint::SlowRead => "slow_read",
+            FaultPoint::WorkerPanic => "worker_panic",
+            FaultPoint::CacheCorrupt => "cache_corrupt",
+            FaultPoint::IndexLoad => "index_load",
+        }
+    }
+
+    /// Inverse of [`FaultPoint::name`].
+    pub fn parse(name: &str) -> Option<FaultPoint> {
+        FaultPoint::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    fn index(self) -> usize {
+        FaultPoint::ALL.iter().position(|p| *p == self).unwrap()
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-point firing rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    /// Fire with this probability on every hit.
+    Prob(f64),
+    /// Fire on exactly the `n`-th hit (1-based), once.
+    AtHit(u64),
+}
+
+/// A seeded, fully reproducible plan for which hits of which points
+/// fire. Build one with the fluent constructors or parse the textual
+/// spec accepted by `lhcds serve --fault-schedule`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    rules: [Option<Mode>; POINTS],
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        FaultSchedule::new(0)
+    }
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no point ever fires) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            rules: [None; POINTS],
+        }
+    }
+
+    /// Fire `point` independently on each hit with probability `p`
+    /// (clamped to `[0, 1]`), decided by the schedule's seed.
+    pub fn probability(mut self, point: FaultPoint, p: f64) -> Self {
+        self.rules[point.index()] = Some(Mode::Prob(p.clamp(0.0, 1.0)));
+        self
+    }
+
+    /// Fire `point` on exactly its `n`-th hit (1-based), once.
+    pub fn at_hit(mut self, point: FaultPoint, n: u64) -> Self {
+        self.rules[point.index()] = Some(Mode::AtHit(n.max(1)));
+        self
+    }
+
+    /// True when no point has a rule.
+    pub fn is_empty(&self) -> bool {
+        self.rules.iter().all(|r| r.is_none())
+    }
+
+    /// Parse a comma-separated spec: `seed=42,worker_panic=@3,socket_read=0.25`.
+    ///
+    /// Each entry is either `seed=<u64>` or `<point>=<rule>` where the
+    /// rule is a probability in `[0, 1]` or `@<n>` for "fire on exactly
+    /// the n-th hit". Unknown points and malformed rules are errors.
+    pub fn parse(spec: &str) -> Result<FaultSchedule, String> {
+        let mut schedule = FaultSchedule::new(0);
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault schedule entry `{entry}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                schedule.seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault schedule seed `{value}` is not a u64"))?;
+                continue;
+            }
+            let point = FaultPoint::parse(key).ok_or_else(|| {
+                let known: Vec<&str> = FaultPoint::ALL.iter().map(|p| p.name()).collect();
+                format!("unknown fault point `{key}` (known: {})", known.join(" | "))
+            })?;
+            let mode = if let Some(n) = value.strip_prefix('@') {
+                let n = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault rule `{value}` for {key}: @<n> needs a u64"))?;
+                if n == 0 {
+                    return Err(format!("fault rule `{value}` for {key}: hits are 1-based"));
+                }
+                Mode::AtHit(n)
+            } else {
+                let p = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("fault rule `{value}` for {key} is not a probability"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault probability {p} for {key} is outside [0, 1]"));
+                }
+                Mode::Prob(p)
+            };
+            schedule.rules[point.index()] = Some(mode);
+        }
+        Ok(schedule)
+    }
+}
+
+struct ArmedState {
+    schedule: FaultSchedule,
+    /// Times each point was *checked* while armed with a rule present.
+    hits: [u64; POINTS],
+    /// Times each point actually fired.
+    fired: [u64; POINTS],
+}
+
+/// The one flag the disarmed fast path reads.
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<ArmedState>> = Mutex::new(None);
+
+fn state() -> MutexGuard<'static, Option<ArmedState>> {
+    // An injected panic never unwinds while this lock is held (firing
+    // happens at the call site, after the decision), but stay robust.
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arm the registry with `schedule`, resetting all hit/fired counters.
+pub fn arm(schedule: FaultSchedule) {
+    let mut guard = state();
+    *guard = Some(ArmedState {
+        schedule,
+        hits: [0; POINTS],
+        fired: [0; POINTS],
+    });
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm the registry: every subsequent check is a single relaxed
+/// atomic load answering `false`. Fired counters are cleared.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *state() = None;
+}
+
+/// True while a schedule is armed. One relaxed atomic load.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Should the named injection point simulate its failure now?
+///
+/// Disarmed, this is one relaxed atomic load and an immediate `false`.
+/// Armed, the point's hit counter advances and its scheduled rule
+/// decides — deterministically for a given `(seed, point, hit)`.
+#[inline]
+pub fn should_fire(point: FaultPoint) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    should_fire_armed(point)
+}
+
+#[cold]
+fn should_fire_armed(point: FaultPoint) -> bool {
+    let i = point.index();
+    let hit;
+    let fire;
+    {
+        let mut guard = state();
+        let Some(armed) = guard.as_mut() else {
+            return false;
+        };
+        let Some(mode) = armed.schedule.rules[i] else {
+            return false;
+        };
+        armed.hits[i] += 1;
+        hit = armed.hits[i];
+        fire = match mode {
+            Mode::AtHit(n) => hit == n,
+            Mode::Prob(p) => decide(armed.schedule.seed, i as u64, hit, p),
+        };
+        if fire {
+            armed.fired[i] += 1;
+        }
+    }
+    if fire {
+        crate::trace::event("fault", || format!("{} fired (hit {hit})", point.name()));
+    }
+    fire
+}
+
+/// One Bernoulli draw from a ChaCha8 stream keyed by (seed, point, hit):
+/// reproducible regardless of when the hit happens in wall-clock time.
+fn decide(seed: u64, point: u64, hit: u64, p: f64) -> bool {
+    let key = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(point.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(hit);
+    ChaCha8Rng::seed_from_u64(key).gen_bool(p)
+}
+
+/// How many times `point` has fired since the registry was last armed
+/// (0 when disarmed).
+pub fn fired(point: FaultPoint) -> u64 {
+    state()
+        .as_ref()
+        .map_or(0, |armed| armed.fired[point.index()])
+}
+
+/// Total injections fired across all points since the last [`arm`].
+pub fn total_fired() -> u64 {
+    state().as_ref().map_or(0, |armed| armed.fired.iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// The registry is process-global; serialize the tests that arm it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in FaultPoint::ALL {
+            assert_eq!(FaultPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(FaultPoint::parse("nope"), None);
+    }
+
+    #[test]
+    fn disarmed_never_fires() {
+        let _gate = serial();
+        disarm();
+        for p in FaultPoint::ALL {
+            for _ in 0..100 {
+                assert!(!should_fire(p));
+            }
+            assert_eq!(fired(p), 0);
+        }
+    }
+
+    #[test]
+    fn at_hit_fires_exactly_once() {
+        let _gate = serial();
+        arm(FaultSchedule::new(7).at_hit(FaultPoint::WorkerPanic, 3));
+        let fires: Vec<bool> = (0..6)
+            .map(|_| should_fire(FaultPoint::WorkerPanic))
+            .collect();
+        assert_eq!(fires, [false, false, true, false, false, false]);
+        assert_eq!(fired(FaultPoint::WorkerPanic), 1);
+        assert_eq!(total_fired(), 1);
+        // A point with no rule never advances or fires.
+        assert!(!should_fire(FaultPoint::SocketRead));
+        assert_eq!(fired(FaultPoint::SocketRead), 0);
+        disarm();
+    }
+
+    #[test]
+    fn probability_stream_is_reproducible_and_seed_sensitive() {
+        let _gate = serial();
+        let run = |seed: u64| -> Vec<bool> {
+            arm(FaultSchedule::new(seed).probability(FaultPoint::SocketRead, 0.5));
+            let v = (0..64)
+                .map(|_| should_fire(FaultPoint::SocketRead))
+                .collect();
+            disarm();
+            v
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().any(|&f| f), "p=0.5 over 64 hits should fire");
+        assert!(!a.iter().all(|&f| f), "p=0.5 over 64 hits should also skip");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let _gate = serial();
+        arm(FaultSchedule::new(1)
+            .probability(FaultPoint::SocketWrite, 1.0)
+            .probability(FaultPoint::SlowRead, 0.0));
+        for _ in 0..20 {
+            assert!(should_fire(FaultPoint::SocketWrite));
+            assert!(!should_fire(FaultPoint::SlowRead));
+        }
+        assert_eq!(fired(FaultPoint::SocketWrite), 20);
+        assert_eq!(fired(FaultPoint::SlowRead), 0);
+        disarm();
+    }
+
+    #[test]
+    fn rearming_resets_counters() {
+        let _gate = serial();
+        arm(FaultSchedule::new(3).at_hit(FaultPoint::IndexLoad, 1));
+        assert!(should_fire(FaultPoint::IndexLoad));
+        assert_eq!(fired(FaultPoint::IndexLoad), 1);
+        arm(FaultSchedule::new(3).at_hit(FaultPoint::IndexLoad, 1));
+        assert_eq!(fired(FaultPoint::IndexLoad), 0);
+        assert!(should_fire(FaultPoint::IndexLoad));
+        disarm();
+    }
+
+    #[test]
+    fn spec_parses_seed_probabilities_and_hits() {
+        let parsed = FaultSchedule::parse("seed=42, worker_panic=@3 ,socket_read=0.25").unwrap();
+        let built = FaultSchedule::new(42)
+            .at_hit(FaultPoint::WorkerPanic, 3)
+            .probability(FaultPoint::SocketRead, 0.25);
+        assert_eq!(parsed, built);
+        assert!(FaultSchedule::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(FaultSchedule::parse("bogus_point=1").is_err());
+        assert!(FaultSchedule::parse("socket_read").is_err());
+        assert!(FaultSchedule::parse("socket_read=1.5").is_err());
+        assert!(FaultSchedule::parse("socket_read=@0").is_err());
+        assert!(FaultSchedule::parse("socket_read=@x").is_err());
+        assert!(FaultSchedule::parse("seed=-1").is_err());
+    }
+}

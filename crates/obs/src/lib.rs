@@ -1,10 +1,11 @@
 //! # lhcds-obs
 //!
 //! The observability substrate of the workspace: answers "where did this
-//! run spend its time?" and "what is p99 right now?" without re-running
-//! anything under the bench harness. Three primitives, std-only, at the
-//! very bottom of the crate DAG (everything may depend on this crate; it
-//! depends on nothing):
+//! run spend its time?", "what is p99 right now?", and — under test —
+//! "what happens when this exact read fails?". Four primitives, std-only,
+//! at the very bottom of the crate DAG (everything may depend on this
+//! crate; it depends only on the workspace's vendored `rand` stand-ins,
+//! which the seeded fault schedule needs):
 //!
 //! * [`trace`] — hierarchical phase tracing. RAII [`trace::Span`] guards
 //!   over monotonic clocks, thread-safe child attribution (spans opened
@@ -20,6 +21,10 @@
 //! * [`ring`] — a bounded [`ring::Ring`] buffer for discrete lifecycle
 //!   facts (cache hits, slow queries), plus the process-wide event log
 //!   that tracing drains into its JSON export.
+//! * [`fault`] — deterministic fault injection: named
+//!   [`fault::FaultPoint`]s armed by a seeded, reproducible
+//!   [`fault::FaultSchedule`]; disarmed checks are the same single
+//!   relaxed atomic load as a disabled span.
 //!
 //! # Example
 //!
@@ -38,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod hist;
 pub mod ring;
 pub mod trace;

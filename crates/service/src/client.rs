@@ -1,12 +1,20 @@
 //! Protocol client: one-shot request/response round trips for the
-//! `lhcds query` subcommand, scripts, and tests.
+//! `lhcds query` subcommand, scripts, and tests, plus a retry layer
+//! with capped exponential backoff and deterministic jitter.
+//!
+//! Retries are deliberately narrow: only idempotent read ops (anything
+//! but `shutdown`), and only on failures where the server provably did
+//! not — or explicitly declined to — process the request: connect and
+//! timeout errors, early connection closes, and the typed `overloaded`
+//! shed response. A typed semantic error (`bad_k`, `internal`, …) is
+//! an answer, not a transport fault, and is returned as-is.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::protocol::{request_json, Request};
+use crate::protocol::{parse_request, request_json, Request};
 
 /// Client-side failure modes.
 #[derive(Debug)]
@@ -52,9 +60,99 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// Sends one raw request line to `addr` and returns the raw response
-/// line (without the trailing newline).
-pub fn round_trip(addr: &str, line: &str, timeout: Duration) -> Result<String, ClientError> {
+impl ClientError {
+    /// Whether retrying (an idempotent request) can help: the failure
+    /// is transport-level — connect/timeout/early close — or the typed
+    /// `overloaded` shed, which the server sends precisely so clients
+    /// back off and try again. Torn-but-parseable garbage
+    /// ([`ClientError::BadResponse`]) is *not* retried: it may signal
+    /// protocol skew, which retrying would only hammer.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) | ClientError::NoResponse => true,
+            ClientError::Server { code, .. } => code == "overloaded",
+            ClientError::BadResponse(_) => false,
+        }
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Attempt `i` (0-based) sleeps `base_delay * 2^i`, capped at
+/// `max_delay`, then scaled by a jitter factor in `[0.5, 1.0)` derived
+/// from `(seed, i)` — a pure function, so a rerun with the same seed
+/// waits the same schedule (the chaos suite depends on that).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means no retries.
+    pub max_attempts: u32,
+    /// Backoff base: the delay before the first retry (pre-jitter).
+    pub base_delay: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub max_delay: Duration,
+    /// Jitter seed; same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries — the pre-retry behavior of
+    /// [`round_trip`]/[`query`].
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// `attempts` total tries with the default backoff and seed.
+    pub fn attempts(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The delay before retry number `attempt` (0-based: the sleep
+    /// after the first failure is `delay(0)`). Deterministic.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+            .min(self.max_delay);
+        // jitter factor in [0.5, 1.0): half the window is always kept,
+        // so backoff stays monotone-ish while retries desynchronize
+        let j = splitmix64(self.seed ^ u64::from(attempt));
+        let frac = 0.5 + (j >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * 0.5;
+        exp.mul_f64(frac)
+    }
+}
+
+/// SplitMix64: one strong 64-bit mix, enough for jitter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Whether a request is safe to send twice. Every read op is; only
+/// `shutdown` mutates daemon state.
+pub fn is_idempotent(req: &Request) -> bool {
+    !matches!(req, Request::Shutdown)
+}
+
+fn round_trip_once(addr: &str, line: &str, timeout: Duration) -> Result<String, ClientError> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -72,30 +170,207 @@ pub fn round_trip(addr: &str, line: &str, timeout: Duration) -> Result<String, C
     Ok(response.trim_end().to_string())
 }
 
+/// Sends one raw request line to `addr` and returns the raw response
+/// line (without the trailing newline). One attempt, no retries.
+pub fn round_trip(addr: &str, line: &str, timeout: Duration) -> Result<String, ClientError> {
+    round_trip_with_retry(addr, line, timeout, &RetryPolicy::none())
+}
+
+/// [`round_trip`] under a [`RetryPolicy`]: retryable failures
+/// (connect/timeout/early close, and a parseable `overloaded`
+/// response) are retried with backoff — but only when the line parses
+/// to an idempotent request. Anything the policy or idempotency rule
+/// excludes fails on the first error, exactly like [`round_trip`].
+pub fn round_trip_with_retry(
+    addr: &str,
+    line: &str,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> Result<String, ClientError> {
+    let retryable_line = parse_request(line.trim_end())
+        .map(|req| is_idempotent(&req))
+        .unwrap_or(false);
+    let mut attempt = 0u32;
+    loop {
+        let outcome = round_trip_once(addr, line, timeout).and_then(|response| {
+            // an overloaded shed is a retry signal, not an answer
+            if retryable_line && response.starts_with("{\"ok\":false") {
+                if let Ok(v) = Json::parse(&response) {
+                    let code = v
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Json::as_str);
+                    if code == Some("overloaded") {
+                        return Err(server_error(&v, response.clone()));
+                    }
+                }
+            }
+            Ok(response)
+        });
+        match outcome {
+            Ok(response) => return Ok(response),
+            Err(e) => {
+                attempt += 1;
+                if !retryable_line || !e.is_retryable() || attempt >= policy.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+        }
+    }
+}
+
+fn server_error(envelope: &Json, raw: String) -> ClientError {
+    match envelope.get("error") {
+        Some(err) => {
+            let part = |name: &str| {
+                err.get(name)
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string()
+            };
+            ClientError::Server {
+                code: part("code"),
+                message: part("message"),
+            }
+        }
+        None => ClientError::BadResponse(raw),
+    }
+}
+
 /// Sends a typed request and unwraps the success envelope: returns the
-/// `result` value, or [`ClientError::Server`] for `ok:false`.
+/// `result` value, or [`ClientError::Server`] for `ok:false`. One
+/// attempt, no retries.
 pub fn query(addr: &str, req: &Request, timeout: Duration) -> Result<Json, ClientError> {
+    query_with_retry(addr, req, timeout, &RetryPolicy::none())
+}
+
+/// [`query`] under a [`RetryPolicy`]: transport failures and the typed
+/// `overloaded` shed are retried with capped, jittered backoff — but
+/// only for idempotent requests ([`is_idempotent`]); a `shutdown` is
+/// never sent twice.
+pub fn query_with_retry(
+    addr: &str,
+    req: &Request,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> Result<Json, ClientError> {
     let line = request_json(req).render();
-    let response = round_trip(addr, &line, timeout)?;
+    let retryable_req = is_idempotent(req);
+    let mut attempt = 0u32;
+    loop {
+        match query_once(addr, &line, timeout) {
+            Ok(result) => return Ok(result),
+            Err(e) => {
+                attempt += 1;
+                if !retryable_req || !e.is_retryable() || attempt >= policy.max_attempts {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay(attempt - 1));
+            }
+        }
+    }
+}
+
+fn query_once(addr: &str, line: &str, timeout: Duration) -> Result<Json, ClientError> {
+    let response = round_trip_once(addr, line, timeout)?;
     let v = Json::parse(&response).map_err(|_| ClientError::BadResponse(response.clone()))?;
     match v.get("ok").and_then(Json::as_bool) {
         Some(true) => v
             .get("result")
             .cloned()
             .ok_or(ClientError::BadResponse(response)),
-        Some(false) => {
-            let err = v.get("error");
-            let part = |name: &str| {
-                err.and_then(|e| e.get(name))
-                    .and_then(Json::as_str)
-                    .unwrap_or("unknown")
-                    .to_string()
-            };
-            Err(ClientError::Server {
-                code: part("code"),
-                message: part("message"),
-            })
-        }
+        Some(false) => Err(server_error(&v, response)),
         None => Err(ClientError::BadResponse(response)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::IndexRef;
+
+    #[test]
+    fn delays_are_deterministic_capped_and_jittered() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(200),
+            seed: 42,
+        };
+        let a: Vec<Duration> = (0..8).map(|i| p.delay(i)).collect();
+        let b: Vec<Duration> = (0..8).map(|i| p.delay(i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let exp = Duration::from_millis(10)
+                .saturating_mul(2u32.pow(i as u32))
+                .min(Duration::from_millis(200));
+            assert!(
+                *d >= exp.mul_f64(0.5),
+                "attempt {i}: {d:?} < half of {exp:?}"
+            );
+            assert!(
+                *d < exp,
+                "attempt {i}: {d:?} not under the pre-jitter {exp:?}"
+            );
+        }
+        let other = RetryPolicy { seed: 43, ..p };
+        let c: Vec<Duration> = (0..8).map(|i| other.delay(i)).collect();
+        assert_ne!(a, c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn only_shutdown_is_non_idempotent() {
+        assert!(is_idempotent(&Request::Ping));
+        assert!(is_idempotent(&Request::Stats));
+        assert!(is_idempotent(&Request::Metrics));
+        assert!(is_idempotent(&Request::Health));
+        assert!(is_idempotent(&Request::TopK {
+            index: IndexRef::clique(3),
+            k: 1
+        }));
+        assert!(!is_idempotent(&Request::Shutdown));
+    }
+
+    #[test]
+    fn retryability_is_narrow() {
+        assert!(ClientError::Io(std::io::Error::other("boom")).is_retryable());
+        assert!(ClientError::NoResponse.is_retryable());
+        assert!(ClientError::Server {
+            code: "overloaded".into(),
+            message: String::new()
+        }
+        .is_retryable());
+        for code in ["bad_k", "internal", "too_large", "deadline_exceeded"] {
+            assert!(
+                !ClientError::Server {
+                    code: code.into(),
+                    message: String::new()
+                }
+                .is_retryable(),
+                "{code} must not be retried"
+            );
+        }
+        assert!(!ClientError::BadResponse("garbage".into()).is_retryable());
+    }
+
+    #[test]
+    fn connect_failures_are_retried_then_surface() {
+        // a port from the ephemeral range with (almost surely) no
+        // listener: every attempt fails fast with ConnectionRefused
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            seed: 1,
+        };
+        let err = query_with_retry(
+            "127.0.0.1:9",
+            &Request::Ping,
+            Duration::from_millis(200),
+            &p,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "{err}");
     }
 }

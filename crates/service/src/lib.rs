@@ -7,17 +7,22 @@
 //! array read:
 //!
 //! * [`protocol`] — the newline-delimited JSON request/response
-//!   protocol (`top_k`, `density_of`, `membership`, `stats`, `ping`,
-//!   `shutdown`), plus the answer serializers shared with the CLI's
-//!   `--json` mode so batch and served answers are string-identical.
-//!   Query ops name the served index by clique size (`h`) or pattern
-//!   name (`pattern`) — see [`protocol::IndexRef`].
+//!   protocol (`top_k`, `density_of`, `membership`, `stats`, `metrics`,
+//!   `health`, `ping`, `shutdown`), plus the answer serializers shared
+//!   with the CLI's `--json` mode so batch and served answers are
+//!   string-identical. Query ops name the served index by clique size
+//!   (`h`) or pattern name (`pattern`) — see [`protocol::IndexRef`].
 //! * [`server`] — the daemon: `std::net::TcpListener`, a fixed worker
 //!   thread pool, an LRU of hot `(pattern, k)` answers, and graceful
 //!   shutdown that drains in-flight requests. One daemon can host the
-//!   same graph under several patterns concurrently.
+//!   same graph under several patterns concurrently. Failure is typed,
+//!   never wrong: oversized lines get `too_large`, late answers
+//!   `deadline_exceeded`, shed connections `overloaded`, and caught
+//!   request panics `internal` — the daemon survives them all (see the
+//!   [`server`] docs for the full failure model).
 //! * [`client`] — one-shot round trips for `lhcds query`, scripts, and
-//!   tests.
+//!   tests, plus a [`client::RetryPolicy`] with capped exponential
+//!   backoff and deterministic jitter for idempotent read ops.
 //! * [`json`] — the minimal JSON tree/parser/serializer everything
 //!   above speaks (hand-rolled; the build is offline, so no `serde`).
 //! * [`lru`], [`signals`] — supporting pieces: the hot-answer cache
@@ -48,6 +53,7 @@
 //!     m: g.m(),
 //!     original_ids: None,
 //!     indexes: BTreeMap::new(),
+//!     failed: BTreeMap::new(),
 //! };
 //! served.insert(DecompositionIndex::build(&g, 3, &IndexConfig::default()));
 //! let server = Server::bind("127.0.0.1:0", served, &ServeOptions::default()).unwrap();
@@ -74,6 +80,7 @@ pub mod protocol;
 pub mod server;
 pub mod signals;
 
+pub use client::RetryPolicy;
 pub use json::Json;
 pub use protocol::{AnswerRow, IndexRef, ProtocolError, Request};
 pub use server::{ServeOptions, ServedIndexes, Server, ShutdownHandle};

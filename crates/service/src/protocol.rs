@@ -11,6 +11,7 @@
 //! {"op":"membership","pattern":"diamond","vertex":11}
 //! {"op":"stats"}
 //! {"op":"metrics"}
+//! {"op":"health"}
 //! {"op":"ping"}
 //! {"op":"shutdown"}
 //! ```
@@ -102,6 +103,10 @@ pub enum Request {
     /// latency histograms (the exposition travels as a JSON string
     /// field; the protocol stays one JSON line per response).
     Metrics,
+    /// Liveness and readiness: overall `ok`/`degraded` status plus a
+    /// per-index readiness row (an index that failed to load at startup
+    /// is reported, not hidden — the daemon serves what it has).
+    Health,
     /// Liveness probe.
     Ping,
     /// Ask the daemon to stop accepting and drain in-flight work.
@@ -111,8 +116,13 @@ pub enum Request {
 /// A protocol-level failure, rendered as an `ok:false` response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtocolError {
-    /// Stable machine-readable code (`bad_request`, `unknown_op`,
-    /// `bad_h`, `bad_pattern`, `bad_k`, `bad_vertex`, `shutting_down`).
+    /// Stable machine-readable code. Request-shape errors:
+    /// `bad_request`, `unknown_op`, `bad_h`, `bad_pattern`, `bad_k`,
+    /// `bad_vertex`, `shutting_down`. Robustness errors: `too_large`
+    /// (request line over the byte limit), `deadline_exceeded` (answer
+    /// missed the per-request deadline), `overloaded` (admission shed —
+    /// safe to retry), `internal` (request execution panicked; the
+    /// worker survived).
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
@@ -201,11 +211,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
+        "health" => Ok(Request::Health),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError::new(
             "unknown_op",
-            format!("unknown op '{other}' (try top_k | density_of | membership | stats | metrics | ping | shutdown)"),
+            format!("unknown op '{other}' (try top_k | density_of | membership | stats | metrics | health | ping | shutdown)"),
         )),
     }
 }
@@ -236,6 +247,7 @@ pub fn request_json(req: &Request) -> Json {
         }
         Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
         Request::Metrics => Json::object([("op", Json::Str("metrics".into()))]),
+        Request::Health => Json::object([("op", Json::Str("health".into()))]),
         Request::Ping => Json::object([("op", Json::Str("ping".into()))]),
         Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
     }
@@ -457,6 +469,7 @@ mod tests {
                 vertex: 0,
             },
             Request::Stats,
+            Request::Health,
             Request::Ping,
             Request::Shutdown,
         ];

@@ -11,8 +11,22 @@
 //! 2. **A client can never take the daemon down.** Malformed lines,
 //!    unknown ops, out-of-range parameters, over-long lines, and
 //!    disconnects map to protocol error responses or dropped
-//!    connections — the request loop has no panic path.
-//! 3. **Shutdown is graceful.** [`ShutdownHandle::shutdown`] (also
+//!    connections. A request that somehow panics is caught per request
+//!    (`catch_unwind`) and answered as the typed `internal` error; a
+//!    panic that escapes a connection is caught per worker, counted,
+//!    and the worker serves on — the pool never shrinks.
+//! 3. **Failure is typed, never wrong.** Oversized request lines get
+//!    `too_large` (the excess is discarded, bounded memory, connection
+//!    survives), answers that miss the per-request deadline get
+//!    `deadline_exceeded`, and connections above the admission bound
+//!    are shed fast with `overloaded` instead of queueing forever. The
+//!    `health` op reports liveness plus per-index readiness
+//!    (`degraded` when an index failed to load). Every failure path
+//!    has a deterministic fault-injection point
+//!    ([`lhcds_obs::fault`]), so the chaos suite can drive each one
+//!    and assert responses are byte-identical to batch output or typed
+//!    errors.
+//! 4. **Shutdown is graceful.** [`ShutdownHandle::shutdown`] (also
 //!    triggered by the protocol `shutdown` op and, in the CLI, by
 //!    SIGTERM/ctrl-c) stops the accept loop; workers finish every
 //!    request whose bytes have already arrived, flush the response, and
@@ -39,6 +53,7 @@ use crate::protocol::{
 };
 use lhcds_core::index::{default_pattern_key, DecompositionIndex};
 use lhcds_graph::VertexId;
+use lhcds_obs::fault::{self, FaultPoint};
 use lhcds_obs::{Histogram, Ring};
 use lhcds_patterns::Pattern;
 
@@ -53,8 +68,8 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// flag, and wedge `Server::join`. On timeout the connection is
 /// dropped (the response would be torn anyway).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
-/// Longest accepted request line, in bytes.
-const MAX_LINE: usize = 1 << 20;
+/// How long an injected `slow_read` fault stalls a request line.
+const SLOW_READ_STALL: Duration = Duration::from_millis(30);
 
 /// How many over-threshold requests the slow-query ring retains.
 const SLOW_RING_CAP: usize = 64;
@@ -71,6 +86,19 @@ pub struct ServeOptions {
     /// Requests at or above this wall time (milliseconds) are retained
     /// in the slow-query ring (`0` retains everything).
     pub slow_query_ms: u64,
+    /// Longest accepted request line, in bytes. Oversized lines are
+    /// answered with the typed `too_large` error (the excess is
+    /// discarded without buffering, so memory stays bounded and the
+    /// connection survives).
+    pub max_request_bytes: usize,
+    /// Per-request deadline, milliseconds, measured from the first byte
+    /// of the request line; an answer that misses it is replaced by the
+    /// typed `deadline_exceeded` error. `0` disables the deadline.
+    pub request_deadline_ms: u64,
+    /// Admission bound: connections accepted while this many are
+    /// already queued for a worker are shed fast with a typed
+    /// `overloaded` error instead of queueing forever.
+    pub max_pending: usize,
 }
 
 impl Default for ServeOptions {
@@ -79,6 +107,9 @@ impl Default for ServeOptions {
             workers: 4,
             lru_capacity: 64,
             slow_query_ms: 100,
+            max_request_bytes: 64 * 1024,
+            request_deadline_ms: 10_000,
+            max_pending: 1024,
         }
     }
 }
@@ -100,6 +131,11 @@ pub struct ServedIndexes {
     /// One finished index per served pattern key (h-clique indexes
     /// under `clique.h{h}`, see `lhcds_core::index::default_pattern_key`).
     pub indexes: BTreeMap<String, DecompositionIndex>,
+    /// Pattern keys that failed to load at startup, with the load
+    /// error. A daemon with entries here serves what it has and
+    /// reports `degraded` from the `health` op instead of refusing to
+    /// start.
+    pub failed: BTreeMap<String, String>,
 }
 
 impl ServedIndexes {
@@ -206,6 +242,8 @@ pub enum OpKind {
     Stats,
     /// `metrics`.
     Metrics,
+    /// `health`.
+    Health,
     /// `ping`.
     Ping,
     /// `shutdown`.
@@ -216,12 +254,13 @@ pub enum OpKind {
 
 impl OpKind {
     /// Every kind, in the fixed order `stats`/`metrics` report them.
-    pub const ALL: [OpKind; 8] = [
+    pub const ALL: [OpKind; 9] = [
         OpKind::TopK,
         OpKind::DensityOf,
         OpKind::Membership,
         OpKind::Stats,
         OpKind::Metrics,
+        OpKind::Health,
         OpKind::Ping,
         OpKind::Shutdown,
         OpKind::Invalid,
@@ -235,6 +274,7 @@ impl OpKind {
             OpKind::Membership => "membership",
             OpKind::Stats => "stats",
             OpKind::Metrics => "metrics",
+            OpKind::Health => "health",
             OpKind::Ping => "ping",
             OpKind::Shutdown => "shutdown",
             OpKind::Invalid => "invalid",
@@ -248,6 +288,7 @@ impl OpKind {
             Request::Membership { .. } => OpKind::Membership,
             Request::Stats => OpKind::Stats,
             Request::Metrics => OpKind::Metrics,
+            Request::Health => OpKind::Health,
             Request::Ping => OpKind::Ping,
             Request::Shutdown => OpKind::Shutdown,
         }
@@ -283,6 +324,14 @@ pub struct ServerStats {
     pub lru_misses: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Request executions that panicked — each one was caught and
+    /// answered as the typed `internal` error; the worker survived.
+    pub panics: AtomicU64,
+    /// Connections shed at admission with the typed `overloaded` error.
+    pub sheds: AtomicU64,
+    /// Worker threads revived after a panic escaped a whole connection
+    /// (the per-request guard makes this a should-never counter).
+    pub worker_respawns: AtomicU64,
     /// Per-op request counts, indexed in [`OpKind::ALL`] order.
     pub op_requests: [AtomicU64; OpKind::ALL.len()],
     /// Per-op error-response counts, same order.
@@ -309,6 +358,9 @@ impl ServerStats {
             lru_hits: AtomicU64::new(0),
             lru_misses: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             op_requests: std::array::from_fn(|_| AtomicU64::new(0)),
             op_errors: std::array::from_fn(|_| AtomicU64::new(0)),
             op_latency: std::array::from_fn(|_| Histogram::new()),
@@ -342,6 +394,14 @@ struct Shared {
     slow_query_ms: u64,
     /// The most recent over-threshold requests, oldest evicted first.
     slow: Ring<SlowQuery>,
+    /// Request-line byte limit ([`ServeOptions::max_request_bytes`]).
+    max_request_bytes: usize,
+    /// Per-request deadline, if enabled ([`ServeOptions::request_deadline_ms`]).
+    deadline: Option<Duration>,
+    /// Admission bound ([`ServeOptions::max_pending`]).
+    max_pending: usize,
+    /// Connections handed to the worker queue but not yet picked up.
+    pending: AtomicU64,
 }
 
 impl Shared {
@@ -349,10 +409,31 @@ impl Shared {
     /// every failure becomes an error response. Every answer — ok or
     /// error, including unparseable lines — is timed into the per-op
     /// and overall latency histograms, and over-threshold requests land
-    /// in the slow-query ring.
+    /// in the slow-query ring. (Production traffic flows through
+    /// [`Shared::respond_received`] so the deadline clock starts at the
+    /// request's first byte; this wrapper is the unit-test entry.)
+    #[cfg(test)]
     fn respond(&self, line: &str) -> (Arc<String>, bool) {
+        self.respond_received(line, Instant::now())
+    }
+
+    /// Like [`Shared::respond`], with `received` = when the request's
+    /// first byte arrived, so the per-request deadline covers a slowly
+    /// trickling request line as well as execution time.
+    fn respond_received(&self, line: &str, received: Instant) -> (Arc<String>, bool) {
         let start = Instant::now();
-        let (op, response, is_shutdown) = self.dispatch(line);
+        let (op, mut response, is_shutdown) = self.dispatch(line);
+        if let Some(deadline) = self.deadline {
+            // Replace only ok answers: a typed error is already the
+            // more specific signal, and it is never "a wrong answer
+            // delivered late".
+            if received.elapsed() > deadline && !response.starts_with("{\"ok\":false") {
+                response = Arc::new(err_response(&ProtocolError::new(
+                    "deadline_exceeded",
+                    format!("request missed the {} ms deadline", deadline.as_millis()),
+                )));
+            }
+        }
         let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         // own serializer: an error envelope always renders with this
         // exact prefix, so no response re-parse is needed on the hot path
@@ -368,17 +449,59 @@ impl Shared {
         (response, is_shutdown)
     }
 
+    /// The typed answer to a request line over the byte limit. The line
+    /// never parsed, so it classifies as [`OpKind::Invalid`]; it is
+    /// still a fully counted request.
+    fn oversized_response(&self) -> String {
+        let start = Instant::now();
+        let response = err_response(&ProtocolError::new(
+            "too_large",
+            format!(
+                "request line exceeds the {}-byte limit (excess discarded)",
+                self.max_request_bytes
+            ),
+        ));
+        let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.stats.record(OpKind::Invalid, us, true);
+        response
+    }
+
     fn dispatch(&self, line: &str) -> (OpKind, Arc<String>, bool) {
         let req = match parse_request(line) {
             Err(e) => return (OpKind::Invalid, Arc::new(err_response(&e)), false),
             Ok(req) => req,
         };
         let op = OpKind::of(&req);
-        let (response, is_shutdown) = match req {
+        // Per-request panic boundary: a panicking execution (a bug, or
+        // the injected `worker_panic` fault) is counted and answered as
+        // the typed `internal` error on the same connection — the
+        // worker thread never unwinds, so the pool keeps its size.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(req))) {
+            Ok((response, is_shutdown)) => (op, response, is_shutdown),
+            Err(_) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                let e = ProtocolError::new(
+                    "internal",
+                    format!(
+                        "request execution panicked (op '{}'); the worker survived",
+                        op.name()
+                    ),
+                );
+                (op, Arc::new(err_response(&e)), false)
+            }
+        }
+    }
+
+    fn execute(&self, req: Request) -> (Arc<String>, bool) {
+        if fault::should_fire(FaultPoint::WorkerPanic) {
+            panic!("injected worker panic");
+        }
+        match req {
             Request::Ping => (Arc::new(ok_response(Json::Str("pong".into()))), false),
             Request::Shutdown => (Arc::new(ok_response(Json::Str("stopping".into()))), true),
             Request::Stats => (Arc::new(ok_response(self.stats_json())), false),
             Request::Metrics => (Arc::new(ok_response(self.metrics_json())), false),
+            Request::Health => (Arc::new(ok_response(self.health_json())), false),
             Request::TopK { index, k } => (self.top_k(&index, k), false),
             Request::DensityOf { index, vertex } => {
                 (Arc::new(self.vertex_query(&index, vertex, false)), false)
@@ -386,8 +509,50 @@ impl Shared {
             Request::Membership { index, vertex } => {
                 (Arc::new(self.vertex_query(&index, vertex, true)), false)
             }
+        }
+    }
+
+    /// The `health` op: overall liveness plus per-index readiness. A
+    /// daemon that lost an index at startup keeps serving the rest and
+    /// says so here (`status: "degraded"`), instead of hiding it or
+    /// refusing to start.
+    fn health_json(&self) -> Json {
+        let mut rows: Vec<Json> = self
+            .served
+            .indexes
+            .keys()
+            .map(|key| {
+                Json::object([
+                    ("pattern", Json::Str(key.clone())),
+                    ("ready", Json::Bool(true)),
+                ])
+            })
+            .collect();
+        rows.extend(self.served.failed.iter().map(|(key, err)| {
+            Json::object([
+                ("pattern", Json::Str(key.clone())),
+                ("ready", Json::Bool(false)),
+                ("error", Json::Str(err.clone())),
+            ])
+        }));
+        let status = if self.served.failed.is_empty() {
+            "ok"
+        } else {
+            "degraded"
         };
-        (op, response, is_shutdown)
+        Json::object([
+            ("status", Json::Str(status.into())),
+            ("uptime_ms", Json::Int(self.stats.uptime_ms() as i128)),
+            (
+                "indexes_ready",
+                Json::Int(self.served.indexes.len() as i128),
+            ),
+            (
+                "indexes_failed",
+                Json::Int(self.served.failed.len() as i128),
+            ),
+            ("indexes", Json::Array(rows)),
+        ])
     }
 
     fn top_k(&self, r: &IndexRef, k: usize) -> Arc<String> {
@@ -545,6 +710,18 @@ impl Shared {
                 "connections",
                 Json::Int(self.stats.connections.load(Ordering::Relaxed) as i128),
             ),
+            (
+                "panics",
+                Json::Int(self.stats.panics.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "shed",
+                Json::Int(self.stats.sheds.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "worker_respawns",
+                Json::Int(self.stats.worker_respawns.load(Ordering::Relaxed) as i128),
+            ),
             ("ops", Json::Array(ops)),
             ("latency", latency_summary_json(&self.stats.latency)),
             ("slow_queries", slow),
@@ -605,6 +782,21 @@ impl Shared {
              # TYPE lhcds_connections_total counter\n\
              lhcds_connections_total {}",
             s.connections.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP lhcds_panics_total Request executions that panicked (caught per request, answered as typed internal errors).\n\
+             # TYPE lhcds_panics_total counter\n\
+             lhcds_panics_total {}\n\
+             # HELP lhcds_shed_total Connections shed at admission with a typed overloaded error.\n\
+             # TYPE lhcds_shed_total counter\n\
+             lhcds_shed_total {}\n\
+             # HELP lhcds_worker_respawns_total Worker threads revived after a panic escaped a connection.\n\
+             # TYPE lhcds_worker_respawns_total counter\n\
+             lhcds_worker_respawns_total {}",
+            s.panics.load(Ordering::Relaxed),
+            s.sheds.load(Ordering::Relaxed),
+            s.worker_respawns.load(Ordering::Relaxed)
         );
         out.push_str(
             "# HELP lhcds_requests_total Requests answered, by op.\n\
@@ -770,6 +962,11 @@ impl Server {
             stop: AtomicBool::new(false),
             slow_query_ms: opts.slow_query_ms,
             slow: Ring::new(SLOW_RING_CAP),
+            max_request_bytes: opts.max_request_bytes.max(1),
+            deadline: (opts.request_deadline_ms > 0)
+                .then(|| Duration::from_millis(opts.request_deadline_ms)),
+            max_pending: opts.max_pending.max(1),
+            pending: AtomicU64::new(0),
         });
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -839,12 +1036,47 @@ impl Server {
     /// Blocks until the server has fully stopped (all threads joined).
     /// Call [`ShutdownHandle::shutdown`] first, or rely on the protocol
     /// `shutdown` op / the CLI signal handler.
+    ///
+    /// A panicked thread is joined, not propagated: the caller asked
+    /// the daemon to stop, and the panic was already counted (see
+    /// [`ServerStats::panics`] / [`ServerStats::worker_respawns`]) —
+    /// re-raising it here would turn a survived fault into a crash at
+    /// the very end of a clean shutdown.
     pub fn join(self) {
-        self.accept_thread.join().expect("accept thread panicked");
+        let _ = self.accept_thread.join();
         for w in self.workers {
-            w.join().expect("worker thread panicked");
+            let _ = w.join();
         }
     }
+}
+
+/// Sheds one connection at admission: answer the typed `overloaded`
+/// error (best effort — the client may not even be reading yet) and
+/// close. Runs on the accept thread, so the write must not block long;
+/// the error line is far smaller than any socket send buffer.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    shared.stats.sheds.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let e = ProtocolError::new(
+        "overloaded",
+        format!(
+            "server is at its admission limit ({} queued connections); retry with backoff",
+            shared.max_pending
+        ),
+    );
+    let _ = stream.write_all(err_response(&e).as_bytes());
+    let _ = stream.flush();
+}
+
+/// Whether an accepted connection clears the admission bound. On `true`
+/// the pending gauge has been incremented (workers decrement on
+/// pickup); on `false` the caller must shed.
+fn admit(shared: &Shared) -> bool {
+    if shared.pending.load(Ordering::Relaxed) >= shared.max_pending as u64 {
+        return false;
+    }
+    shared.pending.fetch_add(1, Ordering::Relaxed);
+    true
 }
 
 fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
@@ -852,6 +1084,10 @@ fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Sh
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if !admit(shared) {
+                    shed(stream, shared);
+                    continue;
+                }
                 if tx.send(stream).is_err() {
                     return; // all workers gone (only on stop)
                 }
@@ -879,6 +1115,10 @@ fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Sh
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if !admit(shared) {
+                    shed(stream, shared);
+                    continue;
+                }
                 if tx.send(stream).is_err() {
                     return;
                 }
@@ -898,7 +1138,20 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
         // while polling, so workers take turns.
         let next = rx.lock().expect("worker queue poisoned").recv_timeout(POLL);
         match next {
-            Ok(stream) => handle_connection(stream, shared),
+            Ok(stream) => {
+                shared.pending.fetch_sub(1, Ordering::Relaxed);
+                // Per-worker panic boundary. The per-request guard in
+                // `dispatch` already answers panicking requests with a
+                // typed error, so nothing should ever reach this one —
+                // but if it does, the worker revives in place (counted)
+                // instead of silently shrinking the pool.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, shared)
+                }));
+                if outcome.is_err() {
+                    shared.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+                }
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
@@ -906,11 +1159,17 @@ fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
 }
 
 enum LineOutcome {
-    Line(Vec<u8>),
-    /// EOF, I/O error, or over-long line: drop the connection.
+    /// A complete line, plus when its first byte arrived (the
+    /// per-request deadline clock starts there).
+    Line(Vec<u8>, Instant),
+    /// EOF or I/O error: drop the connection.
     Close,
     /// Stop requested while idle between requests.
     Stopped,
+    /// The line exceeded the request byte limit. The excess was
+    /// discarded (not buffered) through the terminating newline, so
+    /// the connection survives to carry the typed `too_large` answer.
+    TooLarge,
 }
 
 /// After a stop, how many read-timeout cycles a *partially received*
@@ -925,28 +1184,51 @@ const STOP_GRACE_POLLS: u32 = 3;
 /// honored — that is the "in-flight requests are answered" guarantee.
 /// A partial line gets [`STOP_GRACE_POLLS`] timeouts to finish after a
 /// stop, then the connection is closed.
-fn read_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> LineOutcome {
+///
+/// A line over `max_line` bytes switches the reader into discard mode:
+/// the buffered prefix is dropped and every further byte is consumed
+/// without being stored until the newline, so a 10 MiB line costs one
+/// `BufReader` buffer of memory, not 10 MiB — then [`LineOutcome::TooLarge`]
+/// lets the caller answer with the typed error and keep the connection.
+fn read_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool, max_line: usize) -> LineOutcome {
+    if fault::should_fire(FaultPoint::SocketRead) {
+        return LineOutcome::Close; // injected: the socket read failed
+    }
+    // Injected slow read: stall the completed line below, as if its
+    // bytes had trickled in — the deadline clock is already running.
+    let stall = fault::should_fire(FaultPoint::SlowRead);
     let mut line: Vec<u8> = Vec::new();
+    let mut started: Option<Instant> = None;
+    let mut discarding = false;
     let mut stop_polls = 0u32;
     loop {
         let (consumed, done) = match reader.fill_buf() {
             Ok([]) => return LineOutcome::Close,
-            Ok(buf) => match buf.iter().position(|&b| b == b'\n') {
-                Some(pos) => {
-                    line.extend_from_slice(&buf[..pos]);
-                    (pos + 1, true)
+            Ok(buf) => {
+                if started.is_none() {
+                    started = Some(Instant::now());
                 }
-                None => {
-                    line.extend_from_slice(buf);
-                    (buf.len(), false)
+                match buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => {
+                        if !discarding {
+                            line.extend_from_slice(&buf[..pos]);
+                        }
+                        (pos + 1, true)
+                    }
+                    None => {
+                        if !discarding {
+                            line.extend_from_slice(buf);
+                        }
+                        (buf.len(), false)
+                    }
                 }
-            },
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if stop.load(Ordering::SeqCst) {
-                    if line.is_empty() {
+                    if started.is_none() {
                         return LineOutcome::Stopped;
                     }
                     stop_polls += 1;
@@ -961,15 +1243,45 @@ fn read_line(reader: &mut BufReader<TcpStream>, stop: &AtomicBool) -> LineOutcom
         };
         reader.consume(consumed);
         if done {
+            if stall {
+                std::thread::sleep(SLOW_READ_STALL);
+            }
+            if discarding {
+                return LineOutcome::TooLarge;
+            }
             if line.last() == Some(&b'\r') {
                 line.pop();
             }
-            return LineOutcome::Line(line);
+            return LineOutcome::Line(line, started.unwrap_or_else(Instant::now));
         }
-        if line.len() > MAX_LINE {
-            return LineOutcome::Close;
+        if !discarding && line.len() > max_line {
+            discarding = true;
+            line = Vec::new(); // free the oversized prefix immediately
         }
     }
+}
+
+/// Writes one response line, honoring the injected socket-write faults:
+/// `socket_write` fails before any byte leaves, `partial_write`
+/// delivers a prefix then fails. Either way the caller drops the
+/// connection — a torn response must never be followed by another.
+fn write_response(writer: &mut TcpStream, response: &str) -> std::io::Result<()> {
+    if fault::should_fire(FaultPoint::SocketWrite) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected socket write error",
+        ));
+    }
+    if fault::should_fire(FaultPoint::PartialWrite) {
+        writer.write_all(&response.as_bytes()[..response.len() / 2])?;
+        writer.flush()?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected partial write",
+        ));
+    }
+    writer.write_all(response.as_bytes())?;
+    writer.flush()
 }
 
 fn handle_connection(stream: TcpStream, shared: &Shared) {
@@ -982,14 +1294,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match read_line(&mut reader, &shared.stop) {
+        match read_line(&mut reader, &shared.stop, shared.max_request_bytes) {
             LineOutcome::Close | LineOutcome::Stopped => return,
-            LineOutcome::Line(raw) => {
+            LineOutcome::TooLarge => {
+                let response = shared.oversized_response();
+                if write_response(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            LineOutcome::Line(raw, received) => {
                 if raw.iter().all(|b| b.is_ascii_whitespace()) {
                     continue; // tolerate blank lines (interactive use)
                 }
                 let (response, is_shutdown) = match std::str::from_utf8(&raw) {
-                    Ok(line) => shared.respond(line),
+                    Ok(line) => shared.respond_received(line, received),
                     Err(_) => (
                         Arc::new(err_response(&ProtocolError::new(
                             "bad_request",
@@ -1004,7 +1322,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 if is_shutdown {
                     shared.stop.store(true, Ordering::SeqCst);
                 }
-                if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+                if write_response(&mut writer, &response).is_err() {
                     return; // client went away mid-response
                 }
                 if is_shutdown {
@@ -1042,6 +1360,7 @@ mod tests {
             m: g.m(),
             original_ids: None,
             indexes: BTreeMap::new(),
+            failed: BTreeMap::new(),
         };
         served.insert(DecompositionIndex::build(&g, 3, &IndexConfig::default()));
         served.insert(lhcds_patterns::build_pattern_index(
@@ -1057,13 +1376,21 @@ mod tests {
     }
 
     fn shared_with_slow_ring(slow_query_ms: u64, cap: usize) -> Shared {
+        shared_for(served(), slow_query_ms, cap)
+    }
+
+    fn shared_for(served: ServedIndexes, slow_query_ms: u64, cap: usize) -> Shared {
         Shared {
-            served: served(),
+            served,
             stats: ServerStats::new(),
             lru: Mutex::new(Lru::new(4)),
             stop: AtomicBool::new(false),
             slow_query_ms,
             slow: Ring::new(cap),
+            max_request_bytes: 64 * 1024,
+            deadline: None,
+            max_pending: 1024,
+            pending: AtomicU64::new(0),
         }
     }
 
@@ -1074,6 +1401,7 @@ mod tests {
             r#"{"op":"ping"}"#,
             r#"{"op":"stats"}"#,
             r#"{"op":"metrics"}"#,
+            r#"{"op":"health"}"#,
             r#"{"op":"top_k","h":3,"k":2}"#,
             r#"{"op":"top_k","pattern":"4-loop","k":2}"#,
             r#"{"op":"top_k","pattern":"triangle","k":2}"#,
@@ -1265,6 +1593,9 @@ mod tests {
             // response renders, so the overall count here is 2
             "lhcds_request_duration_microseconds_count 2",
             "lhcds_slow_queries_total",
+            "lhcds_panics_total 0",
+            "lhcds_shed_total 0",
+            "lhcds_worker_respawns_total 0",
             "lhcds_lru_misses_total 1",
             "lhcds_index_subgraphs{pattern=\"clique.h3\"}",
             "lhcds_flow_max_flow_invocations_total",
@@ -1289,20 +1620,18 @@ mod tests {
         let idx = DecompositionIndex::build(&g, 3, &IndexConfig::default());
         let mut indexes = BTreeMap::new();
         indexes.insert(idx.pattern().to_string(), idx);
-        let s = Shared {
-            served: ServedIndexes {
+        let s = shared_for(
+            ServedIndexes {
                 name: "remap".into(),
                 n: 3,
                 m: 3,
                 original_ids: Some(vec![100, 200, 300]),
                 indexes,
+                failed: BTreeMap::new(),
             },
-            stats: ServerStats::new(),
-            lru: Mutex::new(Lru::new(4)),
-            stop: AtomicBool::new(false),
-            slow_query_ms: 100,
-            slow: Ring::new(SLOW_RING_CAP),
-        };
+            100,
+            SLOW_RING_CAP,
+        );
         let (resp, _) = s.respond(r#"{"op":"membership","h":3,"vertex":200}"#);
         let v = Json::parse(resp.trim_end()).unwrap();
         let sub = v.get("result").unwrap().get("subgraph").unwrap();
@@ -1319,5 +1648,66 @@ mod tests {
         let (resp, _) = s.respond(r#"{"op":"density_of","h":3,"vertex":0}"#);
         let v = Json::parse(resp.trim_end()).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn health_reports_ok_then_degraded_when_an_index_failed() {
+        let s = shared();
+        let (resp, _) = s.respond(r#"{"op":"health"}"#);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        let r = v.get("result").unwrap();
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(r.get("indexes_failed").unwrap().as_u64(), Some(0));
+        let rows = r.get("indexes").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2); // clique.h3 + 4-loop (see served())
+        assert!(rows
+            .iter()
+            .all(|row| row.get("ready").unwrap().as_bool() == Some(true)));
+
+        let mut served = served();
+        served
+            .failed
+            .insert("5-path".into(), "injected index-load failure".into());
+        let s = shared_for(served, 100, SLOW_RING_CAP);
+        let (resp, _) = s.respond(r#"{"op":"health"}"#);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        let r = v.get("result").unwrap();
+        assert_eq!(r.get("status").unwrap().as_str(), Some("degraded"));
+        assert_eq!(r.get("indexes_failed").unwrap().as_u64(), Some(1));
+        let rows = r.get("indexes").unwrap().as_array().unwrap();
+        let failed = rows
+            .iter()
+            .find(|row| row.get("ready").unwrap().as_bool() == Some(false))
+            .expect("a failed row");
+        assert_eq!(failed.get("pattern").unwrap().as_str(), Some("5-path"));
+        assert!(failed.get("error").unwrap().as_str().is_some());
+        // the degraded daemon still answers queries for what it has
+        let (resp, _) = s.respond(r#"{"op":"top_k","h":3,"k":1}"#);
+        assert!(resp.starts_with("{\"ok\":true"));
+    }
+
+    #[test]
+    fn deadline_replaces_late_ok_answers_with_the_typed_error() {
+        let mut s = shared();
+        s.deadline = Some(Duration::from_millis(5));
+        // a receipt instant far in the past simulates a request whose
+        // line trickled in slowly (or whose execution dawdled)
+        let received = Instant::now() - Duration::from_millis(50);
+        let (resp, _) = s.respond_received(r#"{"op":"ping"}"#, received);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("deadline_exceeded")
+        );
+        // typed errors pass through untouched — never double-wrapped
+        let (resp, _) = s.respond_received(r#"{"op":"top_k","h":9,"k":1}"#, received);
+        let v = Json::parse(resp.trim_end()).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("bad_h")
+        );
+        // a fresh request is unaffected
+        let (resp, _) = s.respond(r#"{"op":"ping"}"#);
+        assert!(resp.starts_with("{\"ok\":true"));
     }
 }

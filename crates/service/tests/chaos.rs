@@ -1,0 +1,438 @@
+//! Chaos suite: the daemon under deterministic fault injection.
+//!
+//! Pins the fault-tolerance contract: under every injection point the
+//! `lhcds-obs` fault registry offers, every response a client manages
+//! to read is either **byte-identical** to the fault-free answer or a
+//! **typed error** (`too_large` | `deadline_exceeded` | `overloaded` |
+//! `internal`) — never a silently wrong answer — and the daemon always
+//! survives to serve the next request. Fault schedules are seeded, so
+//! every run of this suite sees the same faults in the same places.
+//!
+//! The fault registry is process-global, so every test here serializes
+//! on one mutex and disarms before releasing it — this binary is the
+//! only place in the service crate where faults are armed (the unit
+//! tests in `src/` run in parallel threads of their own process and
+//! must never race an armed schedule).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use lhcds_core::index::{DecompositionIndex, IndexConfig};
+use lhcds_graph::CsrGraph;
+use lhcds_obs::fault::{self, FaultPoint, FaultSchedule};
+use lhcds_service::client::{self, ClientError, RetryPolicy};
+use lhcds_service::json::Json;
+use lhcds_service::protocol::{IndexRef, Request};
+use lhcds_service::server::{ServeOptions, ServedIndexes, Server};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Serializes tests (the fault registry is process-global) and
+/// guarantees a disarmed registry on entry and exit, even when the
+/// previous test panicked while armed.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = GATE
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    fault::disarm();
+    guard
+}
+
+/// RAII disarm: a panicking assertion must not leave the schedule
+/// armed for the next test.
+struct Disarm;
+impl Drop for Disarm {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+fn figure2_served(k_max: usize) -> ServedIndexes {
+    let g: CsrGraph = lhcds_data::figure2_graph();
+    let idx = DecompositionIndex::build(
+        &g,
+        3,
+        &IndexConfig {
+            k_max,
+            ..IndexConfig::default()
+        },
+    );
+    let mut indexes = BTreeMap::new();
+    indexes.insert(idx.pattern().to_string(), idx);
+    ServedIndexes {
+        name: "figure2".into(),
+        n: g.n(),
+        m: g.m(),
+        original_ids: None,
+        indexes,
+        failed: BTreeMap::new(),
+    }
+}
+
+fn bind(opts: &ServeOptions) -> (Server, String) {
+    let server = Server::bind("127.0.0.1:0", figure2_served(8), opts).expect("bind");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn shutdown(server: Server) {
+    server.shutdown_handle().shutdown();
+    server.join();
+}
+
+const TOPK_LINE: &str = r#"{"op":"top_k","h":3,"k":2}"#;
+
+/// The error code of an `ok:false` envelope, if `line` is one.
+fn error_code(line: &str) -> Option<String> {
+    let v = Json::parse(line).ok()?;
+    match v.get("ok")?.as_bool()? {
+        true => None,
+        false => Some(v.get("error")?.get("code")?.as_str()?.to_string()),
+    }
+}
+
+/// The capstone invariant: under every socket/worker injection point,
+/// every readable response is byte-identical to the fault-free answer
+/// or a typed error, and the daemon survives the whole barrage.
+#[test]
+fn every_injection_point_yields_exact_answers_or_typed_errors() {
+    let _g = serial();
+    let _d = Disarm;
+    let (server, addr) = bind(&ServeOptions::default());
+
+    // the fault-free answer, captured from the very daemon under test
+    let expected = client::round_trip(&addr, TOPK_LINE, TIMEOUT).expect("fault-free");
+    assert!(expected.starts_with("{\"ok\":true"), "{expected}");
+
+    for point in [
+        FaultPoint::SocketRead,
+        FaultPoint::SocketWrite,
+        FaultPoint::PartialWrite,
+        FaultPoint::SlowRead,
+        FaultPoint::WorkerPanic,
+    ] {
+        fault::arm(FaultSchedule::new(0xC0FFEE).probability(point, 0.4));
+        let mut ok = 0u32;
+        let mut failed = 0u32;
+        for i in 0..24 {
+            match client::round_trip(&addr, TOPK_LINE, TIMEOUT) {
+                // a complete, equal line is a correct answer; anything
+                // else readable must be a typed error or a torn *prefix*
+                // of the true answer (partial_write) — never altered
+                // bytes presented as a whole answer
+                Ok(line) if line == expected => ok += 1,
+                Ok(line) => match error_code(&line) {
+                    Some(code) => {
+                        assert_eq!(code, "internal", "{point}: unexpected error on {i}");
+                        failed += 1;
+                    }
+                    None => {
+                        assert!(
+                            expected.starts_with(&line),
+                            "{point}: response is neither exact, typed, nor a torn prefix: {line}"
+                        );
+                        failed += 1;
+                    }
+                },
+                // transport-level failure: the fault tore the
+                // connection; no bytes were delivered, nothing to check
+                Err(ClientError::Io(_) | ClientError::NoResponse) => failed += 1,
+                Err(other) => panic!("{point}: unexpected client error {other}"),
+            }
+        }
+        assert!(ok > 0, "{point}: every request failed at p=0.4");
+        // a slow read alone (no deadline configured here) delays but
+        // never fails a request — its firing shows only in the counter
+        if point != FaultPoint::SlowRead {
+            assert!(failed > 0, "{point}: schedule armed but nothing fired");
+        }
+        assert!(fault::fired(point) > 0, "{point}: fired counter silent");
+        fault::disarm();
+
+        // the daemon took the barrage and still answers, bit for bit
+        let after = client::round_trip(&addr, TOPK_LINE, TIMEOUT).expect("alive after faults");
+        assert_eq!(after, expected, "{point}: daemon degraded after disarm");
+    }
+    shutdown(server);
+}
+
+/// A seeded schedule is reproducible: two identical barrages against
+/// two fresh daemons fire the same faults at the same requests.
+#[test]
+fn seeded_fault_schedules_are_reproducible() {
+    let _g = serial();
+    let _d = Disarm;
+    let run = || -> Vec<String> {
+        let (server, addr) = bind(&ServeOptions::default());
+        fault::arm(FaultSchedule::new(7).probability(FaultPoint::WorkerPanic, 0.5));
+        let outcomes: Vec<String> = (0..16)
+            .map(|_| match client::round_trip(&addr, TOPK_LINE, TIMEOUT) {
+                Ok(line) => line,
+                Err(e) => format!("err:{e}"),
+            })
+            .collect();
+        fault::disarm();
+        shutdown(server);
+        outcomes
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed, same fault pattern");
+    assert!(
+        first
+            .iter()
+            .any(|l| error_code(l).as_deref() == Some("internal")),
+        "p=0.5 over 16 requests should panic at least once"
+    );
+    assert!(
+        first.iter().any(|l| l.starts_with("{\"ok\":true")),
+        "p=0.5 over 16 requests should succeed at least once"
+    );
+}
+
+/// After an armed-then-disarmed run, the daemon's answers are
+/// string-identical to a daemon that was never faulted at all.
+#[test]
+fn fault_free_rerun_is_string_identical_to_never_faulted_run() {
+    let _g = serial();
+    let _d = Disarm;
+    let workload = [
+        TOPK_LINE.to_string(),
+        r#"{"op":"top_k","h":3,"k":1}"#.to_string(),
+        r#"{"op":"density_of","h":3,"vertex":11}"#.to_string(),
+        r#"{"op":"membership","h":3,"vertex":0}"#.to_string(),
+        r#"{"op":"ping"}"#.to_string(),
+        // (`health` is excluded: its `uptime_ms` legitimately differs
+        // between two daemons — everything else must match to the byte)
+    ];
+    let collect = |addr: &str| -> Vec<String> {
+        workload
+            .iter()
+            .map(|line| client::round_trip(addr, line, TIMEOUT).expect("workload"))
+            .collect()
+    };
+
+    // daemon A survives a panic barrage, then is disarmed
+    let (a, addr_a) = bind(&ServeOptions::default());
+    fault::arm(FaultSchedule::new(3).probability(FaultPoint::WorkerPanic, 1.0));
+    for _ in 0..4 {
+        let line = client::round_trip(&addr_a, TOPK_LINE, TIMEOUT).expect("typed internal");
+        assert_eq!(error_code(&line).as_deref(), Some("internal"));
+    }
+    fault::disarm();
+    let healed = collect(&addr_a);
+
+    // daemon B never saw a fault
+    let (b, addr_b) = bind(&ServeOptions::default());
+    let pristine = collect(&addr_b);
+
+    assert_eq!(healed, pristine, "healed daemon must serve pristine bytes");
+    shutdown(a);
+    shutdown(b);
+}
+
+/// Satellite: after injected worker panics the pool still serves N
+/// concurrent requests, and `stats` reports the panic count.
+#[test]
+fn pool_survives_panics_and_serves_concurrent_requests() {
+    let _g = serial();
+    let _d = Disarm;
+    let (server, addr) = bind(&ServeOptions {
+        workers: 4,
+        ..ServeOptions::default()
+    });
+
+    fault::arm(FaultSchedule::new(11).probability(FaultPoint::WorkerPanic, 1.0));
+    for _ in 0..4 {
+        let line = client::round_trip(&addr, TOPK_LINE, TIMEOUT).expect("caught panic");
+        assert_eq!(error_code(&line).as_deref(), Some("internal"));
+    }
+    fault::disarm();
+
+    // all four workers took a panic; the pool must still serve eight
+    // concurrent clients correctly
+    let expected = client::round_trip(&addr, TOPK_LINE, TIMEOUT).expect("alive");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    let line = client::round_trip(&addr, TOPK_LINE, TIMEOUT).expect("concurrent");
+                    assert_eq!(line, expected);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("concurrent client");
+        }
+    });
+
+    let stats = client::query(&addr, &Request::Stats, TIMEOUT).expect("stats");
+    assert_eq!(stats.get("panics").unwrap().as_u64(), Some(4));
+    let metrics = client::query(&addr, &Request::Metrics, TIMEOUT).expect("metrics");
+    let text = metrics.get("exposition").unwrap().as_str().unwrap();
+    assert!(text.contains("lhcds_panics_total 4"), "{text}");
+    shutdown(server);
+}
+
+/// Satellite: a 10 MiB request line gets the typed `too_large` error
+/// and the connection — and daemon — survive to serve the next line.
+#[test]
+fn ten_mebibyte_line_is_rejected_as_too_large_without_harm() {
+    let _g = serial();
+    let (server, addr) = bind(&ServeOptions::default()); // 64 KiB limit
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    stream.set_write_timeout(Some(TIMEOUT)).unwrap();
+    let mut line = vec![b'x'; 10 * 1024 * 1024];
+    line.push(b'\n');
+    stream.write_all(&line).expect("send 10 MiB");
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("typed answer");
+    assert_eq!(
+        error_code(response.trim_end()).as_deref(),
+        Some("too_large")
+    );
+
+    // same connection keeps working once the oversized line is drained
+    reader
+        .get_mut()
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .expect("next request");
+    let mut pong = String::new();
+    reader.read_line(&mut pong).expect("pong");
+    assert!(pong.starts_with("{\"ok\":true"), "{pong}");
+    shutdown(server);
+}
+
+/// Overload shedding: with the admission bound saturated, extra
+/// connections get the typed `overloaded` answer immediately — and a
+/// retrying client outlasts the burst.
+#[test]
+fn saturated_admission_sheds_with_typed_overloaded() {
+    let _g = serial();
+    let (server, addr) = bind(&ServeOptions {
+        workers: 1,
+        max_pending: 1,
+        ..ServeOptions::default()
+    });
+
+    // occupy the only worker with a held-open connection (borrow, do
+    // not clone: a clone would keep the socket open past the drop below)
+    let mut busy = TcpStream::connect(&addr).expect("busy connect");
+    busy.set_read_timeout(Some(TIMEOUT)).unwrap();
+    busy.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+    {
+        let mut busy_reader = BufReader::new(&busy);
+        let mut pong = String::new();
+        busy_reader.read_line(&mut pong).expect("busy pong");
+    }
+    // …fill the single pending slot…
+    let queued = TcpStream::connect(&addr).expect("queued connect");
+    std::thread::sleep(Duration::from_millis(200));
+    // …and watch the next connection get shed fast
+    let overflowed = client::query(&addr, &Request::Ping, TIMEOUT);
+    match overflowed {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "overloaded"),
+        other => panic!("expected typed overloaded, got {other:?}"),
+    }
+
+    // a retrying client wins once the worker frees up
+    let addr2 = addr.clone();
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        drop(busy); // worker moves on to the queued connection
+        drop(queued);
+    });
+    let policy = RetryPolicy {
+        max_attempts: 20,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_millis(200),
+        seed: 9,
+    };
+    let pong = client::query_with_retry(&addr2, &Request::Ping, TIMEOUT, &policy)
+        .expect("retry through the burst");
+    assert_eq!(pong, Json::Str("pong".into()));
+    release.join().unwrap();
+
+    let stats = client::query(&addr, &Request::Stats, TIMEOUT).expect("stats");
+    assert!(stats.get("shed").unwrap().as_u64().unwrap() >= 1);
+    shutdown(server);
+}
+
+/// An injected slow read pushes a request past a tight deadline: the
+/// answer is replaced by the typed `deadline_exceeded`, never delivered
+/// late as if nothing happened.
+#[test]
+fn slow_read_past_the_deadline_yields_deadline_exceeded() {
+    let _g = serial();
+    let _d = Disarm;
+    let (server, addr) = bind(&ServeOptions {
+        request_deadline_ms: 10, // injected stall is 30 ms
+        ..ServeOptions::default()
+    });
+
+    fault::arm(FaultSchedule::new(5).probability(FaultPoint::SlowRead, 1.0));
+    let line = client::round_trip(&addr, TOPK_LINE, TIMEOUT).expect("typed answer");
+    assert_eq!(error_code(&line).as_deref(), Some("deadline_exceeded"));
+    fault::disarm();
+
+    // disarmed, the same daemon with the same deadline answers normally
+    let line = client::round_trip(&addr, r#"{"op":"ping"}"#, TIMEOUT).expect("pong");
+    assert!(line.starts_with("{\"ok\":true"), "{line}");
+    shutdown(server);
+}
+
+/// The `health` op: `ok` while every index is ready, `degraded` (with
+/// the per-index error) when one failed to load.
+#[test]
+fn health_degrades_when_an_index_failed_to_load() {
+    let _g = serial();
+    let (server, addr) = bind(&ServeOptions::default());
+    let health = client::query(&addr, &Request::Health, TIMEOUT).expect("health");
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("indexes_ready").unwrap().as_u64(), Some(1));
+    shutdown(server);
+
+    let mut served = figure2_served(8);
+    served
+        .failed
+        .insert("4-loop".into(), "injected index load failure".into());
+    let server = Server::bind("127.0.0.1:0", served, &ServeOptions::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+    let health = client::query(&addr, &Request::Health, TIMEOUT).expect("health");
+    assert_eq!(health.get("status").unwrap().as_str(), Some("degraded"));
+    assert_eq!(health.get("indexes_failed").unwrap().as_u64(), Some(1));
+    let rows = health.get("indexes").unwrap().as_array().unwrap();
+    let failed_row = rows
+        .iter()
+        .find(|r| r.get("ready").and_then(Json::as_bool) == Some(false))
+        .expect("failed row present");
+    assert_eq!(failed_row.get("pattern").unwrap().as_str(), Some("4-loop"));
+    assert_eq!(
+        failed_row.get("error").unwrap().as_str(),
+        Some("injected index load failure")
+    );
+    // the surviving index still answers
+    let topk = client::query(
+        &addr,
+        &Request::TopK {
+            index: IndexRef::clique(3),
+            k: 1,
+        },
+        TIMEOUT,
+    )
+    .expect("degraded daemon still serves");
+    assert_eq!(topk.get("found").unwrap().as_u64(), Some(1));
+    shutdown(server);
+}

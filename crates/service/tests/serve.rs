@@ -46,6 +46,7 @@ fn served_for(g: &CsrGraph, hs: &[usize], k_max: usize) -> ServedIndexes {
         m: g.m(),
         original_ids: None,
         indexes,
+        failed: BTreeMap::new(),
     }
 }
 
@@ -573,6 +574,7 @@ fn daemon_hosts_one_graph_under_many_patterns() {
         m: g.m(),
         original_ids: None,
         indexes,
+        failed: BTreeMap::new(),
     };
     let server = Server::bind("127.0.0.1:0", served, &ServeOptions::default()).unwrap();
     let addr = server.local_addr().to_string();
